@@ -1,0 +1,104 @@
+//! Microbenchmarks of the substrates (DESIGN.md S1–S3): R*-tree build and
+//! query, visibility-graph Dijkstra, visible regions, and the split-point
+//! solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use conn_core::split::{crossing_params, split};
+use conn_core::ControlPoint;
+use conn_datasets::{la_like, uniform_points};
+use conn_geom::{Interval, Point, Segment};
+use conn_index::RStarTree;
+use conn_vgraph::{visible_region, DijkstraEngine, NodeKind, VisGraph};
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_micro");
+    group.sample_size(10);
+    let pts = uniform_points(20_000, 7, &[]);
+    group.bench_function("bulk_load_20k", |b| {
+        b.iter(|| {
+            let t = RStarTree::bulk_load(pts.clone(), 4096);
+            black_box(t.num_pages())
+        })
+    });
+    group.bench_function("insert_2k", |b| {
+        b.iter(|| {
+            let mut t = RStarTree::new(4096);
+            for p in pts.iter().take(2000) {
+                t.insert(*p);
+            }
+            black_box(t.num_pages())
+        })
+    });
+    let tree = RStarTree::bulk_load(pts.clone(), 4096);
+    let q = Segment::new(Point::new(100.0, 100.0), Point::new(600.0, 450.0));
+    group.bench_function("knn_100_by_segment", |b| {
+        b.iter(|| black_box(tree.knn(q, 100)))
+    });
+    group.finish();
+}
+
+fn bench_vgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vgraph_micro");
+    group.sample_size(10);
+    for n_obstacles in [100usize, 400] {
+        let obstacles = la_like(n_obstacles, 5);
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_endpoints", n_obstacles),
+            &obstacles,
+            |b, obstacles| {
+                b.iter(|| {
+                    let mut g = VisGraph::new(50.0);
+                    let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+                    let t = g.add_point(Point::new(9999.0, 9999.0), NodeKind::Endpoint);
+                    for r in obstacles {
+                        g.add_obstacle(*r);
+                    }
+                    let mut d = DijkstraEngine::new(&g, s);
+                    black_box(d.run_until_settled(&mut g, t))
+                })
+            },
+        );
+    }
+    let obstacles = la_like(400, 5);
+    let q = Segment::new(Point::new(2000.0, 5000.0), Point::new(2450.0, 5000.0));
+    group.bench_function("visible_region_400", |b| {
+        b.iter(|| black_box(visible_region(Point::new(2200.0, 5400.0), &q, &obstacles)))
+    });
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_micro");
+    let q = Segment::new(Point::new(0.0, 0.0), Point::new(450.0, 0.0));
+    let iv = Interval::new(0.0, 450.0);
+    // a mix of all four paper cases
+    let pairs: Vec<(ControlPoint, ControlPoint)> = (0..64)
+        .map(|i| {
+            let k = i as f64;
+            (
+                ControlPoint::new(Point::new(k * 7.0 % 450.0, 10.0 + k % 40.0), k % 13.0),
+                ControlPoint::new(Point::new(450.0 - k * 5.0 % 450.0, 25.0 + k % 30.0), k % 7.0),
+            )
+        })
+        .collect();
+    group.bench_function("split_64_pairs", |b| {
+        b.iter(|| {
+            for (f, g) in &pairs {
+                black_box(split(&q, f, g, iv));
+            }
+        })
+    });
+    group.bench_function("crossing_params_64_pairs", |b| {
+        b.iter(|| {
+            for (f, g) in &pairs {
+                black_box(crossing_params(&q, f, g, &iv));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree, bench_vgraph, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Reference baselines.
+//!
+//! * [`brute_force_oknn`] — exact obstructed kNN at a single location by
+//!   exhaustive Dijkstra over the full visibility graph. Ground truth for
+//!   every correctness test.
+//! * [`sampled_conn`] — the naive CONN strategy the paper's introduction
+//!   rules out: sample `m` locations along `q` and run an ONN query at each.
+//!   Used as the accuracy/efficiency baseline and in tests (the exact
+//!   algorithm must agree with it at every sample away from split points).
+
+use conn_geom::{Point, Rect, Segment};
+use conn_vgraph::{DijkstraEngine, NodeId, NodeKind, VisGraph};
+
+use crate::types::DataPoint;
+
+/// Exact obstructed k-nearest-neighbors of the location `s`, by full-graph
+/// Dijkstra. Returns up to `k` `(point, obstructed distance)` pairs in
+/// ascending distance; unreachable points are excluded.
+pub fn brute_force_oknn(
+    points: &[DataPoint],
+    obstacles: &[Rect],
+    s: Point,
+    k: usize,
+) -> Vec<(DataPoint, f64)> {
+    let mut g = full_graph(obstacles);
+    let source = g.add_point(s, NodeKind::DataPoint);
+    let ids: Vec<(DataPoint, NodeId)> = points
+        .iter()
+        .map(|p| (*p, g.add_point(p.pos, NodeKind::DataPoint)))
+        .collect();
+    let mut dij = DijkstraEngine::new(&g, source);
+    dij.run_all(&mut g);
+    let mut out: Vec<(DataPoint, f64)> = ids
+        .into_iter()
+        .filter_map(|(p, n)| dij.settled_dist(n).map(|d| (p, d)))
+        .filter(|(_, d)| d.is_finite())
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+    out.truncate(k);
+    out
+}
+
+/// One sample of the naive baseline: parameter, and the kNN set there.
+#[derive(Debug, Clone)]
+pub struct ConnSample {
+    pub t: f64,
+    pub neighbors: Vec<(DataPoint, f64)>,
+}
+
+/// The sampling-based CONN baseline: exact OkNN at `samples` evenly spaced
+/// parameters along `q` (endpoints included).
+///
+/// Builds the full visibility graph once and runs one Dijkstra per sample —
+/// still exact per sample, but with unbounded error *between* samples,
+/// which is precisely the drawback (paper §2.2) that motivates the exact
+/// algorithm.
+pub fn sampled_conn(
+    points: &[DataPoint],
+    obstacles: &[Rect],
+    q: &Segment,
+    samples: usize,
+    k: usize,
+) -> Vec<ConnSample> {
+    assert!(samples >= 2, "need at least the two endpoints");
+    let mut g = full_graph(obstacles);
+    let ids: Vec<(DataPoint, NodeId)> = points
+        .iter()
+        .map(|p| (*p, g.add_point(p.pos, NodeKind::DataPoint)))
+        .collect();
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let t = q.len() * (i as f64) / ((samples - 1) as f64);
+        let source = g.add_point(q.at(t), NodeKind::DataPoint);
+        let mut dij = DijkstraEngine::new(&g, source);
+        dij.run_all(&mut g);
+        let mut neighbors: Vec<(DataPoint, f64)> = ids
+            .iter()
+            .filter_map(|(p, n)| dij.settled_dist(*n).map(|d| (*p, d)))
+            .filter(|(_, d)| d.is_finite())
+            .collect();
+        neighbors.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        neighbors.truncate(k);
+        g.remove_node(source);
+        out.push(ConnSample { t, neighbors });
+    }
+    out
+}
+
+fn full_graph(obstacles: &[Rect]) -> VisGraph {
+    let cell = obstacles
+        .iter()
+        .map(|r| r.width().max(r.height()))
+        .fold(0.0f64, f64::max)
+        .max(20.0);
+    let mut g = VisGraph::new(cell);
+    for r in obstacles {
+        g.add_obstacle(*r);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<DataPoint> {
+        vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 40.0)),
+            DataPoint::new(2, Point::new(90.0, 10.0)),
+        ]
+    }
+
+    #[test]
+    fn brute_force_free_space_is_euclid_knn() {
+        let s = Point::new(0.0, 0.0);
+        let got = brute_force_oknn(&pts(), &[], s, 3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0.id, 0);
+        assert!((got[0].1 - s.dist(Point::new(10.0, 20.0))).abs() < 1e-9);
+        assert!(got[0].1 <= got[1].1 && got[1].1 <= got[2].1);
+    }
+
+    #[test]
+    fn obstacle_reorders_neighbors() {
+        let s = Point::new(0.0, 0.0);
+        // wall isolates point 0 behind a long detour
+        let wall = Rect::new(-5.0, 10.0, 30.0, 15.0);
+        let free = brute_force_oknn(&pts(), &[], s, 1);
+        let blocked = brute_force_oknn(&pts(), &[wall], s, 1);
+        assert_eq!(free[0].0.id, 0);
+        assert!(blocked[0].1 >= free[0].1);
+    }
+
+    #[test]
+    fn unreachable_points_are_dropped() {
+        let boxed = vec![
+            Rect::new(40.0, 30.0, 60.0, 35.0),
+            Rect::new(40.0, 45.0, 60.0, 50.0),
+            Rect::new(40.0, 30.0, 45.0, 50.0),
+            Rect::new(55.0, 30.0, 60.0, 50.0),
+        ];
+        let inside = vec![DataPoint::new(9, Point::new(50.0, 40.0))];
+        let got = brute_force_oknn(&inside, &boxed, Point::new(0.0, 0.0), 1);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sampled_conn_spans_the_segment() {
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let samples = sampled_conn(&pts(), &[], &q, 11, 2);
+        assert_eq!(samples.len(), 11);
+        assert_eq!(samples[0].t, 0.0);
+        assert!((samples[10].t - 100.0).abs() < 1e-9);
+        for s in &samples {
+            assert_eq!(s.neighbors.len(), 2);
+            assert!(s.neighbors[0].1 <= s.neighbors[1].1);
+        }
+        // the left end's NN is point 0, the right end's point 2
+        assert_eq!(samples[0].neighbors[0].0.id, 0);
+        assert_eq!(samples[10].neighbors[0].0.id, 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! COkNN — continuous obstructed k-nearest neighbors (paper §4.5).
+//!
+//! The result list generalizes to tuples `⟨ONNSᵢ, Rᵢ⟩`: an ordered list of
+//! up to `k` members per interval, each member carrying the control point
+//! its distance function routes through. Intervals are refined at every
+//! crossing between a new candidate's function and a member's function, so
+//! the member order is constant within each interval; the pruning bound
+//! becomes `RLMAX = maxᵢ max(kth-dist(Rᵢ.l), kth-dist(Rᵢ.r))`, infinite
+//! while any interval holds fewer than `k` members.
+
+use std::time::Instant;
+
+use conn_geom::{Interval, Rect, Segment, EPS};
+use conn_index::RStarTree;
+
+use crate::config::ConnConfig;
+use crate::conn::{run_search, ResultSink};
+use crate::cpl::ControlPointList;
+use crate::dist::ControlPoint;
+use crate::split::crossing_params;
+use crate::stats::QueryStats;
+use crate::streams::TwoTreeStreams;
+use crate::types::DataPoint;
+
+/// One member of an interval's ONN set.
+#[derive(Debug, Clone, Copy)]
+pub struct Member {
+    pub point: DataPoint,
+    pub cp: ControlPoint,
+}
+
+/// One tuple `⟨ONNS, R⟩`: members sorted ascending by distance over all of
+/// `R` (the order is constant within the interval by construction).
+#[derive(Debug, Clone)]
+pub struct KnnEntry {
+    pub members: Vec<Member>,
+    pub interval: Interval,
+}
+
+/// The COkNN result list.
+#[derive(Debug, Clone)]
+pub struct KnnResultList {
+    entries: Vec<KnnEntry>,
+    k: usize,
+    qlen: f64,
+}
+
+impl KnnResultList {
+    pub fn new(qlen: f64, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KnnResultList {
+            entries: vec![KnnEntry {
+                members: Vec::new(),
+                interval: Interval::new(0.0, qlen),
+            }],
+            k,
+            qlen,
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn entries(&self) -> &[KnnEntry] {
+        &self.entries
+    }
+
+    /// §4.5 pruning bound: ∞ until every interval holds `k` members.
+    pub fn rlmax(&self, q: &Segment) -> f64 {
+        let mut m = 0.0f64;
+        for e in &self.entries {
+            if e.members.len() < self.k {
+                return f64::INFINITY;
+            }
+            let kth = &e.members[self.k - 1].cp;
+            m = m.max(kth.max_over(q, &e.interval));
+        }
+        m
+    }
+
+    /// The k answers at parameter `t` (ascending obstructed distance).
+    pub fn answers_at(&self, q: &Segment, t: f64) -> Vec<(DataPoint, f64)> {
+        self.entries
+            .iter()
+            .find(|e| e.interval.contains(t))
+            .map(|e| {
+                e.members
+                    .iter()
+                    .map(|m| (m.point, m.cp.value(q, t)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Folds in one evaluated data point (the COkNN result-list update).
+    pub fn update(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList) {
+        let old = std::mem::take(&mut self.entries);
+        let mut out: Vec<KnnEntry> = Vec::with_capacity(old.len() * 2);
+        let cpl_entries = cpl.entries();
+
+        for entry in old {
+            let mut cursor = entry.interval.lo;
+            let mut j = cpl_entries
+                .iter()
+                .position(|(_, iv)| iv.hi > cursor + EPS)
+                .unwrap_or(cpl_entries.len() - 1);
+            while cursor < entry.interval.hi - EPS {
+                let (ref new_cp, cpl_iv) = cpl_entries[j];
+                let hi = entry.interval.hi.min(cpl_iv.hi);
+                let piece = Interval::new(cursor, hi.max(cursor));
+                if !piece.is_empty() {
+                    match new_cp {
+                        None => out.push(KnnEntry {
+                            members: entry.members.clone(),
+                            interval: piece,
+                        }),
+                        Some(cp) => self.challenge(q, &entry, p, cp, piece, &mut out),
+                    }
+                }
+                cursor = hi;
+                if cpl_iv.hi < entry.interval.hi - EPS && j + 1 < cpl_entries.len() {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.entries = out;
+        self.normalize();
+    }
+
+    /// Inserts candidate `(p, cp)` into one piece: cut at every crossing
+    /// with a member, then rank the candidate per sub-piece.
+    fn challenge(
+        &self,
+        q: &Segment,
+        entry: &KnnEntry,
+        p: DataPoint,
+        cp: &ControlPoint,
+        piece: Interval,
+        out: &mut Vec<KnnEntry>,
+    ) {
+        let mut cuts: Vec<f64> = vec![piece.lo, piece.hi];
+        for m in &entry.members {
+            cuts.extend(crossing_params(q, &m.cp, cp, &piece));
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+        for w in cuts.windows(2) {
+            let sub = Interval::new(w[0], w[1]);
+            if sub.is_empty() {
+                continue;
+            }
+            let mid = sub.midpoint();
+            let cand_v = cp.value(q, mid);
+            // members are sorted by value at mid (order constant on sub)
+            let rank = entry
+                .members
+                .partition_point(|m| m.cp.value(q, mid) <= cand_v + EPS);
+            let mut members = entry.members.clone();
+            if rank < self.k {
+                members.insert(rank, Member { point: p, cp: *cp });
+                members.truncate(self.k);
+            }
+            out.push(KnnEntry {
+                members,
+                interval: sub,
+            });
+        }
+    }
+
+    /// Merges adjacent entries with identical member lists.
+    fn normalize(&mut self) {
+        let mut out: Vec<KnnEntry> = Vec::with_capacity(self.entries.len());
+        for e in std::mem::take(&mut self.entries) {
+            match out.last_mut() {
+                Some(prev) if same_members(&prev.members, &e.members) => {
+                    prev.interval.hi = e.interval.hi;
+                }
+                Some(prev) if e.interval.is_empty() => prev.interval.hi = e.interval.hi,
+                _ => {
+                    if e.interval.is_empty() && !out.is_empty() {
+                        continue;
+                    }
+                    out.push(e);
+                }
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Validation helper: the entries exactly cover `[0, qlen]`.
+    pub fn check_cover(&self) -> Result<(), String> {
+        let mut cursor = 0.0;
+        for e in &self.entries {
+            if (e.interval.lo - cursor).abs() > 1e-6 {
+                return Err(format!("gap at {cursor}"));
+            }
+            cursor = e.interval.hi;
+        }
+        if (cursor - self.qlen).abs() > 1e-6 {
+            return Err(format!("cover ends at {cursor} != {}", self.qlen));
+        }
+        Ok(())
+    }
+}
+
+fn same_members(a: &[Member], b: &[Member]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.point.id == y.point.id && x.cp.same_as(&y.cp))
+}
+
+impl ResultSink for KnnResultList {
+    fn prune_bound(&self, q: &Segment) -> f64 {
+        self.rlmax(q)
+    }
+
+    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, _cfg: &ConnConfig) {
+        self.update(q, p, cpl);
+    }
+
+    fn tuples(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+/// Answer of a COkNN query.
+#[derive(Debug, Clone)]
+pub struct CoknnResult {
+    q: Segment,
+    list: KnnResultList,
+}
+
+impl CoknnResult {
+    pub(crate) fn new(q: Segment, list: KnnResultList) -> Self {
+        CoknnResult { q, list }
+    }
+
+    pub fn query(&self) -> &Segment {
+        &self.q
+    }
+
+    pub fn k(&self) -> usize {
+        self.list.k()
+    }
+
+    /// Raw tuples at control-point granularity.
+    pub fn entries(&self) -> &[KnnEntry] {
+        self.list.entries()
+    }
+
+    /// The k nearest data points (ascending distance) at parameter `t`.
+    pub fn knn_at(&self, t: f64) -> Vec<(DataPoint, f64)> {
+        self.list.answers_at(&self.q, t)
+    }
+
+    /// `⟨ONNS, R⟩` tuples with adjacent intervals of identical member *id
+    /// sets* merged (order within the set may change inside an interval).
+    pub fn segments(&self) -> Vec<(Vec<u32>, Interval)> {
+        let mut out: Vec<(Vec<u32>, Interval)> = Vec::new();
+        for e in self.list.entries() {
+            let mut ids: Vec<u32> = e.members.iter().map(|m| m.point.id).collect();
+            ids.sort_unstable();
+            match out.last_mut() {
+                Some((prev, iv)) if *prev == ids => iv.hi = e.interval.hi,
+                _ => out.push((ids, e.interval)),
+            }
+        }
+        out
+    }
+
+    pub fn check_cover(&self) -> Result<(), String> {
+        self.list.check_cover()
+    }
+}
+
+/// COkNN search over two separate R-trees.
+///
+/// ```
+/// use conn_core::{coknn_search, ConnConfig, DataPoint};
+/// use conn_geom::{Point, Rect, Segment};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(
+///     vec![
+///         DataPoint::new(0, Point::new(20.0, 30.0)),
+///         DataPoint::new(1, Point::new(60.0, 20.0)),
+///         DataPoint::new(2, Point::new(90.0, 40.0)),
+///     ],
+///     4096,
+/// );
+/// let obstacles = RStarTree::bulk_load(vec![Rect::new(45.0, 5.0, 55.0, 35.0)], 4096);
+/// let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+///
+/// let (result, _) = coknn_search(&points, &obstacles, &q, 2, &ConnConfig::default());
+/// let two_nearest = result.knn_at(50.0);
+/// assert_eq!(two_nearest.len(), 2);
+/// assert!(two_nearest[0].1 <= two_nearest[1].1);
+/// ```
+pub fn coknn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    q: &Segment,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (CoknnResult, QueryStats) {
+    assert!(!q.is_degenerate(), "degenerate query segment");
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+
+    let mut streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
+    let mut list = KnnResultList::new(q.len(), k);
+    let telemetry = run_search(&mut streams, q, cfg, &mut list);
+
+    let cpu = started.elapsed();
+    let stats = QueryStats {
+        data_io: data_tree.stats(),
+        obstacle_io: obstacle_tree.stats(),
+        cpu,
+        npe: telemetry.npe,
+        noe: telemetry.noe,
+        svg_nodes: telemetry.svg_nodes,
+        result_tuples: list.tuples(),
+    };
+    (CoknnResult::new(*q, list), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conn_geom::Point;
+
+    fn q() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+    }
+
+    fn search(
+        points: Vec<DataPoint>,
+        obstacles: Vec<Rect>,
+        k: usize,
+    ) -> (CoknnResult, QueryStats) {
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot = RStarTree::bulk_load(obstacles, 4096);
+        coknn_search(&dt, &ot, &q(), k, &ConnConfig::default())
+    }
+
+    fn pts() -> Vec<DataPoint> {
+        vec![
+            DataPoint::new(0, Point::new(15.0, 12.0)),
+            DataPoint::new(1, Point::new(45.0, 18.0)),
+            DataPoint::new(2, Point::new(75.0, 9.0)),
+            DataPoint::new(3, Point::new(95.0, 30.0)),
+        ]
+    }
+
+    #[test]
+    fn k2_free_space_members_sorted() {
+        let (res, _) = search(pts(), vec![], 2);
+        res.check_cover().unwrap();
+        for i in 0..=20 {
+            let t = 100.0 * (i as f64) / 20.0;
+            let ans = res.knn_at(t);
+            assert_eq!(ans.len(), 2, "t = {t}");
+            assert!(ans[0].1 <= ans[1].1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn k1_matches_expected_winners() {
+        let (res, _) = search(pts(), vec![], 1);
+        assert_eq!(res.knn_at(0.0)[0].0.id, 0);
+        assert_eq!(res.knn_at(99.0)[0].0.id, 2);
+    }
+
+    #[test]
+    fn k_larger_than_data_keeps_all() {
+        let (res, _) = search(pts(), vec![], 9);
+        res.check_cover().unwrap();
+        let ans = res.knn_at(50.0);
+        assert_eq!(ans.len(), 4, "only 4 points exist");
+        // pruning bound must stay infinite, so all points are evaluated
+    }
+
+    #[test]
+    fn member_sets_change_at_segment_boundaries() {
+        let (res, _) = search(pts(), vec![], 2);
+        let segs = res.segments();
+        assert!(segs.len() >= 2);
+        for w in segs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "unmerged identical neighbor sets");
+        }
+    }
+
+    #[test]
+    fn obstacle_affects_knn_order() {
+        let wall = Rect::new(40.0, 5.0, 50.0, 40.0);
+        let (free, _) = search(pts(), vec![], 2);
+        let (blocked, _) = search(pts(), vec![wall], 2);
+        // behind the wall, point 1's distance grows; ranking at t=55 may flip
+        let f = free.knn_at(55.0);
+        let b = blocked.knn_at(55.0);
+        assert_eq!(f.len(), 2);
+        assert_eq!(b.len(), 2);
+        let fd: f64 = f.iter().map(|x| x.1).sum();
+        let bd: f64 = b.iter().map(|x| x.1).sum();
+        assert!(bd >= fd - 1e-9, "obstacles cannot shrink distances");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = KnnResultList::new(10.0, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Tunables for the CONN/COkNN search algorithms.
+
+/// Configuration of the search pipeline.
+///
+/// The three lemma switches exist for the ablation experiments (DESIGN.md
+/// A1); production use keeps everything on. All switches preserve
+/// correctness — they only trade pruning work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnConfig {
+    /// Lemma 1 endpoint shortcut in RLU/CPLC: skip the quadratic when the
+    /// incumbent wins both interval endpoints and sits closer to the query
+    /// line than the challenger.
+    pub use_lemma1: bool,
+    /// Lemma 6 triangle refinement of candidate control-point regions.
+    pub use_lemma6: bool,
+    /// Lemma 7 early termination of the CPLC graph traversal.
+    pub use_lemma7: bool,
+    /// Strict refinement loop (DESIGN.md §4): after CPLC, if a control-point
+    /// value exceeds the obstacle-loading threshold, load further obstacles
+    /// and recompute. Guarantees exactness in deep-shadow corner cases the
+    /// paper's literal IOR bound does not cover. Off = the paper's literal
+    /// algorithm.
+    pub strict_refinement: bool,
+    /// Spatial-hash cell size for the local visibility graph's obstacle
+    /// index, in workspace units.
+    pub vgraph_cell: f64,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig {
+            use_lemma1: true,
+            use_lemma6: true,
+            use_lemma7: true,
+            strict_refinement: true,
+            vgraph_cell: 50.0,
+        }
+    }
+}
+
+impl ConnConfig {
+    /// The paper's literal algorithm: all pruning lemmas, no strict
+    /// refinement loop.
+    pub fn paper() -> Self {
+        ConnConfig {
+            strict_refinement: false,
+            ..ConnConfig::default()
+        }
+    }
+
+    /// All optional pruning off (ablation baseline).
+    pub fn no_pruning() -> Self {
+        ConnConfig {
+            use_lemma1: false,
+            use_lemma6: false,
+            use_lemma7: false,
+            ..ConnConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = ConnConfig::default();
+        assert!(c.use_lemma1 && c.use_lemma6 && c.use_lemma7 && c.strict_refinement);
+        assert!(c.vgraph_cell > 0.0);
+    }
+
+    #[test]
+    fn presets_differ_as_documented() {
+        assert!(!ConnConfig::paper().strict_refinement);
+        assert!(ConnConfig::paper().use_lemma7);
+        let np = ConnConfig::no_pruning();
+        assert!(!np.use_lemma1 && !np.use_lemma6 && !np.use_lemma7);
+        assert!(np.strict_refinement);
+    }
+}

@@ -1,0 +1,353 @@
+//! CONN search (paper §4.4, Algorithm 4).
+//!
+//! Streams data points in ascending `mindist(p, q)` from the data R-tree;
+//! for each point runs IOR (obstacle retrieval), CPLC (control points) and
+//! RLU (result refinement); stops once the next point's `mindist` exceeds
+//! `RLMAX` (Lemma 2). The same loop drives the COkNN and single-tree
+//! variants through the [`ResultSink`] and [`crate::streams::QueryStreams`]
+//! abstractions.
+
+use std::time::Instant;
+
+use conn_geom::{Interval, Rect, Segment, EPS};
+use conn_index::RStarTree;
+use conn_vgraph::{NodeKind, VisGraph};
+
+use crate::config::ConnConfig;
+use crate::cpl::{cplc, ControlPointList, VrCache};
+use crate::ior::{ior, IorState};
+use crate::rlu::{ResultEntry, ResultList};
+use crate::stats::QueryStats;
+use crate::streams::{QueryStreams, TwoTreeStreams};
+use crate::types::DataPoint;
+
+/// What the search loop needs from a result container (k = 1 list or the
+/// COkNN generalization).
+pub trait ResultSink {
+    /// Lemma 2 pruning bound (∞ while the container is not saturated).
+    fn prune_bound(&self, q: &Segment) -> f64;
+    /// Folds in one evaluated data point.
+    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, cfg: &ConnConfig);
+    /// Number of tuples currently held (the `result_tuples` statistic).
+    fn tuples(&self) -> u64;
+}
+
+impl ResultSink for ResultList {
+    fn prune_bound(&self, q: &Segment) -> f64 {
+        self.rlmax(q)
+    }
+
+    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, cfg: &ConnConfig) {
+        self.update(q, p, cpl, cfg);
+    }
+
+    fn tuples(&self) -> u64 {
+        self.entries().len() as u64
+    }
+}
+
+/// Loop-level telemetry (everything except R-tree I/O, which the callers
+/// snapshot around the loop).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoopTelemetry {
+    pub npe: u64,
+    pub noe: u64,
+    pub svg_nodes: u64,
+}
+
+/// The shared search loop of Algorithm 4.
+pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
+    streams: &mut S,
+    q: &Segment,
+    cfg: &ConnConfig,
+    sink: &mut R,
+) -> LoopTelemetry {
+    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let s_node = g.add_point(q.a, NodeKind::Endpoint);
+    let e_node = g.add_point(q.b, NodeKind::Endpoint);
+    let mut ior_state = IorState::default();
+    let mut vr_cache = VrCache::default();
+    let mut npe = 0u64;
+
+    while let Some(dist) = streams.peek_point_dist() {
+        // Lemma 2 termination
+        if dist > sink.prune_bound(q) {
+            break;
+        }
+        let (p, _) = streams.next_point().expect("peeked point");
+        npe += 1;
+
+        let p_node = g.add_point(p.pos, NodeKind::DataPoint);
+        vr_cache.invalidate(p_node);
+        ior(q, &mut g, s_node, e_node, p_node, streams, &mut ior_state);
+        let mut cpl = cplc(q, &mut g, p_node, cfg, &mut vr_cache);
+
+        if cfg.strict_refinement {
+            refine_to_fixpoint(q, &mut g, p_node, cfg, &mut vr_cache, streams, &mut ior_state, &mut cpl);
+        }
+
+        g.remove_node(p_node);
+        sink.absorb(q, p, &cpl, cfg);
+    }
+
+    LoopTelemetry {
+        npe,
+        noe: streams.obstacles_loaded() as u64,
+        svg_nodes: g.num_nodes() as u64,
+    }
+}
+
+/// Strict refinement loop (DESIGN.md §4): re-run CPLC after loading more
+/// obstacles whenever (a) parts of `q` are still invisible to every local
+/// node, or (b) a control-point value exceeds the loaded threshold, meaning
+/// an unloaded obstacle could still shorten it. Terminates because the
+/// threshold grows monotonically and the obstacle set is finite.
+#[allow(clippy::too_many_arguments)]
+fn refine_to_fixpoint<S: QueryStreams>(
+    q: &Segment,
+    g: &mut VisGraph,
+    p_node: conn_vgraph::NodeId,
+    cfg: &ConnConfig,
+    vr_cache: &mut VrCache,
+    streams: &mut S,
+    ior_state: &mut IorState,
+    cpl: &mut ControlPointList,
+) {
+    loop {
+        let added = if cpl.has_unassigned() {
+            // geometry under-covered: widen one obstacle at a time
+            streams.load_next_obstacle(g)
+        } else {
+            let m = cpl.max_assigned_value(q);
+            if m <= ior_state.loaded_bound + EPS {
+                return; // every recorded value is certified exact
+            }
+            ior_state.loaded_bound = m;
+            streams.load_obstacles_until(g, m)
+        };
+        if added == 0 {
+            return; // obstacle source exhausted: nothing left to learn
+        }
+        *cpl = cplc(q, g, p_node, cfg, vr_cache);
+    }
+}
+
+/// Answer of a CONN query.
+#[derive(Debug, Clone)]
+pub struct ConnResult {
+    q: Segment,
+    list: ResultList,
+}
+
+impl ConnResult {
+    pub(crate) fn new(q: Segment, list: ResultList) -> Self {
+        ConnResult { q, list }
+    }
+
+    /// The query segment.
+    pub fn query(&self) -> &Segment {
+        &self.q
+    }
+
+    /// Raw result tuples `⟨p, cp, R⟩` (control-point granularity).
+    pub fn entries(&self) -> &[ResultEntry] {
+        self.list.entries()
+    }
+
+    /// The user-facing answer: `⟨p, R⟩` tuples with adjacent intervals of
+    /// the same answer point merged (the paper's Definition 6 output).
+    /// `None` marks intervals with no reachable data point.
+    pub fn segments(&self) -> Vec<(Option<DataPoint>, Interval)> {
+        let mut out: Vec<(Option<DataPoint>, Interval)> = Vec::new();
+        for e in self.list.entries() {
+            match out.last_mut() {
+                Some((prev, iv)) if prev.map(|p| p.id) == e.point.map(|p| p.id) => {
+                    iv.hi = e.interval.hi;
+                }
+                _ => out.push((e.point, e.interval)),
+            }
+        }
+        out
+    }
+
+    /// The ONN at parameter `t ∈ [0, q.len()]` with its obstructed distance.
+    pub fn nn_at(&self, t: f64) -> Option<(DataPoint, f64)> {
+        self.list.answer_at(&self.q, t)
+    }
+
+    /// Split points: interval boundaries where the answer object changes.
+    pub fn split_points(&self) -> Vec<f64> {
+        self.segments()
+            .windows(2)
+            .map(|w| w[0].1.hi)
+            .collect()
+    }
+
+    /// Validation helper: the entries exactly cover the segment.
+    pub fn check_cover(&self) -> Result<(), String> {
+        self.list.check_cover()
+    }
+}
+
+/// CONN search over two separate R-trees (paper Algorithm 4).
+///
+/// Returns the result list and the paper's per-query metrics. Counters of
+/// both trees are reset at query start, so the returned statistics are
+/// exactly this query's footprint.
+pub fn conn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    q: &Segment,
+    cfg: &ConnConfig,
+) -> (ConnResult, QueryStats) {
+    assert!(!q.is_degenerate(), "degenerate query segment");
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+
+    let mut streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
+    let mut list = ResultList::new(q.len());
+    let telemetry = run_search(&mut streams, q, cfg, &mut list);
+
+    let cpu = started.elapsed();
+    let stats = QueryStats {
+        data_io: data_tree.stats(),
+        obstacle_io: obstacle_tree.stats(),
+        cpu,
+        npe: telemetry.npe,
+        noe: telemetry.noe,
+        svg_nodes: telemetry.svg_nodes,
+        result_tuples: list.tuples(),
+    };
+    (ConnResult::new(*q, list), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conn_geom::Point;
+
+    fn q() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+    }
+
+    fn search(
+        points: Vec<DataPoint>,
+        obstacles: Vec<Rect>,
+    ) -> (ConnResult, QueryStats) {
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot = RStarTree::bulk_load(obstacles, 4096);
+        conn_search(&dt, &ot, &q(), &ConnConfig::default())
+    }
+
+    #[test]
+    fn empty_data_set_yields_unassigned_cover() {
+        let (res, stats) = search(vec![], vec![]);
+        res.check_cover().unwrap();
+        assert_eq!(stats.npe, 0);
+        assert!(res.nn_at(50.0).is_none());
+        assert_eq!(res.segments().len(), 1);
+        assert!(res.segments()[0].0.is_none());
+    }
+
+    #[test]
+    fn single_point_free_space() {
+        let p = DataPoint::new(0, Point::new(40.0, 30.0));
+        let (res, stats) = search(vec![p], vec![]);
+        res.check_cover().unwrap();
+        assert_eq!(stats.npe, 1);
+        let (nn, d) = res.nn_at(40.0).unwrap();
+        assert_eq!(nn.id, 0);
+        assert!((d - 30.0).abs() < 1e-9);
+    }
+
+    /// Free space: CONN must match Euclidean continuous NN (bisector split).
+    #[test]
+    fn two_points_free_space_bisector() {
+        let a = DataPoint::new(0, Point::new(20.0, 10.0));
+        let b = DataPoint::new(1, Point::new(80.0, 10.0));
+        let (res, _) = search(vec![a, b], vec![]);
+        let segs = res.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].0.unwrap().id, 0);
+        assert_eq!(segs[1].0.unwrap().id, 1);
+        assert!((segs[0].1.hi - 50.0).abs() < 1e-6);
+        assert_eq!(res.split_points().len(), 1);
+    }
+
+    /// The paper's Figure 1(b) phenomenon: an obstacle flips the winner at
+    /// the segment start compared to the Euclidean answer.
+    #[test]
+    fn obstacle_changes_the_winner() {
+        // `a` is Euclidean-closest to t=0 (30 < √(900+25) ≈ 30.4) but a long
+        // wall forces it on a ~92.5 detour; `b` sits below the wall with a
+        // clear sight-line.
+        let a = DataPoint::new(0, Point::new(0.0, 30.0));
+        let b = DataPoint::new(1, Point::new(30.0, 5.0));
+        let wall = Rect::new(-40.0, 10.0, 40.0, 20.0);
+        let (res, _) = search(vec![a, b], vec![wall]);
+        res.check_cover().unwrap();
+        let (euclid_nn, _) = {
+            // sanity: a IS the euclidean NN of t=0
+            let d_a = a.pos.dist(Point::new(0.0, 0.0));
+            let d_b = b.pos.dist(Point::new(0.0, 0.0));
+            assert!(d_a < d_b);
+            (a, d_a)
+        };
+        let (onn, od) = res.nn_at(0.0).unwrap();
+        assert_ne!(onn.id, euclid_nn.id, "obstacle must flip the winner");
+        assert_eq!(onn.id, b.id);
+        assert!((od - b.pos.dist(Point::new(0.0, 0.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_points_are_pruned_by_lemma2() {
+        let mut points = vec![
+            DataPoint::new(0, Point::new(50.0, 10.0)),
+            DataPoint::new(1, Point::new(20.0, 15.0)),
+        ];
+        // a distant cloud that can never win
+        for i in 0..50 {
+            points.push(DataPoint::new(
+                100 + i,
+                Point::new(5000.0 + (i as f64) * 7.0, 5000.0),
+            ));
+        }
+        let (res, stats) = search(points, vec![]);
+        res.check_cover().unwrap();
+        assert!(stats.npe <= 5, "NPE {} — pruning failed", stats.npe);
+    }
+
+    #[test]
+    fn result_covers_and_is_consistent_with_entries() {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 8.0)),
+            DataPoint::new(2, Point::new(90.0, 25.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(30.0, 5.0, 40.0, 30.0),
+            Rect::new(60.0, 10.0, 75.0, 18.0),
+        ];
+        let (res, stats) = search(points, obstacles);
+        res.check_cover().unwrap();
+        assert!(stats.noe <= 2);
+        assert!(stats.svg_nodes >= 2);
+        // every sampled point has an answer and matches its entry's value
+        for i in 0..=20 {
+            let t = 100.0 * (i as f64) / 20.0;
+            let (nn, d) = res.nn_at(t).unwrap();
+            assert!(d >= 0.0);
+            assert!(nn.id <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_query_rejected() {
+        let dt = RStarTree::bulk_load(vec![DataPoint::new(0, Point::new(1.0, 1.0))], 4096);
+        let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let bad = Segment::new(Point::new(5.0, 5.0), Point::new(5.0, 5.0));
+        let _ = conn_search(&dt, &ot, &bad, &ConnConfig::default());
+    }
+}

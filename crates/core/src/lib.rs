@@ -1,0 +1,80 @@
+//! Continuous Obstructed Nearest Neighbor (CONN / COkNN) query processing.
+//!
+//! This crate implements the primary contribution of *Gao & Zheng,
+//! "Continuous Obstructed Nearest Neighbor Queries in Spatial Databases",
+//! SIGMOD 2009*: given a data-point set `P` and an obstacle set `O`, both
+//! indexed by R\*-trees, and a query segment `q = [S, E]`, report for every
+//! point of `q` its nearest data point under the **obstructed distance**
+//! (shortest obstacle-avoiding path).
+//!
+//! ## Paper-to-module map
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | control points (Def. 8/9) | [`dist`] |
+//! | split points, Thm. 1, Cases 1–4, Lemma 1 | [`split`] |
+//! | IOR — incremental obstacle retrieval (Alg. 1) | [`ior`] |
+//! | CPLC — control-point-list computation (Alg. 2, Lemmas 5–7) | [`cpl`] |
+//! | RLU — result-list update (Alg. 3) | [`rlu`] |
+//! | CONN search (Alg. 4, Lemma 2) | [`conn`] |
+//! | COkNN extension (§4.5) | [`coknn`] |
+//! | single unified R-tree variant (§4.5) | [`single_tree`] |
+//! | baselines (sampling, brute force) | [`baseline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use conn_core::{conn_search, ConnConfig, DataPoint};
+//! use conn_geom::{Point, Rect, Segment};
+//! use conn_index::RStarTree;
+//!
+//! let points = vec![
+//!     DataPoint::new(0, Point::new(20.0, 60.0)),
+//!     DataPoint::new(1, Point::new(80.0, 60.0)),
+//! ];
+//! let obstacles = vec![Rect::new(45.0, 30.0, 55.0, 70.0)];
+//! let data_tree = RStarTree::bulk_load(points, 4096);
+//! let obs_tree = RStarTree::bulk_load(obstacles, 4096);
+//! let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+//!
+//! let (result, stats) = conn_search(&data_tree, &obs_tree, &q, &ConnConfig::default());
+//! assert!(!result.entries().is_empty());
+//! assert!(stats.npe >= 1);
+//! ```
+
+pub mod baseline;
+pub mod coknn;
+pub mod config;
+pub mod conn;
+pub mod cpl;
+pub mod dist;
+pub mod ior;
+pub mod joins;
+pub mod odist;
+pub mod onn;
+pub mod orange;
+pub mod rlu;
+pub mod rnn;
+pub mod single_tree;
+pub mod split;
+pub mod stats;
+pub mod streams;
+pub mod trajectory;
+pub mod types;
+pub mod visible;
+
+pub use coknn::{coknn_search, CoknnResult};
+pub use config::ConnConfig;
+pub use conn::{conn_search, ConnResult};
+pub use dist::ControlPoint;
+pub use joins::{obstructed_closest_pair, obstructed_edistance_join};
+pub use odist::obstructed_distance;
+pub use onn::{naive_conn_by_onn, onn_search};
+pub use orange::obstructed_range_search;
+pub use rlu::{ResultEntry, ResultList};
+pub use rnn::obstructed_rnn;
+pub use single_tree::{build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject};
+pub use stats::QueryStats;
+pub use trajectory::{trajectory_coknn_search, trajectory_conn_search, Trajectory, TrajectoryResult};
+pub use types::DataPoint;
+pub use visible::visible_knn;

@@ -1,0 +1,107 @@
+//! Point-to-point obstructed distance (paper Definition 4), as a standalone
+//! utility.
+//!
+//! Builds a visibility graph over the *entire* obstacle list — suitable for
+//! examples, tests and small workloads. Query processing never calls this;
+//! it uses the incremental local graph instead.
+
+use conn_geom::{Point, Rect};
+use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+
+/// Length of the shortest obstacle-avoiding path from `a` to `b`
+/// (∞ when no path exists). `O(n²)`-ish in the obstacle count — see module
+/// docs.
+///
+/// ```
+/// use conn_core::obstructed_distance;
+/// use conn_geom::{Point, Rect};
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(100.0, 0.0);
+/// assert_eq!(obstructed_distance(&[], a, b), 100.0);
+///
+/// // a wall across the straight line forces a detour through (40, 30)
+/// let wall = Rect::new(40.0, -10.0, 60.0, 30.0);
+/// let d = obstructed_distance(&[wall], a, b);
+/// assert!(d > 100.0);
+/// ```
+pub fn obstructed_distance(obstacles: &[Rect], a: Point, b: Point) -> f64 {
+    let mut g = graph_with(obstacles);
+    let na = g.add_point(a, NodeKind::DataPoint);
+    let nb = g.add_point(b, NodeKind::DataPoint);
+    let mut d = DijkstraEngine::new(&g, na);
+    d.run_until_settled(&mut g, nb)
+}
+
+/// The shortest obstacle-avoiding path itself (polyline through obstacle
+/// corners), or `None` when unreachable.
+pub fn obstructed_path(obstacles: &[Rect], a: Point, b: Point) -> Option<Vec<Point>> {
+    let mut g = graph_with(obstacles);
+    let na = g.add_point(a, NodeKind::DataPoint);
+    let nb = g.add_point(b, NodeKind::DataPoint);
+    let mut d = DijkstraEngine::new(&g, na);
+    if d.run_until_settled(&mut g, nb).is_infinite() {
+        return None;
+    }
+    Some(d.path_to(nb).iter().map(|&n| g.node_pos(n)).collect())
+}
+
+fn graph_with(obstacles: &[Rect]) -> VisGraph {
+    // cell size adapted to the obstacle field's typical extent
+    let cell = obstacles
+        .iter()
+        .map(|r| r.width().max(r.height()))
+        .fold(0.0f64, f64::max)
+        .max(20.0);
+    let mut g = VisGraph::new(cell);
+    for r in obstacles {
+        g.add_obstacle(*r);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_is_euclid() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(30.0, 40.0);
+        assert_eq!(obstructed_distance(&[], a, b), 50.0);
+        assert_eq!(obstructed_path(&[], a, b).unwrap(), vec![a, b]);
+    }
+
+    /// The paper's Figure 1(b) `a`–`g` example shape: one obstacle, detour
+    /// through a corner `m`.
+    #[test]
+    fn detour_goes_through_a_corner() {
+        let o = Rect::new(40.0, -10.0, 60.0, 30.0);
+        let a = Point::new(0.0, 0.0);
+        let g = Point::new(100.0, 0.0);
+        let d = obstructed_distance(&[o], a, g);
+        let via_top = a.dist(Point::new(40.0, 30.0))
+            + Point::new(40.0, 30.0).dist(Point::new(60.0, 30.0))
+            + Point::new(60.0, 30.0).dist(g);
+        let via_bottom = a.dist(Point::new(40.0, -10.0))
+            + 20.0
+            + Point::new(60.0, -10.0).dist(g);
+        assert!((d - via_top.min(via_bottom)).abs() < 1e-9);
+        let path = obstructed_path(&[o], a, g).unwrap();
+        assert!(path.len() == 4, "two corner bends expected: {path:?}");
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        // target boxed in by overlapping walls
+        let walls = [
+            Rect::new(40.0, 40.0, 60.0, 45.0),
+            Rect::new(40.0, 55.0, 60.0, 60.0),
+            Rect::new(40.0, 40.0, 45.0, 60.0),
+            Rect::new(55.0, 40.0, 60.0, 60.0),
+        ];
+        let d = obstructed_distance(&walls, Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        assert!(d.is_infinite());
+        assert!(obstructed_path(&walls, Point::new(0.0, 0.0), Point::new(50.0, 50.0)).is_none());
+    }
+}

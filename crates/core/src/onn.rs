@@ -1,0 +1,288 @@
+//! Snapshot ONN — obstructed k-nearest-neighbor queries at a *point*
+//! (Zhang et al., EDBT 2004 — reference \[31\] of the paper).
+//!
+//! This is the operation a naive CONN would issue at every location of `q`
+//! (paper §1), and the building block of the honest sampling baseline with
+//! R-tree I/O accounting. The implementation mirrors the CONN machinery at
+//! a point: stream data points by ascending `mindist(p, s)`, compute each
+//! candidate's obstructed distance on a local visibility graph fed by
+//! incremental obstacle retrieval anchored at `s`, and stop once the next
+//! candidate's Euclidean lower bound exceeds the current k-th best.
+
+use std::time::Instant;
+
+use conn_geom::{Point, Rect};
+use conn_index::RStarTree;
+use conn_vgraph::{DijkstraEngine, NodeId, NodeKind, VisGraph};
+
+use crate::config::ConnConfig;
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// Obstructed k-nearest neighbors of location `s`, with per-query metrics.
+///
+/// Returns up to `k` `(point, obstructed distance)` pairs in ascending
+/// distance; unreachable points never qualify.
+///
+/// ```
+/// use conn_core::{onn_search, ConnConfig, DataPoint};
+/// use conn_geom::{Point, Rect};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(
+///     vec![
+///         DataPoint::new(0, Point::new(0.0, 30.0)),  // blocked by the wall
+///         DataPoint::new(1, Point::new(35.0, 10.0)), // clear line of sight
+///     ],
+///     4096,
+/// );
+/// let wall = RStarTree::bulk_load(vec![Rect::new(-40.0, 10.0, 20.0, 20.0)], 4096);
+///
+/// let (nn, _) = onn_search(&points, &wall, Point::new(0.0, 0.0), 1, &ConnConfig::default());
+/// // point 0 is euclidean-closer (30 < ~36.4) but the wall forces a detour,
+/// // so point 1 is the obstructed NN
+/// assert_eq!(nn[0].0.id, 1);
+/// ```
+pub fn onn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    s: Point,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (Vec<(DataPoint, f64)>, QueryStats) {
+    assert!(k >= 1, "k must be positive");
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+
+    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let s_node = g.add_point(s, NodeKind::Endpoint);
+    let mut obstacles = obstacle_tree.nearest_iter(s);
+    let mut pending: Option<(Rect, f64)> = None;
+    let mut loaded_bound = 0.0f64;
+    let mut noe = 0u64;
+
+    // loads every obstacle with mindist(o, s) <= bound; returns #added
+    let mut load_until = |g: &mut VisGraph, bound: f64, noe: &mut u64| -> usize {
+        let mut added = 0;
+        loop {
+            if pending.is_none() {
+                pending = obstacles.next();
+            }
+            match pending {
+                Some((r, d)) if d <= bound => {
+                    g.add_obstacle(r);
+                    pending = None;
+                    added += 1;
+                    *noe += 1;
+                }
+                _ => break,
+            }
+        }
+        added
+    };
+
+    let mut results: Vec<(DataPoint, f64)> = Vec::new();
+    let kth_bound = |results: &[(DataPoint, f64)]| -> f64 {
+        if results.len() < k {
+            f64::INFINITY
+        } else {
+            results[k - 1].1
+        }
+    };
+
+    let mut points = data_tree.nearest_iter(s);
+    let mut npe = 0u64;
+    while let Some(lower) = points.peek_dist() {
+        if lower > kth_bound(&results) {
+            break;
+        }
+        let (p, _) = points.next().expect("peeked point");
+        npe += 1;
+        let p_node = g.add_point(p.pos, NodeKind::DataPoint);
+        let od = odist_incremental(
+            &mut g,
+            p_node,
+            s_node,
+            &mut loaded_bound,
+            &mut |g, bound| load_until(g, bound, &mut noe),
+        );
+        g.remove_node(p_node);
+        if od.is_finite() {
+            let at = results.partition_point(|(_, d)| *d <= od);
+            if at < k {
+                results.insert(at, (p, od));
+                results.truncate(k);
+            }
+        }
+    }
+    results.truncate(k);
+
+    let stats = QueryStats {
+        data_io: data_tree.stats(),
+        obstacle_io: obstacle_tree.stats(),
+        cpu: started.elapsed(),
+        npe,
+        noe,
+        svg_nodes: g.num_nodes() as u64,
+        result_tuples: results.len() as u64,
+    };
+    (results, stats)
+}
+
+/// Point-to-point incremental obstructed distance: Dijkstra + obstacle
+/// loading to a fix-point (the point analogue of Algorithm 1, justified by
+/// the same Lemma 3 argument with `q` degenerated to `s`).
+fn odist_incremental(
+    g: &mut VisGraph,
+    p_node: NodeId,
+    s_node: NodeId,
+    loaded_bound: &mut f64,
+    load_until: &mut dyn FnMut(&mut VisGraph, f64) -> usize,
+) -> f64 {
+    loop {
+        let mut dij = DijkstraEngine::new(g, p_node);
+        let d = dij.run_until_settled(g, s_node);
+        if d.is_infinite() {
+            if load_until(g, f64::INFINITY) == 0 {
+                return d;
+            }
+            continue;
+        }
+        if d > *loaded_bound {
+            *loaded_bound = d;
+            if load_until(g, d) > 0 {
+                continue;
+            }
+        }
+        return d;
+    }
+}
+
+/// One sample of the naive strategy: the parameter and its kNN set.
+pub type OnnSample = (f64, Vec<(DataPoint, f64)>);
+
+/// The naive CONN of §1: `samples` independent [`onn_search`] calls along
+/// `q`, with R-tree I/O charged per call. Exists to quantify how badly the
+/// per-point strategy loses against one exact CONN query.
+pub fn naive_conn_by_onn(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    q: &conn_geom::Segment,
+    samples: usize,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (Vec<OnnSample>, QueryStats) {
+    assert!(samples >= 2);
+    let mut total = QueryStats::default();
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let t = q.len() * (i as f64) / ((samples - 1) as f64);
+        let (res, stats) = onn_search(data_tree, obstacle_tree, q.at(t), k, cfg);
+        total.accumulate(&stats);
+        out.push((t, res));
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_oknn;
+
+    fn world() -> (Vec<DataPoint>, Vec<Rect>) {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 8.0)),
+            DataPoint::new(2, Point::new(90.0, 25.0)),
+            DataPoint::new(3, Point::new(45.0, 60.0)),
+            DataPoint::new(4, Point::new(-20.0, -10.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(30.0, 5.0, 40.0, 30.0),
+            Rect::new(60.0, 10.0, 75.0, 18.0),
+            Rect::new(0.0, 30.0, 30.0, 40.0),
+        ];
+        (points, obstacles)
+    }
+
+    #[test]
+    fn onn_matches_brute_force() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let cfg = ConnConfig::default();
+        for s in [
+            Point::new(0.0, 0.0),
+            Point::new(55.0, 22.0),
+            Point::new(100.0, 0.0),
+        ] {
+            for k in [1usize, 3, 5] {
+                let (got, stats) = onn_search(&dt, &ot, s, k, &cfg);
+                let want = brute_force_oknn(&points, &obstacles, s, k);
+                assert_eq!(got.len(), want.len(), "s={s} k={k}");
+                for ((_, gd), (_, wd)) in got.iter().zip(&want) {
+                    assert!((gd - wd).abs() < 1e-6, "s={s} k={k}");
+                }
+                assert!(stats.npe as usize <= points.len());
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_far_points() {
+        let mut points = vec![DataPoint::new(0, Point::new(5.0, 5.0))];
+        for i in 0..100 {
+            points.push(DataPoint::new(1 + i, Point::new(5000.0 + i as f64, 5000.0)));
+        }
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let (res, stats) = onn_search(&dt, &ot, Point::new(0.0, 0.0), 1, &ConnConfig::default());
+        assert_eq!(res[0].0.id, 0);
+        assert!(stats.npe <= 3, "NPE {}", stats.npe);
+    }
+
+    #[test]
+    fn naive_conn_by_onn_is_consistent_but_expensive() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let q = conn_geom::Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let cfg = ConnConfig::default();
+        let (samples, naive_stats) = naive_conn_by_onn(&dt, &ot, &q, 11, 1, &cfg);
+        assert_eq!(samples.len(), 11);
+        // agreement with the exact CONN at sample points
+        let (exact, exact_stats) = crate::conn::conn_search(&dt, &ot, &q, &cfg);
+        for (t, nns) in &samples {
+            if let (Some((_, gd)), Some((_, wd))) = (nns.first(), exact.nn_at(*t)) {
+                assert!((gd - wd).abs() < 1e-6, "t = {t}");
+            }
+        }
+        // and the naive strategy pays way more I/O
+        assert!(
+            naive_stats.reads() > 3 * exact_stats.reads(),
+            "naive {} vs exact {}",
+            naive_stats.reads(),
+            exact_stats.reads()
+        );
+    }
+
+    #[test]
+    fn unreachable_target_excluded() {
+        let boxed = vec![
+            Rect::new(40.0, 30.0, 60.0, 35.0),
+            Rect::new(40.0, 45.0, 60.0, 50.0),
+            Rect::new(40.0, 30.0, 45.0, 50.0),
+            Rect::new(55.0, 30.0, 60.0, 50.0),
+        ];
+        let points = vec![
+            DataPoint::new(0, Point::new(50.0, 40.0)), // walled in
+            DataPoint::new(1, Point::new(100.0, 100.0)),
+        ];
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot = RStarTree::bulk_load(boxed, 4096);
+        let (res, _) = onn_search(&dt, &ot, Point::new(0.0, 0.0), 2, &ConnConfig::default());
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.id, 1);
+    }
+}

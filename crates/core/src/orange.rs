@@ -1,0 +1,164 @@
+//! Obstructed range queries: all data points within obstructed distance `r`
+//! of a location (one of the obstructed query types of Zhang et al., EDBT
+//! 2004 — reference \[31\] — whose machinery the CONN paper generalizes).
+//!
+//! Same skeleton as [`crate::onn::onn_search`]: stream candidates by
+//! Euclidean `mindist` (a lower bound of the obstructed distance, so the
+//! stream can stop at `r`), resolve each candidate's obstructed distance on
+//! the incrementally-fed local visibility graph, and keep those within `r`.
+
+use std::time::Instant;
+
+use conn_geom::{Point, Rect};
+use conn_index::RStarTree;
+use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+
+use crate::config::ConnConfig;
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// All data points whose obstructed distance to `s` is at most `radius`,
+/// in ascending distance order.
+pub fn obstructed_range_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    s: Point,
+    radius: f64,
+    cfg: &ConnConfig,
+) -> (Vec<(DataPoint, f64)>, QueryStats) {
+    assert!(radius >= 0.0, "negative radius");
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+
+    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let s_node = g.add_point(s, NodeKind::Endpoint);
+
+    // obstacles within mindist(o, s) <= radius are the only ones that can
+    // affect paths of length <= radius (every point of such a path lies
+    // within radius of s); load them all up front
+    let mut noe = 0u64;
+    for (r, d) in obstacle_tree.nearest_iter(s) {
+        if d > radius {
+            break;
+        }
+        g.add_obstacle(r);
+        noe += 1;
+    }
+
+    let mut results: Vec<(DataPoint, f64)> = Vec::new();
+    let mut npe = 0u64;
+    let mut points = data_tree.nearest_iter(s);
+    while let Some(lower) = points.peek_dist() {
+        if lower > radius {
+            break; // euclidean lower bound exceeds the radius
+        }
+        let (p, _) = points.next().expect("peeked point");
+        npe += 1;
+        let p_node = g.add_point(p.pos, NodeKind::DataPoint);
+        let mut dij = DijkstraEngine::new(&g, p_node);
+        let od = dij.run_until_settled(&mut g, s_node);
+        g.remove_node(p_node);
+        if od <= radius {
+            let at = results.partition_point(|(_, d)| *d <= od);
+            results.insert(at, (p, od));
+        }
+    }
+
+    let stats = QueryStats {
+        data_io: data_tree.stats(),
+        obstacle_io: obstacle_tree.stats(),
+        cpu: started.elapsed(),
+        npe,
+        noe,
+        svg_nodes: g.num_nodes() as u64,
+        result_tuples: results.len() as u64,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_oknn;
+
+    fn world() -> (Vec<DataPoint>, Vec<Rect>) {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 0.0)),
+            DataPoint::new(1, Point::new(30.0, 0.0)),
+            DataPoint::new(2, Point::new(0.0, 45.0)),
+            DataPoint::new(3, Point::new(200.0, 200.0)),
+        ];
+        let obstacles = vec![Rect::new(20.0, -10.0, 25.0, 10.0)];
+        (points, obstacles)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let s = Point::new(0.0, 0.0);
+        for radius in [5.0, 15.0, 40.0, 60.0, 500.0] {
+            let (got, _) =
+                obstructed_range_search(&dt, &ot, s, radius, &ConnConfig::default());
+            let want: Vec<(DataPoint, f64)> = brute_force_oknn(&points, &obstacles, s, 10)
+                .into_iter()
+                .filter(|(_, d)| *d <= radius)
+                .collect();
+            assert_eq!(got.len(), want.len(), "radius {radius}");
+            for ((gp, gd), (wp, wd)) in got.iter().zip(&want) {
+                assert_eq!(gp.id, wp.id, "radius {radius}");
+                assert!((gd - wd).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn obstacle_pushes_point_out_of_range() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let empty: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let ot = RStarTree::bulk_load(obstacles, 4096);
+        let s = Point::new(0.0, 0.0);
+        let cfg = ConnConfig::default();
+        // point 1 is 30 away euclidean; the wall forces a detour > 31
+        let (free, _) = obstructed_range_search(&dt, &empty, s, 31.0, &cfg);
+        let (blocked, _) = obstructed_range_search(&dt, &ot, s, 31.0, &cfg);
+        assert!(free.iter().any(|(p, _)| p.id == 1));
+        assert!(!blocked.iter().any(|(p, _)| p.id == 1));
+    }
+
+    #[test]
+    fn zero_radius_finds_only_coincident_points() {
+        let points = vec![
+            DataPoint::new(0, Point::new(5.0, 5.0)),
+            DataPoint::new(1, Point::new(6.0, 5.0)),
+        ];
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let (got, _) =
+            obstructed_range_search(&dt, &ot, Point::new(5.0, 5.0), 0.0, &ConnConfig::default());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0.id, 0);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot = RStarTree::bulk_load(obstacles, 4096);
+        let (got, stats) = obstructed_range_search(
+            &dt,
+            &ot,
+            Point::new(0.0, 0.0),
+            1000.0,
+            &ConnConfig::default(),
+        );
+        assert_eq!(got.len(), 4);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(stats.npe, 4);
+    }
+}

@@ -1,0 +1,324 @@
+//! Single unified R-tree variant (paper §4.5, evaluated in Figure 13).
+//!
+//! Data points and obstacles live in one R\*-tree. A single best-first
+//! traversal keyed by `mindist` to `q` feeds *both* consumers: data points
+//! pop in ascending order for the main loop, and obstacles stream into the
+//! visibility graph on demand. Because the underlying iterator yields items
+//! in globally ascending `mindist`, buffering whichever kind the current
+//! consumer does not want preserves each kind's ordering.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use conn_geom::{Rect, Segment};
+use conn_index::{Mbr, NearestIter, RStarTree};
+use conn_vgraph::VisGraph;
+
+use crate::coknn::{CoknnResult, KnnResultList};
+use crate::config::ConnConfig;
+use crate::conn::{run_search, ConnResult};
+use crate::rlu::ResultList;
+use crate::stats::QueryStats;
+use crate::streams::QueryStreams;
+use crate::types::DataPoint;
+
+/// An entry of the unified tree: either a data point or an obstacle.
+#[derive(Debug, Clone, Copy)]
+pub enum SpatialObject {
+    Point(DataPoint),
+    Obstacle(Rect),
+}
+
+impl Mbr for SpatialObject {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        match self {
+            SpatialObject::Point(p) => p.mbr(),
+            SpatialObject::Obstacle(r) => *r,
+        }
+    }
+}
+
+impl conn_index::PersistItem for SpatialObject {
+    // 1-byte tag + the larger variant (Rect: 32 bytes), fixed width
+    const ENCODED_SIZE: usize = 1 + 32;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SpatialObject::Point(p) => {
+                out.push(0);
+                p.encode(out);
+                out.extend_from_slice(&[0u8; 33 - 1 - DataPoint::ENCODED_SIZE]); // pad
+            }
+            SpatialObject::Obstacle(r) => {
+                out.push(1);
+                r.encode(out);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> std::io::Result<Self> {
+        match bytes.first() {
+            Some(0) => Ok(SpatialObject::Point(DataPoint::decode(&bytes[1..])?)),
+            Some(1) => Ok(SpatialObject::Obstacle(Rect::decode(&bytes[1..])?)),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad spatial object tag",
+            )),
+        }
+    }
+}
+
+/// Bulk-loads points and obstacles into one unified R\*-tree.
+pub fn build_unified_tree(
+    points: &[DataPoint],
+    obstacles: &[Rect],
+    page_size: usize,
+) -> RStarTree<SpatialObject> {
+    let items: Vec<SpatialObject> = points
+        .iter()
+        .map(|p| SpatialObject::Point(*p))
+        .chain(obstacles.iter().map(|r| SpatialObject::Obstacle(*r)))
+        .collect();
+    RStarTree::bulk_load(items, page_size)
+}
+
+/// Query streams over a single mixed best-first traversal.
+pub struct OneTreeStreams<'a> {
+    iter: NearestIter<'a, SpatialObject, Segment>,
+    point_buf: VecDeque<(DataPoint, f64)>,
+    obstacle_buf: VecDeque<(Rect, f64)>,
+    loaded: usize,
+}
+
+impl<'a> OneTreeStreams<'a> {
+    pub fn new(tree: &'a RStarTree<SpatialObject>, q: &Segment) -> Self {
+        OneTreeStreams {
+            iter: tree.nearest_iter(*q),
+            point_buf: VecDeque::new(),
+            obstacle_buf: VecDeque::new(),
+            loaded: 0,
+        }
+    }
+
+    /// Advances the mixed iterator once, routing the item to its buffer.
+    /// Returns false when exhausted.
+    fn pull(&mut self) -> bool {
+        match self.iter.next() {
+            Some((SpatialObject::Point(p), d)) => {
+                self.point_buf.push_back((p, d));
+                true
+            }
+            Some((SpatialObject::Obstacle(r), d)) => {
+                self.obstacle_buf.push_back((r, d));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ensure_point(&mut self) -> bool {
+        while self.point_buf.is_empty() {
+            if !self.pull() {
+                return false;
+            }
+        }
+        true
+    }
+
+}
+
+impl QueryStreams for OneTreeStreams<'_> {
+    fn peek_point_dist(&mut self) -> Option<f64> {
+        if self.ensure_point() {
+            self.point_buf.front().map(|(_, d)| *d)
+        } else {
+            None
+        }
+    }
+
+    fn next_point(&mut self) -> Option<(DataPoint, f64)> {
+        if self.ensure_point() {
+            self.point_buf.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn load_obstacles_until(&mut self, g: &mut VisGraph, bound: f64) -> usize {
+        let mut added = 0;
+        loop {
+            // drain buffered obstacles within the bound
+            while let Some((_, d)) = self.obstacle_buf.front() {
+                if *d > bound {
+                    self.loaded += added;
+                    return added;
+                }
+                let (r, _) = self.obstacle_buf.pop_front().expect("front checked");
+                g.add_obstacle(r);
+                added += 1;
+            }
+            // buffer empty: anything unseen is at least at the frontier dist
+            match self.iter.peek_dist() {
+                Some(d) if d <= bound => {
+                    if !self.pull() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.loaded += added;
+        added
+    }
+
+    fn load_next_obstacle(&mut self, g: &mut VisGraph) -> usize {
+        loop {
+            if let Some((r, _)) = self.obstacle_buf.pop_front() {
+                g.add_obstacle(r);
+                self.loaded += 1;
+                return 1;
+            }
+            if !self.pull() {
+                return 0;
+            }
+        }
+    }
+
+    fn obstacles_loaded(&self) -> usize {
+        self.loaded
+    }
+}
+
+/// CONN search over a single unified R-tree (§4.5). The unified tree's I/O
+/// is reported in `data_io`; `obstacle_io` stays zero.
+pub fn conn_search_single_tree(
+    tree: &RStarTree<SpatialObject>,
+    q: &Segment,
+    cfg: &ConnConfig,
+) -> (ConnResult, QueryStats) {
+    assert!(!q.is_degenerate(), "degenerate query segment");
+    tree.reset_stats();
+    let started = Instant::now();
+    let mut streams = OneTreeStreams::new(tree, q);
+    let mut list = ResultList::new(q.len());
+    let telemetry = run_search(&mut streams, q, cfg, &mut list);
+    let cpu = started.elapsed();
+    let stats = QueryStats {
+        data_io: tree.stats(),
+        obstacle_io: Default::default(),
+        cpu,
+        npe: telemetry.npe,
+        noe: telemetry.noe,
+        svg_nodes: telemetry.svg_nodes,
+        result_tuples: list.entries().len() as u64,
+    };
+    (ConnResult::new(*q, list), stats)
+}
+
+/// COkNN search over a single unified R-tree (§4.5).
+pub fn coknn_search_single_tree(
+    tree: &RStarTree<SpatialObject>,
+    q: &Segment,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (CoknnResult, QueryStats) {
+    assert!(!q.is_degenerate(), "degenerate query segment");
+    tree.reset_stats();
+    let started = Instant::now();
+    let mut streams = OneTreeStreams::new(tree, q);
+    let mut list = KnnResultList::new(q.len(), k);
+    let telemetry = run_search(&mut streams, q, cfg, &mut list);
+    let cpu = started.elapsed();
+    let stats = QueryStats {
+        data_io: tree.stats(),
+        obstacle_io: Default::default(),
+        cpu,
+        npe: telemetry.npe,
+        noe: telemetry.noe,
+        svg_nodes: telemetry.svg_nodes,
+        result_tuples: list.entries().len() as u64,
+    };
+    (CoknnResult::new(*q, list), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::conn_search;
+    use conn_geom::Point;
+
+    fn q() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+    }
+
+    fn setup() -> (Vec<DataPoint>, Vec<Rect>) {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 8.0)),
+            DataPoint::new(2, Point::new(90.0, 25.0)),
+            DataPoint::new(3, Point::new(45.0, 60.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(30.0, 5.0, 40.0, 30.0),
+            Rect::new(60.0, 10.0, 75.0, 18.0),
+            Rect::new(20.0, 40.0, 60.0, 50.0),
+        ];
+        (points, obstacles)
+    }
+
+    #[test]
+    fn one_tree_matches_two_tree_answers() {
+        let (points, obstacles) = setup();
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let ut = build_unified_tree(&points, &obstacles, 4096);
+        let cfg = ConnConfig::default();
+        let (two, _) = conn_search(&dt, &ot, &q(), &cfg);
+        let (one, _) = conn_search_single_tree(&ut, &q(), &cfg);
+        one.check_cover().unwrap();
+        for i in 0..=50 {
+            let t = 100.0 * (i as f64) / 50.0;
+            match (two.nn_at(t), one.nn_at(t)) {
+                (Some((p2, d2)), Some((p1, d1))) => {
+                    assert!((d1 - d2).abs() < 1e-6, "t={t}: {d1} vs {d2}");
+                    // equal distance ties may differ in id; ids equal otherwise
+                    if (d1 - d2).abs() < 1e-9 && p1.id != p2.id {
+                        continue;
+                    }
+                    assert_eq!(p1.id, p2.id, "t={t}");
+                }
+                (a, b) => assert_eq!(a.is_none(), b.is_none(), "t={t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_stream_orders_each_kind() {
+        let (points, obstacles) = setup();
+        let ut = build_unified_tree(&points, &obstacles, 4096);
+        let mut s = OneTreeStreams::new(&ut, &q());
+        let mut g = VisGraph::new(50.0);
+        // points arrive ascending
+        let mut prev = 0.0;
+        let mut n = 0;
+        while let Some((_, d)) = s.next_point() {
+            assert!(d >= prev);
+            prev = d;
+            n += 1;
+        }
+        assert_eq!(n, points.len());
+        // obstacles all loadable afterwards
+        assert_eq!(s.load_obstacles_until(&mut g, f64::INFINITY), obstacles.len());
+        assert_eq!(s.obstacles_loaded(), obstacles.len());
+    }
+
+    #[test]
+    fn single_tree_io_reported_on_data_side() {
+        let (points, obstacles) = setup();
+        let ut = build_unified_tree(&points, &obstacles, 4096);
+        let (_, stats) = conn_search_single_tree(&ut, &q(), &ConnConfig::default());
+        assert!(stats.data_io.reads > 0);
+        assert_eq!(stats.obstacle_io.reads, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-query statistics matching the paper's performance metrics (§5.1):
+//! I/O cost, CPU time, query cost (CPU + 10 ms per page fault), visibility
+//! graph size |SVG|, number of points evaluated (NPE) and number of
+//! obstacles evaluated (NOE).
+
+use std::time::Duration;
+
+use conn_index::StatsSnapshot;
+
+/// Milliseconds charged per R-tree page fault (paper §5.1).
+pub const IO_MS_PER_FAULT: f64 = 10.0;
+
+/// Everything the evaluation section measures about one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Data R-tree accesses (for the 1T variant, the unified tree's
+    /// accesses are reported here and `obstacle_io` stays zero).
+    pub data_io: StatsSnapshot,
+    /// Obstacle R-tree accesses.
+    pub obstacle_io: StatsSnapshot,
+    /// Wall-clock CPU time of the query.
+    pub cpu: Duration,
+    /// Number of data points evaluated (paper: NPE).
+    pub npe: u64,
+    /// Number of obstacles inserted into the local visibility graph
+    /// (paper: NOE).
+    pub noe: u64,
+    /// Vertices of the local visibility graph at query end (paper: |SVG|).
+    pub svg_nodes: u64,
+    /// Tuples in the final result list.
+    pub result_tuples: u64,
+}
+
+impl QueryStats {
+    /// Total page faults across both trees.
+    pub fn faults(&self) -> u64 {
+        self.data_io.faults + self.obstacle_io.faults
+    }
+
+    /// Total logical page reads across both trees.
+    pub fn reads(&self) -> u64 {
+        self.data_io.reads + self.obstacle_io.reads
+    }
+
+    /// Simulated I/O time (10 ms per fault), in seconds.
+    pub fn io_seconds(&self) -> f64 {
+        self.faults() as f64 * IO_MS_PER_FAULT / 1000.0
+    }
+
+    /// The paper's "total query time": CPU + charged I/O, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.cpu.as_secs_f64() + self.io_seconds()
+    }
+
+    /// Element-wise sum (used to average over a workload of queries).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.data_io.reads += other.data_io.reads;
+        self.data_io.faults += other.data_io.faults;
+        self.obstacle_io.reads += other.obstacle_io.reads;
+        self.obstacle_io.faults += other.obstacle_io.faults;
+        self.cpu += other.cpu;
+        self.npe += other.npe;
+        self.noe += other.noe;
+        self.svg_nodes += other.svg_nodes;
+        self.result_tuples += other.result_tuples;
+    }
+
+    /// Divides all counters by `n` (averaging helper; counters round down).
+    pub fn averaged(&self, n: u64) -> AveragedStats {
+        let n = n.max(1) as f64;
+        AveragedStats {
+            reads: self.reads() as f64 / n,
+            faults: self.faults() as f64 / n,
+            cpu_s: self.cpu.as_secs_f64() / n,
+            io_s: self.io_seconds() / n,
+            total_s: self.total_seconds() / n,
+            npe: self.npe as f64 / n,
+            noe: self.noe as f64 / n,
+            svg_nodes: self.svg_nodes as f64 / n,
+            result_tuples: self.result_tuples as f64 / n,
+        }
+    }
+}
+
+/// Workload-averaged metrics, as reported in the paper's figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AveragedStats {
+    pub reads: f64,
+    pub faults: f64,
+    pub cpu_s: f64,
+    pub io_s: f64,
+    pub total_s: f64,
+    pub npe: f64,
+    pub noe: f64,
+    pub svg_nodes: f64,
+    pub result_tuples: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(reads: u64, faults: u64) -> StatsSnapshot {
+        StatsSnapshot { reads, faults }
+    }
+
+    #[test]
+    fn totals_combine_cpu_and_charged_io() {
+        let s = QueryStats {
+            data_io: snap(30, 10),
+            obstacle_io: snap(20, 5),
+            cpu: Duration::from_millis(250),
+            ..Default::default()
+        };
+        assert_eq!(s.faults(), 15);
+        assert_eq!(s.reads(), 50);
+        assert!((s.io_seconds() - 0.15).abs() < 1e-12);
+        assert!((s.total_seconds() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut acc = QueryStats::default();
+        for i in 1..=4u64 {
+            acc.accumulate(&QueryStats {
+                data_io: snap(10 * i, i),
+                cpu: Duration::from_millis(100),
+                npe: i,
+                noe: 2 * i,
+                svg_nodes: 5,
+                result_tuples: 3,
+                ..Default::default()
+            });
+        }
+        let avg = acc.averaged(4);
+        assert!((avg.reads - 25.0).abs() < 1e-9);
+        assert!((avg.npe - 2.5).abs() < 1e-9);
+        assert!((avg.noe - 5.0).abs() < 1e-9);
+        assert!((avg.cpu_s - 0.1).abs() < 1e-9);
+        assert_eq!(avg.svg_nodes, 5.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sources feeding the search loop: data points in ascending `mindist` to
+//! `q`, and obstacles loaded on demand into the local visibility graph.
+//!
+//! The two-R-tree setup of Algorithm 4 and the unified single-R-tree setup
+//! of §4.5 differ only in where these streams come from, so the search core
+//! is written against the [`QueryStreams`] trait.
+
+use conn_geom::{Rect, Segment};
+use conn_index::{NearestIter, RStarTree};
+use conn_vgraph::VisGraph;
+
+use crate::types::DataPoint;
+
+/// The search loop's view of its inputs.
+pub trait QueryStreams {
+    /// `mindist` of the next unevaluated data point (Lemma 2 gate).
+    fn peek_point_dist(&mut self) -> Option<f64>;
+
+    /// Pops the next data point (ascending `mindist(p, q)`).
+    fn next_point(&mut self) -> Option<(DataPoint, f64)>;
+
+    /// Loads every not-yet-loaded obstacle with `mindist(o, q) ≤ bound`
+    /// into the graph; returns how many were added.
+    fn load_obstacles_until(&mut self, g: &mut VisGraph, bound: f64) -> usize;
+
+    /// Loads the single nearest not-yet-loaded obstacle regardless of
+    /// bound; returns 0 when the obstacle source is exhausted.
+    fn load_next_obstacle(&mut self, g: &mut VisGraph) -> usize;
+
+    /// Number of obstacles loaded so far (the NOE metric).
+    fn obstacles_loaded(&self) -> usize;
+}
+
+/// Streams over two separate R-trees (the paper's primary setting).
+pub struct TwoTreeStreams<'a> {
+    points: NearestIter<'a, DataPoint, Segment>,
+    obstacles: NearestIter<'a, Rect, Segment>,
+    pending_obstacle: Option<(Rect, f64)>,
+    loaded: usize,
+}
+
+impl<'a> TwoTreeStreams<'a> {
+    pub fn new(
+        data_tree: &'a RStarTree<DataPoint>,
+        obstacle_tree: &'a RStarTree<Rect>,
+        q: &Segment,
+    ) -> Self {
+        TwoTreeStreams {
+            points: data_tree.nearest_iter(*q),
+            obstacles: obstacle_tree.nearest_iter(*q),
+            pending_obstacle: None,
+            loaded: 0,
+        }
+    }
+
+    fn peek_obstacle_dist(&mut self) -> Option<f64> {
+        if self.pending_obstacle.is_none() {
+            self.pending_obstacle = self.obstacles.next();
+        }
+        self.pending_obstacle.as_ref().map(|(_, d)| *d)
+    }
+
+    fn pop_obstacle(&mut self) -> Option<Rect> {
+        if self.pending_obstacle.is_none() {
+            self.pending_obstacle = self.obstacles.next();
+        }
+        self.pending_obstacle.take().map(|(r, _)| r)
+    }
+}
+
+impl QueryStreams for TwoTreeStreams<'_> {
+    fn peek_point_dist(&mut self) -> Option<f64> {
+        self.points.peek_dist()
+    }
+
+    fn next_point(&mut self) -> Option<(DataPoint, f64)> {
+        self.points.next()
+    }
+
+    fn load_obstacles_until(&mut self, g: &mut VisGraph, bound: f64) -> usize {
+        let mut added = 0;
+        while let Some(d) = self.peek_obstacle_dist() {
+            if d > bound {
+                break;
+            }
+            let r = self.pop_obstacle().expect("peeked obstacle");
+            g.add_obstacle(r);
+            added += 1;
+        }
+        self.loaded += added;
+        added
+    }
+
+    fn load_next_obstacle(&mut self, g: &mut VisGraph) -> usize {
+        match self.pop_obstacle() {
+            Some(r) => {
+                g.add_obstacle(r);
+                self.loaded += 1;
+                1
+            }
+            None => 0,
+        }
+    }
+
+    fn obstacles_loaded(&self) -> usize {
+        self.loaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conn_geom::Point;
+
+    fn setup() -> (RStarTree<DataPoint>, RStarTree<Rect>, Segment) {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 10.0)),
+            DataPoint::new(1, Point::new(50.0, 5.0)),
+            DataPoint::new(2, Point::new(90.0, 40.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(20.0, 20.0, 30.0, 30.0),
+            Rect::new(60.0, 50.0, 70.0, 60.0),
+            Rect::new(200.0, 200.0, 210.0, 210.0),
+        ];
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        (
+            RStarTree::bulk_load(points, 4096),
+            RStarTree::bulk_load(obstacles, 4096),
+            q,
+        )
+    }
+
+    #[test]
+    fn points_arrive_in_mindist_order() {
+        let (dt, ot, q) = setup();
+        let mut s = TwoTreeStreams::new(&dt, &ot, &q);
+        let mut prev = 0.0;
+        while let Some(d) = s.peek_point_dist() {
+            let (_, got) = s.next_point().unwrap();
+            assert_eq!(d, got);
+            assert!(got >= prev);
+            prev = got;
+        }
+        assert!(s.next_point().is_none());
+    }
+
+    #[test]
+    fn load_until_respects_bound_and_counts() {
+        let (dt, ot, q) = setup();
+        let mut s = TwoTreeStreams::new(&dt, &ot, &q);
+        let mut g = VisGraph::new(50.0);
+        // nearest obstacle at dist 20, second at 50, third ~ 283
+        assert_eq!(s.load_obstacles_until(&mut g, 10.0), 0);
+        assert_eq!(s.load_obstacles_until(&mut g, 25.0), 1);
+        assert_eq!(s.obstacles_loaded(), 1);
+        assert_eq!(s.load_obstacles_until(&mut g, 100.0), 1);
+        assert_eq!(s.load_obstacles_until(&mut g, 100.0), 0); // idempotent
+        assert_eq!(s.load_next_obstacle(&mut g), 1);
+        assert_eq!(s.load_next_obstacle(&mut g), 0); // exhausted
+        assert_eq!(s.obstacles_loaded(), 3);
+        assert_eq!(g.num_obstacles(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! Trajectory CONN — the first future-work item of the paper's §6:
+//! "retrieving the ONN of every point on a specified moving trajectory that
+//! consists of several consecutive line segments".
+//!
+//! A trajectory query runs the CONN/COkNN machinery per leg and stitches
+//! the per-leg result lists into one answer parameterized by cumulative
+//! arclength. Each leg is an independent Algorithm-4 run (its own local
+//! visibility graph, pruned by its own `RLMAX`), which preserves the
+//! exactness argument leg by leg; the stitching only re-indexes parameters
+//! and merges equal answers across the joints.
+
+use conn_geom::{Interval, Point, Rect, Segment};
+use conn_index::RStarTree;
+
+use crate::coknn::coknn_search;
+use crate::config::ConnConfig;
+use crate::conn::conn_search;
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// A polyline trajectory: consecutive line segments through `vertices`.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    vertices: Vec<Point>,
+    /// cumulative arclength at each vertex (`cum[0] = 0`)
+    cum: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory; needs ≥ 2 vertices and no degenerate leg.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 2, "trajectory needs at least two vertices");
+        let mut cum = Vec::with_capacity(vertices.len());
+        cum.push(0.0);
+        for w in vertices.windows(2) {
+            let leg = Segment::new(w[0], w[1]);
+            assert!(!leg.is_degenerate(), "degenerate trajectory leg");
+            cum.push(cum.last().unwrap() + leg.len());
+        }
+        Trajectory { vertices, cum }
+    }
+
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of legs (segments).
+    pub fn num_legs(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// Total arclength.
+    pub fn len(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // by construction: ≥ 2 vertices, no degenerate legs
+    }
+
+    /// The `i`-th leg as a segment.
+    pub fn leg(&self, i: usize) -> Segment {
+        Segment::new(self.vertices[i], self.vertices[i + 1])
+    }
+
+    /// Cumulative arclength offset of leg `i`.
+    pub fn leg_offset(&self, i: usize) -> f64 {
+        self.cum[i]
+    }
+
+    /// The point at cumulative arclength `t ∈ [0, len]` (clamped).
+    pub fn at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, self.len());
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&t)) {
+            Ok(i) => i.min(self.num_legs() - 1),
+            Err(i) => i - 1,
+        };
+        let i = i.min(self.num_legs() - 1);
+        self.leg(i).at(t - self.cum[i])
+    }
+}
+
+/// Answer of a trajectory CONN query: `⟨point, interval⟩` tuples over the
+/// trajectory's cumulative arclength.
+#[derive(Debug, Clone)]
+pub struct TrajectoryResult {
+    trajectory: Trajectory,
+    segments: Vec<(Option<DataPoint>, Interval)>,
+}
+
+impl TrajectoryResult {
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// The stitched `⟨p, R⟩` tuples (R in cumulative arclength).
+    pub fn segments(&self) -> &[(Option<DataPoint>, Interval)] {
+        &self.segments
+    }
+
+    /// The ONN at cumulative arclength `t`, with its obstructed distance
+    /// re-derived from the owning tuple is not stored; use
+    /// [`TrajectoryResult::nn_at`] for identity and the per-leg results for
+    /// distances.
+    pub fn nn_at(&self, t: f64) -> Option<DataPoint> {
+        self.segments
+            .iter()
+            .find(|(_, iv)| iv.contains(t))
+            .and_then(|(p, _)| *p)
+    }
+
+    /// Split points in cumulative arclength (answer changes only here).
+    pub fn split_points(&self) -> Vec<f64> {
+        self.segments.windows(2).map(|w| w[0].1.hi).collect()
+    }
+
+    /// Validation: tuples cover `[0, len]` without gaps.
+    pub fn check_cover(&self) -> Result<(), String> {
+        let mut cursor = 0.0;
+        for (_, iv) in &self.segments {
+            if (iv.lo - cursor).abs() > 1e-6 {
+                return Err(format!("gap at {cursor}"));
+            }
+            cursor = iv.hi;
+        }
+        if (cursor - self.trajectory.len()).abs() > 1e-6 {
+            return Err(format!("cover ends at {cursor}"));
+        }
+        Ok(())
+    }
+}
+
+/// Trajectory CONN (k = 1): the ONN of every point along a polyline.
+///
+/// Statistics are summed over the legs (each leg is one Algorithm-4 run).
+///
+/// ```
+/// use conn_core::{trajectory_conn_search, ConnConfig, DataPoint, Trajectory};
+/// use conn_geom::{Point, Rect};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(
+///     vec![
+///         DataPoint::new(0, Point::new(10.0, 30.0)),
+///         DataPoint::new(1, Point::new(100.0, 60.0)),
+///     ],
+///     4096,
+/// );
+/// let obstacles: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+/// let route = Trajectory::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(100.0, 0.0),
+///     Point::new(100.0, 80.0),
+/// ]);
+///
+/// let (plan, _) = trajectory_conn_search(&points, &obstacles, &route, &ConnConfig::default());
+/// plan.check_cover().unwrap();
+/// assert_eq!(plan.nn_at(0.0).unwrap().id, 0);
+/// assert_eq!(plan.nn_at(route.len()).unwrap().id, 1);
+/// ```
+pub fn trajectory_conn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    trajectory: &Trajectory,
+    cfg: &ConnConfig,
+) -> (TrajectoryResult, QueryStats) {
+    let mut total = QueryStats::default();
+    let mut segments: Vec<(Option<DataPoint>, Interval)> = Vec::new();
+    for i in 0..trajectory.num_legs() {
+        let leg = trajectory.leg(i);
+        let offset = trajectory.leg_offset(i);
+        let (res, stats) = conn_search(data_tree, obstacle_tree, &leg, cfg);
+        total.accumulate(&stats);
+        for (p, iv) in res.segments() {
+            let shifted = Interval::new(iv.lo + offset, iv.hi + offset);
+            match segments.last_mut() {
+                // merge across the joint when the answer persists
+                Some((prev, prev_iv)) if prev.map(|x| x.id) == p.map(|x| x.id) => {
+                    prev_iv.hi = shifted.hi;
+                }
+                _ => segments.push((p, shifted)),
+            }
+        }
+    }
+    total.result_tuples = segments.len() as u64;
+    (
+        TrajectoryResult {
+            trajectory: trajectory.clone(),
+            segments,
+        },
+        total,
+    )
+}
+
+/// Trajectory COkNN: the k nearest per point along a polyline. Returns the
+/// per-leg results (cumulative-arclength stitching of full kNN sets keeps
+/// every member's control points; exposing the per-leg structure is the
+/// honest API) plus summed statistics.
+pub fn trajectory_coknn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    trajectory: &Trajectory,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (Vec<crate::coknn::CoknnResult>, QueryStats) {
+    let mut total = QueryStats::default();
+    let mut legs = Vec::with_capacity(trajectory.num_legs());
+    for i in 0..trajectory.num_legs() {
+        let leg = trajectory.leg(i);
+        let (res, stats) = coknn_search(data_tree, obstacle_tree, &leg, k, cfg);
+        total.accumulate(&stats);
+        legs.push(res);
+    }
+    (legs, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_oknn;
+
+    fn l_shape() -> Trajectory {
+        Trajectory::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 80.0),
+        ])
+    }
+
+    #[test]
+    fn parameterization_across_legs() {
+        let t = l_shape();
+        assert_eq!(t.num_legs(), 2);
+        assert_eq!(t.len(), 180.0);
+        assert_eq!(t.at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(t.at(100.0), Point::new(100.0, 0.0));
+        assert_eq!(t.at(140.0), Point::new(100.0, 40.0));
+        assert_eq!(t.at(180.0), Point::new(100.0, 80.0));
+        // clamping
+        assert_eq!(t.at(-5.0), Point::new(0.0, 0.0));
+        assert_eq!(t.at(500.0), Point::new(100.0, 80.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_vertex() {
+        let _ = Trajectory::new(vec![Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_leg() {
+        let _ = Trajectory::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]);
+    }
+
+    #[test]
+    fn trajectory_conn_matches_brute_force() {
+        let points = vec![
+            DataPoint::new(0, Point::new(20.0, 30.0)),
+            DataPoint::new(1, Point::new(80.0, -20.0)),
+            DataPoint::new(2, Point::new(130.0, 50.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(40.0, 10.0, 60.0, 25.0),
+            Rect::new(110.0, 20.0, 120.0, 60.0),
+        ];
+        let dt = RStarTree::bulk_load(points.clone(), 4096);
+        let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let traj = l_shape();
+        let (res, stats) = trajectory_conn_search(&dt, &ot, &traj, &ConnConfig::default());
+        res.check_cover().unwrap();
+        assert!(stats.npe >= 3, "per-leg runs accumulate NPE");
+        for i in 0..=36 {
+            let t = traj.len() * (i as f64) / 36.0;
+            let want = brute_force_oknn(&points, &obstacles, traj.at(t), 1);
+            let got = res.nn_at(t);
+            match (got, want.first()) {
+                (Some(g), Some((w, wd))) => {
+                    if g.id != w.id {
+                        // only acceptable under a tie
+                        let gd = crate::odist::obstructed_distance(&obstacles, g.pos, traj.at(t));
+                        assert!((gd - wd).abs() < 1e-6, "t={t}: {} vs {}", g.id, w.id);
+                    }
+                }
+                (g, w) => assert_eq!(g.is_none(), w.is_none(), "t = {t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn joint_merging_collapses_same_answer() {
+        // a single point: both legs answer it → one stitched tuple
+        let points = vec![DataPoint::new(0, Point::new(50.0, 40.0))];
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let (res, _) = trajectory_conn_search(&dt, &ot, &l_shape(), &ConnConfig::default());
+        assert_eq!(res.segments().len(), 1);
+        assert_eq!(res.split_points().len(), 0);
+    }
+
+    #[test]
+    fn trajectory_coknn_per_leg_results() {
+        let points = vec![
+            DataPoint::new(0, Point::new(20.0, 30.0)),
+            DataPoint::new(1, Point::new(80.0, -20.0)),
+            DataPoint::new(2, Point::new(130.0, 50.0)),
+        ];
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+        let traj = l_shape();
+        let (legs, stats) =
+            trajectory_coknn_search(&dt, &ot, &traj, 2, &ConnConfig::default());
+        assert_eq!(legs.len(), 2);
+        assert!(stats.npe >= 3);
+        for leg in &legs {
+            leg.check_cover().unwrap();
+            assert_eq!(leg.knn_at(10.0).len(), 2);
+        }
+    }
+}

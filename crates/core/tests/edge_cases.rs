@@ -1,0 +1,219 @@
+//! Failure injection and degenerate-geometry tests: points on obstacle
+//! boundaries, queries grazing walls, duplicates, ties, extreme k, and
+//! pathological layouts.
+
+use conn_core::baseline::brute_force_oknn;
+use conn_core::{coknn_search, conn_search, onn_search, ConnConfig, DataPoint};
+use conn_geom::{Point, Rect, Segment};
+use conn_index::RStarTree;
+
+fn q_h() -> Segment {
+    Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+}
+
+fn run(
+    points: Vec<DataPoint>,
+    obstacles: Vec<Rect>,
+    q: &Segment,
+    k: usize,
+) -> (conn_core::CoknnResult, conn_core::QueryStats) {
+    let dt = RStarTree::bulk_load(points, 4096);
+    let ot = RStarTree::bulk_load(obstacles, 4096);
+    coknn_search(&dt, &ot, q, k, &ConnConfig::default())
+}
+
+#[test]
+fn data_point_on_obstacle_corner() {
+    // the paper allows points on obstacle boundaries
+    let obstacles = vec![Rect::new(40.0, 10.0, 60.0, 30.0)];
+    let points = vec![
+        DataPoint::new(0, Point::new(40.0, 10.0)), // exactly a corner
+        DataPoint::new(1, Point::new(60.0, 30.0)), // opposite corner
+    ];
+    let (res, _) = run(points.clone(), obstacles.clone(), &q_h(), 1);
+    res.check_cover().unwrap();
+    for i in 0..=20 {
+        let t = 100.0 * (i as f64) / 20.0;
+        let want = brute_force_oknn(&points, &obstacles, q_h().at(t), 1)[0].1;
+        let got = res.knn_at(t)[0].1;
+        assert!((got - want).abs() < 1e-6, "t = {t}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn data_point_on_obstacle_edge() {
+    let obstacles = vec![Rect::new(40.0, 10.0, 60.0, 30.0)];
+    let points = vec![DataPoint::new(0, Point::new(50.0, 30.0))]; // top wall
+    let (res, _) = run(points.clone(), obstacles.clone(), &q_h(), 1);
+    res.check_cover().unwrap();
+    // directly below, the path must round the box (the wall blocks)
+    let got = res.knn_at(50.0)[0].1;
+    let want = brute_force_oknn(&points, &obstacles, q_h().at(50.0), 1)[0].1;
+    assert!((got - want).abs() < 1e-6);
+    assert!(got > 30.0 + 1.0, "must detour, got {got}");
+}
+
+#[test]
+fn query_sliding_along_a_wall() {
+    // q runs exactly along the top edge of a long obstacle: touching is
+    // not blocking, so everything stays visible from above
+    let obstacles = vec![Rect::new(10.0, -20.0, 90.0, 0.0)];
+    let points = vec![
+        DataPoint::new(0, Point::new(30.0, 40.0)),
+        DataPoint::new(1, Point::new(70.0, 25.0)),
+    ];
+    let (res, _) = run(points.clone(), obstacles, &q_h(), 1);
+    res.check_cover().unwrap();
+    for i in 0..=10 {
+        let t = 100.0 * (i as f64) / 10.0;
+        let (p, d) = res.knn_at(t)[0];
+        // distances are plain euclidean: the obstacle is below the query
+        assert!((d - p.pos.dist(q_h().at(t))).abs() < 1e-6, "t = {t}");
+    }
+}
+
+#[test]
+fn duplicate_points_tie_cleanly() {
+    let points = vec![
+        DataPoint::new(0, Point::new(50.0, 20.0)),
+        DataPoint::new(1, Point::new(50.0, 20.0)), // exact duplicate
+        DataPoint::new(2, Point::new(10.0, 60.0)),
+    ];
+    let (res, _) = run(points, vec![], &q_h(), 2);
+    res.check_cover().unwrap();
+    let ans = res.knn_at(50.0);
+    assert_eq!(ans.len(), 2);
+    // the two duplicates share the same distance
+    assert!((ans[0].1 - ans[1].1).abs() < 1e-9);
+    assert_eq!(ans[0].1, 20.0);
+}
+
+#[test]
+fn k_exceeding_cardinality_returns_everything() {
+    let points = vec![
+        DataPoint::new(0, Point::new(10.0, 10.0)),
+        DataPoint::new(1, Point::new(90.0, 10.0)),
+    ];
+    let (res, stats) = run(points, vec![], &q_h(), 7);
+    res.check_cover().unwrap();
+    assert_eq!(res.knn_at(50.0).len(), 2);
+    assert_eq!(stats.npe, 2, "everything must be evaluated");
+}
+
+#[test]
+fn very_short_query_segment() {
+    let q = Segment::new(Point::new(50.0, 0.0), Point::new(50.1, 0.0));
+    let points = vec![
+        DataPoint::new(0, Point::new(40.0, 10.0)),
+        DataPoint::new(1, Point::new(60.0, 10.0)),
+    ];
+    let dt = RStarTree::bulk_load(points, 4096);
+    let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
+    let (res, _) = conn_search(&dt, &ot, &q, &ConnConfig::default());
+    res.check_cover().unwrap();
+    assert!(res.nn_at(0.05).is_some());
+}
+
+#[test]
+fn point_coincident_with_query_endpoint() {
+    let points = vec![DataPoint::new(0, Point::new(0.0, 0.0))]; // == S
+    let (res, _) = run(points, vec![], &q_h(), 1);
+    res.check_cover().unwrap();
+    let (p, d) = res.knn_at(0.0)[0];
+    assert_eq!(p.id, 0);
+    assert!(d < 1e-9);
+    assert!((res.knn_at(100.0)[0].1 - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn dense_obstacle_corridor() {
+    // a comb of walls perpendicular to q: each data point only reachable
+    // through its slot
+    let mut obstacles = Vec::new();
+    for i in 0..9 {
+        let x = 10.0 + i as f64 * 10.0;
+        obstacles.push(Rect::new(x - 1.0, 5.0, x + 1.0, 50.0));
+    }
+    let points = vec![
+        DataPoint::new(0, Point::new(15.0, 60.0)),
+        DataPoint::new(1, Point::new(55.0, 60.0)),
+        DataPoint::new(2, Point::new(95.0, 60.0)),
+    ];
+    let (res, _) = run(points.clone(), obstacles.clone(), &q_h(), 1);
+    res.check_cover().unwrap();
+    for i in 0..=20 {
+        let t = 100.0 * (i as f64) / 20.0;
+        let want = brute_force_oknn(&points, &obstacles, q_h().at(t), 1)[0].1;
+        let got = res.knn_at(t)[0].1;
+        assert!((got - want).abs() < 1e-6, "t = {t}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn all_points_behind_one_wall() {
+    // every data point shares the same wall: control points concentrate on
+    // the wall's two free corners
+    let wall = Rect::new(20.0, 10.0, 80.0, 20.0);
+    let points = vec![
+        DataPoint::new(0, Point::new(30.0, 40.0)),
+        DataPoint::new(1, Point::new(50.0, 35.0)),
+        DataPoint::new(2, Point::new(70.0, 45.0)),
+    ];
+    let (res, _) = run(points.clone(), vec![wall], &q_h(), 1);
+    res.check_cover().unwrap();
+    for i in 0..=20 {
+        let t = 100.0 * (i as f64) / 20.0;
+        let want = brute_force_oknn(&points, &[wall], q_h().at(t), 1)[0].1;
+        let got = res.knn_at(t)[0].1;
+        assert!((got - want).abs() < 1e-6, "t = {t}");
+    }
+}
+
+#[test]
+fn onn_at_point_on_wall() {
+    let wall = Rect::new(20.0, 10.0, 80.0, 20.0);
+    let points = vec![
+        DataPoint::new(0, Point::new(50.0, 40.0)),
+        DataPoint::new(1, Point::new(50.0, -10.0)),
+    ];
+    let dt = RStarTree::bulk_load(points.clone(), 4096);
+    let ot = RStarTree::bulk_load(vec![wall], 4096);
+    // query location exactly on the wall's bottom edge
+    let s = Point::new(50.0, 10.0);
+    let (got, _) = onn_search(&dt, &ot, s, 2, &ConnConfig::default());
+    let want = brute_force_oknn(&points, &[wall], s, 2);
+    assert_eq!(got.len(), want.len());
+    for ((_, gd), (_, wd)) in got.iter().zip(&want) {
+        assert!((gd - wd).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn collinear_points_and_query() {
+    // all points exactly on the query line
+    let points = vec![
+        DataPoint::new(0, Point::new(20.0, 0.0)),
+        DataPoint::new(1, Point::new(50.0, 0.0)),
+        DataPoint::new(2, Point::new(80.0, 0.0)),
+    ];
+    let (res, _) = run(points, vec![], &q_h(), 1);
+    res.check_cover().unwrap();
+    assert_eq!(res.knn_at(10.0)[0].0.id, 0);
+    assert_eq!(res.knn_at(50.0)[0].0.id, 1);
+    assert_eq!(res.knn_at(90.0)[0].0.id, 2);
+    // split points at the midpoints 35 and 65
+    let (_, d) = res.knn_at(35.0)[0];
+    assert!((d - 15.0).abs() < 1e-6);
+}
+
+#[test]
+fn obstacle_touching_query_endpoint() {
+    // obstacle corner exactly at E
+    let obstacles = vec![Rect::new(100.0, 0.0, 120.0, 20.0)];
+    let points = vec![DataPoint::new(0, Point::new(110.0, 30.0))];
+    let (res, _) = run(points.clone(), obstacles.clone(), &q_h(), 1);
+    res.check_cover().unwrap();
+    let got = res.knn_at(100.0)[0].1;
+    let want = brute_force_oknn(&points, &obstacles, Point::new(100.0, 0.0), 1)[0].1;
+    assert!((got - want).abs() < 1e-6);
+}

@@ -1,0 +1,147 @@
+//! A small grid lookup used only at generation time (rejection sampling);
+//! query-time spatial indexing lives in `conn-index` / `conn-vgraph`.
+
+use conn_geom::{Point, Rect, Segment};
+use std::collections::HashMap;
+
+/// Cell-hash over obstacle rectangles supporting point-in-interior and
+/// segment-crosses-interior tests during dataset generation.
+#[derive(Debug)]
+pub struct ObstacleLookup {
+    cell: f64,
+    cells: HashMap<(i32, i32), Vec<u32>>,
+    rects: Vec<Rect>,
+}
+
+impl ObstacleLookup {
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0);
+        ObstacleLookup {
+            cell,
+            cells: HashMap::new(),
+            rects: Vec::new(),
+        }
+    }
+
+    /// Builds a lookup sized for the given obstacle set.
+    pub fn build(rects: &[Rect]) -> Self {
+        // pick a cell about twice the median obstacle extent, floor of 20
+        let mut extents: Vec<f64> = rects.iter().map(|r| r.width().max(r.height())).collect();
+        extents.sort_by(f64::total_cmp);
+        let median = extents.get(extents.len() / 2).copied().unwrap_or(50.0);
+        let mut l = ObstacleLookup::new((median * 2.0).max(20.0));
+        for r in rects {
+            l.insert(*r);
+        }
+        l
+    }
+
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    #[inline]
+    fn cell_of(&self, x: f64, y: f64) -> (i32, i32) {
+        ((x / self.cell).floor() as i32, (y / self.cell).floor() as i32)
+    }
+
+    pub fn insert(&mut self, r: Rect) {
+        let id = self.rects.len() as u32;
+        self.rects.push(r);
+        let (x0, y0) = self.cell_of(r.min_x, r.min_y);
+        let (x1, y1) = self.cell_of(r.max_x, r.max_y);
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                self.cells.entry((cx, cy)).or_default().push(id);
+            }
+        }
+    }
+
+    /// True when `p` lies strictly inside some obstacle.
+    pub fn point_in_interior(&self, p: Point) -> bool {
+        let c = self.cell_of(p.x, p.y);
+        self.cells
+            .get(&c)
+            .is_some_and(|ids| ids.iter().any(|&i| self.rects[i as usize].strictly_contains(p)))
+    }
+
+    /// True when the closed rectangle `r` overlaps any stored obstacle
+    /// (used to keep generated obstacles disjoint).
+    pub fn rect_intersects_any(&self, r: &Rect) -> bool {
+        let (x0, y0) = self.cell_of(r.min_x, r.min_y);
+        let (x1, y1) = self.cell_of(r.max_x, r.max_y);
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    if ids.iter().any(|&i| self.rects[i as usize].intersects(r)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// True when segment `s` crosses any obstacle interior (bounding-box
+    /// cell sweep; exact per-rect test).
+    pub fn segment_blocked(&self, s: &Segment) -> bool {
+        let bb = Rect::from_segment(s);
+        let (x0, y0) = self.cell_of(bb.min_x, bb.min_y);
+        let (x1, y1) = self.cell_of(bb.max_x, bb.max_y);
+        let mut seen: Vec<u32> = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &i in ids {
+                        if !seen.contains(&i) {
+                            seen.push(i);
+                            if self.rects[i as usize].blocks(s) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_rect_tests() {
+        let mut l = ObstacleLookup::new(50.0);
+        l.insert(Rect::new(100.0, 100.0, 200.0, 150.0));
+        assert!(l.point_in_interior(Point::new(150.0, 125.0)));
+        assert!(!l.point_in_interior(Point::new(100.0, 125.0))); // boundary
+        assert!(!l.point_in_interior(Point::new(500.0, 500.0)));
+        assert!(l.rect_intersects_any(&Rect::new(190.0, 140.0, 220.0, 180.0)));
+        assert!(!l.rect_intersects_any(&Rect::new(300.0, 300.0, 320.0, 320.0)));
+    }
+
+    #[test]
+    fn segment_blocked_matches_rect_blocks() {
+        let mut l = ObstacleLookup::new(50.0);
+        let r = Rect::new(100.0, 100.0, 200.0, 150.0);
+        l.insert(r);
+        let cross = Segment::new(Point::new(0.0, 120.0), Point::new(400.0, 120.0));
+        let miss = Segment::new(Point::new(0.0, 300.0), Point::new(400.0, 300.0));
+        assert!(l.segment_blocked(&cross));
+        assert!(!l.segment_blocked(&miss));
+    }
+
+    #[test]
+    fn build_adapts_cell_size() {
+        let rects = vec![Rect::new(0.0, 0.0, 400.0, 10.0); 3];
+        let l = ObstacleLookup::build(&rects);
+        assert_eq!(l.len(), 3);
+        assert!(l.point_in_interior(Point::new(200.0, 5.0)));
+    }
+}

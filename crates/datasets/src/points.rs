@@ -1,0 +1,197 @@
+//! Data-point generators: Uniform, Zipf(α) and CA-like clustered points.
+//!
+//! All generators rejection-sample against the obstacle set so that no point
+//! falls strictly inside an obstacle (paper §5.1: points may lie on obstacle
+//! boundaries but not in their interiors).
+
+use conn_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lookup::ObstacleLookup;
+use crate::{SPACE, SPACE_SIDE};
+
+/// Number of discrete bins a Zipf-distributed coordinate is drawn over.
+const ZIPF_BINS: usize = 1000;
+
+/// Uniformly distributed points avoiding obstacle interiors.
+pub fn uniform_points(n: usize, seed: u64, obstacles: &[Rect]) -> Vec<Point> {
+    let lookup = ObstacleLookup::build(obstacles);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517C_C1B7_2722_0A95);
+    sample_free(n, &lookup, move |rng| {
+        Point::new(
+            rng.gen_range(SPACE.min_x..SPACE.max_x),
+            rng.gen_range(SPACE.min_y..SPACE.max_y),
+        )
+    }, &mut rng)
+}
+
+/// Zipf-skewed points: each coordinate drawn independently from a Zipf
+/// distribution with skew `alpha` over `ZIPF_BINS` bins mapped onto the
+/// space side (paper §5.1, α = 0.8).
+pub fn zipf_points(n: usize, alpha: f64, seed: u64, obstacles: &[Rect]) -> Vec<Point> {
+    let lookup = ObstacleLookup::build(obstacles);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_F491_4F6C_DD1D);
+    // precompute the CDF over bin ranks: P(rank r) ∝ 1 / r^alpha
+    let mut cdf = Vec::with_capacity(ZIPF_BINS);
+    let mut acc = 0.0;
+    for r in 1..=ZIPF_BINS {
+        acc += 1.0 / (r as f64).powf(alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let zipf_coord = move |rng: &mut StdRng, cdf: &[f64]| -> f64 {
+        let u = rng.gen::<f64>() * total;
+        let bin = cdf.partition_point(|&c| c < u).min(ZIPF_BINS - 1);
+        // uniform inside the chosen bin
+        (bin as f64 + rng.gen::<f64>()) / ZIPF_BINS as f64 * SPACE_SIDE
+    };
+    sample_free(n, &lookup, move |rng| {
+        Point::new(zipf_coord(rng, &cdf), zipf_coord(rng, &cdf))
+    }, &mut rng)
+}
+
+/// CA-like clustered points: a Zipf-weighted Gaussian mixture (populated
+/// places concentrate around cities) with a uniform background component.
+///
+/// The cluster layout itself is derived deterministically from `seed`.
+pub fn ca_like(n: usize, seed: u64, obstacles: &[Rect]) -> Vec<Point> {
+    const CLUSTERS: usize = 36;
+    const BACKGROUND_FRAC: f64 = 0.10;
+    let lookup = ObstacleLookup::build(obstacles);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA3E_39CB_94B9_5BDB);
+
+    // cluster centers, spreads and Zipf-ish weights
+    let mut centers = Vec::with_capacity(CLUSTERS);
+    let mut sigmas = Vec::with_capacity(CLUSTERS);
+    let mut weights = Vec::with_capacity(CLUSTERS);
+    let mut acc = 0.0;
+    for i in 0..CLUSTERS {
+        centers.push(Point::new(
+            rng.gen_range(SPACE.min_x + 500.0..SPACE.max_x - 500.0),
+            rng.gen_range(SPACE.min_y + 500.0..SPACE.max_y - 500.0),
+        ));
+        sigmas.push(rng.gen_range(120.0..600.0));
+        acc += 1.0 / (i as f64 + 1.0).powf(0.9);
+        weights.push(acc);
+    }
+    let weight_total = acc;
+
+    sample_free(n, &lookup, move |rng| {
+        if rng.gen::<f64>() < BACKGROUND_FRAC {
+            return Point::new(
+                rng.gen_range(SPACE.min_x..SPACE.max_x),
+                rng.gen_range(SPACE.min_y..SPACE.max_y),
+            );
+        }
+        let u = rng.gen::<f64>() * weight_total;
+        let c = weights.partition_point(|&w| w < u).min(CLUSTERS - 1);
+        let (g1, g2) = gaussian_pair(rng);
+        Point::new(
+            centers[c].x + sigmas[c] * g1,
+            centers[c].y + sigmas[c] * g2,
+        )
+    }, &mut rng)
+}
+
+/// Draws `n` samples from `proposal`, rejecting those outside the space or
+/// strictly inside an obstacle.
+fn sample_free<F>(n: usize, lookup: &ObstacleLookup, mut proposal: F, rng: &mut StdRng) -> Vec<Point>
+where
+    F: FnMut(&mut StdRng) -> Point,
+{
+    let mut out = Vec::with_capacity(n);
+    let mut rejected = 0usize;
+    while out.len() < n {
+        let p = proposal(rng);
+        if !SPACE.contains(p) || lookup.point_in_interior(p) {
+            rejected += 1;
+            assert!(
+                rejected < 1000 * n.max(1000),
+                "point generation stalled: space too occluded"
+            );
+            continue;
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Box–Muller transform (keeps us off the `rand_distr` dependency).
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obstacles::la_like;
+
+    #[test]
+    fn uniform_fills_space_evenly() {
+        let pts = uniform_points(4000, 1, &[]);
+        assert_eq!(pts.len(), 4000);
+        // quadrant counts roughly balanced
+        let mut quads = [0usize; 4];
+        for p in &pts {
+            let qx = usize::from(p.x > 5000.0);
+            let qy = usize::from(p.y > 5000.0);
+            quads[qx * 2 + qy] += 1;
+        }
+        for q in quads {
+            assert!(q > 700 && q < 1300, "quadrants {quads:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_origin() {
+        let pts = zipf_points(4000, 0.8, 1, &[]);
+        let low = pts.iter().filter(|p| p.x < 2500.0).count();
+        assert!(
+            low > 1600,
+            "zipf should concentrate mass at small coordinates, got {low}/4000 in the first quarter"
+        );
+    }
+
+    #[test]
+    fn ca_like_is_clustered() {
+        let pts = ca_like(4000, 1, &[]);
+        // clustered data has much higher max cell occupancy than uniform
+        let occupancy = |pts: &[Point]| {
+            let mut cells = std::collections::HashMap::new();
+            for p in pts {
+                *cells
+                    .entry(((p.x / 500.0) as i32, (p.y / 500.0) as i32))
+                    .or_insert(0usize) += 1;
+            }
+            *cells.values().max().unwrap()
+        };
+        let uni = uniform_points(4000, 1, &[]);
+        assert!(occupancy(&pts) > 2 * occupancy(&uni));
+    }
+
+    #[test]
+    fn no_point_inside_an_obstacle() {
+        let obstacles = la_like(400, 9);
+        let lookup = ObstacleLookup::build(&obstacles);
+        for combo in [
+            uniform_points(1000, 2, &obstacles),
+            zipf_points(1000, 0.8, 2, &obstacles),
+            ca_like(1000, 2, &obstacles),
+        ] {
+            for p in combo {
+                assert!(!lookup.point_in_interior(p), "{p} inside an obstacle");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform_points(50, 5, &[]), uniform_points(50, 5, &[]));
+        assert_ne!(uniform_points(50, 5, &[]), uniform_points(50, 6, &[]));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the workload generators: constraints hold for every
+//! parameter combination, and everything is deterministic in the seed.
+
+use conn_datasets::{
+    la_like, query_segments, uniform_points, zipf_points, Combo, ObstacleLookup, SPACE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn obstacles_disjoint_and_inside_space(n in 10usize..300, seed in 0u64..1000) {
+        let rects = la_like(n, seed);
+        prop_assert_eq!(rects.len(), n);
+        let lookup = ObstacleLookup::build(&rects);
+        let _ = lookup;
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert!(r.min_x >= SPACE.min_x && r.max_x <= SPACE.max_x);
+            prop_assert!(r.min_y >= SPACE.min_y && r.max_y <= SPACE.max_y);
+            prop_assert!(r.area() > 0.0);
+            // spot-check pairwise disjointness against a stride of others
+            for j in (0..rects.len()).step_by(7) {
+                if i != j {
+                    prop_assert!(!rects[i].interiors_intersect(&rects[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn points_avoid_interiors_for_all_combos(
+        n in 10usize..200,
+        n_obs in 20usize..150,
+        seed in 0u64..1000,
+    ) {
+        let obstacles = la_like(n_obs, seed);
+        let lookup = ObstacleLookup::build(&obstacles);
+        for combo in [Combo::Cl, Combo::Ul, Combo::Zl] {
+            let pts = combo.points(n, seed, &obstacles);
+            prop_assert_eq!(pts.len(), n);
+            for p in &pts {
+                prop_assert!(SPACE.contains(*p), "{combo:?}: {p} escapes the space");
+                prop_assert!(!lookup.point_in_interior(*p), "{combo:?}: {p} in an obstacle");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_have_exact_length_and_avoid_obstacles(
+        count in 1usize..20,
+        ql in 0.01f64..0.09,
+        seed in 0u64..1000,
+    ) {
+        let obstacles = la_like(100, seed);
+        let lookup = ObstacleLookup::build(&obstacles);
+        let qs = query_segments(count, ql, seed, &obstacles);
+        prop_assert_eq!(qs.len(), count);
+        for q in &qs {
+            prop_assert!((q.len() - ql * 10_000.0).abs() < 1e-6);
+            prop_assert!(SPACE.contains(q.a) && SPACE.contains(q.b));
+            prop_assert!(!lookup.segment_blocked(q));
+        }
+    }
+
+    #[test]
+    fn determinism(seed in 0u64..1000) {
+        prop_assert_eq!(la_like(40, seed), la_like(40, seed));
+        let o = la_like(40, seed);
+        prop_assert_eq!(uniform_points(30, seed, &o), uniform_points(30, seed, &o));
+        prop_assert_eq!(
+            zipf_points(30, 0.8, seed, &o),
+            zipf_points(30, 0.8, seed, &o)
+        );
+        let q1 = query_segments(5, 0.03, seed, &o);
+        let q2 = query_segments(5, 0.03, seed, &o);
+        for (a, b) in q1.iter().zip(&q2) {
+            prop_assert_eq!(a.a, b.a);
+            prop_assert_eq!(a.b, b.b);
+        }
+    }
+}

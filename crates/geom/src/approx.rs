@@ -1,0 +1,101 @@
+//! Floating-point comparison helpers and a total-order wrapper for `f64`.
+//!
+//! The search space is `[0, 10000]²` (paper §5.1), so an absolute epsilon is
+//! appropriate: coordinates and distances live in a fixed, known range.
+
+/// Absolute tolerance for geometric predicates over the `[0, 10000]²` space.
+///
+/// Distances in the workspace are `O(10^4)` and `f64` carries ~15-16
+/// significant digits, so `1e-7` leaves ~7 digits of slack above the rounding
+/// noise of chained distance computations while remaining far below any
+/// meaningful geometric feature size in the workloads.
+pub const EPS: f64 = 1e-7;
+
+/// `a == b` within [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// `a <= b` within [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a >= b` within [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// A totally ordered `f64` for use as a priority-queue key.
+///
+/// NaN is banned by construction: all keys in this codebase are distances,
+/// which are finite or `f64::INFINITY`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wraps a key, panicking on NaN (a NaN distance is always a bug).
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "NaN ordering key");
+        OrdF64(v)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_eps() {
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + EPS * 10.0));
+    }
+
+    #[test]
+    fn approx_le_ge_are_slack() {
+        assert!(approx_le(1.0 + EPS / 2.0, 1.0));
+        assert!(approx_ge(1.0 - EPS / 2.0, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+        assert!(!approx_ge(0.9, 1.0));
+    }
+
+    #[test]
+    fn ordf64_orders_infinity_last() {
+        let mut v = [
+            OrdF64::new(f64::INFINITY),
+            OrdF64::new(1.0),
+            OrdF64::new(-3.0),
+            OrdF64::new(0.0),
+        ];
+        v.sort();
+        assert_eq!(v[0].0, -3.0);
+        assert_eq!(v[3].0, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn ordf64_rejects_nan_in_debug() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,110 @@
+//! Quadratic root finding for the split-point equation (paper Theorem 1).
+//!
+//! The split-point computation squares the equation
+//! `dist(u, q(t)) − dist(v, q(t)) = d` twice, producing a quadratic whose
+//! real roots are *candidates* for split points. Squaring introduces spurious
+//! roots, so callers must verify candidates against the original equation —
+//! the solver here only promises to return every real root of the quadratic
+//! itself, in ascending order.
+
+/// Solves `a·x² + b·x + c = 0` over the reals.
+///
+/// Returns the roots in ascending order. Degenerate cases:
+/// * `a ≈ 0, b ≈ 0`: no roots (the equation is constant; a constant zero
+///   equation has no *isolated* roots, which is what split-point
+///   computation needs).
+/// * `a ≈ 0`: the single linear root.
+/// * double root: returned once.
+///
+/// Uses the numerically stable form `q = -(b + sign(b)·√disc)/2`,
+/// `x₁ = q/a`, `x₂ = c/q` to avoid catastrophic cancellation.
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    // The coefficients of the split quadratic scale like (coordinate)², so
+    // relative degeneracy thresholds are appropriate.
+    let scale = a.abs().max(b.abs()).max(c.abs());
+    if scale == 0.0 {
+        return Vec::new();
+    }
+    let tiny = scale * 1e-12;
+    if a.abs() <= tiny {
+        if b.abs() <= tiny {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    let sq = disc.sqrt();
+    if sq == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = (q / a, c / q);
+    if r1 <= r2 {
+        vec![r1, r2]
+    } else {
+        vec![r2, r1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roots(a: f64, b: f64, c: f64, expected: &[f64]) {
+        let roots = solve_quadratic(a, b, c);
+        assert_eq!(roots.len(), expected.len(), "root count for {a}x²+{b}x+{c}");
+        for (r, e) in roots.iter().zip(expected) {
+            assert!((r - e).abs() < 1e-9, "root {r} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn two_distinct_roots() {
+        assert_roots(1.0, -3.0, 2.0, &[1.0, 2.0]);
+        assert_roots(2.0, 0.0, -8.0, &[-2.0, 2.0]);
+    }
+
+    #[test]
+    fn double_and_no_roots() {
+        assert_roots(1.0, -2.0, 1.0, &[1.0]);
+        assert_roots(1.0, 0.0, 1.0, &[]);
+    }
+
+    #[test]
+    fn linear_fallback() {
+        assert_roots(0.0, 2.0, -6.0, &[3.0]);
+        assert_roots(0.0, 0.0, 5.0, &[]);
+        assert_roots(0.0, 0.0, 0.0, &[]);
+    }
+
+    #[test]
+    fn stable_for_small_leading_coefficient() {
+        // x² term negligible relative to the rest → treated as linear
+        let roots = solve_quadratic(1e-30, 1.0, -1.0);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancellation_resistant() {
+        // roots 1e-8 and 1e8: naive formula loses the small root
+        let (r1, r2) = (1e-8, 1e8);
+        let roots = solve_quadratic(1.0, -(r1 + r2), r1 * r2);
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0] - r1).abs() / r1 < 1e-6);
+        assert!((roots[1] - r2).abs() / r2 < 1e-6);
+    }
+
+    #[test]
+    fn roots_verify_against_polynomial() {
+        for &(a, b, c) in &[(3.0, -7.0, 2.0), (-1.0, 4.5, 3.25), (0.5, 0.0, -2.0)] {
+            for r in solve_quadratic(a, b, c) {
+                let v = a * r * r + b * r + c;
+                assert!(v.abs() < 1e-9, "poly({r}) = {v}");
+            }
+        }
+    }
+}

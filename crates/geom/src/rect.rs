@@ -1,0 +1,351 @@
+//! Axis-aligned rectangles: obstacles, bounding boxes and R-tree MBRs.
+
+use crate::approx::EPS;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Doubles as an obstacle (paper footnote 1: obstacles are rectangles) and as
+/// an R-tree minimum bounding rectangle. A point MBR is a zero-area `Rect`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing the corner order.
+    #[inline]
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            min_x: x0.min(x1),
+            min_y: y0.min(y1),
+            max_x: x0.max(x1),
+            max_y: y0.max(y1),
+        }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Smallest rectangle containing both endpoints of a segment.
+    #[inline]
+    pub fn from_segment(s: &Segment) -> Self {
+        Rect::new(s.a.x, s.a.y, s.b.x, s.b.y)
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter; the "margin" used by the R*-tree split heuristic.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// Corner points in counter-clockwise order starting at `(min_x, min_y)`.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::new(self.min_x, self.min_y),
+            Point::new(self.max_x, self.min_y),
+            Point::new(self.max_x, self.max_y),
+            Point::new(self.min_x, self.max_y),
+        ]
+    }
+
+    /// Boundary edges in counter-clockwise order.
+    #[inline]
+    pub fn edges(&self) -> [Segment; 4] {
+        let c = self.corners();
+        [
+            Segment::new(c[0], c[1]),
+            Segment::new(c[1], c[2]),
+            Segment::new(c[2], c[3]),
+            Segment::new(c[3], c[0]),
+        ]
+    }
+
+    /// Closed containment (boundary included).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Open-interior containment with [`EPS`] slack: boundary points are
+    /// *not* inside. This is the predicate that decides blocking.
+    #[inline]
+    pub fn strictly_contains(&self, p: Point) -> bool {
+        p.x > self.min_x + EPS
+            && p.x < self.max_x - EPS
+            && p.y > self.min_y + EPS
+            && p.y < self.max_y - EPS
+    }
+
+    /// Closed rectangle–rectangle overlap test.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Open-interior overlap test (shared edges/corners do not count).
+    #[inline]
+    pub fn interiors_intersect(&self, other: &Rect) -> bool {
+        self.min_x + EPS < other.max_x
+            && other.min_x + EPS < self.max_x
+            && self.min_y + EPS < other.max_y
+            && other.min_y + EPS < self.max_y
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Area of the intersection (0 when disjoint).
+    #[inline]
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let w = (self.max_x.min(other.max_x) - self.min_x.max(other.min_x)).max(0.0);
+        let h = (self.max_y.min(other.max_y) - self.min_y.max(other.min_y)).max(0.0);
+        w * h
+    }
+
+    /// `mindist(p, R)` — the classic R-tree lower bound: 0 if `p` is inside.
+    #[inline]
+    pub fn mindist_point(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// `mindist(q, R)` for a query segment: 0 when the segment touches the
+    /// rectangle, otherwise the smallest distance between the segment and
+    /// the rectangle boundary.
+    pub fn mindist_segment(&self, s: &Segment) -> f64 {
+        if self.contains(s.a) || self.contains(s.b) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            best = best.min(e.dist_to_segment(s));
+            if best == 0.0 {
+                return 0.0;
+            }
+        }
+        best
+    }
+
+    /// Minimum distance between two rectangles (0 when overlapping).
+    #[inline]
+    pub fn mindist_rect(&self, other: &Rect) -> f64 {
+        let dx = (self.min_x - other.max_x).max(0.0).max(other.min_x - self.max_x);
+        let dy = (self.min_y - other.max_y).max(0.0).max(other.min_y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Liang–Barsky clip: the parameter range `[t0, t1] ⊆ [0, 1]` of `s`
+    /// (normalized parameter) that lies inside the **closed** rectangle, or
+    /// `None` when the segment misses the rectangle entirely.
+    pub fn clip_segment(&self, s: &Segment) -> Option<(f64, f64)> {
+        let d = s.b - s.a;
+        let p = [-d.x, d.x, -d.y, d.y];
+        let q = [
+            s.a.x - self.min_x,
+            self.max_x - s.a.x,
+            s.a.y - self.min_y,
+            self.max_y - s.a.y,
+        ];
+        let mut t0 = 0.0_f64;
+        let mut t1 = 1.0_f64;
+        for i in 0..4 {
+            if p[i].abs() <= f64::MIN_POSITIVE {
+                if q[i] < 0.0 {
+                    return None; // parallel and outside this slab
+                }
+            } else {
+                let r = q[i] / p[i];
+                if p[i] < 0.0 {
+                    if r > t1 {
+                        return None;
+                    }
+                    t0 = t0.max(r);
+                } else {
+                    if r < t0 {
+                        return None;
+                    }
+                    t1 = t1.min(r);
+                }
+            }
+        }
+        (t0 <= t1).then_some((t0, t1))
+    }
+
+    /// **The obstacle predicate**: does segment `s` pass through this
+    /// rectangle's open interior?
+    ///
+    /// Touching the boundary — sliding along an edge, grazing a corner, or an
+    /// endpoint on a wall — does *not* block (paper Definition 1 and the
+    /// convention that data points may lie on obstacle boundaries).
+    ///
+    /// Works by clipping `s` to the closed rectangle: because the rectangle
+    /// is convex, the clipped portion is a single sub-segment, and it enters
+    /// the open interior iff its midpoint is strictly inside.
+    pub fn blocks(&self, s: &Segment) -> bool {
+        match self.clip_segment(s) {
+            None => false,
+            Some((t0, t1)) => {
+                let seg_len = s.len();
+                if (t1 - t0) * seg_len <= 2.0 * EPS {
+                    return false; // grazes a corner or a single wall point
+                }
+                let mid = s.a.lerp(s.b, (t0 + t1) / 2.0);
+                self.strictly_contains(mid)
+            }
+        }
+    }
+
+    /// True when every coordinate is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.min_x.is_finite()
+            && self.min_y.is_finite()
+            && self.max_x.is_finite()
+            && self.max_y.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    const R: Rect = Rect {
+        min_x: 2.0,
+        min_y: 2.0,
+        max_x: 6.0,
+        max_y: 5.0,
+    };
+
+    #[test]
+    fn basic_measures() {
+        assert_eq!(R.width(), 4.0);
+        assert_eq!(R.height(), 3.0);
+        assert_eq!(R.area(), 12.0);
+        assert_eq!(R.margin(), 7.0);
+        assert_eq!(R.center(), Point::new(4.0, 3.5));
+    }
+
+    #[test]
+    fn containment_closed_vs_open() {
+        assert!(R.contains(Point::new(2.0, 3.0)));
+        assert!(!R.strictly_contains(Point::new(2.0, 3.0)));
+        assert!(R.strictly_contains(Point::new(3.0, 3.0)));
+        assert!(!R.contains(Point::new(1.0, 3.0)));
+    }
+
+    #[test]
+    fn union_and_intersection_area() {
+        let other = Rect::new(5.0, 4.0, 8.0, 9.0);
+        let u = R.union(&other);
+        assert_eq!(u, Rect::new(2.0, 2.0, 8.0, 9.0));
+        assert_eq!(R.intersection_area(&other), 1.0);
+        assert_eq!(R.intersection_area(&Rect::new(10.0, 10.0, 11.0, 11.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_point_inside_is_zero() {
+        assert_eq!(R.mindist_point(Point::new(3.0, 3.0)), 0.0);
+        assert_eq!(R.mindist_point(Point::new(2.0, 2.0)), 0.0);
+        assert_eq!(R.mindist_point(Point::new(9.0, 9.0)), 5.0); // (3,4,5)
+        assert_eq!(R.mindist_point(Point::new(0.0, 3.0)), 2.0);
+    }
+
+    #[test]
+    fn mindist_segment_cases() {
+        // crossing segment
+        assert_eq!(R.mindist_segment(&seg(0.0, 3.0, 10.0, 3.0)), 0.0);
+        // endpoint inside
+        assert_eq!(R.mindist_segment(&seg(3.0, 3.0, 20.0, 20.0)), 0.0);
+        // parallel above
+        assert_eq!(R.mindist_segment(&seg(2.0, 7.0, 6.0, 7.0)), 2.0);
+        // diagonal away from the corner
+        let d = R.mindist_segment(&seg(9.0, 9.0, 9.0, 20.0));
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn clip_segment_ranges() {
+        let (t0, t1) = R.clip_segment(&seg(0.0, 3.0, 10.0, 3.0)).unwrap();
+        assert!((t0 - 0.2).abs() < 1e-12 && (t1 - 0.6).abs() < 1e-12);
+        assert!(R.clip_segment(&seg(0.0, 10.0, 10.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn blocks_crossing_segment() {
+        assert!(R.blocks(&seg(0.0, 3.0, 10.0, 3.0)));
+        assert!(R.blocks(&seg(3.0, 0.0, 5.0, 10.0)));
+    }
+
+    #[test]
+    fn touching_does_not_block() {
+        // sliding along the top edge
+        assert!(!R.blocks(&seg(0.0, 5.0, 10.0, 5.0)));
+        // grazing the (2,5) corner tangentially (line y = x + 3 stays outside)
+        assert!(!R.blocks(&seg(0.0, 3.0, 4.0, 7.0)));
+        // a chord from that same corner to an edge point DOES cross
+        assert!(R.blocks(&seg(0.0, 7.0, 7.0, 0.0)));
+        // endpoint on a wall, going away
+        assert!(!R.blocks(&seg(2.0, 3.0, 0.0, 3.0)));
+        // completely disjoint
+        assert!(!R.blocks(&seg(0.0, 8.0, 10.0, 8.0)));
+    }
+
+    #[test]
+    fn blocks_segment_with_endpoint_on_boundary_entering() {
+        // starts on the left wall, ends deep inside: passes through interior
+        assert!(R.blocks(&seg(2.0, 3.0, 5.0, 3.0)));
+        // both endpoints on opposite walls straight through
+        assert!(R.blocks(&seg(2.0, 3.5, 6.0, 3.5)));
+    }
+
+    #[test]
+    fn blocks_chord_between_boundary_points() {
+        // chord between two boundary points passing through the interior
+        assert!(R.blocks(&seg(2.0, 2.0, 6.0, 5.0)));
+    }
+}

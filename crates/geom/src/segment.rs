@@ -1,0 +1,230 @@
+//! Line segments with an arclength parameterization.
+//!
+//! Query segments `q = [S, E]` are parameterized by **arclength**
+//! `t ∈ [0, len]`; `q(0) = S`, `q(len) = E`. All interval structures in the
+//! query pipeline ([`crate::IntervalSet`], control-point lists, result lists)
+//! live in this parameter space, and the split-point quadratic (paper Eq. 1)
+//! is solved in the segment's own coordinate frame where
+//! `dist(u, q(t)) = sqrt((t - uₓ)² + u_y²)`.
+
+use crate::approx::EPS;
+use crate::point::Point;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment. Coordinates must be finite.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        debug_assert!(a.is_finite() && b.is_finite(), "non-finite segment");
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// True when the endpoints coincide (within [`EPS`]).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.len() <= EPS
+    }
+
+    /// Unit direction vector. Undefined (returns zero vector) for degenerate
+    /// segments.
+    #[inline]
+    pub fn dir(&self) -> Point {
+        let l = self.len();
+        if l <= EPS {
+            Point::new(0.0, 0.0)
+        } else {
+            (self.b - self.a) * (1.0 / l)
+        }
+    }
+
+    /// Point at arclength parameter `t ∈ [0, len]` (clamped).
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        let l = self.len();
+        if l <= EPS {
+            return self.a;
+        }
+        let t = t.clamp(0.0, l);
+        self.a + self.dir() * t
+    }
+
+    /// Arclength parameter of the point on the segment closest to `p`.
+    #[inline]
+    pub fn closest_param(&self, p: Point) -> f64 {
+        let l = self.len();
+        if l <= EPS {
+            return 0.0;
+        }
+        (p - self.a).dot(self.dir()).clamp(0.0, l)
+    }
+
+    /// Minimum distance from `p` to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.at(self.closest_param(p)).dist(p)
+    }
+
+    /// Coordinates of `p` in this segment's frame: `x` along the segment
+    /// (arclength from `a`), `y` the signed perpendicular offset.
+    #[inline]
+    pub fn to_frame(&self, p: Point) -> (f64, f64) {
+        let d = self.dir();
+        let v = p - self.a;
+        (v.dot(d), d.cross(v))
+    }
+
+    /// Arclength parameter at which the infinite line through `u` and `v`
+    /// crosses this segment, if the crossing falls within the segment
+    /// (with [`EPS`] slack). Returns `None` for (near-)parallel lines.
+    ///
+    /// Used to collect shadow-boundary candidates: the ray from a viewpoint
+    /// through an obstacle corner delimits the obstacle's shadow on `q`.
+    pub fn line_intersection_param(&self, u: Point, v: Point) -> Option<f64> {
+        let l = self.len();
+        if l <= EPS {
+            return None;
+        }
+        let d = self.dir();
+        let e = v - u;
+        let denom = d.cross(e);
+        if denom.abs() <= EPS * e.norm().max(1.0) {
+            return None; // parallel (or degenerate u == v)
+        }
+        // Solve a + t*d = u + s*e  for t (arclength since |d| = 1).
+        let t = (u - self.a).cross(e) / denom;
+        if t >= -EPS && t <= l + EPS {
+            Some(t.clamp(0.0, l))
+        } else {
+            None
+        }
+    }
+
+    /// True when this segment and `other` share at least one point
+    /// (endpoints and collinear overlap included).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let (p1, p2, p3, p4) = (self.a, self.b, other.a, other.b);
+        let d1 = Point::orient(p3, p4, p1);
+        let d2 = Point::orient(p3, p4, p2);
+        let d3 = Point::orient(p1, p2, p3);
+        let d4 = Point::orient(p1, p2, p4);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        let on = |o: f64, a: Point, b: Point, c: Point| -> bool {
+            o.abs() <= EPS
+                && c.x >= a.x.min(b.x) - EPS
+                && c.x <= a.x.max(b.x) + EPS
+                && c.y >= a.y.min(b.y) - EPS
+                && c.y <= a.y.max(b.y) + EPS
+        };
+        on(d1, p3, p4, p1) || on(d2, p3, p4, p2) || on(d3, p1, p2, p3) || on(d4, p1, p2, p4)
+    }
+
+    /// Minimum distance between two segments.
+    pub fn dist_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.dist_to_point(other.a)
+            .min(self.dist_to_point(other.b))
+            .min(other.dist_to_point(self.a))
+            .min(other.dist_to_point(self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn arclength_parameterization() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.len(), 10.0);
+        assert_eq!(s.at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(s.at(10.0), Point::new(10.0, 0.0));
+        assert_eq!(s.at(4.0), Point::new(4.0, 0.0));
+        // clamping
+        assert_eq!(s.at(-1.0), s.a);
+        assert_eq!(s.at(11.0), s.b);
+    }
+
+    #[test]
+    fn closest_param_and_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_param(Point::new(3.0, 5.0)), 3.0);
+        assert_eq!(s.dist_to_point(Point::new(3.0, 5.0)), 5.0);
+        // beyond the end: clamps to endpoint
+        assert_eq!(s.closest_param(Point::new(12.0, 0.0)), 10.0);
+        assert_eq!(s.dist_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn frame_coordinates() {
+        let s = seg(0.0, 0.0, 0.0, 10.0); // pointing up
+        let (x, y) = s.to_frame(Point::new(2.0, 3.0));
+        assert!((x - 3.0).abs() < 1e-12);
+        assert!((y - (-2.0)).abs() < 1e-12); // right of the up direction
+    }
+
+    #[test]
+    fn line_intersection_param_hits_and_misses() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        // vertical line through x = 4
+        let t = s
+            .line_intersection_param(Point::new(4.0, -1.0), Point::new(4.0, 1.0))
+            .unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+        // line crossing outside the segment
+        assert!(s
+            .line_intersection_param(Point::new(20.0, -1.0), Point::new(20.0, 1.0))
+            .is_none());
+        // parallel line
+        assert!(s
+            .line_intersection_param(Point::new(0.0, 1.0), Point::new(1.0, 1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(s.intersects(&seg(5.0, -1.0, 5.0, 1.0))); // proper cross
+        assert!(s.intersects(&seg(10.0, 0.0, 12.0, 3.0))); // shared endpoint
+        assert!(s.intersects(&seg(2.0, 0.0, 4.0, 0.0))); // collinear overlap
+        assert!(!s.intersects(&seg(0.0, 1.0, 10.0, 1.0))); // parallel apart
+        assert!(!s.intersects(&seg(11.0, -1.0, 11.0, 1.0))); // beyond end
+    }
+
+    #[test]
+    fn segment_to_segment_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.dist_to_segment(&seg(0.0, 3.0, 10.0, 3.0)), 3.0);
+        assert_eq!(s.dist_to_segment(&seg(5.0, -1.0, 5.0, 1.0)), 0.0);
+        assert_eq!(s.dist_to_segment(&seg(13.0, 4.0, 13.0, 10.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_is_safe() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert_eq!(s.at(5.0), Point::new(1.0, 1.0));
+        assert_eq!(s.dist_to_point(Point::new(4.0, 5.0)), 5.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the geometry substrate.
+
+use conn_geom::{Interval, IntervalSet, Point, Rect, Segment, EPS};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0..10000.0f64, 0.0..10000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (pt(), 1.0..500.0f64, 1.0..500.0f64)
+        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+fn iv() -> impl Strategy<Value = Interval> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(a, b)| Interval::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+    }
+
+    #[test]
+    fn segment_distance_lower_bounds_endpoint_distance(s in (pt(), pt()), p in pt()) {
+        let seg = Segment::new(s.0, s.1);
+        let d = seg.dist_to_point(p);
+        prop_assert!(d <= p.dist(seg.a) + 1e-9);
+        prop_assert!(d <= p.dist(seg.b) + 1e-9);
+        // the closest point really is on the segment
+        let cp = seg.at(seg.closest_param(p));
+        prop_assert!((cp.dist(p) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mindist_point_is_a_lower_bound(r in rect(), p in pt()) {
+        let md = r.mindist_point(p);
+        for c in r.corners() {
+            prop_assert!(md <= p.dist(c) + 1e-9);
+        }
+        if r.contains(p) {
+            prop_assert_eq!(md, 0.0);
+        }
+    }
+
+    #[test]
+    fn mindist_segment_is_a_lower_bound(r in rect(), s in (pt(), pt())) {
+        let seg = Segment::new(s.0, s.1);
+        let md = r.mindist_segment(&seg);
+        // distance from the rect to any sampled point of the segment is >= md
+        for i in 0..=8 {
+            let t = seg.len() * (i as f64) / 8.0;
+            prop_assert!(r.mindist_point(seg.at(t)) + 1e-9 >= md);
+        }
+    }
+
+    #[test]
+    fn blocks_agrees_with_dense_sampling(r in rect(), s in (pt(), pt())) {
+        let seg = Segment::new(s.0, s.1);
+        let blocked = r.blocks(&seg);
+        // Sample strictly-interior hits; sampling can miss thin crossings so
+        // only assert one direction: a sampled interior hit implies blocked.
+        let mut sampled_inside = false;
+        for i in 1..200 {
+            let p = seg.a.lerp(seg.b, i as f64 / 200.0);
+            if r.strictly_contains(p) {
+                sampled_inside = true;
+                break;
+            }
+        }
+        if sampled_inside {
+            prop_assert!(blocked);
+        }
+    }
+
+    #[test]
+    fn clip_segment_range_is_inside(r in rect(), s in (pt(), pt())) {
+        let seg = Segment::new(s.0, s.1);
+        if let Some((t0, t1)) = r.clip_segment(&seg) {
+            prop_assert!(t0 >= -1e-9 && t1 <= 1.0 + 1e-9 && t0 <= t1 + 1e-9);
+            let mid = seg.a.lerp(seg.b, (t0 + t1) / 2.0);
+            // the clipped midpoint is inside the (slightly inflated) rect
+            let inflated = Rect::new(r.min_x - 1e-6, r.min_y - 1e-6, r.max_x + 1e-6, r.max_y + 1e-6);
+            prop_assert!(inflated.contains(mid));
+        }
+    }
+
+    #[test]
+    fn interval_subtract_preserves_length(a in iv(), b in iv()) {
+        let pieces = a.subtract(&b);
+        let removed = a.intersect(&b).map_or(0.0, |i| i.len());
+        let left: f64 = pieces.iter().map(Interval::len).sum();
+        prop_assert!((left + removed - a.len()).abs() < 10.0 * EPS);
+    }
+
+    #[test]
+    fn set_complement_involution(ivs in prop::collection::vec(iv(), 0..6)) {
+        let s = IntervalSet::from_intervals(ivs).intersect_interval(&Interval::new(0.0, 1000.0));
+        let cc = s.complement(1000.0).complement(1000.0);
+        // total length survives double complement (sets equal up to EPS merging)
+        prop_assert!((cc.total_len() - s.total_len()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn set_ops_consistency(xs in prop::collection::vec(iv(), 0..6), ys in prop::collection::vec(iv(), 0..6)) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        let inter = a.intersect(&b);
+        let diff = a.subtract(&b);
+        // |a| = |a∩b| + |a−b|
+        prop_assert!((inter.total_len() + diff.total_len() - a.total_len()).abs() < 1e-4);
+        // membership agreement on probe points
+        for k in 0..20 {
+            let t = 1000.0 * (k as f64) / 20.0 + 13.37;
+            let in_a = a.contains(t);
+            let in_b = b.contains(t);
+            // avoid boundary-noise: only check points clearly inside/outside
+            let clearly = |s: &IntervalSet, t: f64| {
+                s.intervals().iter().any(|i| t > i.lo + 1e-6 && t < i.hi - 1e-6)
+            };
+            if clearly(&a, t) && clearly(&b, t) {
+                prop_assert!(inter.contains(t));
+            }
+            if clearly(&a, t) && !in_b {
+                prop_assert!(diff.contains(t));
+            }
+            if !in_a {
+                prop_assert!(!clearly(&inter, t));
+            }
+        }
+    }
+
+    #[test]
+    fn union_contains_both(r1 in rect(), r2 in rect()) {
+        let u = r1.union(&r2);
+        for c in r1.corners().into_iter().chain(r2.corners()) {
+            prop_assert!(u.contains(c));
+        }
+        prop_assert!(u.area() + 1e-9 >= r1.area().max(r2.area()));
+    }
+}

@@ -1,0 +1,36 @@
+//! A disk-simulating R\*-tree.
+//!
+//! The CONN paper's evaluation (§5.1) charges 10 ms per R-tree page fault and
+//! reports page accesses as the I/O metric, with an optional LRU buffer sized
+//! as a percentage of the tree. Reproducing those experiments therefore needs
+//! an index whose node accesses can be *counted* and *buffered* — which is why
+//! this crate implements the R\*-tree (Beckmann, Kriegel, Schneider, Seeger,
+//! SIGMOD 1990) from scratch instead of using an in-memory spatial crate:
+//!
+//! * [`RStarTree`] — insertion with forced reinsertion and the R\* split, or
+//!   STR bulk loading; 4 KB pages by default, fanout derived from entry size.
+//! * [`PageStats`] — logical reads and page faults, observable mid-query.
+//! * [`LruBuffer`] — page cache; faults are charged only on misses.
+//! * [`NearestIter`] — incremental best-first (Hjaltason & Samet) neighbor
+//!   stream ordered by `mindist` to a [`Point`] or a [`Segment`] query, the
+//!   access pattern Algorithms 1 and 4 of the paper are built on.
+//!
+//! [`Point`]: conn_geom::Point
+//! [`Segment`]: conn_geom::Segment
+
+pub mod buffer;
+pub mod bulk;
+pub mod delete;
+pub mod insert;
+pub mod node;
+pub mod persist;
+pub mod query;
+pub mod stats;
+pub mod tree;
+
+pub use buffer::LruBuffer;
+pub use node::{Entry, Mbr, Node, PageId};
+pub use persist::PersistItem;
+pub use query::{DistShape, NearestIter};
+pub use stats::{PageStats, StatsSnapshot};
+pub use tree::{RStarTree, DEFAULT_PAGE_SIZE};

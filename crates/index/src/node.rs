@@ -1,0 +1,106 @@
+//! Tree nodes and the item trait.
+
+use conn_geom::Rect;
+
+/// Index of a node in the simulated page store.
+pub type PageId = u32;
+
+/// Anything that can live in the tree: must expose a minimum bounding
+/// rectangle (a point item returns a degenerate rectangle).
+pub trait Mbr {
+    fn mbr(&self) -> Rect;
+}
+
+impl Mbr for Rect {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        *self
+    }
+}
+
+impl Mbr for conn_geom::Point {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        Rect::from_point(*self)
+    }
+}
+
+/// One slot of a node: either a child-node pointer (inner levels) or a data
+/// item (leaf level). Both carry the bounding rectangle used for navigation.
+#[derive(Debug, Clone)]
+pub enum Entry<T> {
+    /// Pointer to a child node one level below.
+    Node { mbr: Rect, page: PageId },
+    /// A data item stored at the leaf level.
+    Item(T),
+}
+
+impl<T: Mbr> Entry<T> {
+    /// The navigation rectangle of this entry.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Entry::Node { mbr, .. } => *mbr,
+            Entry::Item(item) => item.mbr(),
+        }
+    }
+}
+
+/// A tree node occupying one simulated disk page.
+#[derive(Debug, Clone)]
+pub struct Node<T> {
+    /// 0 for leaves; parents of leaves are level 1, and so on up to the root.
+    pub level: u32,
+    pub entries: Vec<Entry<T>>,
+}
+
+impl<T: Mbr> Node<T> {
+    pub fn new(level: u32) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Bounding rectangle of all entries (callers guarantee non-empty nodes
+    /// everywhere except a brand-new empty root).
+    pub fn mbr(&self) -> Rect {
+        let mut it = self.entries.iter();
+        let first = it
+            .next()
+            .map(|e| e.mbr())
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
+        it.fold(first, |acc, e| acc.union(&e.mbr()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conn_geom::Point;
+
+    #[test]
+    fn entry_mbr_dispatch() {
+        let e: Entry<Point> = Entry::Item(Point::new(1.0, 2.0));
+        assert_eq!(e.mbr(), Rect::new(1.0, 2.0, 1.0, 2.0));
+        let n: Entry<Point> = Entry::Node {
+            mbr: Rect::new(0.0, 0.0, 5.0, 5.0),
+            page: 7,
+        };
+        assert_eq!(n.mbr().area(), 25.0);
+    }
+
+    #[test]
+    fn node_mbr_unions_entries() {
+        let mut n: Node<Point> = Node::new(0);
+        n.entries.push(Entry::Item(Point::new(1.0, 1.0)));
+        n.entries.push(Entry::Item(Point::new(4.0, 9.0)));
+        assert_eq!(n.mbr(), Rect::new(1.0, 1.0, 4.0, 9.0));
+        assert!(n.is_leaf());
+    }
+}

@@ -1,0 +1,85 @@
+//! Page-access accounting.
+//!
+//! The paper's I/O metric is "number of pages accessed", and its total query
+//! time charges 10 ms per page *fault* (§5.1). With a buffer, a logical read
+//! that hits the buffer is not a fault. Counters use interior mutability so
+//! read-only query traversals (`&RStarTree`) can record accesses.
+
+use std::cell::Cell;
+
+/// Mutable access counters attached to one tree.
+#[derive(Debug, Default)]
+pub struct PageStats {
+    reads: Cell<u64>,
+    faults: Cell<u64>,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Logical node accesses (buffer hits included).
+    pub reads: u64,
+    /// Buffer misses — the unit the paper charges 10 ms for.
+    pub faults: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter difference since an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - earlier.reads,
+            faults: self.faults - earlier.faults,
+        }
+    }
+}
+
+impl PageStats {
+    pub fn record(&self, fault: bool) {
+        self.reads.set(self.reads.get() + 1);
+        if fault {
+            self.faults.set(self.faults.get() + 1);
+        }
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.get(),
+            faults: self.faults.get(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.faults.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = PageStats::default();
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 3);
+        assert_eq!(snap.faults, 2);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let s = PageStats::default();
+        s.record(true);
+        let before = s.snapshot();
+        s.record(true);
+        s.record(false);
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.faults, 1);
+    }
+}

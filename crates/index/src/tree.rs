@@ -1,0 +1,299 @@
+//! The tree structure, simulated page store, and maintenance entry points.
+
+use std::cell::RefCell;
+
+use conn_geom::{Point, Rect};
+
+use crate::buffer::LruBuffer;
+use crate::node::{Entry, Mbr, Node, PageId};
+use crate::stats::{PageStats, StatsSnapshot};
+
+/// Paper §5.1: "the page size fixed at 4KB".
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Bytes per entry: a 32-byte MBR (4 × f64) plus an 8-byte child pointer or
+/// record id. Matches the sizing convention of the R-tree literature the
+/// paper builds on.
+const ENTRY_BYTES: usize = 40;
+
+/// Per-page header (level, entry count, padding).
+const PAGE_HEADER_BYTES: usize = 16;
+
+/// An R\*-tree over items of type `T` stored on simulated 4 KB pages.
+///
+/// All query traversals go through the internal `read` accessor, which charges the
+/// access to [`PageStats`] and consults the [`LruBuffer`]. Structure
+/// modifications (insert, bulk load) do not charge I/O — the paper resets
+/// counters per query, and its trees are built before measurement begins.
+#[derive(Debug)]
+pub struct RStarTree<T> {
+    pub(crate) pages: Vec<Node<T>>,
+    pub(crate) root: PageId,
+    pub(crate) max_entries: usize,
+    pub(crate) min_entries: usize,
+    len: usize,
+    stats: PageStats,
+    buffer: RefCell<LruBuffer>,
+}
+
+impl<T: Mbr + Clone> RStarTree<T> {
+    /// An empty tree with fanout derived from `page_size`.
+    pub fn new(page_size: usize) -> Self {
+        let max_entries = ((page_size.saturating_sub(PAGE_HEADER_BYTES)) / ENTRY_BYTES).max(4);
+        // R* recommendation: minimum fill 40 % of the maximum.
+        let min_entries = (max_entries * 2 / 5).max(2);
+        Self::with_fanout(max_entries, min_entries)
+    }
+
+    /// An empty tree with explicit fanout (small fanouts make structural
+    /// tests exercise splits and reinsertions cheaply).
+    pub fn with_fanout(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "fanout too small");
+        assert!(
+            min_entries >= 2 && min_entries <= max_entries / 2,
+            "invalid minimum fill"
+        );
+        RStarTree {
+            pages: vec![Node::new(0)],
+            root: 0,
+            max_entries,
+            min_entries,
+            len: 0,
+            stats: PageStats::default(),
+            buffer: RefCell::new(LruBuffer::new(0)),
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages (nodes) in the tree — the "tree size" that buffer
+    /// percentages in Figure 12 refer to.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of levels (1 for a single leaf root).
+    pub fn height(&self) -> u32 {
+        self.pages[self.root as usize].level + 1
+    }
+
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    pub fn min_entries(&self) -> usize {
+        self.min_entries
+    }
+
+    /// MBR of the whole tree.
+    pub fn bounds(&self) -> Rect {
+        self.pages[self.root as usize].mbr()
+    }
+
+    // ----- page access layer -------------------------------------------------
+
+    /// Reads a page, charging the access (and a fault on buffer miss).
+    #[inline]
+    pub(crate) fn read(&self, page: PageId) -> &Node<T> {
+        let hit = self.buffer.borrow_mut().access(page);
+        self.stats.record(!hit);
+        &self.pages[page as usize]
+    }
+
+    /// The root page id, for custom traversals (e.g. dual-tree joins).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Public charged page read for custom traversals: same accounting as
+    /// the built-in queries.
+    pub fn read_node(&self, page: PageId) -> &Node<T> {
+        self.read(page)
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Sets the LRU buffer capacity to an absolute number of pages.
+    pub fn set_buffer_pages(&self, pages: usize) {
+        self.buffer.borrow_mut().set_capacity(pages);
+    }
+
+    /// Sets the buffer capacity as a fraction of the tree size (the unit of
+    /// Figure 12's x-axis: `bs` % of the tree).
+    pub fn set_buffer_frac(&self, frac: f64) {
+        let pages = (self.num_pages() as f64 * frac).floor() as usize;
+        self.set_buffer_pages(pages);
+    }
+
+    /// Drops all buffered pages (capacity is kept).
+    pub fn clear_buffer(&self) {
+        self.buffer.borrow_mut().clear();
+    }
+
+    // ----- whole-tree iteration (untracked; for tests and validation) -------
+
+    /// Iterates over all items without charging I/O.
+    pub fn iter_items(&self) -> impl Iterator<Item = &T> {
+        self.pages.iter().flat_map(|n| {
+            n.entries.iter().filter_map(|e| match e {
+                Entry::Item(it) => Some(it),
+                Entry::Node { .. } => None,
+            })
+        })
+    }
+
+    /// Structural invariant check (tests): every child entry's stored MBR
+    /// contains its subtree, levels decrease by one, and fill limits hold.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_node(self.root, None)?;
+        let counted = self.iter_items().count();
+        if counted != self.len {
+            return Err(format!("len {} != stored items {}", self.len, counted));
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, page: PageId, expect_level: Option<u32>) -> Result<(), String> {
+        let node = &self.pages[page as usize];
+        if let Some(l) = expect_level {
+            if node.level != l {
+                return Err(format!("page {page}: level {} != expected {l}", node.level));
+            }
+        }
+        let is_root = page == self.root;
+        if !is_root && node.entries.len() < self.min_entries {
+            return Err(format!(
+                "page {page}: underfull ({} < {})",
+                node.entries.len(),
+                self.min_entries
+            ));
+        }
+        if node.entries.len() > self.max_entries {
+            return Err(format!("page {page}: overfull ({})", node.entries.len()));
+        }
+        if is_root && !node.is_leaf() && node.entries.len() < 2 {
+            return Err("non-leaf root with < 2 children".into());
+        }
+        for e in &node.entries {
+            match e {
+                Entry::Item(_) if !node.is_leaf() => {
+                    return Err(format!("item in non-leaf page {page}"));
+                }
+                Entry::Node { mbr, page: child } => {
+                    if node.is_leaf() {
+                        return Err(format!("child pointer in leaf page {page}"));
+                    }
+                    let child_node = &self.pages[*child as usize];
+                    let actual = child_node.mbr();
+                    let grown = Rect::new(
+                        mbr.min_x - 1e-9,
+                        mbr.min_y - 1e-9,
+                        mbr.max_x + 1e-9,
+                        mbr.max_y + 1e-9,
+                    );
+                    if !(grown.contains(Point::new(actual.min_x, actual.min_y))
+                        && grown.contains(Point::new(actual.max_x, actual.max_y)))
+                    {
+                        return Err(format!("page {page}: stale child MBR for {child}"));
+                    }
+                    self.check_node(*child, Some(node.level - 1))?;
+                }
+                Entry::Item(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Root page id (exposed for persistence).
+    pub(crate) fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Raw page array (exposed for persistence).
+    pub(crate) fn pages_raw(&self) -> &[Node<T>] {
+        &self.pages
+    }
+
+    /// Rebuilds a tree from a validated page image (persistence loader).
+    pub(crate) fn from_raw_parts(
+        pages: Vec<Node<T>>,
+        root: PageId,
+        max_entries: usize,
+        min_entries: usize,
+        len: usize,
+    ) -> Self {
+        RStarTree {
+            pages,
+            root,
+            max_entries,
+            min_entries,
+            len,
+            stats: PageStats::default(),
+            buffer: RefCell::new(LruBuffer::new(0)),
+        }
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node<T>) -> PageId {
+        self.pages.push(node);
+        (self.pages.len() - 1) as PageId
+    }
+
+    pub(crate) fn bump_len(&mut self) {
+        self.len += 1;
+    }
+
+    pub(crate) fn set_len(&mut self, len: usize) {
+        self.len = len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_from_page_size() {
+        let t: RStarTree<Point> = RStarTree::new(DEFAULT_PAGE_SIZE);
+        // (4096 - 16) / 40 = 102
+        assert_eq!(t.max_entries(), 102);
+        assert_eq!(t.min_entries(), 40);
+        assert_eq!(t.height(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_fanout() {
+        let _: RStarTree<Point> = RStarTree::with_fanout(3, 1);
+    }
+
+    #[test]
+    fn read_charges_stats_and_buffer() {
+        let t: RStarTree<Point> = RStarTree::with_fanout(8, 3);
+        t.read(0);
+        t.read(0);
+        assert_eq!(t.stats().reads, 2);
+        assert_eq!(t.stats().faults, 2); // no buffer
+        t.set_buffer_pages(4);
+        t.reset_stats();
+        t.read(0);
+        t.read(0);
+        let s = t.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.faults, 1); // second read hits
+    }
+}

@@ -1,0 +1,224 @@
+//! Incremental Dijkstra over the visibility graph.
+//!
+//! Two paper call sites drive the interface:
+//!
+//! * **IOR** (Alg. 1) runs Dijkstra from the data point until `S` and `E`
+//!   settle, re-running from scratch whenever new obstacles arrive.
+//! * **CPLC** (Alg. 2) consumes nodes one at a time in ascending obstructed
+//!   distance and stops early via Lemma 7 — which is exactly
+//!   [`DijkstraEngine::next_settled`].
+//!
+//! The engine snapshots the graph version at construction: advancing it
+//! after a structural change is a logic bug and panics in debug builds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use conn_geom::OrdF64;
+
+use crate::graph::{NodeId, VisGraph};
+
+const NO_PRED: u32 = u32::MAX;
+
+/// Single-source shortest-path engine with incremental settlement.
+#[derive(Debug)]
+pub struct DijkstraEngine {
+    src: NodeId,
+    dist: Vec<f64>,
+    pred: Vec<u32>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<(Reverse<OrdF64>, u32)>,
+    version: u64,
+}
+
+impl DijkstraEngine {
+    /// Prepares a run from `src` against the graph's current version.
+    pub fn new(g: &VisGraph, src: NodeId) -> Self {
+        let n = g.capacity();
+        let mut e = DijkstraEngine {
+            src,
+            dist: vec![f64::INFINITY; n],
+            pred: vec![NO_PRED; n],
+            settled: vec![false; n],
+            heap: BinaryHeap::new(),
+            version: g.version(),
+        };
+        e.dist[src.index()] = 0.0;
+        e.heap.push((Reverse(OrdF64::new(0.0)), src.0));
+        e
+    }
+
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Settles and returns the next-closest node, or `None` when the
+    /// reachable part of the graph is exhausted.
+    pub fn next_settled(&mut self, g: &mut VisGraph) -> Option<(NodeId, f64)> {
+        debug_assert_eq!(
+            self.version,
+            g.version(),
+            "graph changed under a running Dijkstra"
+        );
+        while let Some((Reverse(OrdF64(d)), u)) = self.heap.pop() {
+            let ui = u as usize;
+            if self.settled[ui] {
+                continue;
+            }
+            self.settled[ui] = true;
+            // relax
+            let edges: Vec<(u32, f64)> = g.neighbors(NodeId(u)).to_vec();
+            for (v, w) in edges {
+                let vi = v as usize;
+                if self.settled[vi] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < self.dist[vi] {
+                    self.dist[vi] = nd;
+                    self.pred[vi] = u;
+                    self.heap.push((Reverse(OrdF64::new(nd)), v));
+                }
+            }
+            return Some((NodeId(u), d));
+        }
+        None
+    }
+
+    /// Advances until `target` settles; returns its distance
+    /// (∞ if unreachable).
+    pub fn run_until_settled(&mut self, g: &mut VisGraph, target: NodeId) -> f64 {
+        while !self.settled[target.index()] {
+            if self.next_settled(g).is_none() {
+                return f64::INFINITY;
+            }
+        }
+        self.dist[target.index()]
+    }
+
+    /// Settles every reachable node.
+    pub fn run_all(&mut self, g: &mut VisGraph) {
+        while self.next_settled(g).is_some() {}
+    }
+
+    /// Distance of a *settled* node; `None` if not settled (yet).
+    pub fn settled_dist(&self, n: NodeId) -> Option<f64> {
+        self.settled[n.index()].then(|| self.dist[n.index()])
+    }
+
+    /// Predecessor on the shortest path (the `u` of paper Lemmas 5/6).
+    pub fn predecessor(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.pred[n.index()];
+        (p != NO_PRED).then_some(NodeId(p))
+    }
+
+    /// Shortest path from the source to `n` as node ids (source first).
+    /// Empty when `n` is unreachable or unsettled.
+    pub fn path_to(&self, n: NodeId) -> Vec<NodeId> {
+        if !self.settled[n.index()] {
+            return Vec::new();
+        }
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.predecessor(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use conn_geom::{Point, Rect};
+
+    /// One obstacle between two points: the shortest path must round a
+    /// corner, and its length is analytically checkable.
+    #[test]
+    fn detour_around_a_square() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        let mut d = DijkstraEngine::new(&g, s);
+        let got = d.run_until_settled(&mut g, t);
+        // detour via (90,100) and (110,100):
+        let want = Point::new(0.0, 50.0).dist(Point::new(90.0, 100.0))
+            + 20.0
+            + Point::new(110.0, 100.0).dist(Point::new(200.0, 50.0));
+        assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        // path passes exactly those corners
+        let path: Vec<Point> = d.path_to(t).iter().map(|&n| g.node_pos(n)).collect();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[1], Point::new(90.0, 100.0));
+        assert_eq!(path[2], Point::new(110.0, 100.0));
+    }
+
+    #[test]
+    fn free_space_is_straight_line() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(30.0, 40.0), NodeKind::Endpoint);
+        let mut d = DijkstraEngine::new(&g, s);
+        assert_eq!(d.run_until_settled(&mut g, t), 50.0);
+        assert_eq!(d.path_to(t).len(), 2);
+    }
+
+    #[test]
+    fn settlement_order_is_ascending() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 1..20 {
+            g.add_point(Point::new(i as f64 * 7.0, (i % 5) as f64 * 11.0), NodeKind::DataPoint);
+        }
+        g.add_obstacle(Rect::new(40.0, -10.0, 50.0, 30.0));
+        let mut d = DijkstraEngine::new(&g, s);
+        let mut prev = -1.0;
+        while let Some((_, dist)) = d.next_settled(&mut g) {
+            assert!(dist >= prev);
+            prev = dist;
+        }
+    }
+
+    #[test]
+    fn unreachable_reports_infinity() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(50.0, 50.0), NodeKind::Endpoint);
+        // box the source in with four overlapping walls
+        g.add_obstacle(Rect::new(0.0, 0.0, 100.0, 10.0));
+        g.add_obstacle(Rect::new(0.0, 90.0, 100.0, 100.0));
+        g.add_obstacle(Rect::new(0.0, 0.0, 10.0, 100.0));
+        g.add_obstacle(Rect::new(90.0, 0.0, 100.0, 100.0));
+        let t = g.add_point(Point::new(500.0, 500.0), NodeKind::Endpoint);
+        let mut d = DijkstraEngine::new(&g, s);
+        assert_eq!(d.run_until_settled(&mut g, t), f64::INFINITY);
+    }
+
+    #[test]
+    fn triangle_inequality_on_settled_distances() {
+        let mut g = VisGraph::new(25.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(20.0, 10.0, 60.0, 30.0));
+        g.add_obstacle(Rect::new(70.0, 40.0, 120.0, 55.0));
+        g.add_obstacle(Rect::new(30.0, 60.0, 55.0, 95.0));
+        let probes: Vec<NodeId> = (0..15)
+            .map(|i| {
+                g.add_point(
+                    Point::new((i * 13 % 140) as f64, (i * 29 % 110) as f64),
+                    NodeKind::DataPoint,
+                )
+            })
+            .collect();
+        let mut d = DijkstraEngine::new(&g, s);
+        d.run_all(&mut g);
+        for &p in &probes {
+            if let Some(dp) = d.settled_dist(p) {
+                // obstructed distance dominates euclidean distance
+                assert!(dp + 1e-9 >= g.node_pos(p).dist(g.node_pos(s)));
+            }
+        }
+    }
+}

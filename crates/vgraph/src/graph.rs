@@ -1,0 +1,295 @@
+//! The incremental local visibility graph.
+//!
+//! Mirrors the paper's §4.1 usage: the graph starts with the query endpoints
+//! `S`, `E`; IOR streams obstacles in (each contributing its four vertices);
+//! each data point under evaluation is added, queried, and removed again.
+//!
+//! Adjacency is computed **lazily per node** and cached with a version
+//! stamp. Any structural change (new obstacle, new node) bumps the version
+//! and implicitly invalidates every cached edge list; dead nodes are skipped
+//! during relaxation. This keeps the cost of a query proportional to the
+//! nodes Dijkstra actually expands, not to the full `O(n²)` edge set.
+
+use conn_geom::{Point, Rect, Segment};
+
+use crate::grid::ObstacleGrid;
+
+/// Handle to a graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node represents; only used for diagnostics and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A query-segment endpoint (`S` or `E`).
+    Endpoint,
+    /// A data point under evaluation (transient).
+    DataPoint,
+    /// A corner of an obstacle rectangle.
+    ObstacleVertex,
+}
+
+#[derive(Debug, Clone)]
+struct VNode {
+    pos: Point,
+    kind: NodeKind,
+    alive: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct CachedAdj {
+    version: u64,
+    edges: Vec<(u32, f64)>,
+}
+
+/// Local visibility graph over a growing obstacle set.
+#[derive(Debug)]
+pub struct VisGraph {
+    nodes: Vec<VNode>,
+    free: Vec<u32>,
+    grid: ObstacleGrid,
+    version: u64,
+    adj: Vec<CachedAdj>,
+}
+
+impl VisGraph {
+    /// Creates an empty graph; `cell` is the spatial-hash cell size for the
+    /// obstacle index (≈ a few typical obstacle diameters).
+    pub fn new(cell: f64) -> Self {
+        VisGraph {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            grid: ObstacleGrid::new(cell),
+            version: 0,
+            adj: Vec::new(),
+        }
+    }
+
+    /// Number of live nodes — the `|SVG|` metric of the paper's Figures 9–12
+    /// counts the obstacle vertices held in the local graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Total slots, including dead nodes (array sizing for Dijkstra).
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_obstacles(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Monotone counter bumped by every structural change.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn node_pos(&self, id: NodeId) -> Point {
+        self.nodes[id.index()].pos
+    }
+
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Iterates live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Adds a non-obstacle node (query endpoint or data point).
+    pub fn add_point(&mut self, pos: Point, kind: NodeKind) -> NodeId {
+        self.version += 1;
+        self.push_node(pos, kind)
+    }
+
+    /// Removes a node added with [`VisGraph::add_point`] (typically the data
+    /// point once its evaluation ends).
+    pub fn remove_node(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id.index()];
+        debug_assert!(node.alive, "double removal of node {id:?}");
+        debug_assert!(
+            node.kind != NodeKind::ObstacleVertex,
+            "obstacle vertices are permanent"
+        );
+        node.alive = false;
+        self.free.push(id.0);
+        self.version += 1;
+    }
+
+    /// Adds an obstacle: registers it in the grid and adds its four corners
+    /// as permanent nodes. Returns the corner node ids.
+    pub fn add_obstacle(&mut self, r: Rect) -> [NodeId; 4] {
+        self.version += 1;
+        self.grid.insert(r);
+        r.corners().map(|c| self.push_node(c, NodeKind::ObstacleVertex))
+    }
+
+    fn push_node(&mut self, pos: Point, kind: NodeKind) -> NodeId {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = VNode {
+                pos,
+                kind,
+                alive: true,
+            };
+            self.adj[slot as usize] = CachedAdj::default();
+            NodeId(slot)
+        } else {
+            self.nodes.push(VNode {
+                pos,
+                kind,
+                alive: true,
+            });
+            self.adj.push(CachedAdj::default());
+            NodeId((self.nodes.len() - 1) as u32)
+        }
+    }
+
+    /// Sight-line test against the *local* obstacle set (paper Def. 1).
+    pub fn visible(&mut self, a: Point, b: Point) -> bool {
+        !self.grid.blocks(a, b)
+    }
+
+    /// The node's edge list: `(neighbor, euclidean length)` for every live
+    /// node visible from it. Computed on first use per graph version.
+    pub fn neighbors(&mut self, u: NodeId) -> &[(u32, f64)] {
+        let ui = u.index();
+        debug_assert!(self.nodes[ui].alive, "neighbors of dead node");
+        if self.adj[ui].version != self.version {
+            let upos = self.nodes[ui].pos;
+            let mut edges = std::mem::take(&mut self.adj[ui].edges);
+            edges.clear();
+            for vi in 0..self.nodes.len() {
+                if vi == ui || !self.nodes[vi].alive {
+                    continue;
+                }
+                let vpos = self.nodes[vi].pos;
+                if !self.grid.blocks(upos, vpos) {
+                    edges.push((vi as u32, upos.dist(vpos)));
+                }
+            }
+            self.adj[ui] = CachedAdj {
+                version: self.version,
+                edges,
+            };
+        }
+        &self.adj[ui].edges
+    }
+
+    /// Grid access for visible-region computation.
+    pub(crate) fn grid_mut(&mut self) -> &mut ObstacleGrid {
+        &mut self.grid
+    }
+
+    /// The local obstacle rectangles (ablation baselines iterate these).
+    pub fn obstacles(&self) -> &[Rect] {
+        self.grid.rects()
+    }
+
+    /// Convenience: true when the straight segment between two nodes is an
+    /// edge of the graph.
+    pub fn nodes_visible(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (pa, pb) = (self.node_pos(a), self.node_pos(b));
+        self.visible(pa, pb)
+    }
+
+    /// Does any local obstacle block this segment? (negation of `visible`,
+    /// exposed for readability at call sites dealing with raw segments).
+    pub fn blocked(&mut self, s: &Segment) -> bool {
+        self.grid.blocks(s.a, s.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> VisGraph {
+        VisGraph::new(50.0)
+    }
+
+    #[test]
+    fn empty_graph_everything_visible() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let b = g.add_point(Point::new(100.0, 0.0), NodeKind::Endpoint);
+        assert!(g.nodes_visible(a, b));
+        assert_eq!(g.neighbors(a), &[(b.0, 100.0)]);
+    }
+
+    #[test]
+    fn obstacle_cuts_sight_line() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let b = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        assert!(g.nodes_visible(a, b));
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        assert!(!g.nodes_visible(a, b));
+        // neighbors re-computed after version bump: a now sees the two left
+        // corners of the obstacle but not b
+        let ns: Vec<u32> = g.neighbors(a).iter().map(|e| e.0).collect();
+        assert!(!ns.contains(&b.0));
+        assert_eq!(ns.len(), 2, "two visible corners, got {ns:?}");
+    }
+
+    #[test]
+    fn obstacle_vertices_become_nodes() {
+        let mut g = graph();
+        let corners = g.add_obstacle(Rect::new(10.0, 10.0, 20.0, 20.0));
+        assert_eq!(g.num_nodes(), 4);
+        for c in corners {
+            assert_eq!(g.node_kind(c), NodeKind::ObstacleVertex);
+        }
+        // adjacent corners see each other along the wall
+        assert!(g.nodes_visible(corners[0], corners[1]));
+        // diagonal corners are blocked by the interior
+        assert!(!g.nodes_visible(corners[0], corners[2]));
+    }
+
+    #[test]
+    fn removal_frees_slot_and_hides_node() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let p = g.add_point(Point::new(5.0, 5.0), NodeKind::DataPoint);
+        assert_eq!(g.num_nodes(), 2);
+        g.remove_node(p);
+        assert_eq!(g.num_nodes(), 1);
+        assert!(g.neighbors(a).is_empty());
+        // slot reuse
+        let p2 = g.add_point(Point::new(7.0, 7.0), NodeKind::DataPoint);
+        assert_eq!(p2.0, p.0);
+        assert_eq!(g.num_nodes(), 2);
+        let ns = g.neighbors(a).to_vec();
+        assert_eq!(ns.len(), 1);
+        assert!((ns[0].1 - Point::new(7.0, 7.0).dist(Point::new(0.0, 0.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_bumps_invalidate_caches() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let b = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        assert_eq!(g.neighbors(a).len(), 1);
+        let v1 = g.version();
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        assert!(g.version() > v1);
+        let ns: Vec<u32> = g.neighbors(a).iter().map(|e| e.0).collect();
+        assert!(!ns.contains(&b.0), "stale edge survived");
+    }
+}

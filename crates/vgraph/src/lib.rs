@@ -1,0 +1,30 @@
+//! Visibility substrate for obstructed query processing.
+//!
+//! The CONN paper computes obstructed distances on a **local** visibility
+//! graph (§4.1): it holds only the query endpoints, the data point under
+//! evaluation, and the obstacles streamed in so far by incremental obstacle
+//! retrieval. This crate provides that graph:
+//!
+//! * [`VisGraph`] — nodes (query endpoints, data points, obstacle vertices)
+//!   plus a growing obstacle set. Adjacency is *lazy*: a node's edge list is
+//!   computed when Dijkstra first expands it and invalidated when new
+//!   obstacles arrive, so queries never pay for the full `O(n²)` edge set the
+//!   paper's related-work section warns about.
+//! * [`ObstacleGrid`] — a dilated spatial-hash grid making each
+//!   "is this sight-line blocked?" test proportional to the cells the
+//!   sight-line crosses instead of the whole obstacle set.
+//! * [`DijkstraEngine`] — incremental single-source shortest paths; settled
+//!   nodes stream out in ascending obstructed distance, exactly the order
+//!   the CPLC algorithm (paper Alg. 2) consumes and prunes with Lemma 7.
+//! * [`visible_region`] — the visible region of a vertex over the query
+//!   segment (paper Def. 2), by shadow subtraction.
+
+pub mod dijkstra;
+pub mod graph;
+pub mod grid;
+pub mod visregion;
+
+pub use dijkstra::DijkstraEngine;
+pub use graph::{NodeId, NodeKind, VisGraph};
+pub use grid::ObstacleGrid;
+pub use visregion::visible_region;

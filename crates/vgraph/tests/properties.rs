@@ -1,0 +1,180 @@
+//! Property tests for the visibility substrate: path validity, metric
+//! lower bounds, symmetry, and agreement between the lazy local graph and a
+//! brute-force reference.
+
+use conn_geom::{Point, Rect, Segment};
+use conn_vgraph::{visible_region, DijkstraEngine, NodeKind, VisGraph};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Disjoint rectangles (rejection inside the strategy output is awkward, so
+/// we drop overlapping ones while building the graph).
+fn rects() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec((pt(), 5.0..80.0f64, 5.0..80.0f64), 0..12).prop_map(|specs| {
+        let mut out: Vec<Rect> = Vec::new();
+        for (p, w, h) in specs {
+            let r = Rect::new(p.x, p.y, p.x + w, p.y + h);
+            if !out.iter().any(|o| o.intersects(&r)) {
+                out.push(r);
+            }
+        }
+        out
+    })
+}
+
+/// A point in free space (not inside any obstacle).
+fn free_point(rs: &[Rect], seed: Point) -> Point {
+    let mut p = seed;
+    let mut tries = 0;
+    while rs.iter().any(|r| r.strictly_contains(p)) && tries < 100 {
+        p = Point::new((p.x + 131.7) % 1000.0, (p.y + 311.3) % 1000.0);
+        tries += 1;
+    }
+    p
+}
+
+/// Brute-force shortest path: full visibility graph + Dijkstra over it.
+fn brute_odist(rs: &[Rect], a: Point, b: Point) -> f64 {
+    let mut nodes = vec![a, b];
+    for r in rs {
+        nodes.extend(r.corners());
+    }
+    let n = nodes.len();
+    let blocked =
+        |u: Point, v: Point| -> bool { rs.iter().any(|r| r.blocks(&Segment::new(u, v))) };
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    dist[0] = 0.0;
+    for _ in 0..n {
+        let u = (0..n)
+            .filter(|&i| !done[i])
+            .min_by(|&i, &j| dist[i].total_cmp(&dist[j]));
+        let Some(u) = u else { break };
+        if dist[u].is_infinite() {
+            break;
+        }
+        done[u] = true;
+        for v in 0..n {
+            if !done[v] && !blocked(nodes[u], nodes[v]) {
+                let nd = dist[u] + nodes[u].dist(nodes[v]);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                }
+            }
+        }
+    }
+    dist[1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lazy_graph_matches_brute_force(rs in rects(), a in pt(), b in pt()) {
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut g = VisGraph::new(60.0);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        let nb = g.add_point(b, NodeKind::Endpoint);
+        for r in &rs {
+            g.add_obstacle(*r);
+        }
+        let mut d = DijkstraEngine::new(&g, na);
+        let got = d.run_until_settled(&mut g, nb);
+        let want = brute_odist(&rs, a, b);
+        if want.is_finite() {
+            prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        } else {
+            prop_assert!(got.is_infinite());
+        }
+    }
+
+    #[test]
+    fn odist_dominates_euclid_and_is_symmetric(rs in rects(), a in pt(), b in pt()) {
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut g = VisGraph::new(60.0);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        let nb = g.add_point(b, NodeKind::Endpoint);
+        for r in &rs {
+            g.add_obstacle(*r);
+        }
+        let mut d1 = DijkstraEngine::new(&g, na);
+        let fwd = d1.run_until_settled(&mut g, nb);
+        let mut d2 = DijkstraEngine::new(&g, nb);
+        let bwd = d2.run_until_settled(&mut g, na);
+        if fwd.is_finite() {
+            prop_assert!(fwd + 1e-9 >= a.dist(b));
+            prop_assert!((fwd - bwd).abs() < 1e-6);
+        } else {
+            prop_assert!(bwd.is_infinite());
+        }
+    }
+
+    #[test]
+    fn shortest_path_edges_are_unblocked(rs in rects(), a in pt(), b in pt()) {
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut g = VisGraph::new(60.0);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        let nb = g.add_point(b, NodeKind::Endpoint);
+        for r in &rs {
+            g.add_obstacle(*r);
+        }
+        let mut d = DijkstraEngine::new(&g, na);
+        let dist = d.run_until_settled(&mut g, nb);
+        if dist.is_finite() {
+            let path = d.path_to(nb);
+            prop_assert!(path.len() >= 2);
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                let (u, v) = (g.node_pos(w[0]), g.node_pos(w[1]));
+                prop_assert!(!rs.iter().any(|r| r.blocks(&Segment::new(u, v))),
+                    "path edge {u}→{v} crosses an obstacle");
+                total += u.dist(v);
+            }
+            prop_assert!((total - dist).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn visible_region_agrees_with_point_tests(rs in rects(), vp in pt(), qa in pt(), qb in pt()) {
+        let vp = free_point(&rs, vp);
+        let q = Segment::new(qa, qb);
+        if q.is_degenerate() {
+            return Ok(());
+        }
+        let vr = visible_region(vp, &q, &rs);
+        for i in 0..=60 {
+            let t = q.len() * (i as f64) / 60.0;
+            let sight = Segment::new(vp, q.at(t));
+            let blocked = rs.iter().any(|r| r.blocks(&sight));
+            let near_boundary = vr.intervals().iter().any(|iv| {
+                (t - iv.lo).abs() < 1e-3 || (t - iv.hi).abs() < 1e-3
+            });
+            if !near_boundary {
+                prop_assert_eq!(vr.contains(t), !blocked, "t = {}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_obstacles_never_shortens_paths(rs in rects(), a in pt(), b in pt()) {
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut g = VisGraph::new(60.0);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        let nb = g.add_point(b, NodeKind::Endpoint);
+        let mut prev = a.dist(b);
+        for r in &rs {
+            g.add_obstacle(*r);
+            let mut d = DijkstraEngine::new(&g, na);
+            let cur = d.run_until_settled(&mut g, nb);
+            prop_assert!(cur + 1e-9 >= prev, "distance shrank: {prev} → {cur}");
+            prev = cur;
+        }
+    }
+}

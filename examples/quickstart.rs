@@ -1,0 +1,74 @@
+//! Quickstart: the smallest useful CONN query.
+//!
+//! Three facilities, one building, one trajectory. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use conn::prelude::*;
+
+fn main() {
+    // Facilities (the data set P) ...
+    let facilities = vec![
+        DataPoint::new(0, Point::new(250.0, 220.0)),
+        DataPoint::new(1, Point::new(400.0, 120.0)),
+        DataPoint::new(2, Point::new(700.0, 180.0)),
+    ];
+    // ... one building (the obstacle set O) ...
+    let buildings = vec![Rect::new(180.0, 90.0, 330.0, 160.0)];
+    // ... and a straight trajectory (the query segment q = [S, E]).
+    let trajectory = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
+
+    // Index both sets in disk-simulating R*-trees (4 KB pages).
+    let facility_tree = RStarTree::bulk_load(facilities, DEFAULT_PAGE_SIZE);
+    let building_tree = RStarTree::bulk_load(buildings, DEFAULT_PAGE_SIZE);
+
+    // One CONN query answers "who is nearest?" for EVERY point of the
+    // trajectory at once.
+    let (result, stats) = conn_search(
+        &facility_tree,
+        &building_tree,
+        &trajectory,
+        &ConnConfig::default(),
+    );
+
+    println!("CONN result along a {:.0}-unit trajectory:", trajectory.len());
+    for (facility, interval) in result.segments() {
+        match facility {
+            Some(f) => println!(
+                "  facility {} is the obstructed NN for t ∈ [{:.1}, {:.1}]",
+                f.id, interval.lo, interval.hi
+            ),
+            None => println!(
+                "  no facility reachable for t ∈ [{:.1}, {:.1}]",
+                interval.lo, interval.hi
+            ),
+        }
+    }
+
+    let splits = result.split_points();
+    println!("split points: {splits:.1?}");
+
+    // Point probes: the obstructed distance at chosen locations.
+    for t in [0.0, 300.0, 600.0, 1000.0] {
+        if let Some((f, d)) = result.nn_at(t) {
+            let euclid = f.pos.dist(trajectory.at(t));
+            println!(
+                "  at t = {t:6.1}: facility {} at obstructed distance {d:7.2} (euclidean {euclid:7.2})",
+                f.id
+            );
+        }
+    }
+
+    println!(
+        "\nquery cost: {:.3} s CPU + {} page faults × 10 ms = {:.3} s total \
+         (NPE {}, NOE {}, |SVG| {})",
+        stats.cpu.as_secs_f64(),
+        stats.faults(),
+        stats.total_seconds(),
+        stats.npe,
+        stats.noe,
+        stats.svg_nodes,
+    );
+}

@@ -1,0 +1,73 @@
+//! # conn — Continuous Obstructed Nearest Neighbor queries
+//!
+//! A full reproduction of *Gao & Zheng, "Continuous Obstructed Nearest
+//! Neighbor Queries in Spatial Databases", SIGMOD 2009*: given data points
+//! `P` and rectangular obstacles `O` in the plane and a query segment
+//! `q = [S, E]`, report for **every** point of `q` its nearest data point
+//! under the obstructed distance (shortest path avoiding all obstacle
+//! interiors), as a list of `⟨point, interval⟩` tuples. The `COkNN`
+//! generalization reports the `k` nearest per interval.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`geom`] — points, segments, rectangles, interval sets;
+//! * [`index`] — the disk-simulating R\*-tree (page counters, LRU buffer);
+//! * [`vgraph`] — incremental local visibility graph and Dijkstra;
+//! * [`datasets`] — paper-style workload generators;
+//! * the query algorithms at the root: [`conn_search`], [`coknn_search`],
+//!   the single-tree variants, baselines, configuration, and statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use conn::prelude::*;
+//!
+//! // six gas stations and one building between the highway and station 0
+//! let stations = vec![
+//!     DataPoint::new(0, Point::new(250.0, 220.0)),
+//!     DataPoint::new(1, Point::new(400.0, 120.0)),
+//!     DataPoint::new(2, Point::new(700.0, 180.0)),
+//! ];
+//! let buildings = vec![Rect::new(180.0, 90.0, 330.0, 160.0)];
+//!
+//! let stations_tree = RStarTree::bulk_load(stations, DEFAULT_PAGE_SIZE);
+//! let buildings_tree = RStarTree::bulk_load(buildings, DEFAULT_PAGE_SIZE);
+//! let highway = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
+//!
+//! let (result, stats) = conn_search(
+//!     &stations_tree,
+//!     &buildings_tree,
+//!     &highway,
+//!     &ConnConfig::default(),
+//! );
+//! for (station, interval) in result.segments() {
+//!     println!("{station:?} is nearest along [{:.0}, {:.0}]", interval.lo, interval.hi);
+//! }
+//! assert!(stats.npe >= 1);
+//! ```
+
+pub use conn_datasets as datasets;
+pub use conn_geom as geom;
+pub use conn_index as index;
+pub use conn_vgraph as vgraph;
+
+pub use conn_core::baseline;
+pub use conn_core::{
+    build_unified_tree, coknn_search, coknn_search_single_tree, conn_search,
+    conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair, obstructed_distance,
+    obstructed_edistance_join, obstructed_range_search, obstructed_rnn, onn_search,
+    trajectory_coknn_search, trajectory_conn_search, visible_knn, CoknnResult, ConnConfig,
+    ConnResult, ControlPoint, DataPoint, QueryStats, ResultEntry, ResultList, SpatialObject,
+    Trajectory, TrajectoryResult,
+};
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use conn_core::{
+        build_unified_tree, coknn_search, coknn_search_single_tree, conn_search,
+        conn_search_single_tree, obstructed_distance, onn_search, trajectory_conn_search,
+        CoknnResult, ConnConfig, ConnResult, DataPoint, QueryStats, Trajectory,
+    };
+    pub use conn_geom::{Interval, Point, Rect, Segment};
+    pub use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
+}
