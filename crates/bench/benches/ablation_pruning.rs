@@ -20,9 +20,27 @@ fn bench_lemmas(c: &mut Criterion) {
     let configs: [(&str, ConnConfig); 6] = [
         ("all-on", ConnConfig::default()),
         ("paper-literal", ConnConfig::paper()),
-        ("no-lemma1", ConnConfig { use_lemma1: false, ..ConnConfig::default() }),
-        ("no-lemma6", ConnConfig { use_lemma6: false, ..ConnConfig::default() }),
-        ("no-lemma7", ConnConfig { use_lemma7: false, ..ConnConfig::default() }),
+        (
+            "no-lemma1",
+            ConnConfig {
+                use_lemma1: false,
+                ..ConnConfig::default()
+            },
+        ),
+        (
+            "no-lemma6",
+            ConnConfig {
+                use_lemma6: false,
+                ..ConnConfig::default()
+            },
+        ),
+        (
+            "no-lemma7",
+            ConnConfig {
+                use_lemma7: false,
+                ..ConnConfig::default()
+            },
+        ),
         ("no-pruning", ConnConfig::no_pruning()),
     ];
     for (label, cfg) in configs {

@@ -79,7 +79,10 @@ fn bench_split(c: &mut Criterion) {
             let k = i as f64;
             (
                 ControlPoint::new(Point::new(k * 7.0 % 450.0, 10.0 + k % 40.0), k % 13.0),
-                ControlPoint::new(Point::new(450.0 - k * 5.0 % 450.0, 25.0 + k % 30.0), k % 7.0),
+                ControlPoint::new(
+                    Point::new(450.0 - k * 5.0 % 450.0, 25.0 + k % 30.0),
+                    k % 7.0,
+                ),
             )
         })
         .collect();

@@ -25,6 +25,32 @@ struct Args {
     seed: u64,
 }
 
+const KNOWN_TARGETS: [&str; 8] = [
+    "all",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablation",
+    "motivation",
+];
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: repro [{}] [--scale smoke|default|paper|RATIO] [--queries N] [--seed S]",
+        KNOWN_TARGETS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(argv: &[String], i: usize) -> &str {
+    argv.get(i)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage(&format!("{} requires a value", argv[i - 1])))
+}
+
 fn parse_args() -> Args {
     let mut what = "all".to_string();
     let mut scale = Scale::DEFAULT;
@@ -36,22 +62,31 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match argv[i].as_str() {
+                scale = match flag_value(&argv, i) {
                     "smoke" => Scale::SMOKE,
                     "default" => Scale::DEFAULT,
                     "paper" => Scale::PAPER,
-                    s => Scale(s.parse().expect("numeric scale")),
+                    s => Scale(s.parse().unwrap_or_else(|_| {
+                        usage(&format!(
+                            "--scale must be smoke, default, paper, or a ratio (got {s:?})"
+                        ))
+                    })),
                 };
             }
             "--queries" => {
                 i += 1;
-                queries = argv[i].parse().expect("numeric query count");
+                queries = flag_value(&argv, i).parse().unwrap_or_else(|_| {
+                    usage(&format!("--queries must be a number (got {:?})", argv[i]))
+                });
             }
             "--seed" => {
                 i += 1;
-                seed = argv[i].parse().expect("numeric seed");
+                seed = flag_value(&argv, i).parse().unwrap_or_else(|_| {
+                    usage(&format!("--seed must be a number (got {:?})", argv[i]))
+                });
             }
-            other => what = other.to_string(),
+            other if KNOWN_TARGETS.contains(&other) => what = other.to_string(),
+            other => usage(&format!("unknown target {other:?}")),
         }
         i += 1;
     }
@@ -103,7 +138,14 @@ fn motivation(args: &Args) {
     use conn_core::{conn_search, naive_conn_by_onn};
     println!("\n## Motivation — naive m-point ONN sampling vs one exact CONN (UL, k = 1)");
     let scale = Scale(args.scale.0.min(1.0 / 64.0)); // the naive side is slow
-    let w = Workload::with_ratio(Combo::Ul, scale, 1.0, DEFAULT_QL, args.queries.min(5), args.seed);
+    let w = Workload::with_ratio(
+        Combo::Ul,
+        scale,
+        1.0,
+        DEFAULT_QL,
+        args.queries.min(5),
+        args.seed,
+    );
     let cfg = ConnConfig::default();
     println!(
         "{:<16} {:>10} {:>9} {:>9} {:>9}",
@@ -173,7 +215,14 @@ fn fig11(args: &Args) {
         );
         print_header("|P|/|O|");
         for ratio in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            let w = Workload::with_ratio(combo, args.scale, ratio, DEFAULT_QL, args.queries, args.seed);
+            let w = Workload::with_ratio(
+                combo,
+                args.scale,
+                ratio,
+                DEFAULT_QL,
+                args.queries,
+                args.seed,
+            );
             let avg = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
             print_row(&format!("{ratio}"), &avg, w.full_vg_vertices());
         }
@@ -209,11 +258,21 @@ fn fig13(args: &Args) {
     println!("\n## Figure 13(a,b) — 1T vs 2T across ql (CL and UL, k = 5)");
     for combo in [Combo::Cl, Combo::Ul] {
         println!("-- {} --", combo.label());
-        println!("{:<14} {:>12} {:>12}", "ql (% side)", "2T total(s)", "1T total(s)");
+        println!(
+            "{:<14} {:>12} {:>12}",
+            "ql (% side)", "2T total(s)", "1T total(s)"
+        );
         for ql_pct in [1.5, 3.0, 4.5, 6.0, 7.5] {
             let w = match combo {
                 Combo::Cl => Workload::cl(args.scale, ql_pct / 100.0, args.queries, args.seed),
-                _ => Workload::with_ratio(combo, args.scale, 1.0, ql_pct / 100.0, args.queries, args.seed),
+                _ => Workload::with_ratio(
+                    combo,
+                    args.scale,
+                    1.0,
+                    ql_pct / 100.0,
+                    args.queries,
+                    args.seed,
+                ),
             };
             let two = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
             let one = w.run_one_tree(DEFAULT_K, &cfg, 0.0, 0);
@@ -239,9 +298,19 @@ fn fig13(args: &Args) {
     println!("\n## Figure 13(e,f) — 1T vs 2T across |P|/|O| (UL and ZL, k = 5, ql = 4.5%)");
     for combo in [Combo::Ul, Combo::Zl] {
         println!("-- {} --", combo.label());
-        println!("{:<14} {:>12} {:>12}", "|P|/|O|", "2T total(s)", "1T total(s)");
+        println!(
+            "{:<14} {:>12} {:>12}",
+            "|P|/|O|", "2T total(s)", "1T total(s)"
+        );
         for ratio in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            let w = Workload::with_ratio(combo, args.scale, ratio, DEFAULT_QL, args.queries, args.seed);
+            let w = Workload::with_ratio(
+                combo,
+                args.scale,
+                ratio,
+                DEFAULT_QL,
+                args.queries,
+                args.seed,
+            );
             let two = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
             let one = w.run_one_tree(DEFAULT_K, &cfg, 0.0, 0);
             println!("{:<14} {:>12.3} {:>12.3}", ratio, two.total_s, one.total_s);
@@ -252,14 +321,39 @@ fn fig13(args: &Args) {
 /// Ablation (DESIGN.md A1): pruning lemmas and the strict refinement loop.
 fn ablation(args: &Args) {
     println!("\n## Ablation — pruning lemmas & strict mode (UL, k = 5, ql = 4.5%)");
-    let w = Workload::with_ratio(Combo::Ul, args.scale, 1.0, DEFAULT_QL, args.queries, args.seed);
+    let w = Workload::with_ratio(
+        Combo::Ul,
+        args.scale,
+        1.0,
+        DEFAULT_QL,
+        args.queries,
+        args.seed,
+    );
     print_header("config");
     let configs: [(&str, ConnConfig); 5] = [
         ("all-on", ConnConfig::default()),
         ("paper(literal)", ConnConfig::paper()),
-        ("no-lemma1", ConnConfig { use_lemma1: false, ..ConnConfig::default() }),
-        ("no-lemma6", ConnConfig { use_lemma6: false, ..ConnConfig::default() }),
-        ("no-lemma7", ConnConfig { use_lemma7: false, ..ConnConfig::default() }),
+        (
+            "no-lemma1",
+            ConnConfig {
+                use_lemma1: false,
+                ..ConnConfig::default()
+            },
+        ),
+        (
+            "no-lemma6",
+            ConnConfig {
+                use_lemma6: false,
+                ..ConnConfig::default()
+            },
+        ),
+        (
+            "no-lemma7",
+            ConnConfig {
+                use_lemma7: false,
+                ..ConnConfig::default()
+            },
+        ),
     ];
     for (label, cfg) in configs {
         let avg = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);

@@ -75,7 +75,14 @@ impl Workload {
 
     /// The paper's default CL setting at the given scale.
     pub fn cl(scale: Scale, ql: f64, n_queries: usize, seed: u64) -> Self {
-        Self::build(Combo::Cl, scale.ca_points(), scale.obstacles(), ql, n_queries, seed)
+        Self::build(
+            Combo::Cl,
+            scale.ca_points(),
+            scale.obstacles(),
+            ql,
+            n_queries,
+            seed,
+        )
     }
 
     /// UL / ZL with an explicit |P|/|O| ratio (Figure 11's x-axis).
@@ -208,7 +215,12 @@ mod tests {
         let w = Workload::build(Combo::Ul, 100, 200, 0.04, 6, 17);
         let cold = w.run_two_tree(1, &ConnConfig::default(), 0.0, 3);
         let warm = w.run_two_tree(1, &ConnConfig::default(), 0.5, 3);
-        assert!(warm.faults <= cold.faults, "{} vs {}", warm.faults, cold.faults);
+        assert!(
+            warm.faults <= cold.faults,
+            "{} vs {}",
+            warm.faults,
+            cold.faults
+        );
         assert_eq!(warm.reads, cold.reads, "logical reads unaffected");
     }
 }

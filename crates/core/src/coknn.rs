@@ -339,11 +339,7 @@ mod tests {
         Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
     }
 
-    fn search(
-        points: Vec<DataPoint>,
-        obstacles: Vec<Rect>,
-        k: usize,
-    ) -> (CoknnResult, QueryStats) {
+    fn search(points: Vec<DataPoint>, obstacles: Vec<Rect>, k: usize) -> (CoknnResult, QueryStats) {
         let dt = RStarTree::bulk_load(points, 4096);
         let ot = RStarTree::bulk_load(obstacles, 4096);
         coknn_search(&dt, &ot, &q(), k, &ConnConfig::default())

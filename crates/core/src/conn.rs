@@ -83,7 +83,16 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
         let mut cpl = cplc(q, &mut g, p_node, cfg, &mut vr_cache);
 
         if cfg.strict_refinement {
-            refine_to_fixpoint(q, &mut g, p_node, cfg, &mut vr_cache, streams, &mut ior_state, &mut cpl);
+            refine_to_fixpoint(
+                q,
+                &mut g,
+                p_node,
+                cfg,
+                &mut vr_cache,
+                streams,
+                &mut ior_state,
+                &mut cpl,
+            );
         }
 
         g.remove_node(p_node);
@@ -177,10 +186,7 @@ impl ConnResult {
 
     /// Split points: interval boundaries where the answer object changes.
     pub fn split_points(&self) -> Vec<f64> {
-        self.segments()
-            .windows(2)
-            .map(|w| w[0].1.hi)
-            .collect()
+        self.segments().windows(2).map(|w| w[0].1.hi).collect()
     }
 
     /// Validation helper: the entries exactly cover the segment.
@@ -231,10 +237,7 @@ mod tests {
         Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
     }
 
-    fn search(
-        points: Vec<DataPoint>,
-        obstacles: Vec<Rect>,
-    ) -> (ConnResult, QueryStats) {
+    fn search(points: Vec<DataPoint>, obstacles: Vec<Rect>) -> (ConnResult, QueryStats) {
         let dt = RStarTree::bulk_load(points, 4096);
         let ot = RStarTree::bulk_load(obstacles, 4096);
         conn_search(&dt, &ot, &q(), &ConnConfig::default())

@@ -88,11 +88,18 @@ impl ControlPointList {
 
     /// Offers `candidate` as control point over `region`; keeps whichever of
     /// the incumbent/candidate is closer on every sub-interval.
-    pub fn offer(&mut self, q: &Segment, candidate: ControlPoint, region: &Interval, cfg: &ConnConfig) {
+    pub fn offer(
+        &mut self,
+        q: &Segment,
+        candidate: ControlPoint,
+        region: &Interval,
+        cfg: &ConnConfig,
+    ) {
         if region.is_empty() {
             return;
         }
-        let mut out: Vec<(Option<ControlPoint>, Interval)> = Vec::with_capacity(self.entries.len() + 2);
+        let mut out: Vec<(Option<ControlPoint>, Interval)> =
+            Vec::with_capacity(self.entries.len() + 2);
         for (cp, iv) in std::mem::take(&mut self.entries) {
             let Some(overlap) = iv.intersect(region) else {
                 out.push((cp, iv));
@@ -107,7 +114,8 @@ impl ControlPointList {
                 None => out.push((Some(candidate), overlap)),
                 Some(incumbent) => {
                     if incumbent.same_as(&candidate)
-                        || (cfg.use_lemma1 && lemma1_incumbent_wins(q, &incumbent, &candidate, &overlap))
+                        || (cfg.use_lemma1
+                            && lemma1_incumbent_wins(q, &incumbent, &candidate, &overlap))
                     {
                         out.push((Some(incumbent), overlap));
                     } else {
@@ -383,9 +391,8 @@ mod tests {
         // p → (40,40) → (40,20) → q(50), or the mirror path
         let v_mid = cpl.value_at(&q(), 50.0).unwrap();
         assert!(v_mid > ppos.dist(q().at(50.0)) + 1.0);
-        let around = ppos.dist(Point::new(40.0, 40.0))
-            + 20.0
-            + Point::new(40.0, 20.0).dist(q().at(50.0));
+        let around =
+            ppos.dist(Point::new(40.0, 40.0)) + 20.0 + Point::new(40.0, 20.0).dist(q().at(50.0));
         assert!((v_mid - around).abs() < 1e-9, "v_mid {v_mid} vs {around}");
         // near the segment ends, p sees q directly
         let v0 = cpl.value_at(&q(), 0.0).unwrap();
@@ -413,10 +420,8 @@ mod tests {
     #[test]
     fn lemma6_drops_outside_triangle() {
         // u sees [0,30] and [70,100]; gap [30,70] with both endpoints visible
-        let vr_u = IntervalSet::from_intervals(vec![
-            Interval::new(0.0, 30.0),
-            Interval::new(70.0, 100.0),
-        ]);
+        let vr_u =
+            IntervalSet::from_intervals(vec![Interval::new(0.0, 30.0), Interval::new(70.0, 100.0)]);
         let region = IntervalSet::single(Interval::new(30.0, 70.0));
         let u = Point::new(50.0, 50.0);
         // v far outside the triangle (u, q(30), q(70))
@@ -429,10 +434,19 @@ mod tests {
 
     #[test]
     fn triangle_inclusive_boundary() {
-        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(0.0, 10.0));
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+        );
         assert!(point_in_triangle_inclusive(Point::new(2.0, 2.0), a, b, c));
         assert!(point_in_triangle_inclusive(Point::new(5.0, 0.0), a, b, c)); // edge
         assert!(point_in_triangle_inclusive(a, a, b, c)); // vertex
-        assert!(!point_in_triangle_inclusive(Point::new(10.0, 10.0), a, b, c));
+        assert!(!point_in_triangle_inclusive(
+            Point::new(10.0, 10.0),
+            a,
+            b,
+            c
+        ));
     }
 }

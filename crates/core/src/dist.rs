@@ -60,7 +60,8 @@ impl ControlPoint {
     /// Two control points are interchangeable when they sit at the same
     /// place with the same accumulated cost.
     pub fn same_as(&self, other: &ControlPoint) -> bool {
-        self.pos.dist(other.pos) <= conn_geom::EPS && (self.base - other.base).abs() <= conn_geom::EPS
+        self.pos.dist(other.pos) <= conn_geom::EPS
+            && (self.base - other.base).abs() <= conn_geom::EPS
     }
 }
 

@@ -136,8 +136,8 @@ mod tests {
     fn cascading_retrieval_until_fixpoint() {
         // first wall forces a detour whose length pulls in a second wall
         let walls = vec![
-            Rect::new(30.0, 10.0, 70.0, 20.0),   // near q, close mindist
-            Rect::new(10.0, 30.0, 90.0, 40.0),   // farther from q, blocks detour
+            Rect::new(30.0, 10.0, 70.0, 20.0), // near q, close mindist
+            Rect::new(10.0, 30.0, 90.0, 40.0), // farther from q, blocks detour
         ];
         let ppos = Point::new(50.0, 60.0);
         let (paths, loaded, bound) = run_ior(ppos, walls);

@@ -149,7 +149,14 @@ pub fn obstructed_closest_pair(
             }
         }
     }
-    let stats = join_stats(started, tree_a, tree_b, obstacle_tree, pairs_resolved, resolver.noe);
+    let stats = join_stats(
+        started,
+        tree_a,
+        tree_b,
+        obstacle_tree,
+        pairs_resolved,
+        resolver.noe,
+    );
     (best, stats)
 }
 
@@ -219,7 +226,14 @@ pub fn obstructed_edistance_join(
         }
     }
     out.sort_by(|x, y| x.2.total_cmp(&y.2).then(x.0.id.cmp(&y.0.id)));
-    let stats = join_stats(started, tree_a, tree_b, obstacle_tree, pairs_resolved, resolver.noe);
+    let stats = join_stats(
+        started,
+        tree_a,
+        tree_b,
+        obstacle_tree,
+        pairs_resolved,
+        resolver.noe,
+    );
     (out, stats)
 }
 
@@ -387,7 +401,12 @@ mod tests {
     fn closest_pair_larger_sets() {
         // brute-force cross-check on a bigger instance
         let a: Vec<DataPoint> = (0..40)
-            .map(|i| DataPoint::new(i, Point::new((i as f64 * 37.0) % 300.0, (i as f64 * 91.0) % 300.0)))
+            .map(|i| {
+                DataPoint::new(
+                    i,
+                    Point::new((i as f64 * 37.0) % 300.0, (i as f64 * 91.0) % 300.0),
+                )
+            })
             .collect();
         let b: Vec<DataPoint> = (0..40)
             .map(|i| {

@@ -73,8 +73,12 @@ pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;
 pub use rlu::{ResultEntry, ResultList};
 pub use rnn::obstructed_rnn;
-pub use single_tree::{build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject};
+pub use single_tree::{
+    build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject,
+};
 pub use stats::QueryStats;
-pub use trajectory::{trajectory_coknn_search, trajectory_conn_search, Trajectory, TrajectoryResult};
+pub use trajectory::{
+    trajectory_coknn_search, trajectory_conn_search, Trajectory, TrajectoryResult,
+};
 pub use types::DataPoint;
 pub use visible::visible_knn;

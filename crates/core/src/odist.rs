@@ -83,9 +83,7 @@ mod tests {
         let via_top = a.dist(Point::new(40.0, 30.0))
             + Point::new(40.0, 30.0).dist(Point::new(60.0, 30.0))
             + Point::new(60.0, 30.0).dist(g);
-        let via_bottom = a.dist(Point::new(40.0, -10.0))
-            + 20.0
-            + Point::new(60.0, -10.0).dist(g);
+        let via_bottom = a.dist(Point::new(40.0, -10.0)) + 20.0 + Point::new(60.0, -10.0).dist(g);
         assert!((d - via_top.min(via_bottom)).abs() < 1e-9);
         let path = obstructed_path(&[o], a, g).unwrap();
         assert!(path.len() == 4, "two corner bends expected: {path:?}");

@@ -100,8 +100,7 @@ mod tests {
         let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
         let s = Point::new(0.0, 0.0);
         for radius in [5.0, 15.0, 40.0, 60.0, 500.0] {
-            let (got, _) =
-                obstructed_range_search(&dt, &ot, s, radius, &ConnConfig::default());
+            let (got, _) = obstructed_range_search(&dt, &ot, s, radius, &ConnConfig::default());
             let want: Vec<(DataPoint, f64)> = brute_force_oknn(&points, &obstacles, s, 10)
                 .into_iter()
                 .filter(|(_, d)| *d <= radius)

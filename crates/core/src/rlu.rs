@@ -316,7 +316,12 @@ mod tests {
         let a = DataPoint::new(0, Point::new(10.0, 10.0));
         // a's CPL covers only [0, 40]
         let mut cpl = ControlPointList::new(100.0);
-        cpl.offer(&q(), ControlPoint::direct(a.pos), &Interval::new(0.0, 40.0), &cfg);
+        cpl.offer(
+            &q(),
+            ControlPoint::direct(a.pos),
+            &Interval::new(0.0, 40.0),
+            &cfg,
+        );
         rl.update(&q(), a, &cpl, &cfg);
         rl.check_cover().unwrap();
         assert!(rl.answer_at(&q(), 20.0).is_some());

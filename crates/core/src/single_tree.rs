@@ -48,7 +48,8 @@ impl conn_index::PersistItem for SpatialObject {
             SpatialObject::Point(p) => {
                 out.push(0);
                 p.encode(out);
-                out.extend_from_slice(&[0u8; 33 - 1 - DataPoint::ENCODED_SIZE]); // pad
+                out.extend_from_slice(&[0u8; 33 - 1 - DataPoint::ENCODED_SIZE]);
+                // pad
             }
             SpatialObject::Obstacle(r) => {
                 out.push(1);
@@ -125,7 +126,6 @@ impl<'a> OneTreeStreams<'a> {
         }
         true
     }
-
 }
 
 impl QueryStreams for OneTreeStreams<'_> {
@@ -309,7 +309,10 @@ mod tests {
         }
         assert_eq!(n, points.len());
         // obstacles all loadable afterwards
-        assert_eq!(s.load_obstacles_until(&mut g, f64::INFINITY), obstacles.len());
+        assert_eq!(
+            s.load_obstacles_until(&mut g, f64::INFINITY),
+            obstacles.len()
+        );
         assert_eq!(s.obstacles_loaded(), obstacles.len());
     }
 

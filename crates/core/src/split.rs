@@ -34,7 +34,12 @@ pub enum Winner {
 ///
 /// `f` is the incumbent and wins ties. The pieces are returned in ascending
 /// order and exactly cover `iv`.
-pub fn split(q: &Segment, f: &ControlPoint, g: &ControlPoint, iv: Interval) -> Vec<(Interval, Winner)> {
+pub fn split(
+    q: &Segment,
+    f: &ControlPoint,
+    g: &ControlPoint,
+    iv: Interval,
+) -> Vec<(Interval, Winner)> {
     debug_assert!(!iv.is_empty());
     let mut cuts = crossing_params(q, f, g, &iv);
     cuts.push(iv.lo);
@@ -120,7 +125,12 @@ pub fn crossing_params(q: &Segment, f: &ControlPoint, g: &ControlPoint, iv: &Int
 /// (The perpendicular-distance condition makes `G − F` quasi-concave on the
 /// line, so its minimum over the interval is at an endpoint — the paper's
 /// Figure 4(b) shape argument.)
-pub fn lemma1_incumbent_wins(q: &Segment, f: &ControlPoint, g: &ControlPoint, iv: &Interval) -> bool {
+pub fn lemma1_incumbent_wins(
+    q: &Segment,
+    f: &ControlPoint,
+    g: &ControlPoint,
+    iv: &Interval,
+) -> bool {
     let (_, ay) = q.to_frame(f.pos);
     let (_, by) = q.to_frame(g.pos);
     ay.abs() <= by.abs() + EPS
@@ -228,7 +238,11 @@ mod tests {
                     continue; // too close to a crossing for a strict check
                 }
                 let piece = pieces.iter().find(|(p, _)| p.contains(t)).unwrap();
-                let expect = if fv < gv { Winner::Incumbent } else { Winner::Challenger };
+                let expect = if fv < gv {
+                    Winner::Incumbent
+                } else {
+                    Winner::Challenger
+                };
                 // at piece boundaries containment is ambiguous within EPS
                 let near_cut = (t - piece.0.lo).abs() < 1e-4 || (t - piece.0.hi).abs() < 1e-4;
                 if !near_cut {
@@ -271,7 +285,10 @@ mod tests {
         for _ in 0..500 {
             k = (k * 613.71).fract();
             let f = ControlPoint::new(Point::new(k * 100.0, 20.0 * k), k * 10.0);
-            let g = ControlPoint::new(Point::new(100.0 - 90.0 * k, 30.0 * k + 5.0), 15.0 * (1.0 - k));
+            let g = ControlPoint::new(
+                Point::new(100.0 - 90.0 * k, 30.0 * k + 5.0),
+                15.0 * (1.0 - k),
+            );
             if lemma1_incumbent_wins(&q(), &f, &g, &iv) {
                 let pieces = split(&q(), &f, &g, iv);
                 assert!(

@@ -29,7 +29,10 @@ pub struct Trajectory {
 impl Trajectory {
     /// Builds a trajectory; needs ≥ 2 vertices and no degenerate leg.
     pub fn new(vertices: Vec<Point>) -> Self {
-        assert!(vertices.len() >= 2, "trajectory needs at least two vertices");
+        assert!(
+            vertices.len() >= 2,
+            "trajectory needs at least two vertices"
+        );
         let mut cum = Vec::with_capacity(vertices.len());
         cum.push(0.0);
         for w in vertices.windows(2) {
@@ -312,8 +315,7 @@ mod tests {
         let dt = RStarTree::bulk_load(points, 4096);
         let ot: RStarTree<Rect> = RStarTree::bulk_load(vec![], 4096);
         let traj = l_shape();
-        let (legs, stats) =
-            trajectory_coknn_search(&dt, &ot, &traj, 2, &ConnConfig::default());
+        let (legs, stats) = trajectory_coknn_search(&dt, &ot, &traj, 2, &ConnConfig::default());
         assert_eq!(legs.len(), 2);
         assert!(stats.npe >= 3);
         for leg in &legs {

@@ -88,10 +88,10 @@ mod tests {
 
     fn world() -> (Vec<DataPoint>, Vec<Rect>) {
         let points = vec![
-            DataPoint::new(0, Point::new(10.0, 0.0)),   // nearest, visible
-            DataPoint::new(1, Point::new(0.0, 30.0)),   // hidden by the wall
-            DataPoint::new(2, Point::new(40.0, 5.0)),   // visible
-            DataPoint::new(3, Point::new(-50.0, 0.0)),  // visible, far
+            DataPoint::new(0, Point::new(10.0, 0.0)), // nearest, visible
+            DataPoint::new(1, Point::new(0.0, 30.0)), // hidden by the wall
+            DataPoint::new(2, Point::new(40.0, 5.0)), // visible
+            DataPoint::new(3, Point::new(-50.0, 0.0)), // visible, far
         ];
         let wall = Rect::new(-10.0, 10.0, 10.0, 20.0);
         (points, vec![wall])
@@ -131,7 +131,11 @@ mod tests {
         let (points, obstacles) = world();
         let dt = RStarTree::bulk_load(points.clone(), 4096);
         let ot = RStarTree::bulk_load(obstacles.clone(), 4096);
-        for s in [Point::new(5.0, 40.0), Point::new(-20.0, 15.0), Point::new(30.0, -10.0)] {
+        for s in [
+            Point::new(5.0, 40.0),
+            Point::new(-20.0, 15.0),
+            Point::new(30.0, -10.0),
+        ] {
             let (got, _) = visible_knn(&dt, &ot, s, 10, &ConnConfig::default());
             let mut want: Vec<(DataPoint, f64)> = points
                 .iter()

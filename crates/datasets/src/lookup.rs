@@ -46,7 +46,10 @@ impl ObstacleLookup {
 
     #[inline]
     fn cell_of(&self, x: f64, y: f64) -> (i32, i32) {
-        ((x / self.cell).floor() as i32, (y / self.cell).floor() as i32)
+        (
+            (x / self.cell).floor() as i32,
+            (y / self.cell).floor() as i32,
+        )
     }
 
     pub fn insert(&mut self, r: Rect) {
@@ -64,9 +67,10 @@ impl ObstacleLookup {
     /// True when `p` lies strictly inside some obstacle.
     pub fn point_in_interior(&self, p: Point) -> bool {
         let c = self.cell_of(p.x, p.y);
-        self.cells
-            .get(&c)
-            .is_some_and(|ids| ids.iter().any(|&i| self.rects[i as usize].strictly_contains(p)))
+        self.cells.get(&c).is_some_and(|ids| {
+            ids.iter()
+                .any(|&i| self.rects[i as usize].strictly_contains(p))
+        })
     }
 
     /// True when the closed rectangle `r` overlaps any stored obstacle

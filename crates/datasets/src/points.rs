@@ -18,12 +18,17 @@ const ZIPF_BINS: usize = 1000;
 pub fn uniform_points(n: usize, seed: u64, obstacles: &[Rect]) -> Vec<Point> {
     let lookup = ObstacleLookup::build(obstacles);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x517C_C1B7_2722_0A95);
-    sample_free(n, &lookup, move |rng| {
-        Point::new(
-            rng.gen_range(SPACE.min_x..SPACE.max_x),
-            rng.gen_range(SPACE.min_y..SPACE.max_y),
-        )
-    }, &mut rng)
+    sample_free(
+        n,
+        &lookup,
+        move |rng| {
+            Point::new(
+                rng.gen_range(SPACE.min_x..SPACE.max_x),
+                rng.gen_range(SPACE.min_y..SPACE.max_y),
+            )
+        },
+        &mut rng,
+    )
 }
 
 /// Zipf-skewed points: each coordinate drawn independently from a Zipf
@@ -46,9 +51,12 @@ pub fn zipf_points(n: usize, alpha: f64, seed: u64, obstacles: &[Rect]) -> Vec<P
         // uniform inside the chosen bin
         (bin as f64 + rng.gen::<f64>()) / ZIPF_BINS as f64 * SPACE_SIDE
     };
-    sample_free(n, &lookup, move |rng| {
-        Point::new(zipf_coord(rng, &cdf), zipf_coord(rng, &cdf))
-    }, &mut rng)
+    sample_free(
+        n,
+        &lookup,
+        move |rng| Point::new(zipf_coord(rng, &cdf), zipf_coord(rng, &cdf)),
+        &mut rng,
+    )
 }
 
 /// CA-like clustered points: a Zipf-weighted Gaussian mixture (populated
@@ -77,26 +85,33 @@ pub fn ca_like(n: usize, seed: u64, obstacles: &[Rect]) -> Vec<Point> {
     }
     let weight_total = acc;
 
-    sample_free(n, &lookup, move |rng| {
-        if rng.gen::<f64>() < BACKGROUND_FRAC {
-            return Point::new(
-                rng.gen_range(SPACE.min_x..SPACE.max_x),
-                rng.gen_range(SPACE.min_y..SPACE.max_y),
-            );
-        }
-        let u = rng.gen::<f64>() * weight_total;
-        let c = weights.partition_point(|&w| w < u).min(CLUSTERS - 1);
-        let (g1, g2) = gaussian_pair(rng);
-        Point::new(
-            centers[c].x + sigmas[c] * g1,
-            centers[c].y + sigmas[c] * g2,
-        )
-    }, &mut rng)
+    sample_free(
+        n,
+        &lookup,
+        move |rng| {
+            if rng.gen::<f64>() < BACKGROUND_FRAC {
+                return Point::new(
+                    rng.gen_range(SPACE.min_x..SPACE.max_x),
+                    rng.gen_range(SPACE.min_y..SPACE.max_y),
+                );
+            }
+            let u = rng.gen::<f64>() * weight_total;
+            let c = weights.partition_point(|&w| w < u).min(CLUSTERS - 1);
+            let (g1, g2) = gaussian_pair(rng);
+            Point::new(centers[c].x + sigmas[c] * g1, centers[c].y + sigmas[c] * g2)
+        },
+        &mut rng,
+    )
 }
 
 /// Draws `n` samples from `proposal`, rejecting those outside the space or
 /// strictly inside an obstacle.
-fn sample_free<F>(n: usize, lookup: &ObstacleLookup, mut proposal: F, rng: &mut StdRng) -> Vec<Point>
+fn sample_free<F>(
+    n: usize,
+    lookup: &ObstacleLookup,
+    mut proposal: F,
+    rng: &mut StdRng,
+) -> Vec<Point>
 where
     F: FnMut(&mut StdRng) -> Point,
 {

@@ -16,7 +16,9 @@ use crate::{SPACE, SPACE_SIDE};
 
 /// Generates one query segment of length `ql_frac × SPACE_SIDE`.
 pub fn query_segment(ql_frac: f64, seed: u64, obstacles: &[Rect]) -> Segment {
-    query_segments(1, ql_frac, seed, obstacles).pop().expect("one segment")
+    query_segments(1, ql_frac, seed, obstacles)
+        .pop()
+        .expect("one segment")
 }
 
 /// Generates `count` query segments of length `ql_frac × SPACE_SIDE`

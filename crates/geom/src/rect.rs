@@ -63,7 +63,10 @@ impl Rect {
 
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
     }
 
     /// Corner points in counter-clockwise order starting at `(min_x, min_y)`.
@@ -170,8 +173,12 @@ impl Rect {
     /// Minimum distance between two rectangles (0 when overlapping).
     #[inline]
     pub fn mindist_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.min_x - other.max_x).max(0.0).max(other.min_x - self.max_x);
-        let dy = (self.min_y - other.max_y).max(0.0).max(other.min_y - self.max_y);
+        let dx = (self.min_x - other.max_x)
+            .max(0.0)
+            .max(other.min_x - self.max_x);
+        let dy = (self.min_y - other.max_y)
+            .max(0.0)
+            .max(other.min_y - self.max_y);
         (dx * dx + dy * dy).sqrt()
     }
 

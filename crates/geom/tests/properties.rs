@@ -8,8 +8,7 @@ fn pt() -> impl Strategy<Value = Point> {
 }
 
 fn rect() -> impl Strategy<Value = Rect> {
-    (pt(), 1.0..500.0f64, 1.0..500.0f64)
-        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+    (pt(), 1.0..500.0f64, 1.0..500.0f64).prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
 }
 
 fn iv() -> impl Strategy<Value = Interval> {

@@ -109,7 +109,8 @@ mod tests {
         for n in [1usize, 5, 100, 2000] {
             let t = RStarTree::bulk_load_with_fanout(pts(n), 16, 6);
             assert_eq!(t.len(), n, "n = {n}");
-            t.check_invariants().unwrap_or_else(|e| panic!("n = {n}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
             assert_eq!(t.iter_items().count(), n);
         }
     }

@@ -170,7 +170,8 @@ mod tests {
         for (i, p) in items.iter().enumerate() {
             let got = t.delete_by_mbr(&Rect::from_point(*p));
             assert!(got.is_some(), "item {i} not found");
-            t.check_invariants().unwrap_or_else(|e| panic!("after {i}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after {i}: {e}"));
         }
         assert!(t.is_empty());
         assert_eq!(t.iter_items().count(), 0);

@@ -279,7 +279,11 @@ impl<T: Mbr + Clone> RStarTree<T> {
                 axis_margin[*axis] += prefix[k - 1].margin() + suffix[k].margin();
             }
         }
-        let best_axis = if axis_margin[0] <= axis_margin[1] { 0 } else { 1 };
+        let best_axis = if axis_margin[0] <= axis_margin[1] {
+            0
+        } else {
+            1
+        };
 
         let mut best: Option<(f64, f64, usize, usize)> = None; // (overlap, area, ordering idx, k)
         for (oi, (axis, order)) in orderings.iter().enumerate() {

@@ -143,7 +143,10 @@ impl<T: Mbr + Clone + PersistItem> RStarTree<T> {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad fanout"));
         }
         if (root as usize) >= num_pages {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "root out of range"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "root out of range",
+            ));
         }
 
         let mut pages = Vec::with_capacity(num_pages);

@@ -190,7 +190,10 @@ mod tests {
 
     fn build(n: usize) -> (RStarTree<Point>, Vec<Point>) {
         let items = pts(n);
-        (RStarTree::bulk_load_with_fanout(items.clone(), 16, 6), items)
+        (
+            RStarTree::bulk_load_with_fanout(items.clone(), 16, 6),
+            items,
+        )
     }
 
     #[test]

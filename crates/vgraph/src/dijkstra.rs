@@ -172,7 +172,10 @@ mod tests {
         let mut g = VisGraph::new(50.0);
         let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
         for i in 1..20 {
-            g.add_point(Point::new(i as f64 * 7.0, (i % 5) as f64 * 11.0), NodeKind::DataPoint);
+            g.add_point(
+                Point::new(i as f64 * 7.0, (i % 5) as f64 * 11.0),
+                NodeKind::DataPoint,
+            );
         }
         g.add_obstacle(Rect::new(40.0, -10.0, 50.0, 30.0));
         let mut d = DijkstraEngine::new(&g, s);

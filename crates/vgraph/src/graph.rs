@@ -138,7 +138,8 @@ impl VisGraph {
     pub fn add_obstacle(&mut self, r: Rect) -> [NodeId; 4] {
         self.version += 1;
         self.grid.insert(r);
-        r.corners().map(|c| self.push_node(c, NodeKind::ObstacleVertex))
+        r.corners()
+            .map(|c| self.push_node(c, NodeKind::ObstacleVertex))
     }
 
     fn push_node(&mut self, pos: Point, kind: NodeKind) -> NodeId {

@@ -51,7 +51,10 @@ impl ObstacleGrid {
 
     #[inline]
     fn cell_of(&self, x: f64, y: f64) -> (i32, i32) {
-        ((x / self.cell).floor() as i32, (y / self.cell).floor() as i32)
+        (
+            (x / self.cell).floor() as i32,
+            (y / self.cell).floor() as i32,
+        )
     }
 
     /// Registers an obstacle; returns its id within the grid.
@@ -304,7 +307,12 @@ mod tests {
         for _ in 0..60 {
             let ax = rnd() * 900.0;
             let ay = rnd() * 900.0;
-            rects.push(Rect::new(ax, ay, ax + 5.0 + rnd() * 60.0, ay + 5.0 + rnd() * 60.0));
+            rects.push(Rect::new(
+                ax,
+                ay,
+                ax + 5.0 + rnd() * 60.0,
+                ay + 5.0 + rnd() * 60.0,
+            ));
         }
         let mut g = grid_with(&rects);
         for _ in 0..300 {

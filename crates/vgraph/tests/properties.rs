@@ -43,8 +43,7 @@ fn brute_odist(rs: &[Rect], a: Point, b: Point) -> f64 {
         nodes.extend(r.corners());
     }
     let n = nodes.len();
-    let blocked =
-        |u: Point, v: Point| -> bool { rs.iter().any(|r| r.blocks(&Segment::new(u, v))) };
+    let blocked = |u: Point, v: Point| -> bool { rs.iter().any(|r| r.blocks(&Segment::new(u, v))) };
     let mut dist = vec![f64::INFINITY; n];
     let mut done = vec![false; n];
     dist[0] = 0.0;

@@ -74,10 +74,7 @@ fn main() {
         plan.segments().len()
     );
     for (ids, iv) in plan.segments().iter().take(12) {
-        println!(
-            "  [{:6.1} – {:6.1}] → survivors {:?}",
-            iv.lo, iv.hi, ids
-        );
+        println!("  [{:6.1} – {:6.1}] → survivors {:?}", iv.lo, iv.hi, ids);
     }
     if plan.segments().len() > 12 {
         println!("  … ({} more stretches)", plan.segments().len() - 12);

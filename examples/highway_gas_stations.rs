@@ -16,19 +16,19 @@ use conn::prelude::*;
 fn main() {
     // Six gas stations, echoing the paper's {a, b, c, d, f, g}.
     let stations = vec![
-        DataPoint::new(0, Point::new(60.0, 155.0)),   // a
-        DataPoint::new(1, Point::new(340.0, 150.0)),  // b
-        DataPoint::new(2, Point::new(860.0, 170.0)),  // c
-        DataPoint::new(3, Point::new(120.0, 95.0)),   // d — Euclidean NN of S
-        DataPoint::new(4, Point::new(540.0, 260.0)),  // f
-        DataPoint::new(5, Point::new(620.0, 120.0)),  // g
+        DataPoint::new(0, Point::new(60.0, 155.0)),  // a
+        DataPoint::new(1, Point::new(340.0, 150.0)), // b
+        DataPoint::new(2, Point::new(860.0, 170.0)), // c
+        DataPoint::new(3, Point::new(120.0, 95.0)),  // d — Euclidean NN of S
+        DataPoint::new(4, Point::new(540.0, 260.0)), // f
+        DataPoint::new(5, Point::new(620.0, 120.0)), // g
     ];
     // Four rectangular obstacles; o3 walls station d off from the road start.
     let obstacles = vec![
-        Rect::new(40.0, 40.0, 200.0, 80.0),   // o3: between S and d
-        Rect::new(280.0, 60.0, 420.0, 100.0), // o1
+        Rect::new(40.0, 40.0, 200.0, 80.0),    // o3: between S and d
+        Rect::new(280.0, 60.0, 420.0, 100.0),  // o1
         Rect::new(500.0, 150.0, 580.0, 210.0), // o4: between f/g area
-        Rect::new(700.0, 40.0, 800.0, 120.0), // o2
+        Rect::new(700.0, 40.0, 800.0, 120.0),  // o2
     ];
     let highway = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
 

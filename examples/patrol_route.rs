@@ -55,17 +55,11 @@ fn main() {
     println!("nearest dock by travel distance along the route:");
     for (dock, iv) in plan.segments() {
         match dock {
-            Some(d) => println!(
-                "  route-km [{:7.1} – {:7.1}] → dock {}",
-                iv.lo, iv.hi, d.id
-            ),
+            Some(d) => println!("  route-km [{:7.1} – {:7.1}] → dock {}", iv.lo, iv.hi, d.id),
             None => println!("  route-km [{:7.1} – {:7.1}] → unreachable", iv.lo, iv.hi),
         }
     }
-    println!(
-        "{} handovers along the loop",
-        plan.split_points().len()
-    );
+    println!("{} handovers along the loop", plan.split_points().len());
 
     // Spot check against a direct shortest-path computation.
     let probe = route.len() * 0.37;

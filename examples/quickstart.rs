@@ -33,7 +33,10 @@ fn main() {
         &ConnConfig::default(),
     );
 
-    println!("CONN result along a {:.0}-unit trajectory:", trajectory.len());
+    println!(
+        "CONN result along a {:.0}-unit trajectory:",
+        trajectory.len()
+    );
     for (facility, interval) in result.segments() {
         match facility {
             Some(f) => println!(

@@ -54,10 +54,7 @@ fn cost_grows_with_query_length() {
         }
         costs.push((noe, npe));
     }
-    assert!(
-        costs[1].0 > costs[0].0,
-        "NOE must grow with ql: {costs:?}"
-    );
+    assert!(costs[1].0 > costs[0].0, "NOE must grow with ql: {costs:?}");
     assert!(
         costs[1].1 >= costs[0].1,
         "NPE must not shrink with ql: {costs:?}"
@@ -121,7 +118,10 @@ fn buffer_only_affects_faults() {
     dt.set_buffer_pages(0);
     ot.set_buffer_pages(0);
     assert_eq!(reads0, reads32, "logical reads must not depend on buffer");
-    assert!(faults32 < faults0, "buffer must cut faults: {faults32} vs {faults0}");
+    assert!(
+        faults32 < faults0,
+        "buffer must cut faults: {faults32} vs {faults0}"
+    );
 }
 
 #[test]

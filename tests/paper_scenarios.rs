@@ -129,9 +129,9 @@ fn figure1_cnn_vs_conn() {
 #[test]
 fn figure8_three_point_interaction() {
     let points = vec![
-        DataPoint::new(0, Point::new(15.0, 45.0)),  // a
-        DataPoint::new(1, Point::new(50.0, 35.0)),  // b
-        DataPoint::new(2, Point::new(85.0, 50.0)),  // c
+        DataPoint::new(0, Point::new(15.0, 45.0)), // a
+        DataPoint::new(1, Point::new(50.0, 35.0)), // b
+        DataPoint::new(2, Point::new(85.0, 50.0)), // c
     ];
     let obstacles = vec![
         Rect::new(8.0, 18.0, 28.0, 26.0),  // o1 under a

@@ -1,0 +1,92 @@
+//! Smoke test for the workspace surface: every public item re-exported by
+//! `conn::prelude` is constructed or called at least once, so a missing or
+//! renamed re-export breaks this file at compile time.
+
+use conn::prelude::*;
+
+/// A small scene: four stations around a wall, queried along a road.
+fn scene() -> (Vec<DataPoint>, Vec<Rect>, Segment) {
+    let points = vec![
+        DataPoint::new(0, Point::new(100.0, 150.0)),
+        DataPoint::new(1, Point::new(400.0, 120.0)),
+        DataPoint::new(2, Point::new(700.0, 200.0)),
+        DataPoint::new(3, Point::new(900.0, 80.0)),
+    ];
+    let obstacles = vec![
+        Rect::new(250.0, 50.0, 330.0, 180.0),
+        Rect::new(550.0, 20.0, 620.0, 140.0),
+    ];
+    let q = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
+    (points, obstacles, q)
+}
+
+#[test]
+fn every_prelude_item_is_usable() {
+    let (points, obstacles, q) = scene();
+
+    // Geometry primitives.
+    let p = Point::new(1.0, 2.0);
+    assert!(p.dist(Point::new(1.0, 2.0)) < 1e-12);
+    let iv = Interval::new(0.25, 0.75);
+    assert!((iv.len() - 0.5).abs() < 1e-12);
+    assert!(q.len() > 999.0);
+    assert!(obstacles[0].area() > 0.0);
+
+    // Index construction via the facade re-exports.
+    let data_tree = RStarTree::bulk_load(points.clone(), DEFAULT_PAGE_SIZE);
+    let obs_tree = RStarTree::bulk_load(obstacles.clone(), DEFAULT_PAGE_SIZE);
+    let cfg = ConnConfig::default();
+
+    // CONN on two trees.
+    let (conn_res, conn_stats): (ConnResult, QueryStats) =
+        conn_search(&data_tree, &obs_tree, &q, &cfg);
+    assert!(!conn_res.entries().is_empty());
+    assert!(conn_stats.npe >= 1);
+
+    // COkNN on two trees.
+    let (coknn_res, _): (CoknnResult, QueryStats) =
+        coknn_search(&data_tree, &obs_tree, &q, 2, &cfg);
+    assert!(!coknn_res.segments().is_empty());
+
+    // Single unified tree variants.
+    let unified = build_unified_tree(&points, &obstacles, DEFAULT_PAGE_SIZE);
+    let (res_1t, _) = conn_search_single_tree(&unified, &q, &cfg);
+    assert_eq!(
+        res_1t.segments().len(),
+        conn_res.segments().len(),
+        "1T and 2T CONN must agree on the result partition"
+    );
+    let (coknn_1t, _) = coknn_search_single_tree(&unified, &q, 2, &cfg);
+    assert_eq!(coknn_1t.segments().len(), coknn_res.segments().len());
+
+    // Point queries and raw obstructed distance.
+    let (nn, _) = onn_search(&data_tree, &obs_tree, Point::new(500.0, 0.0), 1, &cfg);
+    assert_eq!(nn.len(), 1);
+    let od = obstructed_distance(&obstacles, Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
+    assert!(od >= 1000.0 - 1e-9);
+
+    // Trajectory (polyline) queries.
+    let traj = Trajectory::new(vec![
+        Point::new(0.0, 0.0),
+        Point::new(500.0, 10.0),
+        Point::new(1000.0, 0.0),
+    ]);
+    let (traj_res, traj_stats) = trajectory_conn_search(&data_tree, &obs_tree, &traj, &cfg);
+    assert!(!traj_res.segments().is_empty());
+    assert!(traj_stats.npe >= 1);
+}
+
+#[test]
+fn facade_modules_are_reachable() {
+    // The non-prelude facade surface: crate-level module re-exports.
+    let rects = conn::datasets::la_like(30, 7);
+    assert_eq!(rects.len(), 30);
+    let pts = conn::datasets::uniform_points(20, 7, &rects);
+    assert_eq!(pts.len(), 20);
+
+    let g = conn::vgraph::VisGraph::new(100.0);
+    assert_eq!(g.num_obstacles(), 0);
+
+    let r = conn::geom::Rect::new(0.0, 0.0, 1.0, 1.0);
+    assert!(conn::geom::approx_eq(r.area(), 1.0));
+}

@@ -120,11 +120,7 @@ fn visible_knn_on_workload() {
     // brute force: visible points sorted by euclid
     let mut want: Vec<(u32, f64)> = points
         .iter()
-        .filter(|p| {
-            !obstacles
-                .iter()
-                .any(|r| r.blocks(&Segment::new(s, p.pos)))
-        })
+        .filter(|p| !obstacles.iter().any(|r| r.blocks(&Segment::new(s, p.pos))))
         .map(|p| (p.id, p.pos.dist(s)))
         .collect();
     want.sort_by(|a, b| a.1.total_cmp(&b.1));

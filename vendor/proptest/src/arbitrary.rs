@@ -1,0 +1,10 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::AnyStrategy;
+use std::marker::PhantomData;
+
+pub fn any<T>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}

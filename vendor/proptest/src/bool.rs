@@ -1,0 +1,23 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Yields `true` with the given probability.
+pub fn weighted(probability: f64) -> Weighted {
+    Weighted { probability }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng.gen_bool(self.probability)
+    }
+}
