@@ -1,31 +1,63 @@
 //! `repro` — regenerates every table/figure series of the paper's
-//! evaluation (§5) as text tables.
+//! evaluation (§5) as text tables, plus the post-paper batch scenario.
 //!
 //! ```text
-//! repro [fig9|fig10|fig11|fig12|fig13|ablation|all] [--scale S] [--queries N] [--seed S]
+//! repro [TARGET | --target TARGET] [--scale S] [--queries N] [--seed S]
+//!       [--batch] [--threads T] [--out FILE.json]
 //! ```
 //!
+//! * `TARGET` — `fig9`…`fig13`, `ablation`, `motivation`, `all`; plus
+//!   `conn` (a quick CONN smoke run) and `batch` (the batch-layer
+//!   comparison; `--batch` is shorthand for it).
 //! * `--scale` — dataset scale relative to the paper's cardinalities
-//!   (|LA| = 131,461): `smoke` (1/256), `default` (1/16), `paper` (1), or a
-//!   ratio like `0.125`.
-//! * `--queries` — workload size per setting (paper: 100; default here 20).
+//!   (|LA| = 131,461): `smoke`/`small` (1/256), `default` (1/16), `paper`
+//!   (1), or a ratio like `0.125`.
+//! * `--queries` — workload size per setting (paper: 100; default here 20;
+//!   the batch target defaults to 64).
+//! * `--threads` — batch worker-pool size (0 = available parallelism).
+//! * `--out` — where the batch target writes its JSON record
+//!   (default `BENCH_batch.json`).
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-ins for CA/LA, reduced scale); the *shapes* — who wins, what grows
 //! with what — are the reproduction target. See EXPERIMENTS.md.
 
-use conn_bench::{print_header, print_row, Scale, Workload};
+use std::time::Instant;
+
+use conn_bench::{conn_results_identical, print_header, print_row, Scale, Workload};
 use conn_core::ConnConfig;
 use conn_datasets::{Combo, DEFAULT_K, DEFAULT_QL};
 
 struct Args {
     what: String,
     scale: Scale,
-    queries: usize,
+    queries: Option<usize>,
     seed: u64,
+    threads: usize,
+    out: String,
 }
 
-const KNOWN_TARGETS: [&str; 8] = [
+impl Args {
+    fn queries(&self) -> usize {
+        self.queries.unwrap_or(20)
+    }
+
+    /// The batch target defaults to the acceptance workload of 64 queries.
+    fn batch_queries(&self) -> usize {
+        self.queries.unwrap_or(64)
+    }
+
+    /// Workload size actually used by the selected target (for the header).
+    fn effective_queries(&self) -> usize {
+        if self.what == "batch" {
+            self.batch_queries()
+        } else {
+            self.queries()
+        }
+    }
+}
+
+const KNOWN_TARGETS: [&str; 10] = [
     "all",
     "fig9",
     "fig10",
@@ -34,12 +66,15 @@ const KNOWN_TARGETS: [&str; 8] = [
     "fig13",
     "ablation",
     "motivation",
+    "conn",
+    "batch",
 ];
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: repro [{}] [--scale smoke|default|paper|RATIO] [--queries N] [--seed S]",
+        "usage: repro [{} | --target T] [--scale smoke|small|default|paper|RATIO] \
+         [--queries N] [--seed S] [--batch] [--threads T] [--out FILE.json]",
         KNOWN_TARGETS.join("|")
     );
     std::process::exit(2);
@@ -54,8 +89,10 @@ fn flag_value(argv: &[String], i: usize) -> &str {
 fn parse_args() -> Args {
     let mut what = "all".to_string();
     let mut scale = Scale::DEFAULT;
-    let mut queries = 20usize;
+    let mut queries: Option<usize> = None;
     let mut seed = 2009u64;
+    let mut threads = 0usize;
+    let mut out = "BENCH_batch.json".to_string();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -63,21 +100,21 @@ fn parse_args() -> Args {
             "--scale" => {
                 i += 1;
                 scale = match flag_value(&argv, i) {
-                    "smoke" => Scale::SMOKE,
+                    "smoke" | "small" => Scale::SMOKE,
                     "default" => Scale::DEFAULT,
                     "paper" => Scale::PAPER,
                     s => Scale(s.parse().unwrap_or_else(|_| {
                         usage(&format!(
-                            "--scale must be smoke, default, paper, or a ratio (got {s:?})"
+                            "--scale must be smoke, small, default, paper, or a ratio (got {s:?})"
                         ))
                     })),
                 };
             }
             "--queries" => {
                 i += 1;
-                queries = flag_value(&argv, i).parse().unwrap_or_else(|_| {
+                queries = Some(flag_value(&argv, i).parse().unwrap_or_else(|_| {
                     usage(&format!("--queries must be a number (got {:?})", argv[i]))
-                });
+                }));
             }
             "--seed" => {
                 i += 1;
@@ -85,6 +122,25 @@ fn parse_args() -> Args {
                     usage(&format!("--seed must be a number (got {:?})", argv[i]))
                 });
             }
+            "--threads" => {
+                i += 1;
+                threads = flag_value(&argv, i).parse().unwrap_or_else(|_| {
+                    usage(&format!("--threads must be a number (got {:?})", argv[i]))
+                });
+            }
+            "--out" => {
+                i += 1;
+                out = flag_value(&argv, i).to_string();
+            }
+            "--target" => {
+                i += 1;
+                let t = flag_value(&argv, i);
+                if !KNOWN_TARGETS.contains(&t) {
+                    usage(&format!("unknown target {t:?}"));
+                }
+                what = t.to_string();
+            }
+            "--batch" => what = "batch".to_string(),
             other if KNOWN_TARGETS.contains(&other) => what = other.to_string(),
             other => usage(&format!("unknown target {other:?}")),
         }
@@ -95,6 +151,8 @@ fn parse_args() -> Args {
         scale,
         queries,
         seed,
+        threads,
+        out,
     }
 }
 
@@ -105,7 +163,7 @@ fn main() {
         args.scale.0,
         args.scale.obstacles(),
         args.scale.ca_points(),
-        args.queries,
+        args.effective_queries(),
         args.seed
     );
     let all = args.what == "all";
@@ -130,6 +188,144 @@ fn main() {
     if all || args.what == "motivation" {
         motivation(&args);
     }
+    // post-paper targets (not part of `all`: they measure this repo's
+    // serving layer, not the paper's figures)
+    if args.what == "conn" {
+        conn_smoke(&args);
+    }
+    if args.what == "batch" {
+        batch(&args);
+    }
+}
+
+/// `conn`: a quick end-to-end CONN run (CI smoke target) — builds a UL
+/// workload, answers every query through a reused engine, prints averages.
+fn conn_smoke(args: &Args) {
+    use conn_core::QueryEngine;
+    println!("\n## CONN smoke — UL, k = 1, ql = 4.5%");
+    let w = Workload::with_ratio(
+        Combo::Ul,
+        args.scale,
+        1.0,
+        DEFAULT_QL,
+        args.queries(),
+        args.seed,
+    );
+    let cfg = ConnConfig::default();
+    let mut engine = QueryEngine::new(cfg);
+    let mut acc = conn_core::QueryStats::default();
+    for q in &w.queries {
+        let (res, stats) = engine.conn(&w.data_tree, &w.obstacle_tree, q);
+        res.check_cover().expect("result must cover the segment");
+        acc.accumulate(&stats);
+    }
+    print_header("queries");
+    print_row(
+        &format!("{}", w.queries.len()),
+        &acc.averaged(w.queries.len() as u64),
+        w.full_vg_vertices(),
+    );
+    println!(
+        "reuse: {} graph reuses, {} node slots retained, {} Dijkstra reuses",
+        acc.reuse.graph_reuses, acc.reuse.nodes_retained, acc.reuse.heap_reuses
+    );
+}
+
+/// `batch`: the batch-layer comparison — legacy one-shot loop vs serial
+/// engine reuse vs the parallel batch front-end, on a mixed workload.
+/// Asserts identical results across all three paths and records the
+/// numbers as JSON.
+fn batch(args: &Args) {
+    let n_queries = args.batch_queries();
+    println!("\n## Batch layer — mixed workload (uniform + clustered + trajectory), k = 1");
+    let w = Workload::build_mixed(
+        Combo::Ul,
+        args.scale.obstacles(),
+        args.scale.obstacles(),
+        DEFAULT_QL,
+        n_queries,
+        args.seed,
+    );
+    let cfg = ConnConfig::default();
+
+    let t0 = Instant::now();
+    let serial = w.run_conn_serial(&cfg);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (engine_results, engine_pooled) = w.run_conn_engine(&cfg);
+    let engine_s = t1.elapsed().as_secs_f64();
+
+    let (batch_results, stats) = w.run_conn_batch(&cfg, args.threads);
+    let batch_s = stats.wall.as_secs_f64();
+
+    assert!(
+        conn_results_identical(&serial, &engine_results),
+        "engine path diverged from the one-shot API"
+    );
+    assert!(
+        conn_results_identical(&serial, &batch_results),
+        "batch path diverged from the one-shot API"
+    );
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>9}",
+        "path", "total(s)", "qps", "speedup"
+    );
+    let row = |label: &str, secs: f64| {
+        println!(
+            "{label:<26} {:>10.3} {:>12.1} {:>8.2}x",
+            secs,
+            n_queries as f64 / secs,
+            serial_s / secs
+        );
+    };
+    row("one-shot API loop", serial_s);
+    row("serial engine reuse", engine_s);
+    row(&format!("batch ({} threads)", stats.threads), batch_s);
+    println!(
+        "latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+        stats.mean_s * 1e3,
+        stats.p50_s * 1e3,
+        stats.p99_s * 1e3
+    );
+    println!(
+        "reuse: {} graph reuses, {} node slots retained, {} Dijkstra reuses",
+        stats.pooled.reuse.graph_reuses,
+        stats.pooled.reuse.nodes_retained,
+        stats.pooled.reuse.heap_reuses
+    );
+    println!(
+        "engine-path reuse check: {} graph reuses over {} queries",
+        engine_pooled.reuse.graph_reuses, n_queries
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"queries\": {},\n  \"threads\": {},\n  \
+         \"serial_one_shot_s\": {:.6},\n  \"serial_engine_s\": {:.6},\n  \
+         \"batch_s\": {:.6},\n  \"speedup_engine\": {:.4},\n  \
+         \"speedup_batch\": {:.4},\n  \"throughput_qps\": {:.2},\n  \
+         \"latency_mean_ms\": {:.4},\n  \"latency_p50_ms\": {:.4},\n  \
+         \"latency_p99_ms\": {:.4},\n  \"graph_reuses\": {},\n  \
+         \"nodes_retained\": {},\n  \"heap_reuses\": {}\n}}\n",
+        args.scale.0,
+        n_queries,
+        stats.threads,
+        serial_s,
+        engine_s,
+        batch_s,
+        serial_s / engine_s,
+        serial_s / batch_s,
+        stats.throughput_qps,
+        stats.mean_s * 1e3,
+        stats.p50_s * 1e3,
+        stats.p99_s * 1e3,
+        stats.pooled.reuse.graph_reuses,
+        stats.pooled.reuse.nodes_retained,
+        stats.pooled.reuse.heap_reuses,
+    );
+    std::fs::write(&args.out, json).expect("write batch record");
+    println!("recorded {}", args.out);
 }
 
 /// The paper's §1 motivation: a naive CONN built from m snapshot ONN
@@ -143,7 +339,7 @@ fn motivation(args: &Args) {
         scale,
         1.0,
         DEFAULT_QL,
-        args.queries.min(5),
+        args.queries().min(5),
         args.seed,
     );
     let cfg = ConnConfig::default();
@@ -187,7 +383,7 @@ fn fig9(args: &Args) {
     print_header("ql (% side)");
     let cfg = ConnConfig::default();
     for ql_pct in [1.5, 3.0, 4.5, 6.0, 7.5] {
-        let w = Workload::cl(args.scale, ql_pct / 100.0, args.queries, args.seed);
+        let w = Workload::cl(args.scale, ql_pct / 100.0, args.queries(), args.seed);
         let avg = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
         print_row(&format!("{ql_pct}"), &avg, w.full_vg_vertices());
     }
@@ -198,7 +394,7 @@ fn fig10(args: &Args) {
     println!("\n## Figure 10 — COkNN vs k (CL, ql = 4.5%)");
     print_header("k");
     let cfg = ConnConfig::default();
-    let w = Workload::cl(args.scale, DEFAULT_QL, args.queries, args.seed);
+    let w = Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed);
     for k in [1usize, 3, 5, 7, 9] {
         let avg = w.run_two_tree(k, &cfg, 0.0, 0);
         print_row(&format!("{k}"), &avg, w.full_vg_vertices());
@@ -220,7 +416,7 @@ fn fig11(args: &Args) {
                 args.scale,
                 ratio,
                 DEFAULT_QL,
-                args.queries,
+                args.queries(),
                 args.seed,
             );
             let avg = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
@@ -232,7 +428,7 @@ fn fig11(args: &Args) {
 /// Figure 12: performance vs LRU buffer size (CL and UL, k = 5, ql = 4.5 %).
 fn fig12(args: &Args) {
     let cfg = ConnConfig::default();
-    let warmup = args.queries / 2; // paper: first 50 of 100 warm the buffer
+    let warmup = args.queries() / 2; // paper: first 50 of 100 warm the buffer
     for combo in [Combo::Cl, Combo::Ul] {
         println!(
             "\n## Figure 12 — COkNN vs buffer size ({}, k = 5, ql = 4.5%)",
@@ -240,8 +436,15 @@ fn fig12(args: &Args) {
         );
         print_header("buffer (%)");
         let w = match combo {
-            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries, args.seed),
-            _ => Workload::with_ratio(combo, args.scale, 1.0, DEFAULT_QL, args.queries, args.seed),
+            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed),
+            _ => Workload::with_ratio(
+                combo,
+                args.scale,
+                1.0,
+                DEFAULT_QL,
+                args.queries(),
+                args.seed,
+            ),
         };
         for bs_pct in [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
             let avg = w.run_two_tree(DEFAULT_K, &cfg, bs_pct / 100.0, warmup);
@@ -264,13 +467,13 @@ fn fig13(args: &Args) {
         );
         for ql_pct in [1.5, 3.0, 4.5, 6.0, 7.5] {
             let w = match combo {
-                Combo::Cl => Workload::cl(args.scale, ql_pct / 100.0, args.queries, args.seed),
+                Combo::Cl => Workload::cl(args.scale, ql_pct / 100.0, args.queries(), args.seed),
                 _ => Workload::with_ratio(
                     combo,
                     args.scale,
                     1.0,
                     ql_pct / 100.0,
-                    args.queries,
+                    args.queries(),
                     args.seed,
                 ),
             };
@@ -285,8 +488,15 @@ fn fig13(args: &Args) {
         println!("-- {} --", combo.label());
         println!("{:<14} {:>12} {:>12}", "k", "2T total(s)", "1T total(s)");
         let w = match combo {
-            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries, args.seed),
-            _ => Workload::with_ratio(combo, args.scale, 1.0, DEFAULT_QL, args.queries, args.seed),
+            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed),
+            _ => Workload::with_ratio(
+                combo,
+                args.scale,
+                1.0,
+                DEFAULT_QL,
+                args.queries(),
+                args.seed,
+            ),
         };
         for k in [1usize, 3, 5, 7, 9] {
             let two = w.run_two_tree(k, &cfg, 0.0, 0);
@@ -308,7 +518,7 @@ fn fig13(args: &Args) {
                 args.scale,
                 ratio,
                 DEFAULT_QL,
-                args.queries,
+                args.queries(),
                 args.seed,
             );
             let two = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
@@ -326,7 +536,7 @@ fn ablation(args: &Args) {
         args.scale,
         1.0,
         DEFAULT_QL,
-        args.queries,
+        args.queries(),
         args.seed,
     );
     print_header("config");

@@ -7,10 +7,10 @@
 
 use conn_core::stats::AveragedStats;
 use conn_core::{
-    build_unified_tree, coknn_search, coknn_search_single_tree, ConnConfig, DataPoint, QueryStats,
-    SpatialObject,
+    build_unified_tree, coknn_search, coknn_search_single_tree, conn_batch, conn_search,
+    BatchStats, ConnConfig, ConnResult, DataPoint, QueryEngine, QueryStats, SpatialObject,
 };
-use conn_datasets::{la_like, query_segments, Combo, PAPER_CA_SIZE, PAPER_LA_SIZE};
+use conn_datasets::{la_like, mixed_batch, query_segments, Combo, PAPER_CA_SIZE, PAPER_LA_SIZE};
 use conn_geom::{Rect, Segment};
 use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
 
@@ -85,6 +85,23 @@ impl Workload {
         )
     }
 
+    /// A batch-serving workload: same trees as [`Workload::build`], but the
+    /// queries come from [`conn_datasets::mixed_batch`] (uniform +
+    /// clustered + trajectory interleaved) — the scenario the batch
+    /// front-end is measured on.
+    pub fn build_mixed(
+        combo: Combo,
+        n_points: usize,
+        n_obstacles: usize,
+        ql: f64,
+        n_queries: usize,
+        seed: u64,
+    ) -> Self {
+        let mut w = Self::build(combo, n_points, n_obstacles, ql, n_queries, seed);
+        w.queries = mixed_batch(n_queries, ql, seed.wrapping_add(2), &w.obstacles);
+        w
+    }
+
     /// UL / ZL with an explicit |P|/|O| ratio (Figure 11's x-axis).
     pub fn with_ratio(
         combo: Combo,
@@ -140,6 +157,47 @@ impl Workload {
         acc.averaged(counted)
     }
 
+    /// Baseline for the batch comparison: loops the legacy one-shot CONN
+    /// API over the workload (fresh substrate per query).
+    pub fn run_conn_serial(&self, cfg: &ConnConfig) -> Vec<ConnResult> {
+        self.queries
+            .iter()
+            .map(|q| conn_search(&self.data_tree, &self.obstacle_tree, q, cfg).0)
+            .collect()
+    }
+
+    /// Single-threaded engine reuse: one [`QueryEngine`] answers the whole
+    /// workload (isolates substrate amortization from parallelism).
+    pub fn run_conn_engine(&self, cfg: &ConnConfig) -> (Vec<ConnResult>, QueryStats) {
+        let mut engine = QueryEngine::new(*cfg);
+        let mut pooled = QueryStats::default();
+        let results = self
+            .queries
+            .iter()
+            .map(|q| {
+                let (res, stats) = engine.conn(&self.data_tree, &self.obstacle_tree, q);
+                pooled.accumulate(&stats);
+                res
+            })
+            .collect();
+        (results, pooled)
+    }
+
+    /// The batch front-end over this workload's trees and queries.
+    pub fn run_conn_batch(
+        &self,
+        cfg: &ConnConfig,
+        threads: usize,
+    ) -> (Vec<ConnResult>, BatchStats) {
+        conn_batch(
+            &self.data_tree,
+            &self.obstacle_tree,
+            &self.queries,
+            cfg,
+            threads,
+        )
+    }
+
     /// Runs the COkNN workload on the single-tree layout.
     pub fn run_one_tree(
         &self,
@@ -162,6 +220,20 @@ impl Workload {
         }
         acc.averaged(counted)
     }
+}
+
+/// Bit-exact CONN result identity, entry by entry (answer ids + interval
+/// bounds) — the equivalence gate the batch comparisons assert.
+pub fn conn_results_identical(a: &[ConnResult], b: &[ConnResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.entries().len() == y.entries().len()
+                && x.entries().iter().zip(y.entries()).all(|(ex, ey)| {
+                    ex.point.map(|p| p.id) == ey.point.map(|p| p.id)
+                        && ex.interval.lo.to_bits() == ey.interval.lo.to_bits()
+                        && ex.interval.hi.to_bits() == ey.interval.hi.to_bits()
+                })
+        })
 }
 
 /// Pretty-prints one figure row.

@@ -1,0 +1,329 @@
+//! Parallel batch execution over shared R\*-trees.
+//!
+//! [`conn_batch`] / [`coknn_batch`] fan a workload of query segments out
+//! across a small `std::thread` worker pool. The trees are shared immutably
+//! (`RStarTree` is `Sync`: page counters are atomic, the LRU buffer is
+//! mutex-guarded); each worker owns one [`QueryEngine`], so per-query
+//! substrate allocations are amortized across the whole batch. Results come
+//! back in workload order, together with aggregated [`BatchStats`].
+//!
+//! I/O accounting: per-query counter resets would race on the shared trees,
+//! so the batch resets each tree's counters once up front and pools the
+//! totals into [`BatchStats::pooled`]. The per-query [`QueryStats`] inside
+//! a batch therefore report zero tree I/O and real CPU/NPE/NOE.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use conn_geom::{Rect, Segment};
+use conn_index::RStarTree;
+
+use crate::coknn::CoknnResult;
+use crate::config::ConnConfig;
+use crate::conn::ConnResult;
+use crate::engine::QueryEngine;
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// Aggregated telemetry of one batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchStats {
+    /// Number of queries answered.
+    pub queries: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Pooled counters: per-query stats summed, plus the shared trees' I/O
+    /// totals for the batch.
+    pub pooled: QueryStats,
+    /// Mean per-query CPU latency, in seconds.
+    pub mean_s: f64,
+    /// Median per-query CPU latency, in seconds.
+    pub p50_s: f64,
+    /// 99th-percentile per-query CPU latency, in seconds.
+    pub p99_s: f64,
+    /// Batch throughput in queries per second of wall time.
+    pub throughput_qps: f64,
+}
+
+impl BatchStats {
+    fn from_parts(
+        queries: usize,
+        threads: usize,
+        wall: Duration,
+        pooled: QueryStats,
+        mut lat: Vec<f64>,
+    ) -> Self {
+        lat.sort_by(f64::total_cmp);
+        let pick = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        let mean = if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        };
+        BatchStats {
+            queries,
+            threads,
+            wall,
+            pooled,
+            mean_s: mean,
+            p50_s: pick(0.5),
+            p99_s: pick(0.99),
+            throughput_qps: if wall.as_secs_f64() > 0.0 {
+                queries as f64 / wall.as_secs_f64()
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+/// Resolves the worker-pool size: `0` means the machine's available
+/// parallelism; the pool never exceeds the workload size.
+fn pool_size(requested: usize, queries: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, queries.max(1))
+}
+
+/// Generic batch driver: work-steals query indices off a shared atomic
+/// cursor, one engine per worker, results re-assembled in workload order.
+fn run_batch<R, F>(
+    queries: &[Segment],
+    cfg: &ConnConfig,
+    threads: usize,
+    f: F,
+) -> (Vec<R>, usize, Vec<(usize, QueryStats)>)
+where
+    R: Send,
+    F: Fn(&mut QueryEngine, &Segment) -> (R, QueryStats) + Sync,
+{
+    let threads = pool_size(threads, queries.len());
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R, QueryStats)> = Vec::with_capacity(queries.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut engine = QueryEngine::new(*cfg);
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let (res, stats) = f(&mut engine, &queries[i]);
+                    local.push((i, res, stats));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            collected.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    collected.sort_by_key(|(i, _, _)| *i);
+    let mut results = Vec::with_capacity(collected.len());
+    let mut stats = Vec::with_capacity(collected.len());
+    for (i, r, s) in collected {
+        results.push(r);
+        stats.push((i, s));
+    }
+    (results, threads, stats)
+}
+
+/// Answers every CONN query of `queries` over the shared trees with a pool
+/// of `threads` workers (`0` = available parallelism). Results are in
+/// workload order and identical to answering each query with
+/// [`crate::conn_search`].
+///
+/// ```
+/// use conn_core::{conn_batch, ConnConfig, DataPoint};
+/// use conn_geom::{Point, Rect, Segment};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(vec![DataPoint::new(0, Point::new(20.0, 30.0))], 4096);
+/// let obstacles = RStarTree::bulk_load(vec![Rect::new(40.0, 5.0, 55.0, 35.0)], 4096);
+/// let queries: Vec<Segment> = (0..8)
+///     .map(|i| {
+///         let x = 10.0 * i as f64;
+///         Segment::new(Point::new(x, 0.0), Point::new(x + 50.0, 0.0))
+///     })
+///     .collect();
+///
+/// let (results, stats) = conn_batch(&points, &obstacles, &queries, &ConnConfig::default(), 0);
+/// assert_eq!(results.len(), 8);
+/// assert_eq!(stats.queries, 8);
+/// assert!(stats.pooled.reuse.graph_reuses >= 8 - stats.threads as u64);
+/// ```
+pub fn conn_batch(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    queries: &[Segment],
+    cfg: &ConnConfig,
+    threads: usize,
+) -> (Vec<ConnResult>, BatchStats) {
+    batch_over(
+        data_tree,
+        obstacle_tree,
+        queries,
+        cfg,
+        threads,
+        |engine, q| engine.conn_pooled_io(data_tree, obstacle_tree, q),
+    )
+}
+
+/// COkNN batch: like [`conn_batch`] with a per-query `k`.
+pub fn coknn_batch(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    queries: &[Segment],
+    k: usize,
+    cfg: &ConnConfig,
+    threads: usize,
+) -> (Vec<CoknnResult>, BatchStats) {
+    batch_over(
+        data_tree,
+        obstacle_tree,
+        queries,
+        cfg,
+        threads,
+        |engine, q| engine.coknn_pooled_io(data_tree, obstacle_tree, q, k),
+    )
+}
+
+/// Shared front-end: reset shared-tree counters, fan out, pool counters and
+/// latencies into [`BatchStats`].
+fn batch_over<R, F>(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    queries: &[Segment],
+    cfg: &ConnConfig,
+    threads: usize,
+    f: F,
+) -> (Vec<R>, BatchStats)
+where
+    R: Send,
+    F: Fn(&mut QueryEngine, &Segment) -> (R, QueryStats) + Sync,
+{
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+    let (results, threads, per_query) = run_batch(queries, cfg, threads, f);
+    let wall = started.elapsed();
+    let mut pooled = QueryStats::default();
+    let mut lat = Vec::with_capacity(per_query.len());
+    for (_, s) in &per_query {
+        pooled.accumulate(s);
+        lat.push(s.cpu.as_secs_f64());
+    }
+    pooled.data_io = data_tree.stats();
+    pooled.obstacle_io = obstacle_tree.stats();
+    (
+        results,
+        BatchStats::from_parts(queries.len(), threads, wall, pooled, lat),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coknn::coknn_search;
+    use crate::conn::conn_search;
+    use conn_geom::Point;
+
+    fn setup(n_queries: usize) -> (RStarTree<DataPoint>, RStarTree<Rect>, Vec<Segment>) {
+        let points: Vec<DataPoint> = (0..24)
+            .map(|i| {
+                DataPoint::new(
+                    i,
+                    Point::new((i as f64 * 37.0) % 300.0, (i as f64 * 91.0) % 200.0),
+                )
+            })
+            .collect();
+        let obstacles = vec![
+            Rect::new(40.0, 20.0, 60.0, 80.0),
+            Rect::new(120.0, 50.0, 150.0, 70.0),
+            Rect::new(200.0, 10.0, 220.0, 120.0),
+        ];
+        let queries: Vec<Segment> = (0..n_queries)
+            .map(|i| {
+                let x = (i as f64 * 23.0) % 250.0;
+                let y = (i as f64 * 17.0) % 150.0;
+                Segment::new(Point::new(x, y), Point::new(x + 60.0, y + 5.0))
+            })
+            .collect();
+        (
+            RStarTree::bulk_load(points, 4096),
+            RStarTree::bulk_load(obstacles, 4096),
+            queries,
+        )
+    }
+
+    #[test]
+    fn batch_matches_serial_conn() {
+        let (dt, ot, queries) = setup(16);
+        let cfg = ConnConfig::default();
+        let (batch, stats) = conn_batch(&dt, &ot, &queries, &cfg, 2);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(stats.queries, queries.len());
+        assert!(stats.threads >= 1 && stats.threads <= 2);
+        for (res, q) in batch.iter().zip(&queries) {
+            let (serial, _) = conn_search(&dt, &ot, q, &cfg);
+            assert_eq!(res.entries().len(), serial.entries().len());
+            for (x, y) in res.entries().iter().zip(serial.entries()) {
+                assert_eq!(x.point.map(|p| p.id), y.point.map(|p| p.id));
+                assert_eq!(x.interval.lo.to_bits(), y.interval.lo.to_bits());
+                assert_eq!(x.interval.hi.to_bits(), y.interval.hi.to_bits());
+            }
+        }
+        // engines are reused: at most one fresh workspace per worker
+        assert!(stats.pooled.reuse.graph_reuses >= (queries.len() - stats.threads) as u64);
+        assert!(stats.pooled.reads() > 0, "pooled tree I/O missing");
+    }
+
+    #[test]
+    fn batch_matches_serial_coknn() {
+        let (dt, ot, queries) = setup(10);
+        let cfg = ConnConfig::default();
+        let (batch, stats) = coknn_batch(&dt, &ot, &queries, 3, &cfg, 0);
+        assert_eq!(batch.len(), queries.len());
+        for (res, q) in batch.iter().zip(&queries) {
+            let (serial, _) = coknn_search(&dt, &ot, q, 3, &cfg);
+            assert_eq!(res.entries().len(), serial.entries().len());
+        }
+        assert!(stats.p50_s <= stats.p99_s + 1e-12);
+        assert!(stats.mean_s > 0.0);
+        assert!(stats.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (dt, ot, _) = setup(0);
+        let (res, stats) = conn_batch(&dt, &ot, &[], &ConnConfig::default(), 4);
+        assert!(res.is_empty());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.mean_s, 0.0);
+    }
+
+    #[test]
+    fn oversized_pool_is_clamped() {
+        let (dt, ot, queries) = setup(3);
+        let (_, stats) = conn_batch(&dt, &ot, &queries, &ConnConfig::default(), 64);
+        assert!(stats.threads <= 3);
+    }
+}

@@ -8,18 +8,15 @@
 //! becomes `RLMAX = maxᵢ max(kth-dist(Rᵢ.l), kth-dist(Rᵢ.r))`, infinite
 //! while any interval holds fewer than `k` members.
 
-use std::time::Instant;
-
 use conn_geom::{Interval, Rect, Segment, EPS};
 use conn_index::RStarTree;
 
 use crate::config::ConnConfig;
-use crate::conn::{run_search, ResultSink};
+use crate::conn::ResultSink;
 use crate::cpl::ControlPointList;
 use crate::dist::ControlPoint;
 use crate::split::crossing_params;
 use crate::stats::QueryStats;
-use crate::streams::TwoTreeStreams;
 use crate::types::DataPoint;
 
 /// One member of an interval's ONN set.
@@ -95,11 +92,25 @@ impl KnnResultList {
 
     /// Folds in one evaluated data point (the COkNN result-list update).
     pub fn update(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList) {
-        let old = std::mem::take(&mut self.entries);
-        let mut out: Vec<KnnEntry> = Vec::with_capacity(old.len() * 2);
+        self.update_with(q, p, cpl, &mut crate::rlu::RluScratch::default());
+    }
+
+    /// Update with caller-retained scratch (the workspace's buffer rotates
+    /// with the list's own storage).
+    pub fn update_with(
+        &mut self,
+        q: &Segment,
+        p: DataPoint,
+        cpl: &ControlPointList,
+        scratch: &mut crate::rlu::RluScratch,
+    ) {
+        let mut old = std::mem::take(&mut self.entries);
+        let mut out = std::mem::take(&mut scratch.knn);
+        out.clear();
+        out.reserve(old.len() * 2);
         let cpl_entries = cpl.entries();
 
-        for entry in old {
+        for entry in old.drain(..) {
             let mut cursor = entry.interval.lo;
             let mut j = cpl_entries
                 .iter()
@@ -127,7 +138,8 @@ impl KnnResultList {
             }
         }
         self.entries = out;
-        self.normalize();
+        self.normalize_with(&mut scratch.knn2);
+        scratch.knn = old; // recycle the pre-update storage
     }
 
     /// Inserts candidate `(p, cp)` into one piece: cut at every crossing
@@ -171,24 +183,26 @@ impl KnnResultList {
         }
     }
 
-    /// Merges adjacent entries with identical member lists.
-    fn normalize(&mut self) {
-        let mut out: Vec<KnnEntry> = Vec::with_capacity(self.entries.len());
-        for e in std::mem::take(&mut self.entries) {
-            match out.last_mut() {
+    /// Merges adjacent entries with identical member lists. `buf` receives
+    /// the merged list, then swaps with the entry storage — no allocation
+    /// when `buf` has capacity.
+    fn normalize_with(&mut self, buf: &mut Vec<KnnEntry>) {
+        buf.clear();
+        for e in self.entries.drain(..) {
+            match buf.last_mut() {
                 Some(prev) if same_members(&prev.members, &e.members) => {
                     prev.interval.hi = e.interval.hi;
                 }
                 Some(prev) if e.interval.is_empty() => prev.interval.hi = e.interval.hi,
                 _ => {
-                    if e.interval.is_empty() && !out.is_empty() {
+                    if e.interval.is_empty() && !buf.is_empty() {
                         continue;
                     }
-                    out.push(e);
+                    buf.push(e);
                 }
             }
         }
-        self.entries = out;
+        std::mem::swap(&mut self.entries, buf);
     }
 
     /// Validation helper: the entries exactly cover `[0, qlen]`.
@@ -219,8 +233,15 @@ impl ResultSink for KnnResultList {
         self.rlmax(q)
     }
 
-    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, _cfg: &ConnConfig) {
-        self.update(q, p, cpl);
+    fn absorb(
+        &mut self,
+        q: &Segment,
+        p: DataPoint,
+        cpl: &ControlPointList,
+        _cfg: &ConnConfig,
+        scratch: &mut crate::rlu::RluScratch,
+    ) {
+        self.update_with(q, p, cpl, scratch);
     }
 
     fn tuples(&self) -> u64 {
@@ -308,26 +329,7 @@ pub fn coknn_search(
     k: usize,
     cfg: &ConnConfig,
 ) -> (CoknnResult, QueryStats) {
-    assert!(!q.is_degenerate(), "degenerate query segment");
-    data_tree.reset_stats();
-    obstacle_tree.reset_stats();
-    let started = Instant::now();
-
-    let mut streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
-    let mut list = KnnResultList::new(q.len(), k);
-    let telemetry = run_search(&mut streams, q, cfg, &mut list);
-
-    let cpu = started.elapsed();
-    let stats = QueryStats {
-        data_io: data_tree.stats(),
-        obstacle_io: obstacle_tree.stats(),
-        cpu,
-        npe: telemetry.npe,
-        noe: telemetry.noe,
-        svg_nodes: telemetry.svg_nodes,
-        result_tuples: list.tuples(),
-    };
-    (CoknnResult::new(*q, list), stats)
+    crate::engine::QueryEngine::new(*cfg).coknn(data_tree, obstacle_tree, q, k)
 }
 
 #[cfg(test)]

@@ -5,20 +5,21 @@
 //! RLU (result refinement); stops once the next point's `mindist` exceeds
 //! `RLMAX` (Lemma 2). The same loop drives the COkNN and single-tree
 //! variants through the [`ResultSink`] and [`crate::streams::QueryStreams`]
-//! abstractions.
-
-use std::time::Instant;
+//! abstractions, and runs entirely on a caller-provided
+//! [`crate::Workspace`] so a reused engine performs no per-query substrate
+//! allocations.
 
 use conn_geom::{Interval, Rect, Segment, EPS};
 use conn_index::RStarTree;
-use conn_vgraph::{NodeKind, VisGraph};
+use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
-use crate::cpl::{cplc, ControlPointList, VrCache};
-use crate::ior::{ior, IorState};
-use crate::rlu::{ResultEntry, ResultList};
+use crate::cpl::{cplc, ControlPointList};
+use crate::engine::{QueryEngine, Workspace};
+use crate::ior::ior;
+use crate::rlu::{ResultEntry, ResultList, RluScratch};
 use crate::stats::QueryStats;
-use crate::streams::{QueryStreams, TwoTreeStreams};
+use crate::streams::QueryStreams;
 use crate::types::DataPoint;
 
 /// What the search loop needs from a result container (k = 1 list or the
@@ -26,8 +27,16 @@ use crate::types::DataPoint;
 pub trait ResultSink {
     /// Lemma 2 pruning bound (∞ while the container is not saturated).
     fn prune_bound(&self, q: &Segment) -> f64;
-    /// Folds in one evaluated data point.
-    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, cfg: &ConnConfig);
+    /// Folds in one evaluated data point; `scratch` is the workspace's
+    /// result-list update scratch (retained buffers).
+    fn absorb(
+        &mut self,
+        q: &Segment,
+        p: DataPoint,
+        cpl: &ControlPointList,
+        cfg: &ConnConfig,
+        scratch: &mut RluScratch,
+    );
     /// Number of tuples currently held (the `result_tuples` statistic).
     fn tuples(&self) -> u64;
 }
@@ -37,8 +46,15 @@ impl ResultSink for ResultList {
         self.rlmax(q)
     }
 
-    fn absorb(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, cfg: &ConnConfig) {
-        self.update(q, p, cpl, cfg);
+    fn absorb(
+        &mut self,
+        q: &Segment,
+        p: DataPoint,
+        cpl: &ControlPointList,
+        cfg: &ConnConfig,
+        scratch: &mut RluScratch,
+    ) {
+        self.update_with(q, p, cpl, cfg, scratch);
     }
 
     fn tuples(&self) -> u64 {
@@ -55,18 +71,19 @@ pub struct LoopTelemetry {
     pub svg_nodes: u64,
 }
 
-/// The shared search loop of Algorithm 4.
+/// The shared search loop of Algorithm 4, running on a (possibly reused)
+/// workspace: the graph, Dijkstra labels, VR cache and IOR threshold all
+/// come from `ws` and are rewound by `Workspace::begin_query`.
 pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
     streams: &mut S,
     q: &Segment,
     cfg: &ConnConfig,
     sink: &mut R,
+    ws: &mut Workspace,
 ) -> LoopTelemetry {
-    let mut g = VisGraph::new(cfg.vgraph_cell);
-    let s_node = g.add_point(q.a, NodeKind::Endpoint);
-    let e_node = g.add_point(q.b, NodeKind::Endpoint);
-    let mut ior_state = IorState::default();
-    let mut vr_cache = VrCache::default();
+    ws.begin_query(cfg.vgraph_cell);
+    let s_node = ws.g.add_point(q.a, NodeKind::Endpoint);
+    let e_node = ws.g.add_point(q.b, NodeKind::Endpoint);
     let mut npe = 0u64;
 
     while let Some(dist) = streams.peek_point_dist() {
@@ -77,32 +94,32 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
         let (p, _) = streams.next_point().expect("peeked point");
         npe += 1;
 
-        let p_node = g.add_point(p.pos, NodeKind::DataPoint);
-        vr_cache.invalidate(p_node);
-        ior(q, &mut g, s_node, e_node, p_node, streams, &mut ior_state);
-        let mut cpl = cplc(q, &mut g, p_node, cfg, &mut vr_cache);
+        let p_node = ws.g.add_point(p.pos, NodeKind::DataPoint);
+        ws.vr_cache.invalidate(p_node);
+        ior(
+            q,
+            &mut ws.g,
+            s_node,
+            e_node,
+            p_node,
+            streams,
+            &mut ws.ior_state,
+            &mut ws.dij,
+        );
+        let mut cpl = cplc(q, &mut ws.g, p_node, cfg, &mut ws.vr_cache, &mut ws.dij);
 
         if cfg.strict_refinement {
-            refine_to_fixpoint(
-                q,
-                &mut g,
-                p_node,
-                cfg,
-                &mut vr_cache,
-                streams,
-                &mut ior_state,
-                &mut cpl,
-            );
+            refine_to_fixpoint(q, ws, p_node, cfg, streams, &mut cpl);
         }
 
-        g.remove_node(p_node);
-        sink.absorb(q, p, &cpl, cfg);
+        ws.g.remove_node(p_node);
+        sink.absorb(q, p, &cpl, cfg, &mut ws.rlu_scratch);
     }
 
     LoopTelemetry {
         npe,
         noe: streams.obstacles_loaded() as u64,
-        svg_nodes: g.num_nodes() as u64,
+        svg_nodes: ws.g.num_nodes() as u64,
     }
 }
 
@@ -111,33 +128,30 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
 /// node, or (b) a control-point value exceeds the loaded threshold, meaning
 /// an unloaded obstacle could still shorten it. Terminates because the
 /// threshold grows monotonically and the obstacle set is finite.
-#[allow(clippy::too_many_arguments)]
 fn refine_to_fixpoint<S: QueryStreams>(
     q: &Segment,
-    g: &mut VisGraph,
+    ws: &mut Workspace,
     p_node: conn_vgraph::NodeId,
     cfg: &ConnConfig,
-    vr_cache: &mut VrCache,
     streams: &mut S,
-    ior_state: &mut IorState,
     cpl: &mut ControlPointList,
 ) {
     loop {
         let added = if cpl.has_unassigned() {
             // geometry under-covered: widen one obstacle at a time
-            streams.load_next_obstacle(g)
+            streams.load_next_obstacle(&mut ws.g)
         } else {
             let m = cpl.max_assigned_value(q);
-            if m <= ior_state.loaded_bound + EPS {
+            if m <= ws.ior_state.loaded_bound + EPS {
                 return; // every recorded value is certified exact
             }
-            ior_state.loaded_bound = m;
-            streams.load_obstacles_until(g, m)
+            ws.ior_state.loaded_bound = m;
+            streams.load_obstacles_until(&mut ws.g, m)
         };
         if added == 0 {
             return; // obstacle source exhausted: nothing left to learn
         }
-        *cpl = cplc(q, g, p_node, cfg, vr_cache);
+        *cpl = cplc(q, &mut ws.g, p_node, cfg, &mut ws.vr_cache, &mut ws.dij);
     }
 }
 
@@ -200,32 +214,18 @@ impl ConnResult {
 /// Returns the result list and the paper's per-query metrics. Counters of
 /// both trees are reset at query start, so the returned statistics are
 /// exactly this query's footprint.
+///
+/// This is the legacy one-shot API: it constructs a throwaway
+/// [`QueryEngine`] per call. Callers answering many queries should hold a
+/// [`QueryEngine`] (or use [`crate::conn_batch`]) to amortize substrate
+/// allocations across queries.
 pub fn conn_search(
     data_tree: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     q: &Segment,
     cfg: &ConnConfig,
 ) -> (ConnResult, QueryStats) {
-    assert!(!q.is_degenerate(), "degenerate query segment");
-    data_tree.reset_stats();
-    obstacle_tree.reset_stats();
-    let started = Instant::now();
-
-    let mut streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
-    let mut list = ResultList::new(q.len());
-    let telemetry = run_search(&mut streams, q, cfg, &mut list);
-
-    let cpu = started.elapsed();
-    let stats = QueryStats {
-        data_io: data_tree.stats(),
-        obstacle_io: obstacle_tree.stats(),
-        cpu,
-        npe: telemetry.npe,
-        noe: telemetry.noe,
-        svg_nodes: telemetry.svg_nodes,
-        result_tuples: list.tuples(),
-    };
-    (ConnResult::new(*q, list), stats)
+    QueryEngine::new(*cfg).conn(data_tree, obstacle_tree, q)
 }
 
 #[cfg(test)]

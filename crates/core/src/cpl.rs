@@ -16,8 +16,6 @@
 //!   worst value currently recorded in the list (∞ while any interval is
 //!   still uncovered — footnote 5 of the paper).
 
-use std::collections::HashMap;
-
 use conn_geom::{Interval, IntervalSet, Point, Segment, EPS};
 use conn_vgraph::{DijkstraEngine, NodeId, VisGraph};
 
@@ -182,66 +180,99 @@ fn same_opt_cp(a: &Option<ControlPoint>, b: &Option<ControlPoint>) -> bool {
     }
 }
 
-/// Cache of visible regions keyed by node and obstacle count (a node's
-/// region only changes when obstacles arrive).
+/// Cache of visible regions keyed by node slot and obstacle count (a node's
+/// region only changes when obstacles arrive). Slot-indexed so lookups on
+/// the CPLC hot path are array accesses, and [`VrCache::clear`] retains the
+/// slot vector's allocation for workspace reuse.
 #[derive(Debug, Default)]
 pub struct VrCache {
-    map: HashMap<u32, (usize, IntervalSet)>,
+    slots: Vec<Option<(usize, IntervalSet)>>,
 }
 
 impl VrCache {
-    pub fn get(&mut self, g: &mut VisGraph, node: NodeId, q: &Segment) -> &IntervalSet {
+    /// Computes (or revalidates) the cached region of `node`; afterwards
+    /// [`VrCache::cached`] returns it without borrowing the graph.
+    pub fn ensure(&mut self, g: &mut VisGraph, node: NodeId, q: &Segment) {
         let n_obs = g.num_obstacles();
-        let entry = self.map.entry(node.0);
-        match entry {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                if e.get().0 != n_obs {
-                    let vr = g.visible_region(g.node_pos(node), q);
-                    e.insert((n_obs, vr));
-                }
-                &e.into_mut().1
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
+        let i = node.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        match &self.slots[i] {
+            Some((cached_obs, _)) if *cached_obs == n_obs => {}
+            _ => {
                 let vr = g.visible_region(g.node_pos(node), q);
-                &e.insert((n_obs, vr)).1
+                self.slots[i] = Some((n_obs, vr));
             }
         }
     }
 
+    /// The region computed by the last [`VrCache::ensure`] for this node.
+    /// Panics when the node was never ensured (a logic bug).
+    pub fn cached(&self, node: NodeId) -> &IntervalSet {
+        self.slots[node.index()]
+            .as_ref()
+            .map(|(_, vr)| vr)
+            .expect("visible region not ensured")
+    }
+
+    /// Compute-if-absent facade combining `ensure` + `cached`.
+    pub fn get(&mut self, g: &mut VisGraph, node: NodeId, q: &Segment) -> &IntervalSet {
+        self.ensure(g, node, q);
+        self.cached(node)
+    }
+
     /// Drops the entry for a node slot that is being reused.
     pub fn invalidate(&mut self, node: NodeId) {
-        self.map.remove(&node.0);
+        if let Some(slot) = self.slots.get_mut(node.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Empties the cache (between queries of a reused workspace), keeping
+    /// the slot vector's allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
     }
 }
 
 /// CPLC — Algorithm 2: computes `CPL(p, q)` over the current local
-/// visibility graph.
+/// visibility graph. `dij` is the caller's reusable Dijkstra scratch
+/// (prepared here; any previous run's state is discarded).
 pub fn cplc(
     q: &Segment,
     g: &mut VisGraph,
     p_node: NodeId,
     cfg: &ConnConfig,
     vr_cache: &mut VrCache,
+    dij: &mut DijkstraEngine,
 ) -> ControlPointList {
     let mut cpl = ControlPointList::new(q.len());
-    let mut dij = DijkstraEngine::new(g, p_node);
+    dij.prepare(g, p_node);
     while let Some((v, dv)) = dij.next_settled(g) {
         // Lemma 7 (relaxed with mindist(v, q) lower-bounded by 0, as in the
         // paper's Algorithm 2 line 4)
         if cfg.use_lemma7 && dv >= cpl.max_value(q) {
             break;
         }
-        let vr_v = vr_cache.get(g, v, q).clone();
+        let pred = dij.predecessor(v);
+        vr_cache.ensure(g, v, q);
+        if let Some(u) = pred {
+            vr_cache.ensure(g, u, q);
+        }
+        let vr_v = vr_cache.cached(v);
         if vr_v.is_empty() {
             continue;
         }
-        let region = match dij.predecessor(v) {
-            None => vr_v, // v == p itself
+        let region = match pred {
+            None => vr_v.clone(), // v == p itself
             Some(u) => {
-                let vr_u = vr_cache.get(g, u, q).clone();
-                let mut region = vr_v.subtract(&vr_u); // Lemma 5
+                let vr_u = vr_cache.cached(u);
+                let mut region = vr_v.subtract(vr_u); // Lemma 5
                 if cfg.use_lemma6 {
-                    region = lemma6_refine(q, g.node_pos(u), g.node_pos(v), &vr_u, region);
+                    region = lemma6_refine(q, g.node_pos(u), g.node_pos(v), vr_u, region);
                 }
                 region
             }
@@ -360,7 +391,8 @@ mod tests {
         let _e = g.add_point(Point::new(100.0, 0.0), NodeKind::Endpoint);
         let p = g.add_point(Point::new(40.0, 30.0), NodeKind::DataPoint);
         let mut cache = VrCache::default();
-        let cpl = cplc(&q(), &mut g, p, &cfg, &mut cache);
+        let mut dij = DijkstraEngine::default();
+        let cpl = cplc(&q(), &mut g, p, &cfg, &mut cache, &mut dij);
         cpl.check_cover().unwrap();
         assert!(!cpl.has_unassigned());
         for t in [0.0, 25.0, 70.0, 100.0] {
@@ -384,7 +416,8 @@ mod tests {
         let ppos = Point::new(50.0, 60.0);
         let p = g.add_point(ppos, NodeKind::DataPoint);
         let mut cache = VrCache::default();
-        let cpl = cplc(&q(), &mut g, p, &cfg, &mut cache);
+        let mut dij = DijkstraEngine::default();
+        let cpl = cplc(&q(), &mut g, p, &cfg, &mut cache, &mut dij);
         cpl.check_cover().unwrap();
         assert!(!cpl.has_unassigned());
         // directly under the box, the distance must route around a side:

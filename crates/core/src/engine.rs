@@ -1,0 +1,500 @@
+//! The reusable query engine and its workspace.
+//!
+//! The free functions ([`crate::conn_search`], [`crate::coknn_search`], …)
+//! answer one query on fresh state: a new visibility graph, new Dijkstra
+//! labels, a new visible-region cache. That is faithful to the paper but
+//! wasteful for a server answering a stream of queries — every query pays
+//! the same substrate allocations again.
+//!
+//! [`QueryEngine`] owns all of that per-query scratch state in a
+//! [`Workspace`] behind reset-and-reuse APIs: answering N queries performs
+//! O(1) substrate allocations instead of O(N). The engine is deliberately
+//! `!Sync` — one engine serves one thread; the batch layer
+//! ([`crate::conn_batch`]) spawns one engine per worker over the shared
+//! (immutable, `Sync`) R\*-trees.
+//!
+//! ## Reuse contract
+//!
+//! Between queries, [`Workspace::begin_query`] **clears** all query-visible
+//! state — the node set, the loaded obstacle set, the visible-region cache,
+//! the IOR loading threshold and all Dijkstra labels — so a reused engine is
+//! *byte-identical* in its answers to fresh per-query state (guarded by the
+//! `engine_equivalence` proptest suite). It **keeps** heap allocations: node
+//! slots, per-slot edge lists, grid cell buckets, Dijkstra label arrays and
+//! heap capacity, and the result-list scratch buffers. The
+//! [`ReuseCounters`] on [`QueryStats`] report how much retained capacity
+//! each query re-bound.
+
+use std::time::Instant;
+
+use conn_geom::{Point, Rect, Segment};
+use conn_index::RStarTree;
+use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+
+use crate::coknn::{CoknnResult, KnnResultList};
+use crate::config::ConnConfig;
+use crate::conn::{run_search, ConnResult, ResultSink};
+use crate::cpl::VrCache;
+use crate::ior::IorState;
+use crate::rlu::{ResultList, RluScratch};
+use crate::single_tree::{OneTreeStreams, SpatialObject};
+use crate::stats::{QueryStats, ReuseCounters};
+use crate::streams::{QueryStreams, TwoTreeStreams};
+use crate::types::DataPoint;
+
+/// All per-query scratch state, owned long-term and re-bound per query.
+#[derive(Debug)]
+pub struct Workspace {
+    pub(crate) g: VisGraph,
+    pub(crate) dij: DijkstraEngine,
+    pub(crate) vr_cache: VrCache,
+    pub(crate) ior_state: IorState,
+    pub(crate) rlu_scratch: RluScratch,
+    /// Set once the workspace has served a query (reuse is counted from the
+    /// second query on).
+    primed: bool,
+    /// True while the graph holds a full odist obstacle field that the next
+    /// odist call may reuse verbatim.
+    odist_primed: bool,
+    /// Reuse telemetry of the query in flight.
+    current: ReuseCounters,
+    heap_reuse_mark: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new(ConnConfig::default().vgraph_cell)
+    }
+}
+
+impl Workspace {
+    /// A workspace whose obstacle grid uses the given cell size.
+    pub fn new(cell: f64) -> Self {
+        Workspace {
+            g: VisGraph::new(cell),
+            dij: DijkstraEngine::default(),
+            vr_cache: VrCache::default(),
+            ior_state: IorState::default(),
+            rlu_scratch: RluScratch::default(),
+            primed: false,
+            odist_primed: false,
+            current: ReuseCounters::default(),
+            heap_reuse_mark: 0,
+        }
+    }
+
+    /// Rewinds the workspace for a new query: clears all query-visible
+    /// state, retains allocations, starts the reuse-counter window.
+    pub(crate) fn begin_query(&mut self, cell: f64) {
+        self.current = ReuseCounters::default();
+        if self.primed {
+            self.current.graph_reuses = 1;
+            self.current.nodes_retained = self.g.reset_with_cell(cell) as u64;
+        } else if (self.g.grid_cell() - cell).abs() > f64::EPSILON {
+            self.g = VisGraph::new(cell);
+        }
+        self.primed = true;
+        self.odist_primed = false;
+        self.vr_cache.clear();
+        self.ior_state = IorState::default();
+        self.heap_reuse_mark = self.dij.reuses();
+    }
+
+    /// Closes the reuse-counter window of the current query.
+    pub(crate) fn finish_query(&mut self) -> ReuseCounters {
+        self.current.heap_reuses = self.dij.reuses() - self.heap_reuse_mark;
+        self.current
+    }
+}
+
+/// A long-lived query engine: configuration plus a reusable [`Workspace`].
+///
+/// ```
+/// use conn_core::{ConnConfig, DataPoint, QueryEngine};
+/// use conn_geom::{Point, Rect, Segment};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(
+///     vec![DataPoint::new(0, Point::new(20.0, 60.0))],
+///     4096,
+/// );
+/// let obstacles = RStarTree::bulk_load(vec![Rect::new(45.0, 30.0, 55.0, 70.0)], 4096);
+/// let mut engine = QueryEngine::new(ConnConfig::default());
+///
+/// for x in [0.0, 10.0, 20.0] {
+///     let q = Segment::new(Point::new(x, 0.0), Point::new(x + 100.0, 0.0));
+///     let (result, stats) = engine.conn(&points, &obstacles, &q);
+///     assert!(!result.entries().is_empty());
+///     if x > 0.0 {
+///         // from the second query on, the substrate is reused
+///         assert_eq!(stats.reuse.graph_reuses, 1);
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    cfg: ConnConfig,
+    ws: Workspace,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        QueryEngine::new(ConnConfig::default())
+    }
+}
+
+impl QueryEngine {
+    pub fn new(cfg: ConnConfig) -> Self {
+        QueryEngine {
+            ws: Workspace::new(cfg.vgraph_cell),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &ConnConfig {
+        &self.cfg
+    }
+
+    /// CONN search (paper Algorithm 4) on the reused workspace. Tree I/O
+    /// counters are reset at query start, exactly like
+    /// [`crate::conn_search`].
+    pub fn conn(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+    ) -> (ConnResult, QueryStats) {
+        self.conn_impl(data_tree, obstacle_tree, q, true)
+    }
+
+    /// Like [`QueryEngine::conn`], but leaves the shared trees' I/O
+    /// counters alone (batch workers pool tree I/O at the batch level; the
+    /// returned per-query stats report zero I/O).
+    pub fn conn_pooled_io(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+    ) -> (ConnResult, QueryStats) {
+        self.conn_impl(data_tree, obstacle_tree, q, false)
+    }
+
+    /// The one shared query driver: runs Algorithm 4's loop over any
+    /// stream source and result sink on the reused workspace, returning
+    /// the filled sink plus assembled stats (I/O snapshots are layered on
+    /// by the caller, since their source differs per tree layout).
+    fn drive<S: QueryStreams, R: ResultSink>(
+        &mut self,
+        q: &Segment,
+        mut streams: S,
+        mut sink: R,
+    ) -> (R, QueryStats) {
+        assert!(!q.is_degenerate(), "degenerate query segment");
+        let started = Instant::now();
+        let telemetry = run_search(&mut streams, q, &self.cfg, &mut sink, &mut self.ws);
+        let stats = QueryStats {
+            cpu: started.elapsed(),
+            npe: telemetry.npe,
+            noe: telemetry.noe,
+            svg_nodes: telemetry.svg_nodes,
+            result_tuples: sink.tuples(),
+            reuse: self.ws.finish_query(),
+            ..QueryStats::default()
+        };
+        (sink, stats)
+    }
+
+    fn conn_impl(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+        track_io: bool,
+    ) -> (ConnResult, QueryStats) {
+        if track_io {
+            data_tree.reset_stats();
+            obstacle_tree.reset_stats();
+        }
+        let streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
+        let (list, mut stats) = self.drive(q, streams, ResultList::new(q.len()));
+        if track_io {
+            stats.data_io = data_tree.stats();
+            stats.obstacle_io = obstacle_tree.stats();
+        }
+        (ConnResult::new(*q, list), stats)
+    }
+
+    /// COkNN search (paper §4.5) on the reused workspace.
+    pub fn coknn(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+        k: usize,
+    ) -> (CoknnResult, QueryStats) {
+        self.coknn_impl(data_tree, obstacle_tree, q, k, true)
+    }
+
+    /// Pooled-I/O variant of [`QueryEngine::coknn`] for batch workers.
+    pub fn coknn_pooled_io(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+        k: usize,
+    ) -> (CoknnResult, QueryStats) {
+        self.coknn_impl(data_tree, obstacle_tree, q, k, false)
+    }
+
+    fn coknn_impl(
+        &mut self,
+        data_tree: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        q: &Segment,
+        k: usize,
+        track_io: bool,
+    ) -> (CoknnResult, QueryStats) {
+        if track_io {
+            data_tree.reset_stats();
+            obstacle_tree.reset_stats();
+        }
+        let streams = TwoTreeStreams::new(data_tree, obstacle_tree, q);
+        let (list, mut stats) = self.drive(q, streams, KnnResultList::new(q.len(), k));
+        if track_io {
+            stats.data_io = data_tree.stats();
+            stats.obstacle_io = obstacle_tree.stats();
+        }
+        (CoknnResult::new(*q, list), stats)
+    }
+
+    /// CONN over a single unified R-tree (§4.5) on the reused workspace.
+    pub fn conn_single_tree(
+        &mut self,
+        tree: &RStarTree<SpatialObject>,
+        q: &Segment,
+    ) -> (ConnResult, QueryStats) {
+        tree.reset_stats();
+        let streams = OneTreeStreams::new(tree, q);
+        let (list, mut stats) = self.drive(q, streams, ResultList::new(q.len()));
+        stats.data_io = tree.stats();
+        (ConnResult::new(*q, list), stats)
+    }
+
+    /// COkNN over a single unified R-tree (§4.5) on the reused workspace.
+    pub fn coknn_single_tree(
+        &mut self,
+        tree: &RStarTree<SpatialObject>,
+        q: &Segment,
+        k: usize,
+    ) -> (CoknnResult, QueryStats) {
+        tree.reset_stats();
+        let streams = OneTreeStreams::new(tree, q);
+        let (list, mut stats) = self.drive(q, streams, KnnResultList::new(q.len(), k));
+        stats.data_io = tree.stats();
+        (CoknnResult::new(*q, list), stats)
+    }
+
+    // ----- point-to-point obstructed distance ----------------------------
+
+    /// Ensures the workspace graph holds exactly `obstacles` (rebuilding
+    /// only when the field changed since the last odist call on this
+    /// engine).
+    fn prime_odist(&mut self, obstacles: &[Rect]) {
+        if self.ws.odist_primed
+            && self.ws.g.obstacles() == obstacles
+            && self.ws.g.num_nodes() == 4 * obstacles.len()
+        {
+            return;
+        }
+        // cell size adapted to the obstacle field's typical extent, as the
+        // historical free functions did
+        let cell = obstacles
+            .iter()
+            .map(|r| r.width().max(r.height()))
+            .fold(0.0f64, f64::max)
+            .max(20.0);
+        self.ws.begin_query(cell);
+        for r in obstacles {
+            self.ws.g.add_obstacle(*r);
+        }
+        let _ = self.ws.finish_query();
+        self.ws.odist_primed = true;
+    }
+
+    /// Obstructed distance *and* path in one Dijkstra run (∞ / `None` when
+    /// unreachable). Repeated calls against the same obstacle slice reuse
+    /// the primed graph instead of rebuilding it.
+    pub fn obstructed_route(
+        &mut self,
+        obstacles: &[Rect],
+        a: Point,
+        b: Point,
+    ) -> (f64, Option<Vec<Point>>) {
+        self.prime_odist(obstacles);
+        let g = &mut self.ws.g;
+        let na = g.add_point(a, NodeKind::DataPoint);
+        let nb = g.add_point(b, NodeKind::DataPoint);
+        self.ws.dij.prepare(g, na);
+        let d = self.ws.dij.run_until_settled(g, nb);
+        let path = d.is_finite().then(|| {
+            self.ws
+                .dij
+                .path_to(nb)
+                .iter()
+                .map(|&n| g.node_pos(n))
+                .collect()
+        });
+        g.remove_node(nb);
+        g.remove_node(na);
+        (d, path)
+    }
+
+    /// Engine-backed [`crate::obstructed_distance`].
+    pub fn obstructed_distance(&mut self, obstacles: &[Rect], a: Point, b: Point) -> f64 {
+        self.prime_odist(obstacles);
+        let g = &mut self.ws.g;
+        let na = g.add_point(a, NodeKind::DataPoint);
+        let nb = g.add_point(b, NodeKind::DataPoint);
+        self.ws.dij.prepare(g, na);
+        let d = self.ws.dij.run_until_settled(g, nb);
+        g.remove_node(nb);
+        g.remove_node(na);
+        d
+    }
+
+    /// Engine-backed [`crate::obstructed_path`].
+    pub fn obstructed_path(
+        &mut self,
+        obstacles: &[Rect],
+        a: Point,
+        b: Point,
+    ) -> Option<Vec<Point>> {
+        self.obstructed_route(obstacles, a, b).1
+    }
+
+    /// The workspace, for algorithm layers that drive it directly (joins).
+    pub(crate) fn workspace(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coknn::coknn_search;
+    use crate::conn::conn_search;
+
+    fn setup() -> (RStarTree<DataPoint>, RStarTree<Rect>, Vec<Segment>) {
+        let points = vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 8.0)),
+            DataPoint::new(2, Point::new(90.0, 25.0)),
+            DataPoint::new(3, Point::new(45.0, 60.0)),
+        ];
+        let obstacles = vec![
+            Rect::new(30.0, 5.0, 40.0, 30.0),
+            Rect::new(60.0, 10.0, 75.0, 18.0),
+            Rect::new(20.0, 40.0, 60.0, 50.0),
+        ];
+        let queries = vec![
+            Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0)),
+            Segment::new(Point::new(0.0, 35.0), Point::new(100.0, 35.0)),
+            Segment::new(Point::new(10.0, 70.0), Point::new(95.0, 2.0)),
+        ];
+        (
+            RStarTree::bulk_load(points, 4096),
+            RStarTree::bulk_load(obstacles, 4096),
+            queries,
+        )
+    }
+
+    fn assert_same_conn(a: &ConnResult, b: &ConnResult) {
+        assert_eq!(a.entries().len(), b.entries().len());
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.point.map(|p| p.id), y.point.map(|p| p.id));
+            assert_eq!(x.interval.lo.to_bits(), y.interval.lo.to_bits());
+            assert_eq!(x.interval.hi.to_bits(), y.interval.hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn reused_engine_matches_free_functions() {
+        let (dt, ot, queries) = setup();
+        let cfg = ConnConfig::default();
+        let mut engine = QueryEngine::new(cfg);
+        for (i, q) in queries.iter().enumerate() {
+            let (fresh, fresh_stats) = conn_search(&dt, &ot, q, &cfg);
+            let (reused, stats) = engine.conn(&dt, &ot, q);
+            assert_same_conn(&fresh, &reused);
+            assert_eq!(stats.npe, fresh_stats.npe);
+            assert_eq!(stats.noe, fresh_stats.noe);
+            assert_eq!(stats.svg_nodes, fresh_stats.svg_nodes);
+            assert_eq!(stats.reuse.graph_reuses, u64::from(i > 0));
+            if i > 0 {
+                assert!(stats.reuse.heap_reuses > 0, "no Dijkstra reuse recorded");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_engine_matches_coknn() {
+        let (dt, ot, queries) = setup();
+        let cfg = ConnConfig::default();
+        let mut engine = QueryEngine::new(cfg);
+        for q in &queries {
+            for k in [1usize, 2, 3] {
+                let (fresh, _) = coknn_search(&dt, &ot, q, k, &cfg);
+                let (reused, _) = engine.coknn(&dt, &ot, q, k);
+                assert_eq!(fresh.entries().len(), reused.entries().len());
+                for (x, y) in fresh.entries().iter().zip(reused.entries()) {
+                    assert_eq!(x.members.len(), y.members.len());
+                    for (mx, my) in x.members.iter().zip(&y.members) {
+                        assert_eq!(mx.point.id, my.point.id);
+                        assert_eq!(mx.cp.base.to_bits(), my.cp.base.to_bits());
+                    }
+                    assert_eq!(x.interval.lo.to_bits(), y.interval.lo.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_query_kinds_stay_clean() {
+        let (dt, ot, queries) = setup();
+        let cfg = ConnConfig::default();
+        let mut engine = QueryEngine::new(cfg);
+        let obstacles: Vec<Rect> = ot.iter_items().copied().collect();
+        for q in &queries {
+            let (c1, _) = engine.conn(&dt, &ot, q);
+            let d = engine.obstructed_distance(&obstacles, q.a, q.b);
+            assert!(d >= q.len() - 1e-9);
+            let (k1, _) = engine.coknn(&dt, &ot, q, 2);
+            let (c2, _) = conn_search(&dt, &ot, q, &cfg);
+            assert_same_conn(&c1, &c2);
+            k1.check_cover().unwrap();
+        }
+    }
+
+    #[test]
+    fn odist_reuses_primed_field() {
+        let obstacles = vec![
+            Rect::new(40.0, -10.0, 60.0, 30.0),
+            Rect::new(10.0, 50.0, 30.0, 70.0),
+        ];
+        let mut engine = QueryEngine::default();
+        let d1 =
+            engine.obstructed_distance(&obstacles, Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let before = engine.ws.dij.reuses();
+        let d2 =
+            engine.obstructed_distance(&obstacles, Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert!(engine.ws.dij.reuses() > before);
+        // changing the field rebuilds
+        let d3 = engine.obstructed_distance(
+            &obstacles[..1],
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+        );
+        assert!(d3 <= d1 + 1e-9);
+    }
+}

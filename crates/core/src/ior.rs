@@ -33,7 +33,9 @@ pub struct EndpointPaths {
 
 /// Runs Algorithm 1 for the data point at `p_node`. On return the graph
 /// holds every obstacle with `mindist(o, q) ≤ state.loaded_bound`, and the
-/// returned endpoint distances are exact.
+/// returned endpoint distances are exact. `dij` is the caller's reusable
+/// Dijkstra scratch (re-prepared on every retrieval round).
+#[allow(clippy::too_many_arguments)]
 pub fn ior<S: QueryStreams>(
     _q: &Segment,
     g: &mut VisGraph,
@@ -42,9 +44,10 @@ pub fn ior<S: QueryStreams>(
     p_node: NodeId,
     streams: &mut S,
     state: &mut IorState,
+    dij: &mut DijkstraEngine,
 ) -> EndpointPaths {
     loop {
-        let mut dij = DijkstraEngine::new(g, p_node);
+        dij.prepare(g, p_node);
         let dist_s = dij.run_until_settled(g, s_node);
         let dist_e = dij.run_until_settled(g, e_node);
         let d_prime = dist_s.max(dist_e);
@@ -92,7 +95,8 @@ mod tests {
         let e = g.add_point(q.b, NodeKind::Endpoint);
         let p = g.add_point(ppos, NodeKind::DataPoint);
         let mut state = IorState::default();
-        let paths = ior(&q, &mut g, s, e, p, &mut streams, &mut state);
+        let mut dij = DijkstraEngine::default();
+        let paths = ior(&q, &mut g, s, e, p, &mut streams, &mut state, &mut dij);
         (paths, streams.obstacles_loaded(), state.loaded_bound)
     }
 
@@ -162,15 +166,16 @@ mod tests {
         let s = g.add_point(q.a, NodeKind::Endpoint);
         let e = g.add_point(q.b, NodeKind::Endpoint);
         let mut state = IorState::default();
+        let mut dij = DijkstraEngine::default();
 
         let p0 = g.add_point(Point::new(50.0, 30.0), NodeKind::DataPoint);
-        ior(&q, &mut g, s, e, p0, &mut streams, &mut state);
+        ior(&q, &mut g, s, e, p0, &mut streams, &mut state, &mut dij);
         g.remove_node(p0);
         let bound_after_first = state.loaded_bound;
         let loaded_after_first = streams.obstacles_loaded();
 
         let p1 = g.add_point(Point::new(55.0, 28.0), NodeKind::DataPoint);
-        ior(&q, &mut g, s, e, p1, &mut streams, &mut state);
+        ior(&q, &mut g, s, e, p1, &mut streams, &mut state, &mut dij);
         g.remove_node(p1);
         // second, similar point: bound may grow slightly but nothing new to load
         assert_eq!(streams.obstacles_loaded(), loaded_after_first);

@@ -14,9 +14,10 @@ use std::time::Instant;
 
 use conn_geom::{OrdF64, Point, Rect};
 use conn_index::{Entry, Mbr, RStarTree};
-use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
+use crate::engine::{QueryEngine, Workspace};
 use crate::stats::QueryStats;
 use crate::types::DataPoint;
 
@@ -62,7 +63,8 @@ impl Ord for PairElem {
 }
 
 /// Incremental closest pair under the obstructed distance:
-/// `argmin_{a ∈ A, b ∈ B} ‖a, b‖`.
+/// `argmin_{a ∈ A, b ∈ B} ‖a, b‖`. One-shot wrapper over
+/// [`QueryEngine::closest_pair`].
 ///
 /// Returns `None` when either set is empty or no pair is connected.
 pub fn obstructed_closest_pair(
@@ -71,13 +73,56 @@ pub fn obstructed_closest_pair(
     obstacle_tree: &RStarTree<Rect>,
     cfg: &ConnConfig,
 ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
+    QueryEngine::new(*cfg).closest_pair(tree_a, tree_b, obstacle_tree)
+}
+
+impl QueryEngine {
+    /// Engine-backed obstructed closest pair: the shared local visibility
+    /// graph and Dijkstra scratch come from the reused workspace.
+    pub fn closest_pair(
+        &mut self,
+        tree_a: &RStarTree<DataPoint>,
+        tree_b: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+    ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
+        let cell = self.config().vgraph_cell;
+        let ws = self.workspace();
+        ws.begin_query(cell);
+        let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree);
+        stats.reuse = ws.finish_query();
+        (best, stats)
+    }
+
+    /// Engine-backed obstructed e-distance join.
+    pub fn edistance_join(
+        &mut self,
+        tree_a: &RStarTree<DataPoint>,
+        tree_b: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        e: f64,
+    ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
+        let cell = self.config().vgraph_cell;
+        let ws = self.workspace();
+        ws.begin_query(cell);
+        let (pairs, mut stats) = edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e);
+        stats.reuse = ws.finish_query();
+        (pairs, stats)
+    }
+}
+
+fn closest_pair_on(
+    ws: &mut Workspace,
+    tree_a: &RStarTree<DataPoint>,
+    tree_b: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
     let started = Instant::now();
     tree_a.reset_stats();
     tree_b.reset_stats();
     obstacle_tree.reset_stats();
 
     let mut best: Option<(DataPoint, DataPoint, f64)> = None;
-    let mut resolver = OdistResolver::new(cfg, obstacle_tree);
+    let mut resolver = OdistResolver::new(ws, obstacle_tree);
     let mut pairs_resolved = 0u64;
 
     if !tree_a.is_empty() && !tree_b.is_empty() {
@@ -171,13 +216,24 @@ fn expand_left(a: &Side, b: &Side) -> bool {
 }
 
 /// Obstructed e-distance join: all pairs `(a, b)` with `‖a, b‖ ≤ e`,
-/// ascending by distance.
+/// ascending by distance. One-shot wrapper over
+/// [`QueryEngine::edistance_join`].
 pub fn obstructed_edistance_join(
     tree_a: &RStarTree<DataPoint>,
     tree_b: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     e: f64,
     cfg: &ConnConfig,
+) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
+    QueryEngine::new(*cfg).edistance_join(tree_a, tree_b, obstacle_tree, e)
+}
+
+fn edistance_join_on(
+    ws: &mut Workspace,
+    tree_a: &RStarTree<DataPoint>,
+    tree_b: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    e: f64,
 ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
     assert!(e >= 0.0, "negative join distance");
     let started = Instant::now();
@@ -186,7 +242,7 @@ pub fn obstructed_edistance_join(
     obstacle_tree.reset_stats();
 
     let mut out: Vec<(DataPoint, DataPoint, f64)> = Vec::new();
-    let mut resolver = OdistResolver::new(cfg, obstacle_tree);
+    let mut resolver = OdistResolver::new(ws, obstacle_tree);
     let mut pairs_resolved = 0u64;
 
     let mut stack: Vec<(Side, Side)> = Vec::new();
@@ -244,22 +300,23 @@ fn entry_side(e: &Entry<DataPoint>) -> Side {
     }
 }
 
-/// Shared pairwise obstructed-distance resolver over one growing
-/// visibility graph. Exactness: after loading every obstacle with
-/// `mindist(o, a) ≤ B`, any computed path of length ≤ B is valid and any
-/// true shortest path of length ≤ B is present (Lemma 3's argument with the
-/// anchor degenerated to the point `a`).
-struct OdistResolver<'a> {
-    g: VisGraph,
+/// Shared pairwise obstructed-distance resolver over the workspace's
+/// visibility graph and Dijkstra scratch. Exactness: after loading every
+/// obstacle with `mindist(o, a) ≤ B`, any computed path of length ≤ B is
+/// valid and any true shortest path of length ≤ B is present (Lemma 3's
+/// argument with the anchor degenerated to the point `a`).
+struct OdistResolver<'a, 'w> {
+    ws: &'w mut Workspace,
     obstacle_tree: &'a RStarTree<Rect>,
     loaded: HashSet<[u64; 4]>,
     noe: u64,
 }
 
-impl<'a> OdistResolver<'a> {
-    fn new(cfg: &ConnConfig, obstacle_tree: &'a RStarTree<Rect>) -> Self {
+impl<'a, 'w> OdistResolver<'a, 'w> {
+    /// The workspace must already be rewound (`begin_query`) by the caller.
+    fn new(ws: &'w mut Workspace, obstacle_tree: &'a RStarTree<Rect>) -> Self {
         OdistResolver {
-            g: VisGraph::new(cfg.vgraph_cell),
+            ws,
             obstacle_tree,
             loaded: HashSet::new(),
             noe: 0,
@@ -279,7 +336,7 @@ impl<'a> OdistResolver<'a> {
                 r.max_y.to_bits(),
             ];
             if self.loaded.insert(key) {
-                self.g.add_obstacle(r);
+                self.ws.g.add_obstacle(r);
                 self.noe += 1;
                 added += 1;
             }
@@ -288,14 +345,15 @@ impl<'a> OdistResolver<'a> {
     }
 
     fn resolve(&mut self, a: Point, b: Point) -> f64 {
-        let na = self.g.add_point(a, NodeKind::DataPoint);
-        let nb = self.g.add_point(b, NodeKind::DataPoint);
+        let na = self.ws.g.add_point(a, NodeKind::DataPoint);
+        let nb = self.ws.g.add_point(b, NodeKind::DataPoint);
         let mut bound = a.dist(b);
         let total = self.obstacle_tree.len();
         let d = loop {
             self.load_upto(a, bound);
-            let mut dij = DijkstraEngine::new(&self.g, na);
-            let d = dij.run_until_settled(&mut self.g, nb);
+            let ws = &mut *self.ws;
+            ws.dij.prepare(&ws.g, na);
+            let d = ws.dij.run_until_settled(&mut ws.g, nb);
             if d.is_finite() {
                 if d <= bound + conn_geom::EPS {
                     break d; // certified exact at this load level
@@ -308,8 +366,8 @@ impl<'a> OdistResolver<'a> {
                 bound = bound * 2.0 + 1.0;
             }
         };
-        self.g.remove_node(na);
-        self.g.remove_node(nb);
+        self.ws.g.remove_node(na);
+        self.ws.g.remove_node(nb);
         d
     }
 }
@@ -334,6 +392,7 @@ fn join_stats(
         noe,
         svg_nodes: 0,
         result_tuples: 0,
+        reuse: Default::default(),
     }
 }
 

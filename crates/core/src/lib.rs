@@ -20,6 +20,8 @@
 //! | COkNN extension (§4.5) | [`coknn`] |
 //! | single unified R-tree variant (§4.5) | [`single_tree`] |
 //! | baselines (sampling, brute force) | [`baseline`] |
+//! | reusable engine & per-query workspace (beyond the paper) | [`engine`] |
+//! | parallel batch execution (beyond the paper) | [`batch`] |
 //!
 //! ## Quick start
 //!
@@ -43,11 +45,13 @@
 //! ```
 
 pub mod baseline;
+pub mod batch;
 pub mod coknn;
 pub mod config;
 pub mod conn;
 pub mod cpl;
 pub mod dist;
+pub mod engine;
 pub mod ior;
 pub mod joins;
 pub mod odist;
@@ -63,12 +67,14 @@ pub mod trajectory;
 pub mod types;
 pub mod visible;
 
+pub use batch::{coknn_batch, conn_batch, BatchStats};
 pub use coknn::{coknn_search, CoknnResult};
 pub use config::ConnConfig;
 pub use conn::{conn_search, ConnResult};
 pub use dist::ControlPoint;
+pub use engine::QueryEngine;
 pub use joins::{obstructed_closest_pair, obstructed_edistance_join};
-pub use odist::obstructed_distance;
+pub use odist::{obstructed_distance, obstructed_path, obstructed_route};
 pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;
 pub use rlu::{ResultEntry, ResultList};
@@ -76,7 +82,7 @@ pub use rnn::obstructed_rnn;
 pub use single_tree::{
     build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject,
 };
-pub use stats::QueryStats;
+pub use stats::{QueryStats, ReuseCounters};
 pub use trajectory::{
     trajectory_coknn_search, trajectory_conn_search, Trajectory, TrajectoryResult,
 };

@@ -4,9 +4,39 @@
 //! Builds a visibility graph over the *entire* obstacle list — suitable for
 //! examples, tests and small workloads. Query processing never calls this;
 //! it uses the incremental local graph instead.
+//!
+//! All three free functions route through one thread-local
+//! [`crate::QueryEngine`], which keeps the obstacle field primed between
+//! calls: computing a distance and then its path (or repeating either
+//! against the same obstacle slice) no longer rebuilds the graph. Callers
+//! that already hold an engine should use
+//! [`crate::QueryEngine::obstructed_route`] directly.
+
+use std::cell::RefCell;
 
 use conn_geom::{Point, Rect};
-use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+
+use crate::config::ConnConfig;
+use crate::engine::QueryEngine;
+
+thread_local! {
+    /// Shared engine behind the free functions — one per thread, so the
+    /// primed obstacle graph survives across calls without locking.
+    static ODIST_ENGINE: RefCell<QueryEngine> =
+        RefCell::new(QueryEngine::new(ConnConfig::default()));
+}
+
+/// Obstacle fields larger than this are served by a throwaway engine so the
+/// thread-local cache never pins an arbitrarily large visibility graph in
+/// memory between calls.
+const ODIST_RETAIN_MAX: usize = 4096;
+
+fn with_odist_engine<T>(obstacles: &[Rect], f: impl FnOnce(&mut QueryEngine) -> T) -> T {
+    if obstacles.len() > ODIST_RETAIN_MAX {
+        return f(&mut QueryEngine::new(ConnConfig::default()));
+    }
+    ODIST_ENGINE.with(|e| f(&mut e.borrow_mut()))
+}
 
 /// Length of the shortest obstacle-avoiding path from `a` to `b`
 /// (∞ when no path exists). `O(n²)`-ish in the obstacle count — see module
@@ -26,38 +56,19 @@ use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
 /// assert!(d > 100.0);
 /// ```
 pub fn obstructed_distance(obstacles: &[Rect], a: Point, b: Point) -> f64 {
-    let mut g = graph_with(obstacles);
-    let na = g.add_point(a, NodeKind::DataPoint);
-    let nb = g.add_point(b, NodeKind::DataPoint);
-    let mut d = DijkstraEngine::new(&g, na);
-    d.run_until_settled(&mut g, nb)
+    with_odist_engine(obstacles, |e| e.obstructed_distance(obstacles, a, b))
 }
 
 /// The shortest obstacle-avoiding path itself (polyline through obstacle
 /// corners), or `None` when unreachable.
 pub fn obstructed_path(obstacles: &[Rect], a: Point, b: Point) -> Option<Vec<Point>> {
-    let mut g = graph_with(obstacles);
-    let na = g.add_point(a, NodeKind::DataPoint);
-    let nb = g.add_point(b, NodeKind::DataPoint);
-    let mut d = DijkstraEngine::new(&g, na);
-    if d.run_until_settled(&mut g, nb).is_infinite() {
-        return None;
-    }
-    Some(d.path_to(nb).iter().map(|&n| g.node_pos(n)).collect())
+    with_odist_engine(obstacles, |e| e.obstructed_path(obstacles, a, b))
 }
 
-fn graph_with(obstacles: &[Rect]) -> VisGraph {
-    // cell size adapted to the obstacle field's typical extent
-    let cell = obstacles
-        .iter()
-        .map(|r| r.width().max(r.height()))
-        .fold(0.0f64, f64::max)
-        .max(20.0);
-    let mut g = VisGraph::new(cell);
-    for r in obstacles {
-        g.add_obstacle(*r);
-    }
-    g
+/// Distance and path in a single Dijkstra run — cheaper than calling
+/// [`obstructed_distance`] and [`obstructed_path`] separately.
+pub fn obstructed_route(obstacles: &[Rect], a: Point, b: Point) -> (f64, Option<Vec<Point>>) {
+    with_odist_engine(obstacles, |e| e.obstructed_route(obstacles, a, b))
 }
 
 #[cfg(test)]
@@ -87,6 +98,16 @@ mod tests {
         assert!((d - via_top.min(via_bottom)).abs() < 1e-9);
         let path = obstructed_path(&[o], a, g).unwrap();
         assert!(path.len() == 4, "two corner bends expected: {path:?}");
+    }
+
+    #[test]
+    fn route_combines_distance_and_path() {
+        let o = Rect::new(40.0, -10.0, 60.0, 30.0);
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(100.0, 0.0);
+        let (d, path) = obstructed_route(&[o], a, b);
+        assert_eq!(d.to_bits(), obstructed_distance(&[o], a, b).to_bits());
+        assert_eq!(path.unwrap(), obstructed_path(&[o], a, b).unwrap());
     }
 
     #[test]

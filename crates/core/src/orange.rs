@@ -73,6 +73,7 @@ pub fn obstructed_range_search(
         noe,
         svg_nodes: g.num_nodes() as u64,
         result_tuples: results.len() as u64,
+        reuse: Default::default(),
     };
     (results, stats)
 }

@@ -32,6 +32,21 @@ impl ResultEntry {
     }
 }
 
+/// Retained buffers for result-list updates. One instance lives in the
+/// query workspace; in steady state the three vectors rotate with the
+/// lists' own storage and RLU performs no allocations.
+#[derive(Debug, Default)]
+pub struct RluScratch {
+    /// Spare [`ResultEntry`] buffer (rotates with `ResultList::entries`).
+    pub(crate) flat: Vec<ResultEntry>,
+    /// Second spare buffer (normalization pass).
+    pub(crate) flat2: Vec<ResultEntry>,
+    /// Spare COkNN entry buffer (rotates with `KnnResultList::entries`).
+    pub(crate) knn: Vec<crate::coknn::KnnEntry>,
+    /// Second spare COkNN buffer (normalization pass).
+    pub(crate) knn2: Vec<crate::coknn::KnnEntry>,
+}
+
 /// The result list: sorted, disjoint intervals covering `[0, q.len()]`.
 #[derive(Debug, Clone)]
 pub struct ResultList {
@@ -85,14 +100,30 @@ impl ResultList {
     }
 
     /// RLU — Algorithm 3: folds data point `p` (with its control-point
-    /// list) into the result list.
+    /// list) into the result list. One-shot convenience over
+    /// [`ResultList::update_with`].
     pub fn update(&mut self, q: &Segment, p: DataPoint, cpl: &ControlPointList, cfg: &ConnConfig) {
+        self.update_with(q, p, cpl, cfg, &mut RluScratch::default());
+    }
+
+    /// RLU with caller-retained scratch buffers: in steady state the update
+    /// allocates nothing, rotating the list's storage through `scratch`.
+    pub fn update_with(
+        &mut self,
+        q: &Segment,
+        p: DataPoint,
+        cpl: &ControlPointList,
+        cfg: &ConnConfig,
+        scratch: &mut RluScratch,
+    ) {
         let old = std::mem::take(&mut self.entries);
-        let mut out: Vec<ResultEntry> = Vec::with_capacity(old.len() + cpl.entries().len());
+        let mut out = std::mem::take(&mut scratch.flat);
+        out.clear();
+        out.reserve(old.len() + cpl.entries().len());
         let cpl_entries = cpl.entries();
 
         let mut j = 0usize; // cursor into cpl entries
-        for entry in old {
+        for entry in old.iter().copied() {
             let mut cursor = entry.interval.lo;
             // advance j to the first cpl entry overlapping this interval
             while j > 0 && cpl_entries[j].1.lo > cursor {
@@ -121,7 +152,8 @@ impl ResultList {
             }
         }
         self.entries = out;
-        self.normalize();
+        self.normalize_with(&mut scratch.flat2);
+        scratch.flat = old; // recycle the pre-update storage
     }
 
     /// Resolves one incumbent-vs-challenger piece.
@@ -173,11 +205,13 @@ impl ResultList {
     }
 
     /// Merges adjacent entries with the same answer point and control point
-    /// (footnote 6 of the paper).
-    fn normalize(&mut self) {
-        let mut out: Vec<ResultEntry> = Vec::with_capacity(self.entries.len());
-        for e in std::mem::take(&mut self.entries) {
-            match out.last_mut() {
+    /// (footnote 6 of the paper). `buf` receives the merged list, then
+    /// swaps with the entry storage — no allocation when `buf` has
+    /// capacity.
+    fn normalize_with(&mut self, buf: &mut Vec<ResultEntry>) {
+        buf.clear();
+        for &e in &self.entries {
+            match buf.last_mut() {
                 Some(prev)
                     if prev.point.map(|p| p.id) == e.point.map(|p| p.id)
                         && same_opt_cp(&prev.cp, &e.cp) =>
@@ -186,14 +220,14 @@ impl ResultList {
                 }
                 Some(prev) if e.interval.is_empty() => prev.interval.hi = e.interval.hi,
                 _ => {
-                    if e.interval.is_empty() && !out.is_empty() {
+                    if e.interval.is_empty() && !buf.is_empty() {
                         continue;
                     }
-                    out.push(e);
+                    buf.push(e);
                 }
             }
         }
-        self.entries = out;
+        std::mem::swap(&mut self.entries, buf);
     }
 
     /// Validation helper: the entries exactly cover `[0, qlen]`.

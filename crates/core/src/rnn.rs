@@ -97,6 +97,7 @@ pub fn obstructed_rnn(
         noe: resolver.noe,
         svg_nodes: resolver.g.num_nodes() as u64,
         result_tuples: out.len() as u64,
+        reuse: Default::default(),
     };
     (out, stats)
 }

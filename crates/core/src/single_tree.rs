@@ -8,16 +8,15 @@
 //! consumer does not want preserves each kind's ordering.
 
 use std::collections::VecDeque;
-use std::time::Instant;
 
 use conn_geom::{Rect, Segment};
 use conn_index::{Mbr, NearestIter, RStarTree};
 use conn_vgraph::VisGraph;
 
-use crate::coknn::{CoknnResult, KnnResultList};
+use crate::coknn::CoknnResult;
 use crate::config::ConnConfig;
-use crate::conn::{run_search, ConnResult};
-use crate::rlu::ResultList;
+use crate::conn::ConnResult;
+use crate::engine::QueryEngine;
 use crate::stats::QueryStats;
 use crate::streams::QueryStreams;
 use crate::types::DataPoint;
@@ -191,55 +190,25 @@ impl QueryStreams for OneTreeStreams<'_> {
 }
 
 /// CONN search over a single unified R-tree (§4.5). The unified tree's I/O
-/// is reported in `data_io`; `obstacle_io` stays zero.
+/// is reported in `data_io`; `obstacle_io` stays zero. One-shot wrapper
+/// over [`QueryEngine::conn_single_tree`].
 pub fn conn_search_single_tree(
     tree: &RStarTree<SpatialObject>,
     q: &Segment,
     cfg: &ConnConfig,
 ) -> (ConnResult, QueryStats) {
-    assert!(!q.is_degenerate(), "degenerate query segment");
-    tree.reset_stats();
-    let started = Instant::now();
-    let mut streams = OneTreeStreams::new(tree, q);
-    let mut list = ResultList::new(q.len());
-    let telemetry = run_search(&mut streams, q, cfg, &mut list);
-    let cpu = started.elapsed();
-    let stats = QueryStats {
-        data_io: tree.stats(),
-        obstacle_io: Default::default(),
-        cpu,
-        npe: telemetry.npe,
-        noe: telemetry.noe,
-        svg_nodes: telemetry.svg_nodes,
-        result_tuples: list.entries().len() as u64,
-    };
-    (ConnResult::new(*q, list), stats)
+    QueryEngine::new(*cfg).conn_single_tree(tree, q)
 }
 
-/// COkNN search over a single unified R-tree (§4.5).
+/// COkNN search over a single unified R-tree (§4.5). One-shot wrapper over
+/// [`QueryEngine::coknn_single_tree`].
 pub fn coknn_search_single_tree(
     tree: &RStarTree<SpatialObject>,
     q: &Segment,
     k: usize,
     cfg: &ConnConfig,
 ) -> (CoknnResult, QueryStats) {
-    assert!(!q.is_degenerate(), "degenerate query segment");
-    tree.reset_stats();
-    let started = Instant::now();
-    let mut streams = OneTreeStreams::new(tree, q);
-    let mut list = KnnResultList::new(q.len(), k);
-    let telemetry = run_search(&mut streams, q, cfg, &mut list);
-    let cpu = started.elapsed();
-    let stats = QueryStats {
-        data_io: tree.stats(),
-        obstacle_io: Default::default(),
-        cpu,
-        npe: telemetry.npe,
-        noe: telemetry.noe,
-        svg_nodes: telemetry.svg_nodes,
-        result_tuples: list.entries().len() as u64,
-    };
-    (CoknnResult::new(*q, list), stats)
+    QueryEngine::new(*cfg).coknn_single_tree(tree, q, k)
 }
 
 #[cfg(test)]

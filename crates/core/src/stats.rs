@@ -10,6 +10,31 @@ use conn_index::StatsSnapshot;
 /// Milliseconds charged per R-tree page fault (paper §5.1).
 pub const IO_MS_PER_FAULT: f64 = 10.0;
 
+/// Allocation-avoidance counters of the reusable query engine. All three
+/// are zero when a query runs on fresh per-query state (the legacy
+/// free-function API) and grow once a [`crate::QueryEngine`] is reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseCounters {
+    /// Queries that reused an already-allocated visibility graph (i.e. ran
+    /// on a reset workspace instead of a fresh allocation).
+    pub graph_reuses: u64,
+    /// Node-slot edge lists whose allocations survived the workspace reset
+    /// and were re-bound by this query.
+    pub nodes_retained: u64,
+    /// Dijkstra preparations that reused retained label/heap capacity
+    /// instead of allocating a new engine.
+    pub heap_reuses: u64,
+}
+
+impl ReuseCounters {
+    /// Element-wise sum.
+    pub fn accumulate(&mut self, other: &ReuseCounters) {
+        self.graph_reuses += other.graph_reuses;
+        self.nodes_retained += other.nodes_retained;
+        self.heap_reuses += other.heap_reuses;
+    }
+}
+
 /// Everything the evaluation section measures about one query.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryStats {
@@ -29,6 +54,8 @@ pub struct QueryStats {
     pub svg_nodes: u64,
     /// Tuples in the final result list.
     pub result_tuples: u64,
+    /// Substrate-reuse counters (zero for fresh per-query state).
+    pub reuse: ReuseCounters,
 }
 
 impl QueryStats {
@@ -63,6 +90,7 @@ impl QueryStats {
         self.noe += other.noe;
         self.svg_nodes += other.svg_nodes;
         self.result_tuples += other.result_tuples;
+        self.reuse.accumulate(&other.reuse);
     }
 
     /// Divides all counters by `n` (averaging helper; counters round down).

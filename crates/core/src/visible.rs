@@ -77,6 +77,7 @@ pub fn visible_knn(
         noe,
         svg_nodes: g.num_nodes() as u64,
         result_tuples: out.len() as u64,
+        reuse: Default::default(),
     };
     (out, stats)
 }

@@ -7,7 +7,7 @@ use conn_core::cpl::{cplc, VrCache};
 use conn_core::obstructed_distance;
 use conn_core::ConnConfig;
 use conn_geom::{Point, Rect, Segment};
-use conn_vgraph::{NodeKind, VisGraph};
+use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
 use proptest::prelude::*;
 
 fn pt() -> impl Strategy<Value = Point> {
@@ -43,7 +43,8 @@ fn cpl_values(
     }
     let p_node = g.add_point(ppos, NodeKind::DataPoint);
     let mut cache = VrCache::default();
-    let cpl = cplc(q, &mut g, p_node, cfg, &mut cache);
+    let mut dij = DijkstraEngine::default();
+    let cpl = cplc(q, &mut g, p_node, cfg, &mut cache, &mut dij);
     cpl.check_cover().unwrap();
     (0..=32)
         .map(|i| {

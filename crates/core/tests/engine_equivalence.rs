@@ -1,0 +1,181 @@
+//! Equivalence suite for the reusable query engine: one `QueryEngine`
+//! answering a random *sequence* of CONN / COkNN / odist queries must
+//! produce byte-identical results to fresh per-query state (the legacy
+//! free functions). Guards against stale-scratch bugs — a leaked interval,
+//! a surviving obstacle, an unreset Dijkstra label would all surface as a
+//! divergence somewhere in the sequence.
+
+use conn_core::{
+    coknn_search, conn_search, CoknnResult, ConnConfig, ConnResult, DataPoint, QueryEngine,
+};
+use conn_geom::{Point, Rect, Segment};
+use conn_index::RStarTree;
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Disjoint rectangles (overlapping candidates are dropped while building).
+fn rects() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec((pt(), 5.0..80.0f64, 5.0..80.0f64), 0..10).prop_map(|specs| {
+        let mut out: Vec<Rect> = Vec::new();
+        for (p, w, h) in specs {
+            let r = Rect::new(p.x, p.y, p.x + w, p.y + h);
+            if !out.iter().any(|o| o.intersects(&r)) {
+                out.push(r);
+            }
+        }
+        out
+    })
+}
+
+fn points(obstacles: Vec<Rect>) -> impl Strategy<Value = (Vec<Rect>, Vec<DataPoint>)> {
+    prop::collection::vec(pt(), 1..14).prop_map(move |raw| {
+        let ps = raw
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !obstacles.iter().any(|r| r.strictly_contains(**p)))
+            .map(|(i, p)| DataPoint::new(i as u32, *p))
+            .collect();
+        (obstacles.clone(), ps)
+    })
+}
+
+/// A random query sequence: each element is a segment plus the query kind
+/// (k = 0 encodes a CONN query, k ≥ 1 a COkNN query with that k).
+fn query_seq() -> impl Strategy<Value = Vec<(Point, Point, usize)>> {
+    prop::collection::vec((pt(), pt(), 0..4usize), 1..8)
+}
+
+/// Obstacle field, data points, and a query sequence (`k = 0` ⇒ CONN).
+type Scenario = (Vec<Rect>, Vec<DataPoint>, Vec<(Point, Point, usize)>);
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    rects()
+        .prop_flat_map(points)
+        .prop_flat_map(|(obstacles, ps)| {
+            query_seq().prop_map(move |qs| (obstacles.clone(), ps.clone(), qs.clone()))
+        })
+}
+
+fn assert_conn_identical(fresh: &ConnResult, reused: &ConnResult) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fresh.entries().len(), reused.entries().len());
+    for (a, b) in fresh.entries().iter().zip(reused.entries()) {
+        prop_assert_eq!(a.point.map(|p| p.id), b.point.map(|p| p.id));
+        prop_assert_eq!(a.interval.lo.to_bits(), b.interval.lo.to_bits());
+        prop_assert_eq!(a.interval.hi.to_bits(), b.interval.hi.to_bits());
+        match (&a.cp, &b.cp) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+                prop_assert_eq!(x.pos.y.to_bits(), y.pos.y.to_bits());
+                prop_assert_eq!(x.base.to_bits(), y.base.to_bits());
+            }
+            _ => prop_assert!(false, "control point presence diverged"),
+        }
+    }
+    Ok(())
+}
+
+fn assert_coknn_identical(fresh: &CoknnResult, reused: &CoknnResult) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fresh.entries().len(), reused.entries().len());
+    for (a, b) in fresh.entries().iter().zip(reused.entries()) {
+        prop_assert_eq!(a.interval.lo.to_bits(), b.interval.lo.to_bits());
+        prop_assert_eq!(a.interval.hi.to_bits(), b.interval.hi.to_bits());
+        prop_assert_eq!(a.members.len(), b.members.len());
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            prop_assert_eq!(ma.point.id, mb.point.id);
+            prop_assert_eq!(ma.cp.pos.x.to_bits(), mb.cp.pos.x.to_bits());
+            prop_assert_eq!(ma.cp.pos.y.to_bits(), mb.cp.pos.y.to_bits());
+            prop_assert_eq!(ma.cp.base.to_bits(), mb.cp.base.to_bits());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core guarantee: a single engine fed an arbitrary query sequence
+    /// answers every query exactly as fresh state would.
+    #[test]
+    fn reused_engine_is_byte_identical_to_fresh_state(scn in scenario()) {
+        let (obstacles, ps, queries) = scn;
+        let data_tree = RStarTree::bulk_load(ps, 4096);
+        let obstacle_tree = RStarTree::bulk_load(obstacles, 4096);
+        let cfg = ConnConfig::default();
+        let mut engine = QueryEngine::new(cfg);
+
+        for (a, b, k) in queries {
+            if a.dist(b) < 1e-9 {
+                continue; // degenerate segment
+            }
+            let q = Segment::new(a, b);
+            if k == 0 {
+                let (fresh, fresh_stats) = conn_search(&data_tree, &obstacle_tree, &q, &cfg);
+                let (reused, stats) = engine.conn(&data_tree, &obstacle_tree, &q);
+                assert_conn_identical(&fresh, &reused)?;
+                // the paper's counters must agree too — they are part of
+                // the reproduction's observable behavior
+                prop_assert_eq!(fresh_stats.npe, stats.npe);
+                prop_assert_eq!(fresh_stats.noe, stats.noe);
+                prop_assert_eq!(fresh_stats.svg_nodes, stats.svg_nodes);
+                prop_assert_eq!(fresh_stats.result_tuples, stats.result_tuples);
+            } else {
+                let (fresh, _) = coknn_search(&data_tree, &obstacle_tree, &q, k, &cfg);
+                let (reused, _) = engine.coknn(&data_tree, &obstacle_tree, &q, k);
+                assert_coknn_identical(&fresh, &reused)?;
+            }
+        }
+    }
+
+    /// Interleaving point-to-point odist queries between CONN queries must
+    /// not leak state in either direction.
+    #[test]
+    fn odist_interleaving_does_not_leak(scn in scenario()) {
+        let (obstacles, ps, queries) = scn;
+        let data_tree = RStarTree::bulk_load(ps, 4096);
+        let obstacle_tree = RStarTree::bulk_load(obstacles.clone(), 4096);
+        let cfg = ConnConfig::default();
+        let mut engine = QueryEngine::new(cfg);
+
+        for (a, b, _) in queries {
+            if a.dist(b) < 1e-9 {
+                continue;
+            }
+            let q = Segment::new(a, b);
+            // odist through the engine vs a fresh graph (free function uses
+            // its own thread-local engine — also exercised)
+            let d_engine = engine.obstructed_distance(&obstacles, a, b);
+            let d_free = conn_core::obstructed_distance(&obstacles, a, b);
+            prop_assert_eq!(d_engine.to_bits(), d_free.to_bits());
+
+            let (fresh, _) = conn_search(&data_tree, &obstacle_tree, &q, &cfg);
+            let (reused, _) = engine.conn(&data_tree, &obstacle_tree, &q);
+            assert_conn_identical(&fresh, &reused)?;
+        }
+    }
+
+    /// The batch front-end agrees with the serial reference for any
+    /// workload and worker count.
+    #[test]
+    fn batch_is_byte_identical_to_serial(scn in scenario(), threads in 1..5usize) {
+        let (obstacles, ps, queries) = scn;
+        let data_tree = RStarTree::bulk_load(ps, 4096);
+        let obstacle_tree = RStarTree::bulk_load(obstacles, 4096);
+        let cfg = ConnConfig::default();
+        let segs: Vec<Segment> = queries
+            .iter()
+            .filter(|(a, b, _)| a.dist(*b) >= 1e-9)
+            .map(|(a, b, _)| Segment::new(*a, *b))
+            .collect();
+        let (batch, stats) = conn_core::conn_batch(&data_tree, &obstacle_tree, &segs, &cfg, threads);
+        prop_assert_eq!(batch.len(), segs.len());
+        prop_assert_eq!(stats.queries, segs.len());
+        for (res, q) in batch.iter().zip(&segs) {
+            let (fresh, _) = conn_search(&data_tree, &obstacle_tree, q, &cfg);
+            assert_conn_identical(&fresh, res)?;
+        }
+    }
+}

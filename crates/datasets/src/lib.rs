@@ -18,11 +18,13 @@
 //!
 //! Every generator is deterministic in its seed.
 
+pub mod batch;
 pub mod lookup;
 pub mod obstacles;
 pub mod points;
 pub mod queries;
 
+pub use batch::{batch_queries, mixed_batch, QueryMix};
 pub use lookup::ObstacleLookup;
 pub use obstacles::la_like;
 pub use points::{ca_like, uniform_points, zipf_points};

@@ -2,16 +2,17 @@
 //!
 //! The paper's I/O metric is "number of pages accessed", and its total query
 //! time charges 10 ms per page *fault* (§5.1). With a buffer, a logical read
-//! that hits the buffer is not a fault. Counters use interior mutability so
-//! read-only query traversals (`&RStarTree`) can record accesses.
+//! that hits the buffer is not a fault. Counters use atomics so read-only
+//! query traversals (`&RStarTree`) can record accesses — including from the
+//! batch layer's worker threads, which share one tree.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Mutable access counters attached to one tree.
 #[derive(Debug, Default)]
 pub struct PageStats {
-    reads: Cell<u64>,
-    faults: Cell<u64>,
+    reads: AtomicU64,
+    faults: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -35,22 +36,22 @@ impl StatsSnapshot {
 
 impl PageStats {
     pub fn record(&self, fault: bool) {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         if fault {
-            self.faults.set(self.faults.get() + 1);
+            self.faults.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads.get(),
-            faults: self.faults.get(),
+            reads: self.reads.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.faults.set(0);
+        self.reads.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The tree structure, simulated page store, and maintenance entry points.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use conn_geom::{Point, Rect};
 
@@ -33,7 +33,7 @@ pub struct RStarTree<T> {
     pub(crate) min_entries: usize,
     len: usize,
     stats: PageStats,
-    buffer: RefCell<LruBuffer>,
+    buffer: Mutex<LruBuffer>,
 }
 
 impl<T: Mbr + Clone> RStarTree<T> {
@@ -60,7 +60,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
             min_entries,
             len: 0,
             stats: PageStats::default(),
-            buffer: RefCell::new(LruBuffer::new(0)),
+            buffer: Mutex::new(LruBuffer::new(0)),
         }
     }
 
@@ -102,7 +102,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// Reads a page, charging the access (and a fault on buffer miss).
     #[inline]
     pub(crate) fn read(&self, page: PageId) -> &Node<T> {
-        let hit = self.buffer.borrow_mut().access(page);
+        let hit = self.buffer.lock().expect("buffer poisoned").access(page);
         self.stats.record(!hit);
         &self.pages[page as usize]
     }
@@ -129,7 +129,10 @@ impl<T: Mbr + Clone> RStarTree<T> {
 
     /// Sets the LRU buffer capacity to an absolute number of pages.
     pub fn set_buffer_pages(&self, pages: usize) {
-        self.buffer.borrow_mut().set_capacity(pages);
+        self.buffer
+            .lock()
+            .expect("buffer poisoned")
+            .set_capacity(pages);
     }
 
     /// Sets the buffer capacity as a fraction of the tree size (the unit of
@@ -141,7 +144,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
 
     /// Drops all buffered pages (capacity is kept).
     pub fn clear_buffer(&self) {
-        self.buffer.borrow_mut().clear();
+        self.buffer.lock().expect("buffer poisoned").clear();
     }
 
     // ----- whole-tree iteration (untracked; for tests and validation) -------
@@ -243,7 +246,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
             min_entries,
             len,
             stats: PageStats::default(),
-            buffer: RefCell::new(LruBuffer::new(0)),
+            buffer: Mutex::new(LruBuffer::new(0)),
         }
     }
 

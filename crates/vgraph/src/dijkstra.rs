@@ -8,8 +8,15 @@
 //!   distance and stops early via Lemma 7 — which is exactly
 //!   [`DijkstraEngine::next_settled`].
 //!
-//! The engine snapshots the graph version at construction: advancing it
+//! The engine snapshots the graph version at preparation: advancing it
 //! after a structural change is a logic bug and panics in debug builds.
+//!
+//! The engine is **reusable**: [`DijkstraEngine::prepare`] rewinds it for a
+//! new run while keeping the label arrays, the heap and the relaxation
+//! scratch buffer allocated. A query workspace holds one engine and
+//! prepares it once per traversal instead of allocating a fresh engine per
+//! run — the number of times retained capacity was reused is reported
+//! through [`DijkstraEngine::reuses`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -21,7 +28,7 @@ use crate::graph::{NodeId, VisGraph};
 const NO_PRED: u32 = u32::MAX;
 
 /// Single-source shortest-path engine with incremental settlement.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct DijkstraEngine {
     src: NodeId,
     dist: Vec<f64>,
@@ -29,23 +36,46 @@ pub struct DijkstraEngine {
     settled: Vec<bool>,
     heap: BinaryHeap<(Reverse<OrdF64>, u32)>,
     version: u64,
+    /// Relaxation scratch (edges of the node being settled).
+    edge_scratch: Vec<(u32, f64)>,
+    /// Runs whose label arrays fit in already-allocated capacity.
+    reuses: u64,
+    prepared: bool,
 }
 
 impl DijkstraEngine {
     /// Prepares a run from `src` against the graph's current version.
     pub fn new(g: &VisGraph, src: NodeId) -> Self {
-        let n = g.capacity();
-        let mut e = DijkstraEngine {
-            src,
-            dist: vec![f64::INFINITY; n],
-            pred: vec![NO_PRED; n],
-            settled: vec![false; n],
-            heap: BinaryHeap::new(),
-            version: g.version(),
-        };
-        e.dist[src.index()] = 0.0;
-        e.heap.push((Reverse(OrdF64::new(0.0)), src.0));
+        let mut e = DijkstraEngine::default();
+        e.prepare(g, src);
         e
+    }
+
+    /// Rewinds the engine for a fresh run from `src`, reusing the label
+    /// arrays, heap and scratch allocations of previous runs.
+    pub fn prepare(&mut self, g: &VisGraph, src: NodeId) {
+        let n = g.capacity();
+        if self.prepared && self.dist.capacity() >= n {
+            self.reuses += 1;
+        }
+        self.prepared = true;
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(n, NO_PRED);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+        self.version = g.version();
+        self.src = src;
+        self.dist[src.index()] = 0.0;
+        self.heap.push((Reverse(OrdF64::new(0.0)), src.0));
+    }
+
+    /// How many [`DijkstraEngine::prepare`] calls reused retained capacity
+    /// (the `heap_reuses` metric of the query engine).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
     }
 
     pub fn source(&self) -> NodeId {
@@ -66,9 +96,15 @@ impl DijkstraEngine {
                 continue;
             }
             self.settled[ui] = true;
-            // relax
-            let edges: Vec<(u32, f64)> = g.neighbors(NodeId(u)).to_vec();
-            for (v, w) in edges {
+            // relax (edge list copied into retained scratch — no per-settle
+            // allocation once the buffer has grown to the working size);
+            // transient candidates that already settled are filtered before
+            // their sight test, since relaxing them is a no-op anyway
+            let mut edges = std::mem::take(&mut self.edge_scratch);
+            edges.clear();
+            let settled = &self.settled;
+            g.neighbors_into_filtered(NodeId(u), &mut edges, |v| !settled[v as usize]);
+            for &(v, w) in &edges {
                 let vi = v as usize;
                 if self.settled[vi] {
                     continue;
@@ -80,6 +116,7 @@ impl DijkstraEngine {
                     self.heap.push((Reverse(OrdF64::new(nd)), v));
                 }
             }
+            self.edge_scratch = edges;
             return Some((NodeId(u), d));
         }
         None
@@ -184,6 +221,24 @@ mod tests {
             assert!(dist >= prev);
             prev = dist;
         }
+    }
+
+    #[test]
+    fn prepared_engine_matches_fresh_engine() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        let mut fresh = DijkstraEngine::new(&g, s);
+        let want = fresh.run_until_settled(&mut g, t);
+
+        let mut reused = DijkstraEngine::default();
+        for _ in 0..3 {
+            reused.prepare(&g, s);
+            let got = reused.run_until_settled(&mut g, t);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert_eq!(reused.reuses(), 2, "second and third runs reuse labels");
     }
 
     #[test]

@@ -4,18 +4,35 @@
 //! `S`, `E`; IOR streams obstacles in (each contributing its four vertices);
 //! each data point under evaluation is added, queried, and removed again.
 //!
-//! Adjacency is computed **lazily per node** and cached with a version
-//! stamp. Any structural change (new obstacle, new node) bumps the version
-//! and implicitly invalidates every cached edge list; dead nodes are skipped
-//! during relaxation. This keeps the cost of a query proportional to the
-//! nodes Dijkstra actually expands, not to the full `O(n²)` edge set.
+//! Adjacency is computed **lazily per node** and cached in two tiers:
+//!
+//! * the **base** tier — edges to stable nodes (query endpoints and obstacle
+//!   vertices), cached per node and invalidated only when the stable node
+//!   set changes (a new obstacle or endpoint);
+//! * the **transient overlay** — edges to data points under evaluation,
+//!   recomputed on every access. Transient nodes come and go once per
+//!   evaluated point, and the overlay keeps that churn from invalidating the
+//!   base tier: without the split, every `add_point`/`remove_node` pair
+//!   would throw away *all* cached edge lists of the query.
+//!
+//! Dead nodes never appear in either tier. This keeps the cost of a query
+//! proportional to the nodes Dijkstra actually expands, not to the full
+//! `O(n²)` edge set.
+//!
+//! [`VisGraph::reset`] clears the graph for the next query while retaining
+//! every allocation (node slots, per-slot edge lists, grid cells), which is
+//! what makes a reused query engine perform O(1) substrate allocations per
+//! batch instead of O(N).
 
 use conn_geom::{Point, Rect, Segment};
 
 use crate::grid::ObstacleGrid;
 
+/// `CachedAdj::version` value marking a slot whose cache is invalid.
+const STALE: u64 = u64::MAX;
+
 /// Handle to a graph node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -43,10 +60,23 @@ struct VNode {
     alive: bool,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 struct CachedAdj {
     version: u64,
+    /// [`VisGraph::base_removal_epoch`] at cache time: a removed stable
+    /// node invalidates incremental repair (full recompute instead).
+    removal_epoch: u64,
     edges: Vec<(u32, f64)>,
+}
+
+impl Default for CachedAdj {
+    fn default() -> Self {
+        CachedAdj {
+            version: STALE,
+            removal_epoch: 0,
+            edges: Vec::new(),
+        }
+    }
 }
 
 /// Local visibility graph over a growing obstacle set.
@@ -55,8 +85,25 @@ pub struct VisGraph {
     nodes: Vec<VNode>,
     free: Vec<u32>,
     grid: ObstacleGrid,
+    /// Bumped by every structural change (guards running Dijkstras).
     version: u64,
+    /// Bumped only when the *stable* node set changes (obstacle or endpoint
+    /// added/removed) — the key of the base adjacency tier.
+    base_version: u64,
+    /// Bumped when a stable node is *removed* (rare; disables incremental
+    /// cache repair until the next full recompute).
+    base_removal_epoch: u64,
+    /// Live transient ([`NodeKind::DataPoint`]) node ids — the overlay.
+    transients: Vec<u32>,
+    /// Per-query log of obstacle insertions `(base_version, rect)`,
+    /// ascending in version: a stale base cache is repaired by testing its
+    /// retained edges against only the rects newer than its version.
+    rect_log: Vec<(u64, Rect)>,
+    /// Per-query log of stable-node insertions `(base_version, node id)`.
+    node_log: Vec<(u64, u32)>,
     adj: Vec<CachedAdj>,
+    /// Scratch for the slice-returning [`VisGraph::neighbors`] facade.
+    combined: Vec<(u32, f64)>,
 }
 
 impl VisGraph {
@@ -68,8 +115,46 @@ impl VisGraph {
             free: Vec::new(),
             grid: ObstacleGrid::new(cell),
             version: 0,
+            base_version: 0,
+            base_removal_epoch: 0,
+            transients: Vec::new(),
+            rect_log: Vec::new(),
+            node_log: Vec::new(),
             adj: Vec::new(),
+            combined: Vec::new(),
         }
+    }
+
+    /// Clears the graph for a fresh query while keeping every allocation:
+    /// node slots, cached per-slot edge lists, and the grid's cell map all
+    /// survive and are re-bound as the next query adds nodes and obstacles.
+    /// Returns the number of adjacency slots whose allocations were
+    /// retained (the `nodes_retained` reuse metric).
+    ///
+    /// Reuse contract: `reset` clears the node set, the obstacle set and
+    /// all cached visibility state; it keeps heap allocations and the
+    /// monotone version counters (so stale caches can never be mistaken
+    /// for fresh ones).
+    pub fn reset(&mut self) -> usize {
+        let retained = self.adj.iter().filter(|a| !a.edges.is_empty()).count();
+        self.nodes.clear();
+        self.free.clear();
+        self.transients.clear();
+        self.rect_log.clear();
+        self.node_log.clear();
+        self.grid.reset();
+        self.version += 1;
+        self.base_version = self.version;
+        retained
+    }
+
+    /// Like [`VisGraph::reset`], but also switches the obstacle grid to a
+    /// new cell size (used when a reused workspace serves inputs with a
+    /// different typical obstacle extent).
+    pub fn reset_with_cell(&mut self, cell: f64) -> usize {
+        let retained = self.reset();
+        self.grid.set_cell(cell);
+        retained
     }
 
     /// Number of live nodes — the `|SVG|` metric of the paper's Figures 9–12
@@ -90,6 +175,11 @@ impl VisGraph {
     /// Monotone counter bumped by every structural change.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The obstacle grid's cell size.
+    pub fn grid_cell(&self) -> f64 {
+        self.grid.cell_size()
     }
 
     pub fn node_pos(&self, id: NodeId) -> Point {
@@ -113,10 +203,21 @@ impl VisGraph {
             .map(|(i, _)| NodeId(i as u32))
     }
 
-    /// Adds a non-obstacle node (query endpoint or data point).
+    /// Adds a non-obstacle node (query endpoint or data point). Data points
+    /// are *transient*: they live in the overlay tier and do not invalidate
+    /// the base adjacency caches.
     pub fn add_point(&mut self, pos: Point, kind: NodeKind) -> NodeId {
         self.version += 1;
-        self.push_node(pos, kind)
+        if kind != NodeKind::DataPoint {
+            self.base_version = self.version;
+        }
+        let id = self.push_node(pos, kind);
+        if kind == NodeKind::DataPoint {
+            self.transients.push(id.0);
+        } else {
+            self.node_log.push((self.base_version, id.0));
+        }
+        id
     }
 
     /// Removes a node added with [`VisGraph::add_point`] (typically the data
@@ -128,18 +229,32 @@ impl VisGraph {
             node.kind != NodeKind::ObstacleVertex,
             "obstacle vertices are permanent"
         );
+        let kind = node.kind;
         node.alive = false;
         self.free.push(id.0);
         self.version += 1;
+        if kind == NodeKind::DataPoint {
+            self.transients.retain(|&t| t != id.0);
+        } else {
+            self.base_version = self.version;
+            self.base_removal_epoch += 1;
+        }
     }
 
     /// Adds an obstacle: registers it in the grid and adds its four corners
     /// as permanent nodes. Returns the corner node ids.
     pub fn add_obstacle(&mut self, r: Rect) -> [NodeId; 4] {
         self.version += 1;
+        self.base_version = self.version;
         self.grid.insert(r);
-        r.corners()
-            .map(|c| self.push_node(c, NodeKind::ObstacleVertex))
+        self.rect_log.push((self.base_version, r));
+        let ids = r
+            .corners()
+            .map(|c| self.push_node(c, NodeKind::ObstacleVertex));
+        for id in ids {
+            self.node_log.push((self.base_version, id.0));
+        }
+        ids
     }
 
     fn push_node(&mut self, pos: Point, kind: NodeKind) -> NodeId {
@@ -149,7 +264,8 @@ impl VisGraph {
                 kind,
                 alive: true,
             };
-            self.adj[slot as usize] = CachedAdj::default();
+            // Mark stale but keep the edge-list allocation for reuse.
+            self.adj[slot as usize].version = STALE;
             NodeId(slot)
         } else {
             self.nodes.push(VNode {
@@ -157,8 +273,13 @@ impl VisGraph {
                 kind,
                 alive: true,
             });
-            self.adj.push(CachedAdj::default());
-            NodeId((self.nodes.len() - 1) as u32)
+            let i = self.nodes.len() - 1;
+            if i < self.adj.len() {
+                self.adj[i].version = STALE; // slot retained across a reset
+            } else {
+                self.adj.push(CachedAdj::default());
+            }
+            NodeId(i as u32)
         }
     }
 
@@ -168,29 +289,142 @@ impl VisGraph {
     }
 
     /// The node's edge list: `(neighbor, euclidean length)` for every live
-    /// node visible from it. Computed on first use per graph version.
-    pub fn neighbors(&mut self, u: NodeId) -> &[(u32, f64)] {
+    /// node visible from it. Appends to `out` (callers clear as needed):
+    /// first the cached base edges (stable nodes), then the transient
+    /// overlay.
+    ///
+    /// A stale base cache is brought up to date **incrementally** when
+    /// possible: obstacles only ever *remove* base edges (each retained
+    /// edge is re-tested against just the rects inserted since the cache's
+    /// version) and *add* the few nodes logged since then. Full recompute —
+    /// a sight test against the whole grid per candidate node — happens
+    /// only for brand-new caches, after a stable-node removal, or when the
+    /// backlog of new obstacles makes repair more expensive than rebuild.
+    pub fn neighbors_into(&mut self, u: NodeId, out: &mut Vec<(u32, f64)>) {
+        self.neighbors_into_filtered(u, out, |_| true)
+    }
+
+    /// Like [`VisGraph::neighbors_into`], but transient-overlay candidates
+    /// failing `keep` are skipped *before* their sight test is paid.
+    /// Dijkstra passes `keep = not-yet-settled`: an edge into a settled
+    /// node can never relax anything, and in the CONN loop the only live
+    /// transient is the (always-settled) source itself, so the overlay's
+    /// per-settle grid walks vanish entirely.
+    pub fn neighbors_into_filtered(
+        &mut self,
+        u: NodeId,
+        out: &mut Vec<(u32, f64)>,
+        keep: impl Fn(u32) -> bool,
+    ) {
         let ui = u.index();
         debug_assert!(self.nodes[ui].alive, "neighbors of dead node");
-        if self.adj[ui].version != self.version {
-            let upos = self.nodes[ui].pos;
-            let mut edges = std::mem::take(&mut self.adj[ui].edges);
-            edges.clear();
-            for vi in 0..self.nodes.len() {
-                if vi == ui || !self.nodes[vi].alive {
-                    continue;
-                }
-                let vpos = self.nodes[vi].pos;
-                if !self.grid.blocks(upos, vpos) {
-                    edges.push((vi as u32, upos.dist(vpos)));
-                }
+        let cached = &self.adj[ui];
+        if cached.version != self.base_version {
+            let repairable = cached.version != STALE
+                && cached.removal_epoch == self.base_removal_epoch
+                && self.repair_cheaper_than_rebuild(cached.version, cached.edges.len());
+            if repairable {
+                self.repair_base_cache(ui);
+            } else {
+                self.rebuild_base_cache(ui);
             }
-            self.adj[ui] = CachedAdj {
-                version: self.version,
-                edges,
-            };
         }
-        &self.adj[ui].edges
+        out.extend_from_slice(&self.adj[ui].edges);
+        let upos = self.nodes[ui].pos;
+        for ti in 0..self.transients.len() {
+            let t = self.transients[ti];
+            if t as usize == ui || !keep(t) {
+                continue;
+            }
+            debug_assert!(self.nodes[t as usize].alive, "dead transient tracked");
+            let tpos = self.nodes[t as usize].pos;
+            if !self.grid.blocks(upos, tpos) {
+                out.push((t, upos.dist(tpos)));
+            }
+        }
+    }
+
+    /// Index of the first log entry newer than `version` (logs are
+    /// ascending in version).
+    fn log_start<T>(log: &[(u64, T)], version: u64) -> usize {
+        log.partition_point(|&(v, _)| v <= version)
+    }
+
+    /// Cost model: repair re-tests `edges × new_rects` segment/rect pairs
+    /// plus one grid walk per new node; rebuild walks the grid once per
+    /// candidate node. A grid walk costs a few rect tests, so compare in
+    /// rect-test units with a small factor on walks.
+    fn repair_cheaper_than_rebuild(&self, version: u64, edges: usize) -> bool {
+        let new_rects = self.rect_log.len() - Self::log_start(&self.rect_log, version);
+        let new_nodes = self.node_log.len() - Self::log_start(&self.node_log, version);
+        let candidates = self.nodes.len().saturating_sub(self.free.len());
+        const WALK_COST: usize = 4; // ≈ rect tests per grid walk
+        edges * new_rects + new_nodes * WALK_COST < candidates * WALK_COST
+    }
+
+    /// Incremental base-cache repair: drop retained edges blocked by rects
+    /// newer than the cache, append newly logged stable nodes that are
+    /// visible. Produces the same edge *set* as a full rebuild.
+    fn repair_base_cache(&mut self, ui: usize) {
+        let upos = self.nodes[ui].pos;
+        let old_version = self.adj[ui].version;
+        let mut edges = std::mem::take(&mut self.adj[ui].edges);
+        let new_rects = &self.rect_log[Self::log_start(&self.rect_log, old_version)..];
+        if !new_rects.is_empty() {
+            let nodes = &self.nodes;
+            edges.retain(|&(x, _)| {
+                let seg = Segment::new(upos, nodes[x as usize].pos);
+                !new_rects.iter().any(|(_, r)| r.blocks(&seg))
+            });
+        }
+        for li in Self::log_start(&self.node_log, old_version)..self.node_log.len() {
+            let (_, nid) = self.node_log[li];
+            let vi = nid as usize;
+            if vi == ui {
+                continue;
+            }
+            debug_assert!(self.nodes[vi].alive, "logged stable node died");
+            let vpos = self.nodes[vi].pos;
+            if !self.grid.blocks(upos, vpos) {
+                edges.push((nid, upos.dist(vpos)));
+            }
+        }
+        let slot = &mut self.adj[ui];
+        slot.version = self.base_version;
+        slot.removal_epoch = self.base_removal_epoch;
+        slot.edges = edges;
+    }
+
+    /// Full base-cache rebuild: one grid sight test per live stable node.
+    fn rebuild_base_cache(&mut self, ui: usize) {
+        let upos = self.nodes[ui].pos;
+        let mut edges = std::mem::take(&mut self.adj[ui].edges);
+        edges.clear();
+        for vi in 0..self.nodes.len() {
+            let v = &self.nodes[vi];
+            if vi == ui || !v.alive || v.kind == NodeKind::DataPoint {
+                continue;
+            }
+            let vpos = v.pos;
+            if !self.grid.blocks(upos, vpos) {
+                edges.push((vi as u32, upos.dist(vpos)));
+            }
+        }
+        let slot = &mut self.adj[ui];
+        slot.version = self.base_version;
+        slot.removal_epoch = self.base_removal_epoch;
+        slot.edges = edges;
+    }
+
+    /// Slice-returning facade over [`VisGraph::neighbors_into`] (the hot
+    /// path — Dijkstra relaxation — uses `neighbors_into` with its own
+    /// scratch buffer instead).
+    pub fn neighbors(&mut self, u: NodeId) -> &[(u32, f64)] {
+        let mut buf = std::mem::take(&mut self.combined);
+        buf.clear();
+        self.neighbors_into(u, &mut buf);
+        self.combined = buf;
+        &self.combined
     }
 
     /// Grid access for visible-region computation.
@@ -279,6 +513,44 @@ mod tests {
         let ns = g.neighbors(a).to_vec();
         assert_eq!(ns.len(), 1);
         assert!((ns[0].1 - Point::new(7.0, 7.0).dist(Point::new(0.0, 0.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_retains_slots_and_restarts_clean() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        let _ = g.neighbors(a); // populate a cache
+        let v_before = g.version();
+        let retained = g.reset();
+        assert!(retained >= 1, "cached edge lists should be retained");
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_obstacles(), 0);
+        assert!(g.version() > v_before, "version must stay monotone");
+        // rebuild: slots are re-bound, stale caches are not served
+        let a2 = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let b2 = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        assert_eq!(a2.0, 0, "slot storage reused from the start");
+        assert!(g.nodes_visible(a2, b2));
+        assert_eq!(g.neighbors(a2), &[(b2.0, 200.0)]);
+    }
+
+    #[test]
+    fn transient_points_do_not_invalidate_base_caches() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let _b = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        let before: Vec<(u32, f64)> = g.neighbors(a).to_vec();
+        // transient churn must keep base edges identical and expose the
+        // transient through the overlay
+        let p = g.add_point(Point::new(10.0, 50.0), NodeKind::DataPoint);
+        let with_p: Vec<(u32, f64)> = g.neighbors(a).to_vec();
+        assert!(with_p.iter().any(|e| e.0 == p.0), "overlay edge missing");
+        g.remove_node(p);
+        let after: Vec<(u32, f64)> = g.neighbors(a).to_vec();
+        assert_eq!(before, after);
+        assert!(!after.iter().any(|e| e.0 == p.0));
     }
 
     #[test]

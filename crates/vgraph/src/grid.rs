@@ -9,12 +9,43 @@
 
 use conn_geom::{Point, Rect, Segment};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fast non-cryptographic hasher for cell coordinates (FxHash-style
+/// multiply-mix). Cell lookups happen once per cell walked per sight test —
+/// the single hottest operation of query processing — and the default
+/// SipHash costs more than the rectangle tests it guards.
+#[derive(Default)]
+pub struct CellHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for CellHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.0 = (self.0.rotate_left(5) ^ v as u32 as u64).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type CellMap = HashMap<(i32, i32), Vec<u32>, BuildHasherDefault<CellHasher>>;
 
 /// Obstacle index for segment-blocking queries.
 #[derive(Debug)]
 pub struct ObstacleGrid {
     cell: f64,
-    cells: HashMap<(i32, i32), Vec<u32>>,
+    cells: CellMap,
     rects: Vec<Rect>,
     /// query stamp per obstacle, deduplicates candidates during one walk
     stamp: Vec<u64>,
@@ -30,7 +61,7 @@ impl ObstacleGrid {
         assert!(cell > 0.0, "cell size must be positive");
         ObstacleGrid {
             cell,
-            cells: HashMap::new(),
+            cells: CellMap::default(),
             rects: Vec::new(),
             stamp: Vec::new(),
             query_id: 0,
@@ -47,6 +78,34 @@ impl ObstacleGrid {
 
     pub fn rects(&self) -> &[Rect] {
         &self.rects
+    }
+
+    /// Empties the grid for the next query. The cell map's table capacity
+    /// is retained but its keys are dropped: keeping the union of every
+    /// query's cells around (even with empty buckets) makes the hot walk
+    /// lookups cache-cold, which costs more than the per-bucket
+    /// reallocation saves.
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.rects.clear();
+        self.stamp.clear();
+    }
+
+    /// Changes the cell size. Only valid on an empty grid (call
+    /// [`ObstacleGrid::reset`] first); a different cell size invalidates the
+    /// retained cell keys, so the map is cleared.
+    pub fn set_cell(&mut self, cell: f64) {
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(self.rects.is_empty(), "set_cell on a non-empty grid");
+        if (cell - self.cell).abs() > f64::EPSILON {
+            self.cell = cell;
+            self.cells.clear();
+        }
+    }
+
+    /// The current cell size.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
     }
 
     #[inline]

@@ -15,7 +15,10 @@
 //! * [`vgraph`] — incremental local visibility graph and Dijkstra;
 //! * [`datasets`] — paper-style workload generators;
 //! * the query algorithms at the root: [`conn_search`], [`coknn_search`],
-//!   the single-tree variants, baselines, configuration, and statistics.
+//!   the single-tree variants, baselines, configuration, and statistics;
+//! * the serving layer: [`QueryEngine`] (reset-and-reuse workspace — answer
+//!   many queries with O(1) substrate allocations) and the parallel batch
+//!   front-end [`conn_batch`] / [`coknn_batch`] with [`BatchStats`].
 //!
 //! ## Example
 //!
@@ -53,20 +56,22 @@ pub use conn_vgraph as vgraph;
 
 pub use conn_core::baseline;
 pub use conn_core::{
-    build_unified_tree, coknn_search, coknn_search_single_tree, conn_search,
-    conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair, obstructed_distance,
-    obstructed_edistance_join, obstructed_range_search, obstructed_rnn, onn_search,
-    trajectory_coknn_search, trajectory_conn_search, visible_knn, CoknnResult, ConnConfig,
-    ConnResult, ControlPoint, DataPoint, QueryStats, ResultEntry, ResultList, SpatialObject,
-    Trajectory, TrajectoryResult,
+    build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
+    conn_search, conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair,
+    obstructed_distance, obstructed_edistance_join, obstructed_path, obstructed_range_search,
+    obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_search,
+    visible_knn, BatchStats, CoknnResult, ConnConfig, ConnResult, ControlPoint, DataPoint,
+    QueryEngine, QueryStats, ResultEntry, ResultList, ReuseCounters, SpatialObject, Trajectory,
+    TrajectoryResult,
 };
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use conn_core::{
-        build_unified_tree, coknn_search, coknn_search_single_tree, conn_search,
-        conn_search_single_tree, obstructed_distance, onn_search, trajectory_conn_search,
-        CoknnResult, ConnConfig, ConnResult, DataPoint, QueryStats, Trajectory,
+        build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
+        conn_search, conn_search_single_tree, obstructed_distance, onn_search,
+        trajectory_conn_search, BatchStats, CoknnResult, ConnConfig, ConnResult, DataPoint,
+        QueryEngine, QueryStats, Trajectory,
     };
     pub use conn_geom::{Interval, Point, Rect, Segment};
     pub use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
