@@ -1,0 +1,112 @@
+//! Kernel microbench: blind Dijkstra vs goal-directed A* vs continued-label
+//! search, across uniform and clustered obstacle layouts and densities.
+//!
+//! Each mode runs the IOR + CPLC access pattern of the CONN loop — a search
+//! until the target settles, then a second traversal of the same source —
+//! which is exactly where the goal-directed kernel (smaller expansion) and
+//! label continuation (the second traversal replays the first) earn their
+//! keep. `repro --target conn` measures the same effect end-to-end;
+//! `BENCH_conn.json` records it per PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use conn_datasets::la_like;
+use conn_geom::{Point, Rect};
+use conn_vgraph::{DijkstraEngine, Goal, NodeId, NodeKind, VisGraph};
+
+/// Uniform street field (the LA-like generator as-is).
+fn uniform_obstacles(n: usize) -> Vec<Rect> {
+    la_like(n, 42)
+}
+
+/// Clustered field: keep the street rectangles nearest to a few cluster
+/// centers, so the search corridor alternates dense and open regions.
+fn clustered_obstacles(n: usize) -> Vec<Rect> {
+    let centers = [
+        Point::new(2500.0, 2500.0),
+        Point::new(7500.0, 3000.0),
+        Point::new(5000.0, 7500.0),
+    ];
+    let mut pool = la_like(4 * n, 43);
+    pool.sort_by(|a, b| {
+        let da = centers
+            .iter()
+            .map(|c| c.dist(a.center()))
+            .fold(f64::INFINITY, f64::min);
+        let db = centers
+            .iter()
+            .map(|c| c.dist(b.center()))
+            .fold(f64::INFINITY, f64::min);
+        da.total_cmp(&db)
+    });
+    pool.truncate(n);
+    pool
+}
+
+/// Builds the search scene: source and target on opposite sides of the
+/// field, with every obstacle loaded (the odist setting).
+fn scene(obstacles: &[Rect]) -> (VisGraph, NodeId, NodeId, Point) {
+    let mut g = VisGraph::new(120.0);
+    let src = g.add_point(Point::new(500.0, 500.0), NodeKind::Endpoint);
+    let tpos = Point::new(9000.0, 8500.0);
+    let dst = g.add_point(tpos, NodeKind::Endpoint);
+    for r in obstacles {
+        g.add_obstacle(*r);
+    }
+    (g, src, dst, tpos)
+}
+
+/// One IOR + CPLC-shaped workload: settle the target, then traverse the
+/// same source again up to the target's distance.
+fn run_mode(g: &mut VisGraph, src: NodeId, dst: NodeId, goal: Goal, continued: bool) -> f64 {
+    let mut dij = DijkstraEngine::default();
+    dij.prepare_directed(g, src, goal);
+    let d = dij.run_until_settled(g, dst);
+    // second traversal of the same search (CPLC after IOR)
+    if continued {
+        dij.ensure_prepared(g, src, goal, true); // replays the prefix
+    } else {
+        dij.prepare_directed(g, src, goal); // pre-PR: cold restart
+    }
+    dij.set_bound(d);
+    dij.run_all(g);
+    d
+}
+
+type LayoutGen = fn(usize) -> Vec<Rect>;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("odist_kernel");
+    group.sample_size(10);
+    let layouts: [(&str, LayoutGen); 2] = [
+        ("uniform", uniform_obstacles),
+        ("clustered", clustered_obstacles),
+    ];
+    for (layout, make) in layouts {
+        for n in [200usize, 800] {
+            let obstacles = make(n);
+            let modes: [(&str, Goal, bool); 3] = [
+                ("blind", Goal::None, false),
+                ("astar", Goal::Point(Point::new(9000.0, 8500.0)), false),
+                ("continued", Goal::Point(Point::new(9000.0, 8500.0)), true),
+            ];
+            for (mode, goal, continued) in modes {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{layout}_{mode}"), n),
+                    &obstacles,
+                    |b, obstacles| {
+                        b.iter(|| {
+                            let (mut g, src, dst, _tpos) = scene(obstacles);
+                            black_box(run_mode(&mut g, src, dst, goal, continued))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -7,16 +7,17 @@
 //! ```
 //!
 //! * `TARGET` — `fig9`…`fig13`, `ablation`, `motivation`, `all`; plus
-//!   `conn` (a quick CONN smoke run) and `batch` (the batch-layer
-//!   comparison; `--batch` is shorthand for it).
+//!   `conn` (the obstructed-distance kernel benchmark: blind baseline vs
+//!   goal-directed + continued, recorded in `BENCH_conn.json`) and `batch`
+//!   (the batch-layer comparison; `--batch` is shorthand for it).
 //! * `--scale` — dataset scale relative to the paper's cardinalities
 //!   (|LA| = 131,461): `smoke`/`small` (1/256), `default` (1/16), `paper`
 //!   (1), or a ratio like `0.125`.
 //! * `--queries` — workload size per setting (paper: 100; default here 20;
 //!   the batch target defaults to 64).
 //! * `--threads` — batch worker-pool size (0 = available parallelism).
-//! * `--out` — where the batch target writes its JSON record
-//!   (default `BENCH_batch.json`).
+//! * `--out` — where the `batch` / `conn` targets write their JSON records
+//!   (defaults `BENCH_batch.json` / `BENCH_conn.json`).
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-ins for CA/LA, reduced scale); the *shapes* — who wins, what grows
@@ -24,7 +25,9 @@
 
 use std::time::Instant;
 
-use conn_bench::{conn_results_identical, print_header, print_row, Scale, Workload};
+use conn_bench::{
+    conn_results_equivalent, conn_results_identical, print_header, print_row, Scale, Workload,
+};
 use conn_core::ConnConfig;
 use conn_datasets::{Combo, DEFAULT_K, DEFAULT_QL};
 
@@ -34,7 +37,7 @@ struct Args {
     queries: Option<usize>,
     seed: u64,
     threads: usize,
-    out: String,
+    out: Option<String>,
 }
 
 impl Args {
@@ -45,6 +48,11 @@ impl Args {
     /// The batch target defaults to the acceptance workload of 64 queries.
     fn batch_queries(&self) -> usize {
         self.queries.unwrap_or(64)
+    }
+
+    /// Where the selected target writes its JSON record.
+    fn out(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_string())
     }
 
     /// Workload size actually used by the selected target (for the header).
@@ -92,7 +100,7 @@ fn parse_args() -> Args {
     let mut queries: Option<usize> = None;
     let mut seed = 2009u64;
     let mut threads = 0usize;
-    let mut out = "BENCH_batch.json".to_string();
+    let mut out: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -130,7 +138,7 @@ fn parse_args() -> Args {
             }
             "--out" => {
                 i += 1;
-                out = flag_value(&argv, i).to_string();
+                out = Some(flag_value(&argv, i).to_string());
             }
             "--target" => {
                 i += 1;
@@ -198,11 +206,19 @@ fn main() {
     }
 }
 
-/// `conn`: a quick end-to-end CONN run (CI smoke target) — builds a UL
-/// workload, answers every query through a reused engine, prints averages.
+/// `conn`: the CONN kernel benchmark (also the CI smoke target) — builds a
+/// UL workload, answers every query twice (pre-PR baseline kernel: blind
+/// Dijkstra / cold heaps, then the goal-directed + continued kernel),
+/// asserts bit-identical results, prints averages, and records the wall
+/// clock, latency percentiles and speedup in `BENCH_conn.json` so the perf
+/// trajectory is visible per PR.
 fn conn_smoke(args: &Args) {
     use conn_core::QueryEngine;
-    println!("\n## CONN smoke — UL, k = 1, ql = 4.5%");
+    assert!(
+        args.queries() >= 1,
+        "the conn target needs at least one query (got --queries 0)"
+    );
+    println!("\n## CONN kernel — UL, k = 1, ql = 4.5%");
     let w = Workload::with_ratio(
         Combo::Ul,
         args.scale,
@@ -211,14 +227,36 @@ fn conn_smoke(args: &Args) {
         args.queries(),
         args.seed,
     );
-    let cfg = ConnConfig::default();
-    let mut engine = QueryEngine::new(cfg);
-    let mut acc = conn_core::QueryStats::default();
-    for q in &w.queries {
-        let (res, stats) = engine.conn(&w.data_tree, &w.obstacle_tree, q);
-        res.check_cover().expect("result must cover the segment");
-        acc.accumulate(&stats);
-    }
+
+    // one timed pass over the workload on a reused engine
+    let run = |cfg: &ConnConfig| {
+        let mut engine = QueryEngine::new(*cfg);
+        let mut acc = conn_core::QueryStats::default();
+        let mut results = Vec::with_capacity(w.queries.len());
+        let mut lat = Vec::with_capacity(w.queries.len());
+        let t0 = Instant::now();
+        for q in &w.queries {
+            let tq = Instant::now();
+            let (res, stats) = engine.conn(&w.data_tree, &w.obstacle_tree, q);
+            lat.push(tq.elapsed().as_secs_f64());
+            res.check_cover().expect("result must cover the segment");
+            acc.accumulate(&stats);
+            results.push(res);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lat.sort_by(f64::total_cmp);
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+        (wall, pct(0.50), pct(0.99), acc, results)
+    };
+
+    let (base_wall, base_p50, base_p99, _, base_results) = run(&ConnConfig::baseline_kernel());
+    let (goal_wall, goal_p50, goal_p99, acc, goal_results) = run(&ConnConfig::default());
+    assert!(
+        conn_results_equivalent(&base_results, &goal_results),
+        "goal-directed kernel diverged from the blind baseline"
+    );
+    let speedup = base_wall / goal_wall;
+
     print_header("queries");
     print_row(
         &format!("{}", w.queries.len()),
@@ -226,9 +264,59 @@ fn conn_smoke(args: &Args) {
         w.full_vg_vertices(),
     );
     println!(
-        "reuse: {} graph reuses, {} node slots retained, {} Dijkstra reuses",
-        acc.reuse.graph_reuses, acc.reuse.nodes_retained, acc.reuse.heap_reuses
+        "{:<26} {:>10} {:>10} {:>10} {:>9}",
+        "kernel", "wall(s)", "p50(ms)", "p99(ms)", "speedup"
     );
+    println!(
+        "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x",
+        "blind (baseline)",
+        base_wall,
+        base_p50 * 1e3,
+        base_p99 * 1e3,
+        1.0
+    );
+    println!(
+        "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x",
+        "goal-directed + continued",
+        goal_wall,
+        goal_p50 * 1e3,
+        goal_p99 * 1e3,
+        speedup
+    );
+    println!(
+        "reuse: {} graph reuses, {} node slots retained, {} Dijkstra reuses, \
+         {} label continuations, {} label reseeds",
+        acc.reuse.graph_reuses,
+        acc.reuse.nodes_retained,
+        acc.reuse.heap_reuses,
+        acc.reuse.label_continuations,
+        acc.reuse.label_reseeds
+    );
+
+    let n = w.queries.len();
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"queries\": {},\n  \"wall_s\": {:.6},\n  \
+         \"latency_p50_ms\": {:.4},\n  \"latency_p99_ms\": {:.4},\n  \
+         \"baseline_wall_s\": {:.6},\n  \"baseline_p50_ms\": {:.4},\n  \
+         \"baseline_p99_ms\": {:.4},\n  \"speedup_vs_baseline_kernel\": {:.4},\n  \
+         \"throughput_qps\": {:.2},\n  \"label_continuations\": {},\n  \
+         \"label_reseeds\": {},\n  \"results_equivalent\": true\n}}\n",
+        args.scale.0,
+        n,
+        goal_wall,
+        goal_p50 * 1e3,
+        goal_p99 * 1e3,
+        base_wall,
+        base_p50 * 1e3,
+        base_p99 * 1e3,
+        speedup,
+        n as f64 / goal_wall,
+        acc.reuse.label_continuations,
+        acc.reuse.label_reseeds,
+    );
+    let out = args.out("BENCH_conn.json");
+    std::fs::write(&out, json).expect("write conn kernel record");
+    println!("recorded {out}");
 }
 
 /// `batch`: the batch-layer comparison — legacy one-shot loop vs serial
@@ -324,8 +412,9 @@ fn batch(args: &Args) {
         stats.pooled.reuse.nodes_retained,
         stats.pooled.reuse.heap_reuses,
     );
-    std::fs::write(&args.out, json).expect("write batch record");
-    println!("recorded {}", args.out);
+    let out = args.out("BENCH_batch.json");
+    std::fs::write(&out, json).expect("write batch record");
+    println!("recorded {out}");
 }
 
 /// The paper's §1 motivation: a naive CONN built from m snapshot ONN

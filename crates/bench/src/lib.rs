@@ -222,6 +222,16 @@ impl Workload {
     }
 }
 
+/// Semantic CONN result equivalence with a value tolerance, compared by
+/// sampling entry midpoints of both results plus an even grid — the gate
+/// for comparisons **across kernel modes**, whose equal-length paths may
+/// settle in different order and shift distances (hence split points) by a
+/// few ULPs. Same-kernel comparisons should use the stricter
+/// [`conn_results_identical`].
+pub fn conn_results_equivalent(a: &[ConnResult], b: &[ConnResult]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.values_equivalent(y, 1e-6))
+}
+
 /// Bit-exact CONN result identity, entry by entry (answer ids + interval
 /// bounds) — the equivalence gate the batch comparisons assert.
 pub fn conn_results_identical(a: &[ConnResult], b: &[ConnResult]) -> bool {

@@ -7,6 +7,12 @@
 //! the member order is constant within each interval; the pruning bound
 //! becomes `RLMAX = maxᵢ max(kth-dist(Rᵢ.l), kth-dist(Rᵢ.r))`, infinite
 //! while any interval holds fewer than `k` members.
+//!
+//! COkNN runs on the same kernel as CONN (the shared loop in
+//! [`crate::conn`]): under [`crate::KernelMode::GoalDirected`] the k-th
+//! bound above is handed to CPLC as its outer expansion cap — a candidate
+//! control point that cannot beat the k-th member anywhere stops the graph
+//! traversal instead of merely being filtered out of the result.
 
 use conn_geom::{Interval, Rect, Segment, EPS};
 use conn_index::RStarTree;

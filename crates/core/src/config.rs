@@ -1,5 +1,42 @@
 //! Tunables for the CONN/COkNN search algorithms.
 
+use conn_geom::Segment;
+use conn_vgraph::Goal;
+
+/// Which obstructed-distance kernel the query families run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Blind Dijkstra expansion — the paper's literal traversal.
+    Blind,
+    /// Goal-directed A*: searches are keyed by `d + h` with an admissible
+    /// Euclidean heuristic toward the query (segment for IOR/CPLC, point
+    /// for odist), so pruning thresholds stop *expansion* instead of just
+    /// filtering settled nodes. Results are identical to `Blind`.
+    #[default]
+    GoalDirected,
+}
+
+impl KernelMode {
+    /// The heuristic the CONN/COkNN loop hands the Dijkstra engine for the
+    /// query segment `q`.
+    #[inline]
+    pub fn goal(&self, q: &Segment) -> Goal {
+        match self {
+            KernelMode::Blind => Goal::None,
+            KernelMode::GoalDirected => Goal::Segment(*q),
+        }
+    }
+
+    /// The heuristic for a point-to-point search toward `target`.
+    #[inline]
+    pub fn point_goal(&self, target: conn_geom::Point) -> Goal {
+        match self {
+            KernelMode::Blind => Goal::None,
+            KernelMode::GoalDirected => Goal::Point(target),
+        }
+    }
+}
+
 /// Configuration of the search pipeline.
 ///
 /// The three lemma switches exist for the ablation experiments (DESIGN.md
@@ -24,6 +61,20 @@ pub struct ConnConfig {
     /// Spatial-hash cell size for the local visibility graph's obstacle
     /// index, in workspace units.
     pub vgraph_cell: f64,
+    /// Which obstructed-distance kernel to run searches on.
+    pub kernel: KernelMode,
+    /// Warm label continuation: let CPLC replay the settled prefix of the
+    /// IOR search it follows (same source, goal and graph), and let
+    /// repeated searches across obstacle loads reseed from labels whose
+    /// witness paths the new obstacles do not cross, instead of cold
+    /// heaps. Results are identical either way.
+    pub label_continuation: bool,
+    /// Feed the result sink's Lemma 2 bound (`RLMAX`, or the k-th bound
+    /// for COkNN) into CPLC as an extra expansion/refinement cap: control
+    /// points whose best possible value exceeds it can never change the
+    /// result, so their expansion — and the strict-refinement loads that
+    /// would certify them — is skipped. Results are identical either way.
+    pub use_rlu_bound: bool,
 }
 
 impl Default for ConnConfig {
@@ -34,16 +85,22 @@ impl Default for ConnConfig {
             use_lemma7: true,
             strict_refinement: true,
             vgraph_cell: 50.0,
+            kernel: KernelMode::GoalDirected,
+            label_continuation: true,
+            use_rlu_bound: true,
         }
     }
 }
 
 impl ConnConfig {
-    /// The paper's literal algorithm: all pruning lemmas, no strict
-    /// refinement loop.
+    /// The paper's literal algorithm: all pruning lemmas, blind Dijkstra,
+    /// cold heaps, no strict refinement loop.
     pub fn paper() -> Self {
         ConnConfig {
             strict_refinement: false,
+            kernel: KernelMode::Blind,
+            label_continuation: false,
+            use_rlu_bound: false,
             ..ConnConfig::default()
         }
     }
@@ -54,6 +111,19 @@ impl ConnConfig {
             use_lemma1: false,
             use_lemma6: false,
             use_lemma7: false,
+            ..ConnConfig::default()
+        }
+    }
+
+    /// The pre-goal-directed kernel on otherwise default settings: blind
+    /// Dijkstra, no label continuation, no RLU expansion cap. This is the
+    /// baseline the `BENCH_conn.json` speedup and the `odist_kernel` bench
+    /// measure the goal-directed kernel against.
+    pub fn baseline_kernel() -> Self {
+        ConnConfig {
+            kernel: KernelMode::Blind,
+            label_continuation: false,
+            use_rlu_bound: false,
             ..ConnConfig::default()
         }
     }
@@ -68,14 +138,38 @@ mod tests {
         let c = ConnConfig::default();
         assert!(c.use_lemma1 && c.use_lemma6 && c.use_lemma7 && c.strict_refinement);
         assert!(c.vgraph_cell > 0.0);
+        assert_eq!(c.kernel, KernelMode::GoalDirected);
+        assert!(c.label_continuation && c.use_rlu_bound);
     }
 
     #[test]
     fn presets_differ_as_documented() {
         assert!(!ConnConfig::paper().strict_refinement);
         assert!(ConnConfig::paper().use_lemma7);
+        assert_eq!(ConnConfig::paper().kernel, KernelMode::Blind);
         let np = ConnConfig::no_pruning();
         assert!(!np.use_lemma1 && !np.use_lemma6 && !np.use_lemma7);
         assert!(np.strict_refinement);
+        let base = ConnConfig::baseline_kernel();
+        assert_eq!(base.kernel, KernelMode::Blind);
+        assert!(!base.label_continuation && !base.use_rlu_bound);
+        assert!(base.strict_refinement, "baseline differs only in kernel");
+    }
+
+    #[test]
+    fn kernel_goals_match_mode() {
+        use conn_geom::{Point, Segment};
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(KernelMode::Blind.goal(&q), conn_vgraph::Goal::None);
+        assert_eq!(
+            KernelMode::GoalDirected.goal(&q),
+            conn_vgraph::Goal::Segment(q)
+        );
+        let t = Point::new(3.0, 4.0);
+        assert_eq!(
+            KernelMode::GoalDirected.point_goal(t),
+            conn_vgraph::Goal::Point(t)
+        );
+        assert_eq!(KernelMode::Blind.point_goal(t), conn_vgraph::Goal::None);
     }
 }

@@ -14,7 +14,7 @@ use conn_index::RStarTree;
 use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
-use crate::cpl::{cplc, ControlPointList};
+use crate::cpl::{cplc_bounded, ControlPointList};
 use crate::engine::{QueryEngine, Workspace};
 use crate::ior::ior;
 use crate::rlu::{ResultEntry, ResultList, RluScratch};
@@ -87,8 +87,11 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
     let mut npe = 0u64;
 
     while let Some(dist) = streams.peek_point_dist() {
-        // Lemma 2 termination
-        if dist > sink.prune_bound(q) {
+        // Lemma 2 bound: terminates the point stream, and (via
+        // `cplc_bounded`) caps control-point expansion and refinement for
+        // the point being evaluated — values above it can never win.
+        let outer_bound = sink.prune_bound(q);
+        if dist > outer_bound {
             break;
         }
         let (p, _) = streams.next_point().expect("peeked point");
@@ -105,11 +108,20 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
             streams,
             &mut ws.ior_state,
             &mut ws.dij,
+            cfg,
         );
-        let mut cpl = cplc(q, &mut ws.g, p_node, cfg, &mut ws.vr_cache, &mut ws.dij);
+        let mut cpl = cplc_bounded(
+            q,
+            &mut ws.g,
+            p_node,
+            cfg,
+            &mut ws.vr_cache,
+            &mut ws.dij,
+            outer_bound,
+        );
 
         if cfg.strict_refinement {
-            refine_to_fixpoint(q, ws, p_node, cfg, streams, &mut cpl);
+            refine_to_fixpoint(q, ws, p_node, cfg, streams, &mut cpl, outer_bound);
         }
 
         ws.g.remove_node(p_node);
@@ -128,6 +140,14 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
 /// node, or (b) a control-point value exceeds the loaded threshold, meaning
 /// an unloaded obstacle could still shorten it. Terminates because the
 /// threshold grows monotonically and the obstacle set is finite.
+///
+/// `outer_bound` (the sink's Lemma 2 bound, under `use_rlu_bound`) caps the
+/// certification threshold: a recorded value can only decide the result
+/// where it beats the incumbent, which requires it to be below the bound —
+/// values above it may stay uncertified upper bounds without affecting the
+/// answer, and the obstacle loads that would certify them are skipped. Each
+/// re-run of CPLC reseeds the previous search's labels (only witness paths
+/// crossing the newly loaded obstacles are recomputed).
 fn refine_to_fixpoint<S: QueryStreams>(
     q: &Segment,
     ws: &mut Workspace,
@@ -135,15 +155,21 @@ fn refine_to_fixpoint<S: QueryStreams>(
     cfg: &ConnConfig,
     streams: &mut S,
     cpl: &mut ControlPointList,
+    outer_bound: f64,
 ) {
+    let cap = if cfg.use_rlu_bound {
+        outer_bound
+    } else {
+        f64::INFINITY
+    };
     loop {
         let added = if cpl.has_unassigned() {
             // geometry under-covered: widen one obstacle at a time
             streams.load_next_obstacle(&mut ws.g)
         } else {
-            let m = cpl.max_assigned_value(q);
+            let m = cpl.max_assigned_value(q).min(cap);
             if m <= ws.ior_state.loaded_bound + EPS {
-                return; // every recorded value is certified exact
+                return; // every value that can win is certified exact
             }
             ws.ior_state.loaded_bound = m;
             streams.load_obstacles_until(&mut ws.g, m)
@@ -151,7 +177,15 @@ fn refine_to_fixpoint<S: QueryStreams>(
         if added == 0 {
             return; // obstacle source exhausted: nothing left to learn
         }
-        *cpl = cplc(q, &mut ws.g, p_node, cfg, &mut ws.vr_cache, &mut ws.dij);
+        *cpl = cplc_bounded(
+            q,
+            &mut ws.g,
+            p_node,
+            cfg,
+            &mut ws.vr_cache,
+            &mut ws.dij,
+            outer_bound,
+        );
     }
 }
 
@@ -206,6 +240,31 @@ impl ConnResult {
     /// Validation helper: the entries exactly cover the segment.
     pub fn check_cover(&self) -> Result<(), String> {
         self.list.check_cover()
+    }
+
+    /// Semantic equivalence to another result of the same query: identical
+    /// coverage and answer *values* (within `tol`) at sampled parameters —
+    /// the entry midpoints of both results plus a 33-point even grid.
+    ///
+    /// This is the right gate for comparisons **across kernel modes**:
+    /// blind Dijkstra and A* may settle equal-length shortest paths in
+    /// different order, shifting distances (and the split points derived
+    /// from them) by a few ULPs. Same-kernel comparisons (fresh vs reused
+    /// engine, serial vs batch) should stay bitwise instead.
+    pub fn values_equivalent(&self, other: &ConnResult, tol: f64) -> bool {
+        let mut ts: Vec<f64> = self
+            .entries()
+            .iter()
+            .chain(other.entries())
+            .map(|e| (e.interval.lo + e.interval.hi) * 0.5)
+            .collect();
+        ts.extend((0..=32).map(|i| self.q.len() * i as f64 / 32.0));
+        ts.into_iter()
+            .all(|t| match (self.nn_at(t), other.nn_at(t)) {
+                (None, None) => true,
+                (Some((_, da)), Some((_, db))) => (da - db).abs() <= tol,
+                _ => false,
+            })
     }
 }
 

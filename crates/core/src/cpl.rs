@@ -239,8 +239,8 @@ impl VrCache {
 }
 
 /// CPLC — Algorithm 2: computes `CPL(p, q)` over the current local
-/// visibility graph. `dij` is the caller's reusable Dijkstra scratch
-/// (prepared here; any previous run's state is discarded).
+/// visibility graph. `dij` is the caller's reusable Dijkstra scratch.
+/// One-shot facade over [`cplc_bounded`] with no outer bound.
 pub fn cplc(
     q: &Segment,
     g: &mut VisGraph,
@@ -249,12 +249,61 @@ pub fn cplc(
     vr_cache: &mut VrCache,
     dij: &mut DijkstraEngine,
 ) -> ControlPointList {
+    cplc_bounded(q, g, p_node, cfg, vr_cache, dij, f64::INFINITY)
+}
+
+/// CPLC with an outer value cap (the result sink's Lemma 2 bound).
+///
+/// The traversal runs on the configured kernel: under
+/// [`crate::KernelMode::GoalDirected`] nodes settle in ascending
+/// `f(v) = d(v) + mindist(v, q)` — a lower bound on the best value `v` can
+/// contribute *anywhere* on `q` — which makes the Lemma 7 cut strictly
+/// sharper than the paper's `d(v) ≥ CPLMAX`. With label continuation on,
+/// the search **replays** the settled prefix of the IOR run that preceded
+/// it (same source, goal and graph version) instead of re-expanding it.
+///
+/// `outer_bound` (`RLMAX`, or the k-th bound for COkNN) additionally caps
+/// expansion once the list is fully assigned: a control point with
+/// `f > outer_bound` has value `> outer_bound ≥` the result incumbent
+/// everywhere, so it can never change the final answer. While any interval
+/// is unassigned the cap is held at ∞, so the cover the paper's algorithm
+/// produces is never truncated. Values recorded above the cap may be
+/// non-tight upper bounds; every value that can win stays exact.
+pub fn cplc_bounded(
+    q: &Segment,
+    g: &mut VisGraph,
+    p_node: NodeId,
+    cfg: &ConnConfig,
+    vr_cache: &mut VrCache,
+    dij: &mut DijkstraEngine,
+    outer_bound: f64,
+) -> ControlPointList {
     let mut cpl = ControlPointList::new(q.len());
-    dij.prepare(g, p_node);
+    let goal = cfg.kernel.goal(q);
+    let outer = if cfg.use_rlu_bound {
+        outer_bound
+    } else {
+        f64::INFINITY
+    };
+    dij.ensure_prepared(g, p_node, goal, cfg.label_continuation);
+    // The break threshold mirrors the engine's expansion bound (∞ while any
+    // interval is unassigned, then `min(CPLMAX, outer)`); it must be
+    // checked here too because a replayed settlement tape bypasses the
+    // engine's heap-side bound check.
+    let cap = |cpl: &ControlPointList| {
+        if cpl.has_unassigned() {
+            f64::INFINITY
+        } else {
+            cpl.max_value(q).min(outer)
+        }
+    };
     while let Some((v, dv)) = dij.next_settled(g) {
-        // Lemma 7 (relaxed with mindist(v, q) lower-bounded by 0, as in the
-        // paper's Algorithm 2 line 4)
-        if cfg.use_lemma7 && dv >= cpl.max_value(q) {
+        // Lemma 7 on the settle key (relaxed with mindist(v, q)
+        // lower-bounded by 0 under the blind kernel, exactly the paper's
+        // Algorithm 2 line 4; the goal-directed kernel uses the true
+        // mindist, which the f-ordered settlement makes monotone)
+        let fv = dv + goal.h(g.node_pos(v));
+        if cfg.use_lemma7 && fv >= cap(&cpl) {
             break;
         }
         let pred = dij.predecessor(v);
@@ -280,6 +329,13 @@ pub fn cplc(
         let candidate = ControlPoint::new(g.node_pos(v), dv);
         for iv in region.intervals() {
             cpl.offer(q, candidate, iv, cfg);
+        }
+        if cfg.use_lemma7 {
+            // Stop *expansion* at the evolving threshold, not just the
+            // settle loop: candidates beyond it are never pushed, so their
+            // sight tests are never paid. Held at ∞ while any interval is
+            // unassigned (footnote 5 / the outer-cap safety argument).
+            dij.set_bound(cap(&cpl));
         }
     }
     cpl

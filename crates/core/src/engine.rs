@@ -59,6 +59,8 @@ pub struct Workspace {
     /// Reuse telemetry of the query in flight.
     current: ReuseCounters,
     heap_reuse_mark: u64,
+    continuation_mark: u64,
+    reseed_mark: u64,
 }
 
 impl Default for Workspace {
@@ -80,6 +82,8 @@ impl Workspace {
             odist_primed: false,
             current: ReuseCounters::default(),
             heap_reuse_mark: 0,
+            continuation_mark: 0,
+            reseed_mark: 0,
         }
     }
 
@@ -98,11 +102,15 @@ impl Workspace {
         self.vr_cache.clear();
         self.ior_state = IorState::default();
         self.heap_reuse_mark = self.dij.reuses();
+        self.continuation_mark = self.dij.continuations();
+        self.reseed_mark = self.dij.reseeds();
     }
 
     /// Closes the reuse-counter window of the current query.
     pub(crate) fn finish_query(&mut self) -> ReuseCounters {
         self.current.heap_reuses = self.dij.reuses() - self.heap_reuse_mark;
+        self.current.label_continuations = self.dij.continuations() - self.continuation_mark;
+        self.current.label_reseeds = self.dij.reseeds() - self.reseed_mark;
         self.current
     }
 }
@@ -334,7 +342,9 @@ impl QueryEngine {
         let g = &mut self.ws.g;
         let na = g.add_point(a, NodeKind::DataPoint);
         let nb = g.add_point(b, NodeKind::DataPoint);
-        self.ws.dij.prepare(g, na);
+        self.ws
+            .dij
+            .prepare_directed(g, na, self.cfg.kernel.point_goal(b));
         let d = self.ws.dij.run_until_settled(g, nb);
         let path = d.is_finite().then(|| {
             self.ws
@@ -355,7 +365,9 @@ impl QueryEngine {
         let g = &mut self.ws.g;
         let na = g.add_point(a, NodeKind::DataPoint);
         let nb = g.add_point(b, NodeKind::DataPoint);
-        self.ws.dij.prepare(g, na);
+        self.ws
+            .dij
+            .prepare_directed(g, na, self.cfg.kernel.point_goal(b));
         let d = self.ws.dij.run_until_settled(g, nb);
         g.remove_node(nb);
         g.remove_node(na);

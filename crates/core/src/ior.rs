@@ -11,10 +11,20 @@
 //! The graph — and the loading threshold in [`IorState`] — is shared across
 //! all data points of one query, so the obstacle R-tree is traversed at most
 //! once per query.
+//!
+//! Under [`crate::KernelMode::GoalDirected`] the Dijkstra runs are A*
+//! searches keyed toward the query segment (`S` and `E` both lie on it, so
+//! the heuristic is admissible for either target), expanding a corridor
+//! between `p` and `q` instead of a full disk of radius `max(‖p,S‖,‖p,E‖)`.
+//! With label continuation on, each retrieval round *reseeds* the previous
+//! round's labels — only labels whose witness paths cross the newly loaded
+//! obstacles are recomputed — and the converged search is left in the
+//! workspace for CPLC to replay instead of re-running it from a cold heap.
 
 use conn_geom::Segment;
 use conn_vgraph::{DijkstraEngine, NodeId, VisGraph};
 
+use crate::config::ConnConfig;
 use crate::streams::QueryStreams;
 
 /// Cross-point state: how far (in `mindist` to `q`) obstacles have been
@@ -37,7 +47,7 @@ pub struct EndpointPaths {
 /// Dijkstra scratch (re-prepared on every retrieval round).
 #[allow(clippy::too_many_arguments)]
 pub fn ior<S: QueryStreams>(
-    _q: &Segment,
+    q: &Segment,
     g: &mut VisGraph,
     s_node: NodeId,
     e_node: NodeId,
@@ -45,9 +55,11 @@ pub fn ior<S: QueryStreams>(
     streams: &mut S,
     state: &mut IorState,
     dij: &mut DijkstraEngine,
+    cfg: &ConnConfig,
 ) -> EndpointPaths {
+    let goal = cfg.kernel.goal(q);
     loop {
-        dij.prepare(g, p_node);
+        dij.ensure_prepared(g, p_node, goal, cfg.label_continuation);
         let dist_s = dij.run_until_settled(g, s_node);
         let dist_e = dij.run_until_settled(g, e_node);
         let d_prime = dist_s.max(dist_e);
@@ -96,7 +108,18 @@ mod tests {
         let p = g.add_point(ppos, NodeKind::DataPoint);
         let mut state = IorState::default();
         let mut dij = DijkstraEngine::default();
-        let paths = ior(&q, &mut g, s, e, p, &mut streams, &mut state, &mut dij);
+        let cfg = ConnConfig::default();
+        let paths = ior(
+            &q,
+            &mut g,
+            s,
+            e,
+            p,
+            &mut streams,
+            &mut state,
+            &mut dij,
+            &cfg,
+        );
         (paths, streams.obstacles_loaded(), state.loaded_bound)
     }
 
@@ -167,15 +190,36 @@ mod tests {
         let e = g.add_point(q.b, NodeKind::Endpoint);
         let mut state = IorState::default();
         let mut dij = DijkstraEngine::default();
+        let cfg = ConnConfig::default();
 
         let p0 = g.add_point(Point::new(50.0, 30.0), NodeKind::DataPoint);
-        ior(&q, &mut g, s, e, p0, &mut streams, &mut state, &mut dij);
+        ior(
+            &q,
+            &mut g,
+            s,
+            e,
+            p0,
+            &mut streams,
+            &mut state,
+            &mut dij,
+            &cfg,
+        );
         g.remove_node(p0);
         let bound_after_first = state.loaded_bound;
         let loaded_after_first = streams.obstacles_loaded();
 
         let p1 = g.add_point(Point::new(55.0, 28.0), NodeKind::DataPoint);
-        ior(&q, &mut g, s, e, p1, &mut streams, &mut state, &mut dij);
+        ior(
+            &q,
+            &mut g,
+            s,
+            e,
+            p1,
+            &mut streams,
+            &mut state,
+            &mut dij,
+            &cfg,
+        );
         g.remove_node(p1);
         // second, similar point: bound may grow slightly but nothing new to load
         assert_eq!(streams.obstacles_loaded(), loaded_after_first);

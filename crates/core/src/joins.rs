@@ -85,10 +85,10 @@ impl QueryEngine {
         tree_b: &RStarTree<DataPoint>,
         obstacle_tree: &RStarTree<Rect>,
     ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
-        let cell = self.config().vgraph_cell;
+        let cfg = *self.config();
         let ws = self.workspace();
-        ws.begin_query(cell);
-        let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree);
+        ws.begin_query(cfg.vgraph_cell);
+        let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree, &cfg);
         stats.reuse = ws.finish_query();
         (best, stats)
     }
@@ -101,10 +101,10 @@ impl QueryEngine {
         obstacle_tree: &RStarTree<Rect>,
         e: f64,
     ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
-        let cell = self.config().vgraph_cell;
+        let cfg = *self.config();
         let ws = self.workspace();
-        ws.begin_query(cell);
-        let (pairs, mut stats) = edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e);
+        ws.begin_query(cfg.vgraph_cell);
+        let (pairs, mut stats) = edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e, &cfg);
         stats.reuse = ws.finish_query();
         (pairs, stats)
     }
@@ -115,6 +115,7 @@ fn closest_pair_on(
     tree_a: &RStarTree<DataPoint>,
     tree_b: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
+    cfg: &ConnConfig,
 ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
     let started = Instant::now();
     tree_a.reset_stats();
@@ -122,7 +123,7 @@ fn closest_pair_on(
     obstacle_tree.reset_stats();
 
     let mut best: Option<(DataPoint, DataPoint, f64)> = None;
-    let mut resolver = OdistResolver::new(ws, obstacle_tree);
+    let mut resolver = OdistResolver::new(ws, obstacle_tree, cfg);
     let mut pairs_resolved = 0u64;
 
     if !tree_a.is_empty() && !tree_b.is_empty() {
@@ -234,6 +235,7 @@ fn edistance_join_on(
     tree_b: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     e: f64,
+    cfg: &ConnConfig,
 ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
     assert!(e >= 0.0, "negative join distance");
     let started = Instant::now();
@@ -242,7 +244,7 @@ fn edistance_join_on(
     obstacle_tree.reset_stats();
 
     let mut out: Vec<(DataPoint, DataPoint, f64)> = Vec::new();
-    let mut resolver = OdistResolver::new(ws, obstacle_tree);
+    let mut resolver = OdistResolver::new(ws, obstacle_tree, cfg);
     let mut pairs_resolved = 0u64;
 
     let mut stack: Vec<(Side, Side)> = Vec::new();
@@ -310,16 +312,20 @@ struct OdistResolver<'a, 'w> {
     obstacle_tree: &'a RStarTree<Rect>,
     loaded: HashSet<[u64; 4]>,
     noe: u64,
+    kernel: crate::config::KernelMode,
+    warm: bool,
 }
 
 impl<'a, 'w> OdistResolver<'a, 'w> {
     /// The workspace must already be rewound (`begin_query`) by the caller.
-    fn new(ws: &'w mut Workspace, obstacle_tree: &'a RStarTree<Rect>) -> Self {
+    fn new(ws: &'w mut Workspace, obstacle_tree: &'a RStarTree<Rect>, cfg: &ConnConfig) -> Self {
         OdistResolver {
             ws,
             obstacle_tree,
             loaded: HashSet::new(),
             noe: 0,
+            kernel: cfg.kernel,
+            warm: cfg.label_continuation,
         }
     }
 
@@ -349,10 +355,13 @@ impl<'a, 'w> OdistResolver<'a, 'w> {
         let nb = self.ws.g.add_point(b, NodeKind::DataPoint);
         let mut bound = a.dist(b);
         let total = self.obstacle_tree.len();
+        let goal = self.kernel.point_goal(b);
         let d = loop {
             self.load_upto(a, bound);
             let ws = &mut *self.ws;
-            ws.dij.prepare(&ws.g, na);
+            // rounds only add obstacles, so the warm path reseeds the
+            // previous round's labels instead of re-running from scratch
+            ws.dij.ensure_prepared(&ws.g, na, goal, self.warm);
             let d = ws.dij.run_until_settled(&mut ws.g, nb);
             if d.is_finite() {
                 if d <= bound + conn_geom::EPS {

@@ -69,7 +69,7 @@ pub mod visible;
 
 pub use batch::{coknn_batch, conn_batch, BatchStats};
 pub use coknn::{coknn_search, CoknnResult};
-pub use config::ConnConfig;
+pub use config::{ConnConfig, KernelMode};
 pub use conn::{conn_search, ConnResult};
 pub use dist::ControlPoint;
 pub use engine::QueryEngine;

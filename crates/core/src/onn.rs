@@ -106,6 +106,7 @@ pub fn onn_search(
             s_node,
             &mut loaded_bound,
             &mut |g, bound| load_until(g, bound, &mut noe),
+            cfg,
         );
         g.remove_node(p_node);
         if od.is_finite() {
@@ -131,18 +132,23 @@ pub fn onn_search(
     (results, stats)
 }
 
-/// Point-to-point incremental obstructed distance: Dijkstra + obstacle
-/// loading to a fix-point (the point analogue of Algorithm 1, justified by
-/// the same Lemma 3 argument with `q` degenerated to `s`).
+/// Point-to-point incremental obstructed distance: goal-directed search +
+/// obstacle loading to a fix-point (the point analogue of Algorithm 1,
+/// justified by the same Lemma 3 argument with `q` degenerated to `s`).
+/// Retrieval rounds only add obstacles, so each re-run reseeds the previous
+/// round's labels instead of starting from a cold heap.
 fn odist_incremental(
     g: &mut VisGraph,
     p_node: NodeId,
     s_node: NodeId,
     loaded_bound: &mut f64,
     load_until: &mut dyn FnMut(&mut VisGraph, f64) -> usize,
+    cfg: &ConnConfig,
 ) -> f64 {
+    let goal = cfg.kernel.point_goal(g.node_pos(s_node));
+    let mut dij = DijkstraEngine::default();
     loop {
-        let mut dij = DijkstraEngine::new(g, p_node);
+        dij.ensure_prepared(g, p_node, goal, cfg.label_continuation);
         let d = dij.run_until_settled(g, s_node);
         if d.is_infinite() {
             if load_until(g, f64::INFINITY) == 0 {

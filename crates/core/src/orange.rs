@@ -49,6 +49,7 @@ pub fn obstructed_range_search(
     let mut results: Vec<(DataPoint, f64)> = Vec::new();
     let mut npe = 0u64;
     let mut points = data_tree.nearest_iter(s);
+    let mut dij = DijkstraEngine::default();
     while let Some(lower) = points.peek_dist() {
         if lower > radius {
             break; // euclidean lower bound exceeds the radius
@@ -56,7 +57,11 @@ pub fn obstructed_range_search(
         let (p, _) = points.next().expect("peeked point");
         npe += 1;
         let p_node = g.add_point(p.pos, NodeKind::DataPoint);
-        let mut dij = DijkstraEngine::new(&g, p_node);
+        // goal-directed toward s, with the radius as expansion bound: a
+        // point whose search exhausts inside the bound reports ∞ and is
+        // rejected exactly like an over-radius distance
+        dij.prepare_directed(&g, p_node, cfg.kernel.point_goal(s));
+        dij.set_bound(radius);
         let od = dij.run_until_settled(&mut g, s_node);
         g.remove_node(p_node);
         if od <= radius {

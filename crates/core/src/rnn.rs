@@ -107,18 +107,24 @@ pub fn obstructed_rnn(
 /// RNN modules independently readable).
 struct PairResolver<'a> {
     g: VisGraph,
+    dij: DijkstraEngine,
     obstacle_tree: &'a RStarTree<Rect>,
     loaded: std::collections::HashSet<[u64; 4]>,
     noe: u64,
+    kernel: crate::config::KernelMode,
+    warm: bool,
 }
 
 impl<'a> PairResolver<'a> {
     fn new(cfg: &ConnConfig, obstacle_tree: &'a RStarTree<Rect>) -> Self {
         PairResolver {
             g: VisGraph::new(cfg.vgraph_cell),
+            dij: DijkstraEngine::default(),
             obstacle_tree,
             loaded: std::collections::HashSet::new(),
             noe: 0,
+            kernel: cfg.kernel,
+            warm: cfg.label_continuation,
         }
     }
 
@@ -145,10 +151,13 @@ impl<'a> PairResolver<'a> {
         let nb = self.g.add_point(b, NodeKind::DataPoint);
         let mut bound = a.dist(b);
         let total = self.obstacle_tree.len();
+        let goal = self.kernel.point_goal(b);
         let d = loop {
             self.load_upto(a, bound);
-            let mut dij = DijkstraEngine::new(&self.g, na);
-            let d = dij.run_until_settled(&mut self.g, nb);
+            // rounds only add obstacles: the warm path reseeds retained
+            // labels instead of re-running the search from scratch
+            self.dij.ensure_prepared(&self.g, na, goal, self.warm);
+            let d = self.dij.run_until_settled(&mut self.g, nb);
             if d.is_finite() {
                 if d <= bound + conn_geom::EPS {
                     break d;

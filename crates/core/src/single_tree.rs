@@ -6,6 +6,11 @@
 //! visibility graph on demand. Because the underlying iterator yields items
 //! in globally ascending `mindist`, buffering whichever kind the current
 //! consumer does not want preserves each kind's ordering.
+//!
+//! The 1T variant inherits the configured obstructed-distance kernel
+//! unchanged — goal-directed A*, label continuation and the RLU expansion
+//! cap all live below the [`QueryStreams`] abstraction, so the tree layout
+//! and the kernel compose freely.
 
 use std::collections::VecDeque;
 

@@ -24,6 +24,12 @@ pub struct ReuseCounters {
     /// Dijkstra preparations that reused retained label/heap capacity
     /// instead of allocating a new engine.
     pub heap_reuses: u64,
+    /// Searches served by replaying the retained settlement prefix of the
+    /// previous search (the CPLC-after-IOR continuation).
+    pub label_continuations: u64,
+    /// Searches warm-restarted after obstacle loads by reseeding the labels
+    /// whose witness paths the new obstacles do not cross.
+    pub label_reseeds: u64,
 }
 
 impl ReuseCounters {
@@ -32,6 +38,8 @@ impl ReuseCounters {
         self.graph_reuses += other.graph_reuses;
         self.nodes_retained += other.nodes_retained;
         self.heap_reuses += other.heap_reuses;
+        self.label_continuations += other.label_continuations;
+        self.label_reseeds += other.label_reseeds;
     }
 }
 

@@ -1,12 +1,50 @@
-//! Incremental Dijkstra over the visibility graph.
+//! Incremental shortest-path engine over the visibility graph: blind
+//! Dijkstra, goal-directed A*, and warm label continuation.
 //!
-//! Two paper call sites drive the interface:
+//! Three paper call sites drive the interface:
 //!
-//! * **IOR** (Alg. 1) runs Dijkstra from the data point until `S` and `E`
-//!   settle, re-running from scratch whenever new obstacles arrive.
-//! * **CPLC** (Alg. 2) consumes nodes one at a time in ascending obstructed
-//!   distance and stops early via Lemma 7 — which is exactly
+//! * **IOR** (Alg. 1) searches from the data point until `S` and `E`
+//!   settle, re-running whenever new obstacles arrive.
+//! * **CPLC** (Alg. 2) consumes nodes one at a time in ascending priority
+//!   and stops early via Lemma 7 — which is exactly
 //!   [`DijkstraEngine::next_settled`].
+//! * **odist** (Def. 4) searches point-to-point.
+//!
+//! ## Kernel modes
+//!
+//! The engine always pops nodes in ascending `f(v) = d(v) + h(v)`, where
+//! `h` is the [`Goal`] heuristic (identically `0.0` for [`Goal::None`],
+//! which makes the engine a plain Dijkstra). The heuristics are Euclidean
+//! lower bounds on the remaining obstructed distance (**admissible** —
+//! obstructed distance dominates Euclidean distance) and satisfy
+//! `|h(u) − h(v)| ≤ ‖u, v‖ ≤ w(u, v)` (**consistent**), so every popped
+//! node carries its exact shortest-path distance, exactly as in blind
+//! Dijkstra — the goal only changes *how many* nodes are expanded before a
+//! target settles.
+//!
+//! A caller-supplied [`DijkstraEngine::set_bound`] turns pruning thresholds
+//! (IOR's retrieval bound, CPLC's Lemma 7 `CPLMAX`, RLU's `RLMAX`) into
+//! *expansion* stoppers: candidates with `f > bound` are never pushed — so
+//! their sight tests in the transient overlay are never paid — and the
+//! search reports exhaustion as soon as the heap minimum exceeds the
+//! bound. The bound may only shrink during a run (the thresholds it mirrors
+//! are monotone non-increasing); labels of pruned nodes are left untouched.
+//!
+//! ## Label continuation
+//!
+//! The engine records its settlement order. When the next consumer asks for
+//! the *same* search (same source, goal, and graph version — e.g. CPLC
+//! continuing exactly where IOR's converged run stopped), the settled
+//! prefix **replays** from the retained label array and expansion resumes
+//! from the retained heap, instead of re-running from a cold heap.
+//!
+//! When obstacles were loaded in between (version advanced, but the node
+//! set only grew by their corners — tracked via [`VisGraph::shape_epoch`]),
+//! the engine **reseeds**: obstacles only ever lengthen paths, so every
+//! label whose witness path avoids the newly added rectangles is still
+//! exact and re-enters the heap as a seed; only invalidated labels are
+//! re-discovered through relaxation. Both warm paths produce the same
+//! settlement sequence as a cold start on the final graph.
 //!
 //! The engine snapshots the graph version at preparation: advancing it
 //! after a structural change is a logic bug and panics in debug builds.
@@ -21,11 +59,54 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use conn_geom::OrdF64;
+use conn_geom::{OrdF64, Point, Segment};
 
 use crate::graph::{NodeId, VisGraph};
 
 const NO_PRED: u32 = u32::MAX;
+
+/// Heuristic target of a goal-directed search. Every variant is an
+/// admissible, consistent Euclidean lower bound on the remaining obstructed
+/// distance (see the module docs), so settled distances are exact in every
+/// mode.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub enum Goal {
+    /// Blind Dijkstra: `h ≡ 0`.
+    #[default]
+    None,
+    /// Point-to-point search: `h(v) = ‖v, target‖`.
+    Point(Point),
+    /// Search toward a query segment: `h(v) = mindist(v, segment)` — used
+    /// by IOR (both endpoints lie on the segment) and CPLC (a control
+    /// point's best value anywhere on `q` is `d(v) + mindist(v, q)`).
+    Segment(Segment),
+}
+
+impl Goal {
+    /// The heuristic value at `p`.
+    #[inline]
+    pub fn h(&self, p: Point) -> f64 {
+        match self {
+            Goal::None => 0.0,
+            Goal::Point(t) => p.dist(*t),
+            Goal::Segment(s) => s.dist_to_point(p),
+        }
+    }
+}
+
+/// How [`DijkstraEngine::ensure_prepared`] bound the engine to its search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prep {
+    /// Fresh search: labels cleared, heap holds only the source.
+    Cold,
+    /// Same source, goal and graph version: the settled prefix replays from
+    /// the retained labels; expansion continues from the retained heap.
+    Replayed,
+    /// Obstacles were added since the last run: labels whose witness paths
+    /// avoid the new rectangles were kept as exact seeds, the rest were
+    /// invalidated and will be re-discovered.
+    Reseeded,
+}
 
 /// Single-source shortest-path engine with incremental settlement.
 #[derive(Debug, Default)]
@@ -34,26 +115,51 @@ pub struct DijkstraEngine {
     dist: Vec<f64>,
     pred: Vec<u32>,
     settled: Vec<bool>,
+    /// Keyed by `f = d + h`; `d` is read back from `dist` at pop time.
     heap: BinaryHeap<(Reverse<OrdF64>, u32)>,
     version: u64,
+    shape_epoch: u64,
+    goal: Goal,
+    /// Expansion bound on `f`; candidates above it are never pushed.
+    bound: f64,
+    /// True once `set_bound` tightened below ∞ — a bounded run's labels are
+    /// incomplete inside the frontier, so it must not be replayed verbatim
+    /// (reseeding is still fine: settled labels stay exact).
+    tightened: bool,
+    /// Settlement order `(node, d)` — the replay tape of a continuation.
+    settle_log: Vec<(u32, f64)>,
+    /// Next `settle_log` entry to replay; equals `settle_log.len()` while
+    /// expanding live.
+    cursor: usize,
     /// Relaxation scratch (edges of the node being settled).
     edge_scratch: Vec<(u32, f64)>,
+    /// Reseed scratch: `(node, d, pred)` of labels that survived.
+    reseed_scratch: Vec<(u32, f64, u32)>,
     /// Runs whose label arrays fit in already-allocated capacity.
     reuses: u64,
+    /// Warm continuations served (settled prefix replayed).
+    continuations: u64,
+    /// Warm reseeds served (labels repaired after obstacle loads).
+    reseeds: u64,
     prepared: bool,
 }
 
 impl DijkstraEngine {
-    /// Prepares a run from `src` against the graph's current version.
+    /// Prepares a blind run from `src` against the graph's current version.
     pub fn new(g: &VisGraph, src: NodeId) -> Self {
         let mut e = DijkstraEngine::default();
         e.prepare(g, src);
         e
     }
 
-    /// Rewinds the engine for a fresh run from `src`, reusing the label
-    /// arrays, heap and scratch allocations of previous runs.
+    /// Rewinds the engine for a fresh blind run from `src`, reusing the
+    /// label arrays, heap and scratch allocations of previous runs.
     pub fn prepare(&mut self, g: &VisGraph, src: NodeId) {
+        self.prepare_directed(g, src, Goal::None)
+    }
+
+    /// Rewinds the engine for a fresh run from `src` toward `goal`.
+    pub fn prepare_directed(&mut self, g: &VisGraph, src: NodeId, goal: Goal) {
         let n = g.capacity();
         if self.prepared && self.dist.capacity() >= n {
             self.reuses += 1;
@@ -66,10 +172,109 @@ impl DijkstraEngine {
         self.settled.clear();
         self.settled.resize(n, false);
         self.heap.clear();
+        self.settle_log.clear();
+        self.cursor = 0;
         self.version = g.version();
+        self.shape_epoch = g.shape_epoch();
+        self.goal = goal;
+        self.bound = f64::INFINITY;
+        self.tightened = false;
         self.src = src;
         self.dist[src.index()] = 0.0;
-        self.heap.push((Reverse(OrdF64::new(0.0)), src.0));
+        let f0 = goal.h(g.node_pos(src));
+        self.heap.push((Reverse(OrdF64::new(f0)), src.0));
+    }
+
+    /// Warm-or-cold preparation: replays the retained search when `src`,
+    /// `goal` and the graph are unchanged, reseeds the labels when only
+    /// obstacles were added, and falls back to [`Self::prepare_directed`]
+    /// otherwise (always, when `allow_warm` is false).
+    pub fn ensure_prepared(
+        &mut self,
+        g: &VisGraph,
+        src: NodeId,
+        goal: Goal,
+        allow_warm: bool,
+    ) -> Prep {
+        if allow_warm
+            && self.prepared
+            && self.src == src
+            && self.goal == goal
+            && self.shape_epoch == g.shape_epoch()
+        {
+            if self.version == g.version() && !self.tightened {
+                self.cursor = 0;
+                self.bound = f64::INFINITY;
+                self.continuations += 1;
+                return Prep::Replayed;
+            }
+            if self.version < g.version() {
+                self.reseed(g);
+                self.reseeds += 1;
+                return Prep::Reseeded;
+            }
+        }
+        self.prepare_directed(g, src, goal);
+        Prep::Cold
+    }
+
+    /// Warm restart after obstacle loads: keeps every settled label whose
+    /// witness path avoids the rectangles added since the snapshot (those
+    /// labels are provably still exact — obstacles only lengthen paths) and
+    /// re-enters them into the heap as seeds, so re-settling them performs
+    /// no label convergence and almost no pushes. Invalidated and new nodes
+    /// are re-discovered through ordinary relaxation. Validity is inherited
+    /// along the predecessor chain: a node's witness path extends its
+    /// predecessor's, and predecessors settle (hence classify) first.
+    fn reseed(&mut self, g: &VisGraph) {
+        let n = g.capacity();
+        if self.dist.len() < n {
+            // new obstacle corners
+            self.dist.resize(n, f64::INFINITY);
+            self.pred.resize(n, NO_PRED);
+            self.settled.resize(n, false);
+        }
+        let new_rects = g.rects_since(self.version);
+        let old_log = std::mem::take(&mut self.settle_log);
+        let mut kept = std::mem::take(&mut self.reseed_scratch);
+        kept.clear();
+        for &(u, d) in &old_log {
+            let ui = u as usize;
+            let ok = if u == self.src.0 {
+                true
+            } else {
+                let p = self.pred[ui];
+                p != NO_PRED && self.settled[p as usize] && {
+                    let seg = Segment::new(g.node_pos(NodeId(p)), g.node_pos(NodeId(u)));
+                    !new_rects.iter().any(|(_, r)| r.blocks(&seg))
+                }
+            };
+            // `settled` doubles as the "witness still valid" marker during
+            // this pass (every logged node had it set; predecessors are
+            // re-classified before their children).
+            self.settled[ui] = ok;
+            if ok {
+                kept.push((u, d, self.pred[ui]));
+            }
+        }
+        self.dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        self.pred.iter_mut().for_each(|p| *p = NO_PRED);
+        self.settled.iter_mut().for_each(|s| *s = false);
+        self.heap.clear();
+        for &(u, d, p) in &kept {
+            let ui = u as usize;
+            self.dist[ui] = d;
+            self.pred[ui] = p;
+            let f = d + self.goal.h(g.node_pos(NodeId(u)));
+            self.heap.push((Reverse(OrdF64::new(f)), u));
+        }
+        self.settle_log = old_log;
+        self.settle_log.clear();
+        self.cursor = 0;
+        self.version = g.version();
+        self.bound = f64::INFINITY;
+        self.tightened = false;
+        self.reseed_scratch = kept;
     }
 
     /// How many [`DijkstraEngine::prepare`] calls reused retained capacity
@@ -78,32 +283,89 @@ impl DijkstraEngine {
         self.reuses
     }
 
+    /// Warm continuations served so far (the `label_continuations` metric).
+    pub fn continuations(&self) -> u64 {
+        self.continuations
+    }
+
+    /// Warm reseeds served so far (the `label_reseeds` metric).
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds
+    }
+
     pub fn source(&self) -> NodeId {
         self.src
     }
 
-    /// Settles and returns the next-closest node, or `None` when the
-    /// reachable part of the graph is exhausted.
+    /// The active heuristic.
+    pub fn goal(&self) -> Goal {
+        self.goal
+    }
+
+    /// Tightens the expansion bound on `f = d + h`: candidates above it are
+    /// pruned before they are pushed (and before their overlay sight tests
+    /// are paid), and [`Self::next_settled`] reports exhaustion once the
+    /// heap minimum exceeds it. Bounds mirror monotone non-increasing
+    /// pruning thresholds, so raising the bound mid-run is a logic error —
+    /// the engine keeps the tighter of the two.
+    pub fn set_bound(&mut self, bound: f64) {
+        if bound < self.bound {
+            self.bound = bound;
+            self.tightened = true;
+        }
+    }
+
+    /// The current expansion bound (∞ when unbounded).
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Settles and returns the next node in ascending `f = d + h` order
+    /// (plain ascending-distance order under [`Goal::None`]), or `None`
+    /// when the part of the graph reachable within the bound is exhausted.
+    /// Replays the retained settlement prefix first when the engine was
+    /// warm-prepared.
     pub fn next_settled(&mut self, g: &mut VisGraph) -> Option<(NodeId, f64)> {
         debug_assert_eq!(
             self.version,
             g.version(),
             "graph changed under a running Dijkstra"
         );
-        while let Some((Reverse(OrdF64(d)), u)) = self.heap.pop() {
+        if self.cursor < self.settle_log.len() {
+            let (u, d) = self.settle_log[self.cursor];
+            self.cursor += 1;
+            return Some((NodeId(u), d));
+        }
+        while let Some(&(Reverse(OrdF64(f)), u)) = self.heap.peek() {
+            if f > self.bound {
+                // min-key over the bound ⇒ every remaining key is too; the
+                // entry stays in the heap so the answer is stable if asked
+                // again
+                return None;
+            }
+            self.heap.pop();
             let ui = u as usize;
             if self.settled[ui] {
                 continue;
             }
+            let d = self.dist[ui];
             self.settled[ui] = true;
+            self.settle_log.push((u, d));
+            self.cursor = self.settle_log.len();
             // relax (edge list copied into retained scratch — no per-settle
             // allocation once the buffer has grown to the working size);
-            // transient candidates that already settled are filtered before
-            // their sight test, since relaxing them is a no-op anyway
+            // candidates that already settled, or that lie outside the
+            // bound's ellipse, are filtered before their sight test /
+            // scratch copy, since relaxing them is a no-op anyway
             let mut edges = std::mem::take(&mut self.edge_scratch);
             edges.clear();
             let settled = &self.settled;
-            g.neighbors_into_filtered(NodeId(u), &mut edges, |v| !settled[v as usize]);
+            let goal = self.goal;
+            let bound = self.bound;
+            let upos = g.node_pos(NodeId(u));
+            g.neighbors_into_filtered(NodeId(u), &mut edges, |v, vpos| {
+                !settled[v as usize] && d + upos.dist(vpos) + goal.h(vpos) <= bound
+            });
             for &(v, w) in &edges {
                 let vi = v as usize;
                 if self.settled[vi] {
@@ -111,9 +373,12 @@ impl DijkstraEngine {
                 }
                 let nd = d + w;
                 if nd < self.dist[vi] {
-                    self.dist[vi] = nd;
-                    self.pred[vi] = u;
-                    self.heap.push((Reverse(OrdF64::new(nd)), v));
+                    let fv = nd + goal.h(g.node_pos(NodeId(v)));
+                    if fv <= bound {
+                        self.dist[vi] = nd;
+                        self.pred[vi] = u;
+                        self.heap.push((Reverse(OrdF64::new(fv)), v));
+                    }
                 }
             }
             self.edge_scratch = edges;
@@ -122,8 +387,8 @@ impl DijkstraEngine {
         None
     }
 
-    /// Advances until `target` settles; returns its distance
-    /// (∞ if unreachable).
+    /// Advances until `target` settles; returns its distance (∞ if
+    /// unreachable — or unreachable within the current bound).
     pub fn run_until_settled(&mut self, g: &mut VisGraph, target: NodeId) -> f64 {
         while !self.settled[target.index()] {
             if self.next_settled(g).is_none() {
@@ -133,7 +398,7 @@ impl DijkstraEngine {
         self.dist[target.index()]
     }
 
-    /// Settles every reachable node.
+    /// Settles every node reachable within the bound.
     pub fn run_all(&mut self, g: &mut VisGraph) {
         while self.next_settled(g).is_some() {}
     }
@@ -223,6 +488,41 @@ mod tests {
         }
     }
 
+    /// Under a goal, settlement is ascending in `f = d + h`, and every
+    /// settled distance matches blind Dijkstra bit for bit.
+    #[test]
+    fn goal_directed_settles_in_f_order_with_exact_distances() {
+        let build = || {
+            let mut g = VisGraph::new(50.0);
+            let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+            for i in 1..25 {
+                g.add_point(
+                    Point::new((i * 37 % 200) as f64, (i * 53 % 150) as f64),
+                    NodeKind::DataPoint,
+                );
+            }
+            g.add_obstacle(Rect::new(40.0, 20.0, 70.0, 60.0));
+            g.add_obstacle(Rect::new(120.0, 80.0, 160.0, 120.0));
+            (g, s)
+        };
+        let (mut g, s) = build();
+        let mut blind = DijkstraEngine::new(&g, s);
+        blind.run_all(&mut g);
+
+        let goal = Goal::Point(Point::new(190.0, 140.0));
+        let (mut g2, s2) = build();
+        let mut astar = DijkstraEngine::default();
+        astar.prepare_directed(&g2, s2, goal);
+        let mut prev_f = -1.0;
+        while let Some((v, dv)) = astar.next_settled(&mut g2) {
+            let f = dv + goal.h(g2.node_pos(v));
+            assert!(f >= prev_f - 1e-9, "f-order violated: {f} after {prev_f}");
+            prev_f = f;
+            let want = blind.settled_dist(v).expect("blind settled everything");
+            assert_eq!(dv.to_bits(), want.to_bits(), "distance diverged at {v:?}");
+        }
+    }
+
     #[test]
     fn prepared_engine_matches_fresh_engine() {
         let mut g = VisGraph::new(50.0);
@@ -239,6 +539,169 @@ mod tests {
             assert_eq!(got.to_bits(), want.to_bits());
         }
         assert_eq!(reused.reuses(), 2, "second and third runs reuse labels");
+    }
+
+    /// A replayed continuation serves the identical settlement sequence the
+    /// original run produced, then keeps expanding from the retained heap.
+    #[test]
+    fn replay_continuation_matches_original_sequence() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(90.0, 0.0, 110.0, 100.0));
+        g.add_obstacle(Rect::new(140.0, 30.0, 160.0, 130.0));
+        let goal = Goal::Segment(Segment::new(Point::new(0.0, 50.0), Point::new(200.0, 50.0)));
+
+        let mut cold = DijkstraEngine::default();
+        cold.prepare_directed(&g, s, goal);
+        let mut cold_seq = Vec::new();
+        while let Some((v, d)) = cold.next_settled(&mut g) {
+            cold_seq.push((v, d.to_bits()));
+        }
+
+        let mut warm = DijkstraEngine::default();
+        assert_eq!(warm.ensure_prepared(&g, s, goal, true), Prep::Cold);
+        // consume only a prefix (as IOR does: stop once S and E settle)
+        warm.run_until_settled(&mut g, t);
+        // same graph, same source, same goal → replay
+        assert_eq!(warm.ensure_prepared(&g, s, goal, true), Prep::Replayed);
+        let mut warm_seq = Vec::new();
+        while let Some((v, d)) = warm.next_settled(&mut g) {
+            warm_seq.push((v, d.to_bits()));
+        }
+        assert_eq!(cold_seq, warm_seq);
+        assert_eq!(warm.continuations(), 1);
+    }
+
+    /// Reseeding after obstacle loads matches a cold start on the final
+    /// graph: identical settlement set and bit-identical distances.
+    #[test]
+    fn reseed_matches_cold_start_after_obstacle_load() {
+        let base = Rect::new(60.0, 20.0, 90.0, 70.0);
+        let late = Rect::new(130.0, -20.0, 150.0, 55.0);
+        let goal = Goal::Point(Point::new(200.0, 0.0));
+
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(200.0, 0.0), NodeKind::Endpoint);
+        for i in 0..12 {
+            g.add_point(
+                Point::new((i * 31 % 210) as f64, (i * 17 % 90) as f64 - 20.0),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(base);
+        let mut warm = DijkstraEngine::default();
+        warm.ensure_prepared(&g, s, goal, true);
+        warm.run_until_settled(&mut g, t);
+        g.add_obstacle(late); // version advances, shape does not
+        assert_eq!(warm.ensure_prepared(&g, s, goal, true), Prep::Reseeded);
+        warm.run_all(&mut g);
+
+        let mut cold = DijkstraEngine::default();
+        cold.prepare_directed(&g, s, goal);
+        cold.run_all(&mut g);
+
+        for v in g.node_ids() {
+            let a = warm.settled_dist(v);
+            let b = cold.settled_dist(v);
+            assert_eq!(a.is_some(), b.is_some(), "settled set diverged at {v:?}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
+            }
+        }
+        assert_eq!(warm.reseeds(), 1);
+    }
+
+    /// Node churn (a transient data point removed and re-added in the same
+    /// slot) must refuse warm continuation — the slot id aliases a
+    /// different point.
+    #[test]
+    fn shape_change_forces_cold_prepare() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let p = g.add_point(Point::new(10.0, 10.0), NodeKind::DataPoint);
+        let mut e = DijkstraEngine::default();
+        assert_eq!(e.ensure_prepared(&g, s, Goal::None, true), Prep::Cold);
+        e.run_all(&mut g);
+        g.remove_node(p);
+        let p2 = g.add_point(Point::new(700.0, 700.0), NodeKind::DataPoint);
+        assert_eq!(p2.0, p.0, "slot must be reused for the aliasing to occur");
+        assert_eq!(e.ensure_prepared(&g, s, Goal::None, true), Prep::Cold);
+        let d = e.run_until_settled(&mut g, p2);
+        assert!((d - Point::new(700.0, 700.0).norm()).abs() < 1e-9);
+    }
+
+    /// A bounded run prunes expansion beyond the bound but leaves every
+    /// within-bound distance bit-identical to the unbounded run.
+    #[test]
+    fn bounded_run_is_exact_within_the_bound() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 1..30 {
+            g.add_point(
+                Point::new((i * 41 % 300) as f64, (i * 23 % 200) as f64),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(Rect::new(50.0, 10.0, 80.0, 120.0));
+        let mut full = DijkstraEngine::new(&g, s);
+        full.run_all(&mut g);
+
+        let bound = 150.0;
+        let mut bounded = DijkstraEngine::new(&g, s);
+        bounded.set_bound(bound);
+        bounded.run_all(&mut g);
+        for v in g.node_ids() {
+            match (bounded.settled_dist(v), full.settled_dist(v)) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (None, Some(b)) => assert!(b > bound - 1e-9, "{v:?} wrongly pruned at {b}"),
+                (None, None) => {}
+                (Some(_), None) => panic!("bounded settled a node the full run missed"),
+            }
+        }
+    }
+
+    /// OrdF64-heap audit: unreachable nodes and zero-length edges must not
+    /// corrupt the heap invariant — settlement stays ascending, coincident
+    /// nodes settle at the exact same distance, walled-in nodes never
+    /// settle, and no key is ever NaN (OrdF64 debug-asserts that).
+    #[test]
+    fn heap_invariant_survives_zero_length_edges_and_unreachable_nodes() {
+        let mut g = VisGraph::new(25.0);
+        let s = g.add_point(Point::new(5.0, 5.0), NodeKind::Endpoint);
+        // coincident pair → zero-length edge between them
+        let c1 = g.add_point(Point::new(60.0, 5.0), NodeKind::DataPoint);
+        let c2 = g.add_point(Point::new(60.0, 5.0), NodeKind::DataPoint);
+        // a walled-in (unreachable) node
+        let jail = g.add_point(Point::new(150.0, 150.0), NodeKind::DataPoint);
+        g.add_obstacle(Rect::new(140.0, 140.0, 160.0, 145.0));
+        g.add_obstacle(Rect::new(140.0, 155.0, 160.0, 160.0));
+        g.add_obstacle(Rect::new(140.0, 140.0, 145.0, 160.0));
+        g.add_obstacle(Rect::new(155.0, 140.0, 160.0, 160.0));
+        let mut d = DijkstraEngine::new(&g, s);
+        let mut prev = -1.0;
+        let mut settled = 0;
+        while let Some((_, dist)) = d.next_settled(&mut g) {
+            assert!(dist.is_finite(), "settled an unreachable node");
+            assert!(dist >= prev, "heap order corrupted: {dist} after {prev}");
+            prev = dist;
+            settled += 1;
+        }
+        assert!(settled >= 3, "source + coincident pair at minimum");
+        let d1 = d.settled_dist(c1).unwrap();
+        let d2 = d.settled_dist(c2).unwrap();
+        assert_eq!(d1.to_bits(), d2.to_bits(), "zero-length edge broke ties");
+        assert_eq!(d.settled_dist(jail), None);
+        assert_eq!(d.run_until_settled(&mut g, jail), f64::INFINITY);
+        // the same holds under a goal (f keys instead of d keys)
+        let mut a = DijkstraEngine::default();
+        a.prepare_directed(&g, s, Goal::Point(Point::new(60.0, 5.0)));
+        assert_eq!(a.run_until_settled(&mut g, jail), f64::INFINITY);
+        assert_eq!(
+            a.settled_dist(c1).unwrap().to_bits(),
+            a.settled_dist(c2).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -93,6 +93,12 @@ pub struct VisGraph {
     /// Bumped when a stable node is *removed* (rare; disables incremental
     /// cache repair until the next full recompute).
     base_removal_epoch: u64,
+    /// Bumped by every change that is **not** a pure obstacle addition
+    /// (point add/remove, reset). While it holds still, a search engine's
+    /// retained labels can be repaired incrementally: obstacles only ever
+    /// lengthen paths, so labels whose witness paths avoid the newly added
+    /// rectangles stay exact (see `DijkstraEngine` warm reseeding).
+    shape_epoch: u64,
     /// Live transient ([`NodeKind::DataPoint`]) node ids — the overlay.
     transients: Vec<u32>,
     /// Per-query log of obstacle insertions `(base_version, rect)`,
@@ -117,6 +123,7 @@ impl VisGraph {
             version: 0,
             base_version: 0,
             base_removal_epoch: 0,
+            shape_epoch: 0,
             transients: Vec::new(),
             rect_log: Vec::new(),
             node_log: Vec::new(),
@@ -145,6 +152,7 @@ impl VisGraph {
         self.grid.reset();
         self.version += 1;
         self.base_version = self.version;
+        self.shape_epoch += 1;
         retained
     }
 
@@ -175,6 +183,22 @@ impl VisGraph {
     /// Monotone counter bumped by every structural change.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Monotone counter bumped by every change that is not a pure obstacle
+    /// addition. `shape_epoch` unchanged + `version` advanced means the only
+    /// difference since the snapshot is a set of added obstacles — the
+    /// precondition for warm search-label reseeding.
+    pub fn shape_epoch(&self) -> u64 {
+        self.shape_epoch
+    }
+
+    /// Obstacle rectangles registered after the given version snapshot
+    /// (ascending in version). Covers the current query only — the log is
+    /// emptied on [`VisGraph::reset`], but resets also bump
+    /// [`VisGraph::shape_epoch`], so no cross-query snapshot can reach here.
+    pub fn rects_since(&self, version: u64) -> &[(u64, Rect)] {
+        &self.rect_log[Self::log_start(&self.rect_log, version)..]
     }
 
     /// The obstacle grid's cell size.
@@ -208,6 +232,7 @@ impl VisGraph {
     /// the base adjacency caches.
     pub fn add_point(&mut self, pos: Point, kind: NodeKind) -> NodeId {
         self.version += 1;
+        self.shape_epoch += 1;
         if kind != NodeKind::DataPoint {
             self.base_version = self.version;
         }
@@ -233,6 +258,7 @@ impl VisGraph {
         node.alive = false;
         self.free.push(id.0);
         self.version += 1;
+        self.shape_epoch += 1;
         if kind == NodeKind::DataPoint {
             self.transients.retain(|&t| t != id.0);
         } else {
@@ -301,20 +327,27 @@ impl VisGraph {
     /// only for brand-new caches, after a stable-node removal, or when the
     /// backlog of new obstacles makes repair more expensive than rebuild.
     pub fn neighbors_into(&mut self, u: NodeId, out: &mut Vec<(u32, f64)>) {
-        self.neighbors_into_filtered(u, out, |_| true)
+        self.neighbors_into_filtered(u, out, |_, _| true)
     }
 
-    /// Like [`VisGraph::neighbors_into`], but transient-overlay candidates
-    /// failing `keep` are skipped *before* their sight test is paid.
-    /// Dijkstra passes `keep = not-yet-settled`: an edge into a settled
-    /// node can never relax anything, and in the CONN loop the only live
-    /// transient is the (always-settled) source itself, so the overlay's
-    /// per-settle grid walks vanish entirely.
+    /// Like [`VisGraph::neighbors_into`], but candidates failing
+    /// `keep(id, position)` are skipped — transient-overlay candidates
+    /// *before* their sight test is paid, base-tier edges before they are
+    /// copied into the caller's scratch. Dijkstra passes
+    /// `keep = not-yet-settled ∧ inside-the-search-ellipse`: an edge into a
+    /// settled node can never relax anything, a candidate outside the
+    /// current distance bound's ellipse can never settle within it, and in
+    /// the CONN loop the only live transient is the (always-settled) source
+    /// itself, so the overlay's per-settle grid walks vanish entirely.
+    ///
+    /// The *base cache itself* is always built unpruned — it is shared
+    /// across every data point of the query, each with a different bound
+    /// ellipse, and a partially built cache would poison later lookups.
     pub fn neighbors_into_filtered(
         &mut self,
         u: NodeId,
         out: &mut Vec<(u32, f64)>,
-        keep: impl Fn(u32) -> bool,
+        keep: impl Fn(u32, Point) -> bool,
     ) {
         let ui = u.index();
         debug_assert!(self.nodes[ui].alive, "neighbors of dead node");
@@ -329,15 +362,24 @@ impl VisGraph {
                 self.rebuild_base_cache(ui);
             }
         }
-        out.extend_from_slice(&self.adj[ui].edges);
+        let nodes = &self.nodes;
+        out.extend(
+            self.adj[ui]
+                .edges
+                .iter()
+                .filter(|&&(v, _)| keep(v, nodes[v as usize].pos)),
+        );
         let upos = self.nodes[ui].pos;
         for ti in 0..self.transients.len() {
             let t = self.transients[ti];
-            if t as usize == ui || !keep(t) {
+            if t as usize == ui {
                 continue;
             }
             debug_assert!(self.nodes[t as usize].alive, "dead transient tracked");
             let tpos = self.nodes[t as usize].pos;
+            if !keep(t, tpos) {
+                continue;
+            }
             if !self.grid.blocks(upos, tpos) {
                 out.push((t, upos.dist(tpos)));
             }

@@ -13,9 +13,12 @@
 //! * [`ObstacleGrid`] — a dilated spatial-hash grid making each
 //!   "is this sight-line blocked?" test proportional to the cells the
 //!   sight-line crosses instead of the whole obstacle set.
-//! * [`DijkstraEngine`] — incremental single-source shortest paths; settled
-//!   nodes stream out in ascending obstructed distance, exactly the order
-//!   the CPLC algorithm (paper Alg. 2) consumes and prunes with Lemma 7.
+//! * [`DijkstraEngine`] — incremental single-source shortest paths with
+//!   three kernel modes: blind Dijkstra, goal-directed A* (admissible
+//!   Euclidean [`Goal`] heuristics, caller-supplied expansion bound), and
+//!   warm label continuation (replay / reseed across obstacle loads).
+//!   Settled nodes stream out in ascending priority, exactly the order the
+//!   CPLC algorithm (paper Alg. 2) consumes and prunes with Lemma 7.
 //! * [`visible_region`] — the visible region of a vertex over the query
 //!   segment (paper Def. 2), by shadow subtraction.
 
@@ -24,7 +27,7 @@ pub mod graph;
 pub mod grid;
 pub mod visregion;
 
-pub use dijkstra::DijkstraEngine;
+pub use dijkstra::{DijkstraEngine, Goal, Prep};
 pub use graph::{NodeId, NodeKind, VisGraph};
 pub use grid::ObstacleGrid;
 pub use visregion::visible_region;
