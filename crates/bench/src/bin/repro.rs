@@ -8,8 +8,11 @@
 //!
 //! * `TARGET` — `fig9`…`fig13`, `ablation`, `motivation`, `all`; plus
 //!   `conn` (the obstructed-distance kernel benchmark: blind baseline vs
-//!   goal-directed + continued, recorded in `BENCH_conn.json`) and `batch`
-//!   (the batch-layer comparison; `--batch` is shorthand for it).
+//!   goal-directed + continued, recorded in `BENCH_conn.json`), `batch`
+//!   (the batch-layer comparison; `--batch` is shorthand for it), and
+//!   `traj` (cold per-leg trajectory CONN vs warm `TrajectorySession`,
+//!   recorded in `BENCH_traj.json`; `--queries` sets the trajectory
+//!   count).
 //! * `--scale` — dataset scale relative to the paper's cardinalities
 //!   (|LA| = 131,461): `smoke`/`small` (1/256), `default` (1/16), `paper`
 //!   (1), or a ratio like `0.125`.
@@ -65,7 +68,7 @@ impl Args {
     }
 }
 
-const KNOWN_TARGETS: [&str; 10] = [
+const KNOWN_TARGETS: [&str; 11] = [
     "all",
     "fig9",
     "fig10",
@@ -76,6 +79,7 @@ const KNOWN_TARGETS: [&str; 10] = [
     "motivation",
     "conn",
     "batch",
+    "traj",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -204,6 +208,136 @@ fn main() {
     if args.what == "batch" {
         batch(&args);
     }
+    if args.what == "traj" {
+        traj(&args);
+    }
+}
+
+/// `traj`: the trajectory-session benchmark — cold per-leg execution
+/// (every leg a fresh Algorithm-4 run) vs one warm `TrajectorySession`
+/// per trajectory, single-threaded, answers asserted equivalent; plus an
+/// informational parallel fleet line. Records `BENCH_traj.json`.
+fn traj(args: &Args) {
+    use conn_bench::trajectory_results_equivalent;
+    use conn_core::{trajectory_conn_batch, trajectory_conn_search, trajectory_conn_search_cold};
+
+    let n_traj = args.queries.unwrap_or(12).max(1);
+    // 8 legs of 7% of the space side each (the top of the paper's Figure 9
+    // ql range): long legs are where cold per-leg execution hurts most —
+    // every leg re-pays an unbounded first-point cover of a long segment
+    // that the session's seeded joint bound caps.
+    let legs = 8usize;
+    let traj_ql = 0.07;
+    println!("\n## Trajectory sessions — UL, k = 1, {n_traj} trajectories × {legs} legs (ql = 7%)");
+    let w = Workload::with_ratio(Combo::Ul, args.scale, 1.0, DEFAULT_QL, 1, args.seed);
+    let routes = w.trajectories(n_traj, legs, traj_ql, args.seed.wrapping_add(7));
+    let cfg = ConnConfig::default();
+
+    let timed = |f: &dyn Fn(
+        &conn_core::Trajectory,
+    ) -> (conn_core::TrajectoryResult, conn_core::QueryStats)|
+     -> (
+        f64,
+        f64,
+        f64,
+        Vec<conn_core::TrajectoryResult>,
+        conn_core::QueryStats,
+    ) {
+        let mut lat = Vec::with_capacity(routes.len());
+        let mut results = Vec::with_capacity(routes.len());
+        let mut pooled = conn_core::QueryStats::default();
+        let t0 = Instant::now();
+        for traj in &routes {
+            let tq = Instant::now();
+            let (res, stats) = f(traj);
+            lat.push(tq.elapsed().as_secs_f64());
+            res.check_cover().expect("trajectory cover");
+            pooled.accumulate(&stats);
+            results.push(res);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        lat.sort_by(f64::total_cmp);
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+        (wall, pct(0.50), pct(0.99), results, pooled)
+    };
+
+    let (cold_wall, cold_p50, cold_p99, cold_results, cold_stats) =
+        timed(&|t| trajectory_conn_search_cold(&w.data_tree, &w.obstacle_tree, t, &cfg));
+    let (sess_wall, sess_p50, sess_p99, sess_results, sess_stats) =
+        timed(&|t| trajectory_conn_search(&w.data_tree, &w.obstacle_tree, t, &cfg));
+
+    for (i, (a, b)) in cold_results.iter().zip(&sess_results).enumerate() {
+        assert!(
+            trajectory_results_equivalent(a, b),
+            "session diverged from cold per-leg on trajectory {i}"
+        );
+    }
+    let speedup = cold_wall / sess_wall;
+
+    // informational: the parallel fleet front-end over the same routes
+    let (fleet_results, fleet) =
+        trajectory_conn_batch(&w.data_tree, &w.obstacle_tree, &routes, &cfg, args.threads);
+    for (a, b) in cold_results.iter().zip(&fleet_results) {
+        assert!(trajectory_results_equivalent(a, b), "fleet path diverged");
+    }
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>9}",
+        "path", "wall(s)", "p50(ms)", "p99(ms)", "speedup"
+    );
+    let row = |label: &str, wall: f64, p50: f64, p99: f64| {
+        println!(
+            "{label:<28} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x",
+            wall,
+            p50 * 1e3,
+            p99 * 1e3,
+            cold_wall / wall
+        );
+    };
+    row("cold per-leg", cold_wall, cold_p50, cold_p99);
+    row("session (warm legs)", sess_wall, sess_p50, sess_p99);
+    row(
+        &format!("fleet batch ({} threads)", fleet.threads),
+        fleet.wall.as_secs_f64(),
+        fleet.p50_s,
+        fleet.p99_s,
+    );
+    println!(
+        "obstacle loads: {} cold vs {} session (dedup across legs); \
+         session reuse: {} warm legs, {} Dijkstra reuses, {} continuations, {} reseeds",
+        cold_stats.noe,
+        sess_stats.noe,
+        sess_stats.reuse.graph_reuses,
+        sess_stats.reuse.heap_reuses,
+        sess_stats.reuse.label_continuations,
+        sess_stats.reuse.label_reseeds,
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"trajectories\": {},\n  \"legs\": {},\n  \
+         \"cold_wall_s\": {:.6},\n  \"cold_p50_ms\": {:.4},\n  \"cold_p99_ms\": {:.4},\n  \
+         \"session_wall_s\": {:.6},\n  \"session_p50_ms\": {:.4},\n  \
+         \"session_p99_ms\": {:.4},\n  \"speedup_session_vs_cold\": {:.4},\n  \
+         \"fleet_wall_s\": {:.6},\n  \"fleet_threads\": {},\n  \
+         \"noe_cold\": {},\n  \"noe_session\": {},\n  \"results_equivalent\": true\n}}\n",
+        args.scale.0,
+        n_traj,
+        legs,
+        cold_wall,
+        cold_p50 * 1e3,
+        cold_p99 * 1e3,
+        sess_wall,
+        sess_p50 * 1e3,
+        sess_p99 * 1e3,
+        speedup,
+        fleet.wall.as_secs_f64(),
+        fleet.threads,
+        cold_stats.noe,
+        sess_stats.noe,
+    );
+    let out = args.out("BENCH_traj.json");
+    std::fs::write(&out, json).expect("write trajectory record");
+    println!("recorded {out}");
 }
 
 /// `conn`: the CONN kernel benchmark (also the CI smoke target) — builds a

@@ -9,8 +9,11 @@ use conn_core::stats::AveragedStats;
 use conn_core::{
     build_unified_tree, coknn_search, coknn_search_single_tree, conn_batch, conn_search,
     BatchStats, ConnConfig, ConnResult, DataPoint, QueryEngine, QueryStats, SpatialObject,
+    Trajectory, TrajectoryResult,
 };
-use conn_datasets::{la_like, mixed_batch, query_segments, Combo, PAPER_CA_SIZE, PAPER_LA_SIZE};
+use conn_datasets::{
+    la_like, mixed_batch, query_segments, trajectory_routes, Combo, PAPER_CA_SIZE, PAPER_LA_SIZE,
+};
 use conn_geom::{Rect, Segment};
 use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
 
@@ -198,6 +201,16 @@ impl Workload {
         )
     }
 
+    /// Polyline routes over this workload's obstacle field for the
+    /// trajectory-session benchmark: `count` complete routes of `legs`
+    /// obstacle-avoiding legs each.
+    pub fn trajectories(&self, count: usize, legs: usize, ql: f64, seed: u64) -> Vec<Trajectory> {
+        trajectory_routes(count, legs, ql, seed, &self.obstacles)
+            .into_iter()
+            .map(Trajectory::new)
+            .collect()
+    }
+
     /// Runs the COkNN workload on the single-tree layout.
     pub fn run_one_tree(
         &self,
@@ -244,6 +257,32 @@ pub fn conn_results_identical(a: &[ConnResult], b: &[ConnResult]) -> bool {
                         && ex.interval.hi.to_bits() == ey.interval.hi.to_bits()
                 })
         })
+}
+
+/// Tolerant trajectory-answer equivalence over the same trajectory: the
+/// answer identity must match at every sampled parameter (tuple midpoints
+/// of both results plus an even grid), except within 1e-6 of a split
+/// point of either result — there the adjacent answers tie by continuity,
+/// and which side of the boundary a sampled parameter falls on may differ
+/// by the float drift between the session's and the cold run's loaded
+/// obstacle supersets.
+pub fn trajectory_results_equivalent(a: &TrajectoryResult, b: &TrajectoryResult) -> bool {
+    let len = a.trajectory().len();
+    let mut ts: Vec<f64> = a
+        .segments()
+        .iter()
+        .chain(b.segments())
+        .map(|(_, iv)| (iv.lo + iv.hi) * 0.5)
+        .collect();
+    ts.extend((0..=64).map(|i| len * i as f64 / 64.0));
+    let near_boundary = |t: f64| {
+        a.segments()
+            .iter()
+            .chain(b.segments())
+            .any(|(_, iv)| (t - iv.lo).abs() < 1e-6 || (t - iv.hi).abs() < 1e-6)
+    };
+    ts.into_iter()
+        .all(|t| a.nn_at(t).map(|p| p.id) == b.nn_at(t).map(|p| p.id) || near_boundary(t))
 }
 
 /// Pretty-prints one figure row.

@@ -98,21 +98,24 @@ fn pool_size(requested: usize, queries: usize) -> usize {
     t.clamp(1, queries.max(1))
 }
 
-/// Generic batch driver: work-steals query indices off a shared atomic
+/// Generic batch driver: work-steals workload indices off a shared atomic
 /// cursor, one engine per worker, results re-assembled in workload order.
-fn run_batch<R, F>(
-    queries: &[Segment],
+/// Items are whatever the workload is made of — query segments for
+/// CONN/COkNN, whole trajectories for the session batch.
+fn run_batch<I, R, F>(
+    items: &[I],
     cfg: &ConnConfig,
     threads: usize,
     f: F,
 ) -> (Vec<R>, usize, Vec<(usize, QueryStats)>)
 where
+    I: Sync,
     R: Send,
-    F: Fn(&mut QueryEngine, &Segment) -> (R, QueryStats) + Sync,
+    F: Fn(&mut QueryEngine, &I) -> (R, QueryStats) + Sync,
 {
-    let threads = pool_size(threads, queries.len());
+    let threads = pool_size(threads, items.len());
     let cursor = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, R, QueryStats)> = Vec::with_capacity(queries.len());
+    let mut collected: Vec<(usize, R, QueryStats)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -123,10 +126,10 @@ where
                 let mut local = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
+                    if i >= items.len() {
                         break;
                     }
-                    let (res, stats) = f(&mut engine, &queries[i]);
+                    let (res, stats) = f(&mut engine, &items[i]);
                     local.push((i, res, stats));
                 }
                 local
@@ -184,6 +187,74 @@ pub fn conn_batch(
         cfg,
         threads,
         |engine, q| engine.conn_pooled_io(data_tree, obstacle_tree, q),
+    )
+}
+
+/// Trajectory-session batch: a *fleet* workload. Each trajectory is
+/// answered by a [`crate::TrajectorySession`] (warm engine across its
+/// legs); the sessions fan out across the worker pool and each worker's
+/// engine is reused across the trajectories it picks up, so a fleet of N
+/// vehicles costs one substrate allocation per worker, not per vehicle or
+/// per leg. Per-trajectory latencies feed the percentile stats.
+///
+/// ```
+/// use conn_core::{trajectory_conn_batch, ConnConfig, DataPoint, Trajectory};
+/// use conn_geom::{Point, Rect};
+/// use conn_index::RStarTree;
+///
+/// let points = RStarTree::bulk_load(vec![DataPoint::new(0, Point::new(20.0, 30.0))], 4096);
+/// let obstacles = RStarTree::bulk_load(vec![Rect::new(40.0, 5.0, 55.0, 35.0)], 4096);
+/// let fleet: Vec<Trajectory> = (0..4)
+///     .map(|i| {
+///         let y = 10.0 * i as f64;
+///         Trajectory::new(vec![
+///             Point::new(0.0, y),
+///             Point::new(60.0, y),
+///             Point::new(60.0, y + 50.0),
+///         ])
+///     })
+///     .collect();
+///
+/// let (results, stats) = trajectory_conn_batch(&points, &obstacles, &fleet, &ConnConfig::default(), 0);
+/// assert_eq!(results.len(), 4);
+/// results.iter().for_each(|r| r.check_cover().unwrap());
+/// assert_eq!(stats.queries, 4);
+/// ```
+pub fn trajectory_conn_batch(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    trajectories: &[crate::Trajectory],
+    cfg: &ConnConfig,
+    threads: usize,
+) -> (Vec<crate::TrajectoryResult>, BatchStats) {
+    data_tree.reset_stats();
+    obstacle_tree.reset_stats();
+    let started = Instant::now();
+    let (results, threads, per_traj) = run_batch(trajectories, cfg, threads, |engine, traj| {
+        let mut session = crate::TrajectorySession::with_engine(
+            data_tree,
+            obstacle_tree,
+            traj.vertices()[0],
+            engine,
+        )
+        .pooled_io();
+        for &v in &traj.vertices()[1..] {
+            session.push_leg(v);
+        }
+        session.finish()
+    });
+    let wall = started.elapsed();
+    let mut pooled = QueryStats::default();
+    let mut lat = Vec::with_capacity(per_traj.len());
+    for (_, s) in &per_traj {
+        pooled.accumulate(s);
+        lat.push(s.cpu.as_secs_f64());
+    }
+    pooled.data_io = data_tree.stats();
+    pooled.obstacle_io = obstacle_tree.stats();
+    (
+        results,
+        BatchStats::from_parts(trajectories.len(), threads, wall, pooled, lat),
     )
 }
 
@@ -309,6 +380,41 @@ mod tests {
         assert!(stats.p50_s <= stats.p99_s + 1e-12);
         assert!(stats.mean_s > 0.0);
         assert!(stats.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn trajectory_batch_matches_serial_sessions() {
+        let (dt, ot, _) = setup(0);
+        let routes: Vec<crate::Trajectory> = (0..6)
+            .map(|i| {
+                let x = (i as f64 * 31.0) % 180.0;
+                let y = (i as f64 * 19.0) % 120.0;
+                crate::Trajectory::new(vec![
+                    Point::new(x, y),
+                    Point::new(x + 50.0, y + 5.0),
+                    Point::new(x + 50.0, y + 60.0),
+                    Point::new(x + 5.0, y + 60.0),
+                ])
+            })
+            .collect();
+        let cfg = ConnConfig::default();
+        let (batch, stats) = trajectory_conn_batch(&dt, &ot, &routes, &cfg, 2);
+        assert_eq!(batch.len(), routes.len());
+        assert_eq!(stats.queries, routes.len());
+        for (res, traj) in batch.iter().zip(&routes) {
+            res.check_cover().unwrap();
+            let (serial, _) = crate::trajectory::trajectory_conn_search(&dt, &ot, traj, &cfg);
+            assert_eq!(res.segments().len(), serial.segments().len());
+            for (a, b) in res.segments().iter().zip(serial.segments()) {
+                assert_eq!(a.0.map(|p| p.id), b.0.map(|p| p.id));
+                assert_eq!(a.1.lo.to_bits(), b.1.lo.to_bits());
+                assert_eq!(a.1.hi.to_bits(), b.1.hi.to_bits());
+            }
+        }
+        assert!(stats.pooled.reads() > 0, "pooled tree I/O missing");
+        // workers reuse their engine across trajectories: the warm legs
+        // plus cross-trajectory begin_query reuses dominate
+        assert!(stats.pooled.reuse.graph_reuses > routes.len() as u64);
     }
 
     #[test]

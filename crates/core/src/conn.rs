@@ -84,13 +84,40 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
     ws.begin_query(cfg.vgraph_cell);
     let s_node = ws.g.add_point(q.a, NodeKind::Endpoint);
     let e_node = ws.g.add_point(q.b, NodeKind::Endpoint);
+    run_leg(streams, q, cfg, sink, ws, s_node, e_node, f64::INFINITY)
+}
+
+/// Algorithm 4's loop on an *already prepared* workspace: the caller has
+/// rewound (or deliberately kept) the workspace state and owns the two
+/// endpoint nodes. This is the entry point of trajectory sessions, whose
+/// graph persists across legs and whose `s_node` is the previous leg's end
+/// node.
+///
+/// `seed_bound` is an externally derived upper bound on the final `RLMAX`
+/// of this query (∞ when none is known): a session seeds it from the
+/// previous leg's answer at the shared joint, which prunes the point
+/// stream and caps obstacle certification before the sink has absorbed a
+/// single point. Any finite value must genuinely dominate the final
+/// `RLMAX`, otherwise answers would be truncated.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_leg<S: QueryStreams, R: ResultSink>(
+    streams: &mut S,
+    q: &Segment,
+    cfg: &ConnConfig,
+    sink: &mut R,
+    ws: &mut Workspace,
+    s_node: conn_vgraph::NodeId,
+    e_node: conn_vgraph::NodeId,
+    seed_bound: f64,
+) -> LoopTelemetry {
     let mut npe = 0u64;
 
     while let Some(dist) = streams.peek_point_dist() {
         // Lemma 2 bound: terminates the point stream, and (via
         // `cplc_bounded`) caps control-point expansion and refinement for
-        // the point being evaluated — values above it can never win.
-        let outer_bound = sink.prune_bound(q);
+        // the point being evaluated — values above it can never win. The
+        // seed bound joins in: both dominate the final RLMAX.
+        let outer_bound = sink.prune_bound(q).min(seed_bound);
         if dist > outer_bound {
             break;
         }
@@ -99,6 +126,11 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
 
         let p_node = ws.g.add_point(p.pos, NodeKind::DataPoint);
         ws.vr_cache.invalidate(p_node);
+        let ior_cap = if cfg.use_rlu_bound {
+            outer_bound
+        } else {
+            f64::INFINITY
+        };
         ior(
             q,
             &mut ws.g,
@@ -109,6 +141,7 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
             &mut ws.ior_state,
             &mut ws.dij,
             cfg,
+            ior_cap,
         );
         let mut cpl = cplc_bounded(
             q,
@@ -163,7 +196,13 @@ fn refine_to_fixpoint<S: QueryStreams>(
         f64::INFINITY
     };
     loop {
-        let added = if cpl.has_unassigned() {
+        // Unassigned intervals mean geometry under-coverage only in an
+        // *uncapped* traversal. Under a finite cap, every parameter whose
+        // true value beats the cap is provably claimed before the cap can
+        // stop the search (see `cplc_bounded`), so what is left unassigned
+        // is territory the incumbent already owns — widening obstacles for
+        // it would load the whole tree chasing irrelevant values.
+        let added = if cpl.has_unassigned() && cap.is_infinite() {
             // geometry under-covered: widen one obstacle at a time
             streams.load_next_obstacle(&mut ws.g)
         } else {

@@ -262,13 +262,21 @@ pub fn cplc(
 /// the search **replays** the settled prefix of the IOR run that preceded
 /// it (same source, goal and graph version) instead of re-expanding it.
 ///
-/// `outer_bound` (`RLMAX`, or the k-th bound for COkNN) additionally caps
-/// expansion once the list is fully assigned: a control point with
-/// `f > outer_bound` has value `> outer_bound ≥` the result incumbent
-/// everywhere, so it can never change the final answer. While any interval
-/// is unassigned the cap is held at ∞, so the cover the paper's algorithm
-/// produces is never truncated. Values recorded above the cap may be
-/// non-tight upper bounds; every value that can win stays exact.
+/// `outer_bound` (`RLMAX`, the k-th bound for COkNN, or a trajectory
+/// session's seeded Lipschitz bound) caps expansion *unconditionally*: a
+/// control point with `f > outer_bound` has value `> outer_bound ≥` the
+/// final answer everywhere, so it can never change the result. This holds
+/// even while intervals are unassigned — for any parameter `t` whose true
+/// value beats the bound, the last bend `c` of its true shortest path
+/// satisfies `f(c) = d_loaded(c) + mindist(c, q) ≤ v_true(t) < bound`
+/// (loaded distances under-approximate true ones and loaded visible
+/// regions over-approximate true ones), so `c` settles and claims `t`
+/// before the cap can stop the traversal. Intervals left unassigned by
+/// the cap therefore carry only values the incumbent already beats; the
+/// result-list update keeps the incumbent there
+/// (`rlu::emit`'s challenger-can't-reach arm). Values recorded above the
+/// cap may be non-tight upper bounds; every value that can win stays
+/// exact.
 pub fn cplc_bounded(
     q: &Segment,
     g: &mut VisGraph,
@@ -286,17 +294,23 @@ pub fn cplc_bounded(
         f64::INFINITY
     };
     dij.ensure_prepared(g, p_node, goal, cfg.label_continuation);
-    // The break threshold mirrors the engine's expansion bound (∞ while any
-    // interval is unassigned, then `min(CPLMAX, outer)`); it must be
-    // checked here too because a replayed settlement tape bypasses the
-    // engine's heap-side bound check.
+    // The break threshold mirrors the engine's expansion bound (the outer
+    // cap while any interval is unassigned, then `min(CPLMAX, outer)`); it
+    // must be checked here too because a replayed settlement tape bypasses
+    // the engine's heap-side bound check.
     let cap = |cpl: &ControlPointList| {
         if cpl.has_unassigned() {
-            f64::INFINITY
+            outer // safe even before full cover — see the doc comment
         } else {
             cpl.max_value(q).min(outer)
         }
     };
+    if cfg.use_lemma7 {
+        // bound the very first relaxations too (a reseeded run's seeds
+        // would otherwise relax unbounded before the loop's first
+        // set_bound)
+        dij.set_bound(cap(&cpl));
+    }
     while let Some((v, dv)) = dij.next_settled(g) {
         // Lemma 7 on the settle key (relaxed with mindist(v, q)
         // lower-bounded by 0 under the blind kernel, exactly the paper's
@@ -333,8 +347,9 @@ pub fn cplc_bounded(
         if cfg.use_lemma7 {
             // Stop *expansion* at the evolving threshold, not just the
             // settle loop: candidates beyond it are never pushed, so their
-            // sight tests are never paid. Held at ∞ while any interval is
-            // unassigned (footnote 5 / the outer-cap safety argument).
+            // sight tests are never paid. Held at the outer cap while any
+            // interval is unassigned (footnote 5 applies only without an
+            // outer bound — see the doc comment's safety argument).
             dij.set_bound(cap(&cpl));
         }
     }

@@ -56,11 +56,20 @@ pub struct Workspace {
     /// True while the graph holds a full odist obstacle field that the next
     /// odist call may reuse verbatim.
     odist_primed: bool,
+    /// Source point and node of the last odist search, kept alive so a
+    /// repeated call from the same origin can continue (or retarget) the
+    /// retained labels instead of starting cold.
+    odist_src: Option<(Point, conn_vgraph::NodeId)>,
+    /// Target nodes of previous odist calls on the primed field, kept
+    /// alive (removal would invalidate the retained labels); capped, then
+    /// the field is re-primed from scratch.
+    odist_targets: Vec<(Point, conn_vgraph::NodeId)>,
     /// Reuse telemetry of the query in flight.
     current: ReuseCounters,
     heap_reuse_mark: u64,
     continuation_mark: u64,
     reseed_mark: u64,
+    retarget_mark: u64,
 }
 
 impl Default for Workspace {
@@ -80,10 +89,13 @@ impl Workspace {
             rlu_scratch: RluScratch::default(),
             primed: false,
             odist_primed: false,
+            odist_src: None,
+            odist_targets: Vec::new(),
             current: ReuseCounters::default(),
             heap_reuse_mark: 0,
             continuation_mark: 0,
             reseed_mark: 0,
+            retarget_mark: 0,
         }
     }
 
@@ -97,13 +109,37 @@ impl Workspace {
         } else if (self.g.grid_cell() - cell).abs() > f64::EPSILON {
             self.g = VisGraph::new(cell);
         }
+        self.begin_window();
+    }
+
+    /// Rewinds the workspace for the next *leg* of a trajectory session:
+    /// unlike [`Workspace::begin_query`] the visibility graph is kept —
+    /// obstacle loads are monotone within a session, so every loaded
+    /// rectangle (and every previous leg's endpoint node) stays valid. The
+    /// visible-region cache and the IOR loading threshold are cleared
+    /// because both are keyed to the goal segment, which changes per leg.
+    pub(crate) fn begin_leg(&mut self) {
+        self.current = ReuseCounters::default();
+        self.current.graph_reuses = 1; // the graph survives, loaded
+        self.current.nodes_retained = self.g.num_nodes() as u64;
+        self.begin_window();
+    }
+
+    /// Shared tail of [`Workspace::begin_query`] / [`Workspace::begin_leg`]:
+    /// clears the goal-keyed caches and opens the reuse-counter window.
+    /// Every query-visible `Workspace` field except the graph (which the
+    /// two entry points treat differently) must be reset here.
+    fn begin_window(&mut self) {
         self.primed = true;
         self.odist_primed = false;
+        self.odist_src = None;
+        self.odist_targets.clear();
         self.vr_cache.clear();
         self.ior_state = IorState::default();
         self.heap_reuse_mark = self.dij.reuses();
         self.continuation_mark = self.dij.continuations();
         self.reseed_mark = self.dij.reseeds();
+        self.retarget_mark = self.dij.retargets();
     }
 
     /// Closes the reuse-counter window of the current query.
@@ -111,6 +147,7 @@ impl Workspace {
         self.current.heap_reuses = self.dij.reuses() - self.heap_reuse_mark;
         self.current.label_continuations = self.dij.continuations() - self.continuation_mark;
         self.current.label_reseeds = self.dij.reseeds() - self.reseed_mark;
+        self.current.label_retargets = self.dij.retargets() - self.retarget_mark;
         self.current
     }
 }
@@ -161,6 +198,13 @@ impl QueryEngine {
 
     pub fn config(&self) -> &ConnConfig {
         &self.cfg
+    }
+
+    /// Lifetime total of goal-retargeted warm searches this engine served
+    /// (the moving-target odist pattern; per-query counts are in
+    /// [`QueryStats::reuse`](crate::QueryStats)).
+    pub fn label_retargets(&self) -> u64 {
+        self.ws.dij.retargets()
     }
 
     /// CONN search (paper Algorithm 4) on the reused workspace. Tree I/O
@@ -308,9 +352,12 @@ impl QueryEngine {
     /// only when the field changed since the last odist call on this
     /// engine).
     fn prime_odist(&mut self, obstacles: &[Rect]) {
+        let expected = 4 * obstacles.len()
+            + usize::from(self.ws.odist_src.is_some())
+            + self.ws.odist_targets.len();
         if self.ws.odist_primed
             && self.ws.g.obstacles() == obstacles
-            && self.ws.g.num_nodes() == 4 * obstacles.len()
+            && self.ws.g.num_nodes() == expected
         {
             return;
         }
@@ -329,9 +376,55 @@ impl QueryEngine {
         self.ws.odist_primed = true;
     }
 
+    /// Retained odist endpoint nodes are capped so the transient overlay
+    /// (walked once per settled node) stays small; past the cap the kept
+    /// targets are dropped and the next search starts cold.
+    const ODIST_TARGET_CAP: usize = 32;
+
+    /// Endpoint nodes for an odist run on the primed field. The source and
+    /// every target node stay *alive* between calls: node additions no
+    /// longer disturb the Dijkstra engine's shape snapshot, so a repeated
+    /// call from the same origin replays (same target), reseeds, or
+    /// retargets (moved target) the retained labels instead of starting
+    /// cold — the moving-target serving pattern of fleet tracking.
+    fn odist_nodes(&mut self, a: Point, b: Point) -> (conn_vgraph::NodeId, conn_vgraph::NodeId) {
+        let na = match self.ws.odist_src {
+            Some((p, n)) if p == a => n,
+            _ => {
+                // a new origin invalidates the retained labels anyway;
+                // drop the kept transients so the overlay stays small
+                if let Some((_, n)) = self.ws.odist_src.take() {
+                    self.ws.g.remove_node(n);
+                }
+                for (_, n) in std::mem::take(&mut self.ws.odist_targets) {
+                    self.ws.g.remove_node(n);
+                }
+                let n = self.ws.g.add_point(a, NodeKind::DataPoint);
+                self.ws.odist_src = Some((a, n));
+                n
+            }
+        };
+        let nb = match self.ws.odist_targets.iter().find(|(p, _)| *p == b) {
+            Some(&(_, n)) => n,
+            None => {
+                if self.ws.odist_targets.len() >= Self::ODIST_TARGET_CAP {
+                    for (_, n) in std::mem::take(&mut self.ws.odist_targets) {
+                        self.ws.g.remove_node(n);
+                    }
+                }
+                let n = self.ws.g.add_point(b, NodeKind::DataPoint);
+                self.ws.odist_targets.push((b, n));
+                n
+            }
+        };
+        (na, nb)
+    }
+
     /// Obstructed distance *and* path in one Dijkstra run (∞ / `None` when
     /// unreachable). Repeated calls against the same obstacle slice reuse
-    /// the primed graph instead of rebuilding it.
+    /// the primed graph instead of rebuilding it, and repeated calls from
+    /// the same origin reuse the retained labels — retargeted when only
+    /// the destination moved.
     pub fn obstructed_route(
         &mut self,
         obstacles: &[Rect],
@@ -339,13 +432,13 @@ impl QueryEngine {
         b: Point,
     ) -> (f64, Option<Vec<Point>>) {
         self.prime_odist(obstacles);
-        let g = &mut self.ws.g;
-        let na = g.add_point(a, NodeKind::DataPoint);
-        let nb = g.add_point(b, NodeKind::DataPoint);
+        let (na, nb) = self.odist_nodes(a, b);
+        let goal = self.cfg.kernel.point_goal(b);
         self.ws
             .dij
-            .prepare_directed(g, na, self.cfg.kernel.point_goal(b));
-        let d = self.ws.dij.run_until_settled(g, nb);
+            .ensure_prepared(&self.ws.g, na, goal, self.cfg.label_continuation);
+        let d = self.ws.dij.run_until_settled(&mut self.ws.g, nb);
+        let g = &self.ws.g;
         let path = d.is_finite().then(|| {
             self.ws
                 .dij
@@ -354,24 +447,18 @@ impl QueryEngine {
                 .map(|&n| g.node_pos(n))
                 .collect()
         });
-        g.remove_node(nb);
-        g.remove_node(na);
         (d, path)
     }
 
     /// Engine-backed [`crate::obstructed_distance`].
     pub fn obstructed_distance(&mut self, obstacles: &[Rect], a: Point, b: Point) -> f64 {
         self.prime_odist(obstacles);
-        let g = &mut self.ws.g;
-        let na = g.add_point(a, NodeKind::DataPoint);
-        let nb = g.add_point(b, NodeKind::DataPoint);
+        let (na, nb) = self.odist_nodes(a, b);
+        let goal = self.cfg.kernel.point_goal(b);
         self.ws
             .dij
-            .prepare_directed(g, na, self.cfg.kernel.point_goal(b));
-        let d = self.ws.dij.run_until_settled(g, nb);
-        g.remove_node(nb);
-        g.remove_node(na);
-        d
+            .ensure_prepared(&self.ws.g, na, goal, self.cfg.label_continuation);
+        self.ws.dij.run_until_settled(&mut self.ws.g, nb)
     }
 
     /// Engine-backed [`crate::obstructed_path`].

@@ -43,8 +43,20 @@ pub struct EndpointPaths {
 
 /// Runs Algorithm 1 for the data point at `p_node`. On return the graph
 /// holds every obstacle with `mindist(o, q) ≤ state.loaded_bound`, and the
-/// returned endpoint distances are exact. `dij` is the caller's reusable
-/// Dijkstra scratch (re-prepared on every retrieval round).
+/// returned endpoint distances are exact — or ∞ when an endpoint is
+/// unreachable within `cap`. `dij` is the caller's reusable Dijkstra
+/// scratch (re-prepared on every retrieval round).
+///
+/// `cap` (∞ when the caller has no bound) prunes the retrieval itself: a
+/// value of `p` can only decide the result below the caller's incumbent
+/// bound, and any obstructed path from `p` to `q` shorter than `cap`
+/// touches only obstacles with `mindist(o, q) < cap` (the remaining path
+/// from the touch point reaches `q`). The endpoint searches therefore run
+/// with `cap` as their expansion bound, and when an endpoint is bounded
+/// out the loop loads exactly the `mindist ≤ cap` obstacles and stops —
+/// every value `< cap` computed afterwards is as exact as with the
+/// uncapped retrieval, and everything it gave up on is territory the
+/// incumbent already owns.
 #[allow(clippy::too_many_arguments)]
 pub fn ior<S: QueryStreams>(
     q: &Segment,
@@ -56,15 +68,33 @@ pub fn ior<S: QueryStreams>(
     state: &mut IorState,
     dij: &mut DijkstraEngine,
     cfg: &ConnConfig,
+    cap: f64,
 ) -> EndpointPaths {
     let goal = cfg.kernel.goal(q);
     loop {
         dij.ensure_prepared(g, p_node, goal, cfg.label_continuation);
+        if cap.is_finite() {
+            dij.set_bound(cap);
+        }
         let dist_s = dij.run_until_settled(g, s_node);
         let dist_e = dij.run_until_settled(g, e_node);
         let d_prime = dist_s.max(dist_e);
 
         if d_prime.is_infinite() {
+            if cap.is_finite() {
+                // Bounded out (or genuinely walled in — indistinguishable,
+                // and equally irrelevant past the cap): make the loaded
+                // set sub-cap complete, give the new corners one re-run,
+                // then accept.
+                if state.loaded_bound < cap {
+                    let added = streams.load_obstacles_until(g, cap);
+                    state.loaded_bound = cap;
+                    if added > 0 {
+                        continue;
+                    }
+                }
+                return EndpointPaths { dist_s, dist_e };
+            }
             // No path with the current obstacle set: with disjoint obstacles
             // this only happens transiently (or when p is genuinely walled
             // in) — widen one obstacle at a time until connectivity returns
@@ -119,6 +149,7 @@ mod tests {
             &mut state,
             &mut dij,
             &cfg,
+            f64::INFINITY,
         );
         (paths, streams.obstacles_loaded(), state.loaded_bound)
     }
@@ -157,6 +188,58 @@ mod tests {
             + Point::new(-20.0, 25.0).dist(Point::new(-20.0, 15.0))
             + Point::new(-20.0, 15.0).dist(Point::new(0.0, 0.0));
         assert!(paths.dist_s <= via_left + 1e-9);
+    }
+
+    /// A finite cap stops both the endpoint searches and the obstacle
+    /// loading: obstacles beyond the cap's mindist stay unloaded, and a
+    /// bounded-out endpoint reports ∞ instead of dragging in the world.
+    #[test]
+    fn capped_retrieval_stays_local() {
+        let far_wall = Rect::new(-2000.0, 500.0, 2200.0, 520.0); // mindist 500
+        let data = RStarTree::bulk_load(vec![DataPoint::new(0, Point::new(50.0, 30.0))], 4096);
+        let obs = RStarTree::bulk_load(vec![far_wall], 4096);
+        let q = q();
+        let mut streams = TwoTreeStreams::new(&data, &obs, &q);
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(q.a, NodeKind::Endpoint);
+        let e = g.add_point(q.b, NodeKind::Endpoint);
+        let p = g.add_point(Point::new(50.0, 30.0), NodeKind::DataPoint);
+        let mut state = IorState::default();
+        let mut dij = DijkstraEngine::default();
+        let cfg = ConnConfig::default();
+        let paths = ior(
+            &q,
+            &mut g,
+            s,
+            e,
+            p,
+            &mut streams,
+            &mut state,
+            &mut dij,
+            &cfg,
+            200.0,
+        );
+        // within the cap everything is exact and the far wall stays out
+        assert!((paths.dist_s - Point::new(50.0, 30.0).dist(q.a)).abs() < 1e-9);
+        assert_eq!(streams.obstacles_loaded(), 0);
+
+        // a cap below the true endpoint distances bounds the search out
+        // without loading past the cap either
+        let p2 = g.add_point(Point::new(50.0, 2000.0), NodeKind::DataPoint);
+        let paths = ior(
+            &q,
+            &mut g,
+            s,
+            e,
+            p2,
+            &mut streams,
+            &mut state,
+            &mut dij,
+            &cfg,
+            100.0,
+        );
+        assert!(paths.dist_s.is_infinite() && paths.dist_e.is_infinite());
+        assert_eq!(streams.obstacles_loaded(), 0, "mindist 500 > cap 100");
     }
 
     #[test]
@@ -203,6 +286,7 @@ mod tests {
             &mut state,
             &mut dij,
             &cfg,
+            f64::INFINITY,
         );
         g.remove_node(p0);
         let bound_after_first = state.loaded_bound;
@@ -219,6 +303,7 @@ mod tests {
             &mut state,
             &mut dij,
             &cfg,
+            f64::INFINITY,
         );
         g.remove_node(p1);
         // second, similar point: bound may grow slightly but nothing new to load

@@ -22,6 +22,8 @@
 //! | baselines (sampling, brute force) | [`baseline`] |
 //! | reusable engine & per-query workspace (beyond the paper) | [`engine`] |
 //! | parallel batch execution (beyond the paper) | [`batch`] |
+//! | trajectory CONN/COkNN (§6 future work) | [`trajectory`] |
+//! | streaming trajectory sessions (beyond the paper) | [`session`] |
 //!
 //! ## Quick start
 //!
@@ -59,6 +61,7 @@ pub mod onn;
 pub mod orange;
 pub mod rlu;
 pub mod rnn;
+pub mod session;
 pub mod single_tree;
 pub mod split;
 pub mod stats;
@@ -67,7 +70,7 @@ pub mod trajectory;
 pub mod types;
 pub mod visible;
 
-pub use batch::{coknn_batch, conn_batch, BatchStats};
+pub use batch::{coknn_batch, conn_batch, trajectory_conn_batch, BatchStats};
 pub use coknn::{coknn_search, CoknnResult};
 pub use config::{ConnConfig, KernelMode};
 pub use conn::{conn_search, ConnResult};
@@ -79,12 +82,14 @@ pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;
 pub use rlu::{ResultEntry, ResultList};
 pub use rnn::obstructed_rnn;
+pub use session::{TrajectoryCoknnSession, TrajectorySession};
 pub use single_tree::{
     build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject,
 };
 pub use stats::{QueryStats, ReuseCounters};
 pub use trajectory::{
-    trajectory_coknn_search, trajectory_conn_search, Trajectory, TrajectoryResult,
+    trajectory_coknn_search, trajectory_coknn_search_cold, trajectory_conn_search,
+    trajectory_conn_search_cold, Trajectory, TrajectoryResult,
 };
 pub use types::DataPoint;
 pub use visible::visible_knn;

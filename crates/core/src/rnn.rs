@@ -133,13 +133,7 @@ impl<'a> PairResolver<'a> {
             if od > bound {
                 break;
             }
-            let key = [
-                r.min_x.to_bits(),
-                r.min_y.to_bits(),
-                r.max_x.to_bits(),
-                r.max_y.to_bits(),
-            ];
-            if self.loaded.insert(key) {
+            if self.loaded.insert(r.bit_key()) {
                 self.g.add_obstacle(r);
                 self.noe += 1;
             }

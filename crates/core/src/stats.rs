@@ -30,6 +30,11 @@ pub struct ReuseCounters {
     /// Searches warm-restarted after obstacle loads by reseeding the labels
     /// whose witness paths the new obstacles do not cross.
     pub label_reseeds: u64,
+    /// Searches warm-restarted under a *changed goal* (trajectory sessions
+    /// moving to the next leg, odist calls toward a moved target): settled
+    /// labels are exact regardless of the heuristic, so they re-enter the
+    /// heap re-keyed by the new goal instead of a cold start.
+    pub label_retargets: u64,
 }
 
 impl ReuseCounters {
@@ -40,6 +45,7 @@ impl ReuseCounters {
         self.heap_reuses += other.heap_reuses;
         self.label_continuations += other.label_continuations;
         self.label_reseeds += other.label_reseeds;
+        self.label_retargets += other.label_retargets;
     }
 }
 

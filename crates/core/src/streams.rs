@@ -107,6 +107,131 @@ impl QueryStreams for TwoTreeStreams<'_> {
     }
 }
 
+/// The set of obstacles a trajectory session has already loaded into its
+/// long-lived visibility graph. Obstacle loads are monotone within a
+/// session — a loaded rectangle is a real obstacle for every later leg —
+/// so the per-leg streams consult this set to avoid re-inserting (and
+/// re-counting) rectangles when the goal segment changes.
+#[derive(Debug, Default)]
+pub struct LoadedObstacles {
+    keys: std::collections::HashSet<[u64; 4]>,
+}
+
+impl LoadedObstacles {
+    /// Records `r` as loaded; returns `false` when it already was.
+    fn insert(&mut self, r: &Rect) -> bool {
+        self.keys.insert(r.bit_key())
+    }
+
+    fn contains(&self, r: &Rect) -> bool {
+        self.keys.contains(&r.bit_key())
+    }
+
+    /// Obstacles loaded so far across the whole session.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Forgets everything (the owning session's graph was reset).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+    }
+}
+
+/// Per-leg streams of a trajectory session: a fresh mindist ordering for
+/// the new goal segment over the same two R-trees, with the obstacle
+/// stream filtered against the session's [`LoadedObstacles`] — rectangles
+/// already in the graph are skipped instead of re-inserted, so the
+/// session-level NOE counts every obstacle exactly once.
+pub struct SessionStreams<'a, 's> {
+    points: NearestIter<'a, DataPoint, Segment>,
+    obstacles: NearestIter<'a, Rect, Segment>,
+    pending_obstacle: Option<(Rect, f64)>,
+    loaded: &'s mut LoadedObstacles,
+    loaded_this_leg: usize,
+}
+
+impl<'a, 's> SessionStreams<'a, 's> {
+    pub fn new(
+        data_tree: &'a RStarTree<DataPoint>,
+        obstacle_tree: &'a RStarTree<Rect>,
+        q: &Segment,
+        loaded: &'s mut LoadedObstacles,
+    ) -> Self {
+        SessionStreams {
+            points: data_tree.nearest_iter(*q),
+            obstacles: obstacle_tree.nearest_iter(*q),
+            pending_obstacle: None,
+            loaded,
+            loaded_this_leg: 0,
+        }
+    }
+
+    /// Next not-yet-loaded obstacle's mindist to the current leg.
+    fn peek_obstacle_dist(&mut self) -> Option<f64> {
+        while self.pending_obstacle.is_none() {
+            match self.obstacles.next() {
+                Some((r, _)) if self.loaded.contains(&r) => continue,
+                next => {
+                    self.pending_obstacle = next;
+                    break;
+                }
+            }
+        }
+        self.pending_obstacle.as_ref().map(|(_, d)| *d)
+    }
+
+    fn pop_obstacle(&mut self) -> Option<Rect> {
+        self.peek_obstacle_dist();
+        self.pending_obstacle.take().map(|(r, _)| r)
+    }
+}
+
+impl QueryStreams for SessionStreams<'_, '_> {
+    fn peek_point_dist(&mut self) -> Option<f64> {
+        self.points.peek_dist()
+    }
+
+    fn next_point(&mut self) -> Option<(DataPoint, f64)> {
+        self.points.next()
+    }
+
+    fn load_obstacles_until(&mut self, g: &mut VisGraph, bound: f64) -> usize {
+        let mut added = 0;
+        while let Some(d) = self.peek_obstacle_dist() {
+            if d > bound {
+                break;
+            }
+            let r = self.pop_obstacle().expect("peeked obstacle");
+            self.loaded.insert(&r);
+            g.add_obstacle(r);
+            added += 1;
+        }
+        self.loaded_this_leg += added;
+        added
+    }
+
+    fn load_next_obstacle(&mut self, g: &mut VisGraph) -> usize {
+        match self.pop_obstacle() {
+            Some(r) => {
+                self.loaded.insert(&r);
+                g.add_obstacle(r);
+                self.loaded_this_leg += 1;
+                1
+            }
+            None => 0,
+        }
+    }
+
+    fn obstacles_loaded(&self) -> usize {
+        self.loaded_this_leg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +285,29 @@ mod tests {
         assert_eq!(s.load_next_obstacle(&mut g), 0); // exhausted
         assert_eq!(s.obstacles_loaded(), 3);
         assert_eq!(g.num_obstacles(), 3);
+    }
+
+    /// Session streams skip rectangles an earlier leg already loaded —
+    /// even though the new leg's mindist ordering differs.
+    #[test]
+    fn session_streams_dedupe_across_legs() {
+        let (dt, ot, q1) = setup();
+        let mut loaded = LoadedObstacles::default();
+        let mut g = VisGraph::new(50.0);
+        {
+            let mut s = SessionStreams::new(&dt, &ot, &q1, &mut loaded);
+            assert_eq!(s.load_obstacles_until(&mut g, 60.0), 2);
+            assert_eq!(s.obstacles_loaded(), 2);
+        }
+        assert_eq!(loaded.len(), 2);
+        // second leg near the far obstacle: the two already-loaded rects
+        // must not be re-inserted, the third must
+        let q2 = Segment::new(Point::new(200.0, 205.0), Point::new(260.0, 205.0));
+        let mut s = SessionStreams::new(&dt, &ot, &q2, &mut loaded);
+        assert_eq!(s.load_obstacles_until(&mut g, 1e9), 1);
+        assert_eq!(s.obstacles_loaded(), 1, "per-leg NOE counts new loads only");
+        assert_eq!(g.num_obstacles(), 3);
+        assert_eq!(s.load_next_obstacle(&mut g), 0);
+        assert_eq!(loaded.len(), 3);
     }
 }

@@ -4,17 +4,28 @@
 //!
 //! A trajectory query runs the CONN/COkNN machinery per leg and stitches
 //! the per-leg result lists into one answer parameterized by cumulative
-//! arclength. Each leg is an independent Algorithm-4 run (its own local
-//! visibility graph, pruned by its own `RLMAX`), which preserves the
-//! exactness argument leg by leg; the stitching only re-indexes parameters
-//! and merges equal answers across the joints.
+//! arclength. The batch entry points here replay the trajectory's legs
+//! through a [`crate::TrajectorySession`], which keeps one query engine —
+//! visibility graph, loaded obstacles, Dijkstra substrate — alive across
+//! the legs instead of paying a cold Algorithm-4 start per leg; each leg
+//! is still its own exact run (the session only shares monotone state), so
+//! the exactness argument holds leg by leg. The stitching re-indexes
+//! parameters into cumulative arclength, merges equal answers across the
+//! joints, and absorbs sub-`EPS` slivers produced by per-leg float drift
+//! at the shared vertices.
+//!
+//! [`trajectory_conn_search_cold`] keeps the original cold-per-leg
+//! execution as the reference implementation — it is the baseline that
+//! `repro --target traj` measures the session against, and the oracle the
+//! streaming-equivalence proptests compare to.
 
-use conn_geom::{Interval, Point, Rect, Segment};
+use conn_geom::{Interval, Point, Rect, Segment, EPS};
 use conn_index::RStarTree;
 
 use crate::coknn::coknn_search;
 use crate::config::ConnConfig;
 use crate::conn::conn_search;
+use crate::session::{TrajectoryCoknnSession, TrajectorySession};
 use crate::stats::QueryStats;
 use crate::types::DataPoint;
 
@@ -57,8 +68,11 @@ impl Trajectory {
         *self.cum.last().unwrap()
     }
 
+    /// Whether the trajectory has zero arclength. Derived from [`Self::len`]
+    /// for the `len`/`is_empty` idiom; by construction (≥ 2 vertices, no
+    /// degenerate leg) this is always `false`.
     pub fn is_empty(&self) -> bool {
-        false // by construction: ≥ 2 vertices, no degenerate legs
+        self.len() == 0.0
     }
 
     /// The `i`-th leg as a segment.
@@ -71,9 +85,17 @@ impl Trajectory {
         self.cum[i]
     }
 
-    /// The point at cumulative arclength `t ∈ [0, len]` (clamped).
+    /// The point at cumulative arclength `t ∈ [0, len]` (clamped; a NaN
+    /// parameter maps to the start — `clamp` propagates NaN, which would
+    /// otherwise send `binary_search_by` to `Err(0)` and underflow `i - 1`).
     pub fn at(&self, t: f64) -> Point {
-        let t = t.clamp(0.0, self.len());
+        let t = if t.is_nan() {
+            0.0
+        } else {
+            // `+ 0.0` normalizes -0.0, which `clamp` keeps and `total_cmp`
+            // orders before cum[0] = 0.0 (the same Err(0) underflow)
+            t.clamp(0.0, self.len()) + 0.0
+        };
         let i = match self.cum.binary_search_by(|c| c.total_cmp(&t)) {
             Ok(i) => i.min(self.num_legs() - 1),
             Err(i) => i - 1,
@@ -92,6 +114,16 @@ pub struct TrajectoryResult {
 }
 
 impl TrajectoryResult {
+    pub(crate) fn new(
+        trajectory: Trajectory,
+        segments: Vec<(Option<DataPoint>, Interval)>,
+    ) -> Self {
+        TrajectoryResult {
+            trajectory,
+            segments,
+        }
+    }
+
     pub fn trajectory(&self) -> &Trajectory {
         &self.trajectory
     }
@@ -101,10 +133,12 @@ impl TrajectoryResult {
         &self.segments
     }
 
-    /// The ONN at cumulative arclength `t`, with its obstructed distance
-    /// re-derived from the owning tuple is not stored; use
-    /// [`TrajectoryResult::nn_at`] for identity and the per-leg results for
-    /// distances.
+    /// The ONN at cumulative arclength `t` — identity only. The stitched
+    /// tuples do not retain the per-leg control points, so the obstructed
+    /// distance is not stored here; re-derive it with
+    /// [`crate::obstructed_distance`] against the trajectory point, or run
+    /// the per-leg [`crate::conn_search`] when distances are needed along
+    /// a whole leg.
     pub fn nn_at(&self, t: f64) -> Option<DataPoint> {
         self.segments
             .iter()
@@ -117,12 +151,17 @@ impl TrajectoryResult {
         self.segments.windows(2).map(|w| w[0].1.hi).collect()
     }
 
-    /// Validation: tuples cover `[0, len]` without gaps.
+    /// Validation: tuples cover `[0, len]` without gaps, and every tuple
+    /// has strictly positive width — the stitcher must never emit the
+    /// zero-width slivers that per-leg float drift can produce at joints.
     pub fn check_cover(&self) -> Result<(), String> {
         let mut cursor = 0.0;
         for (_, iv) in &self.segments {
             if (iv.lo - cursor).abs() > 1e-6 {
                 return Err(format!("gap at {cursor}"));
+            }
+            if iv.hi <= iv.lo {
+                return Err(format!("empty tuple at {}", iv.lo));
             }
             cursor = iv.hi;
         }
@@ -131,6 +170,75 @@ impl TrajectoryResult {
         }
         Ok(())
     }
+}
+
+/// Appends one leg's merged `⟨p, R⟩` tuples (leg-local parameters) onto a
+/// stitched cumulative list covering `[0, end]`.
+///
+/// Joint hygiene lives here: every interval is re-based onto the running
+/// cursor, so per-leg float drift at a shared vertex (a leg's cover ending
+/// at `len ± 1e-9`) snaps instead of leaking as a gap or a zero-width
+/// sliver; equal answers merge across the joint; and tuples narrower than
+/// `EPS` are absorbed into a neighbor — at such a boundary the two answers
+/// tie to within `EPS`, so the absorbed answer is correct there.
+pub(crate) fn stitch_leg(
+    out: &mut Vec<(Option<DataPoint>, Interval)>,
+    leg: &[(Option<DataPoint>, Interval)],
+    offset: f64,
+    end: f64,
+) {
+    let mut cursor = offset;
+    for (i, (p, iv)) in leg.iter().enumerate() {
+        let hi = if i + 1 == leg.len() {
+            // the leg's last tuple closes exactly at the joint — but only
+            // genuine float drift may be absorbed; a leg result that
+            // under-covers its segment is a kernel bug the stitcher must
+            // not paper over
+            debug_assert!(
+                (offset + iv.hi - end).abs() <= 1e-6,
+                "leg cover ends at {} instead of {} — not joint drift",
+                offset + iv.hi,
+                end
+            );
+            end
+        } else {
+            let raw = offset + iv.hi;
+            let clamped = raw.clamp(cursor, end);
+            debug_assert!(
+                (raw - clamped).abs() <= 1e-6,
+                "mid-leg tuple boundary {raw} re-based by more than drift to {clamped}"
+            );
+            clamped
+        };
+        push_stitched(out, *p, Interval { lo: cursor, hi });
+        cursor = hi;
+    }
+}
+
+fn push_stitched(out: &mut Vec<(Option<DataPoint>, Interval)>, p: Option<DataPoint>, iv: Interval) {
+    let Some((last_p, last_iv)) = out.last_mut() else {
+        out.push((p, iv));
+        return;
+    };
+    if last_p.map(|x| x.id) == p.map(|x| x.id) {
+        // same answer persists across the boundary: extend
+        last_iv.hi = last_iv.hi.max(iv.hi);
+        return;
+    }
+    if iv.hi - iv.lo < EPS {
+        // incoming sub-EPS sliver: absorb into the previous tuple
+        last_iv.hi = last_iv.hi.max(iv.hi);
+        return;
+    }
+    if last_iv.hi - last_iv.lo < EPS {
+        // the previous tuple was a (leading) sliver: hand its span to the
+        // incoming tuple, re-checking the merge against the new last
+        let lo = last_iv.lo;
+        out.pop();
+        push_stitched(out, p, Interval::new(lo, iv.hi));
+        return;
+    }
+    out.push((p, iv));
 }
 
 /// Trajectory CONN (k = 1): the ONN of every point along a polyline.
@@ -167,6 +275,27 @@ pub fn trajectory_conn_search(
     trajectory: &Trajectory,
     cfg: &ConnConfig,
 ) -> (TrajectoryResult, QueryStats) {
+    let mut session =
+        TrajectorySession::new(data_tree, obstacle_tree, trajectory.vertices()[0], *cfg);
+    for &v in &trajectory.vertices()[1..] {
+        session.push_leg(v);
+    }
+    session.finish()
+}
+
+/// Reference implementation of [`trajectory_conn_search`]: every leg is a
+/// fully cold [`conn_search`] run (fresh engine, fresh visibility graph,
+/// all obstacle loads repaid). This is the baseline `repro --target traj`
+/// measures [`crate::TrajectorySession`] against, and the oracle of the
+/// streaming-equivalence tests. Answers are equivalent to the session path
+/// (identical tuples, distances within float noise from the session's
+/// larger loaded-obstacle superset).
+pub fn trajectory_conn_search_cold(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    trajectory: &Trajectory,
+    cfg: &ConnConfig,
+) -> (TrajectoryResult, QueryStats) {
     let mut total = QueryStats::default();
     let mut segments: Vec<(Option<DataPoint>, Interval)> = Vec::new();
     for i in 0..trajectory.num_legs() {
@@ -174,32 +303,36 @@ pub fn trajectory_conn_search(
         let offset = trajectory.leg_offset(i);
         let (res, stats) = conn_search(data_tree, obstacle_tree, &leg, cfg);
         total.accumulate(&stats);
-        for (p, iv) in res.segments() {
-            let shifted = Interval::new(iv.lo + offset, iv.hi + offset);
-            match segments.last_mut() {
-                // merge across the joint when the answer persists
-                Some((prev, prev_iv)) if prev.map(|x| x.id) == p.map(|x| x.id) => {
-                    prev_iv.hi = shifted.hi;
-                }
-                _ => segments.push((p, shifted)),
-            }
-        }
+        stitch_leg(&mut segments, &res.segments(), offset, offset + leg.len());
     }
     total.result_tuples = segments.len() as u64;
-    (
-        TrajectoryResult {
-            trajectory: trajectory.clone(),
-            segments,
-        },
-        total,
-    )
+    (TrajectoryResult::new(trajectory.clone(), segments), total)
 }
 
-/// Trajectory COkNN: the k nearest per point along a polyline. Returns the
-/// per-leg results (cumulative-arclength stitching of full kNN sets keeps
-/// every member's control points; exposing the per-leg structure is the
-/// honest API) plus summed statistics.
+/// Trajectory COkNN: the k nearest per point along a polyline, replayed
+/// through a [`crate::TrajectoryCoknnSession`] so the visibility substrate
+/// survives across legs. Returns the per-leg results
+/// (cumulative-arclength stitching of full kNN sets keeps every member's
+/// control points; exposing the per-leg structure is the honest API) plus
+/// summed statistics.
 pub fn trajectory_coknn_search(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    trajectory: &Trajectory,
+    k: usize,
+    cfg: &ConnConfig,
+) -> (Vec<crate::coknn::CoknnResult>, QueryStats) {
+    let mut session =
+        TrajectoryCoknnSession::new(data_tree, obstacle_tree, trajectory.vertices()[0], k, *cfg);
+    for &v in &trajectory.vertices()[1..] {
+        session.push_leg(v);
+    }
+    session.finish()
+}
+
+/// Cold-per-leg reference of [`trajectory_coknn_search`] (see
+/// [`trajectory_conn_search_cold`]).
+pub fn trajectory_coknn_search_cold(
     data_tree: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     trajectory: &Trajectory,
@@ -242,6 +375,80 @@ mod tests {
         // clamping
         assert_eq!(t.at(-5.0), Point::new(0.0, 0.0));
         assert_eq!(t.at(500.0), Point::new(100.0, 80.0));
+    }
+
+    /// Regression: `at` used to underflow on NaN (`clamp` propagates NaN,
+    /// `binary_search_by` answers `Err(0)`, then `i - 1` wraps) and on
+    /// -0.0 (`total_cmp` orders it before `cum[0] = 0.0`).
+    #[test]
+    fn at_guards_non_finite_parameters() {
+        let t = l_shape();
+        assert_eq!(t.at(f64::NAN), Point::new(0.0, 0.0));
+        assert_eq!(t.at(-0.0), Point::new(0.0, 0.0));
+        assert_eq!(t.at(f64::NEG_INFINITY), Point::new(0.0, 0.0));
+        assert_eq!(t.at(f64::INFINITY), Point::new(100.0, 80.0));
+    }
+
+    #[test]
+    fn is_empty_is_derived_from_length() {
+        let t = l_shape();
+        assert!(!t.is_empty());
+        assert!(t.len() > 0.0);
+    }
+
+    /// Regression: joint drift used to leak zero-width sliver tuples into
+    /// the stitched list. The stitcher must re-base intervals onto the
+    /// running cursor, absorb sub-EPS tuples, and close each leg exactly
+    /// at its joint.
+    #[test]
+    fn stitching_absorbs_joint_slivers() {
+        let pa = Some(DataPoint::new(0, Point::new(0.0, 0.0)));
+        let pb = Some(DataPoint::new(1, Point::new(1.0, 0.0)));
+        let mut out: Vec<(Option<DataPoint>, Interval)> = Vec::new();
+        // leg 1 ends with float overshoot past its true length 100
+        stitch_leg(
+            &mut out,
+            &[
+                (pa, Interval::new(0.0, 60.0)),
+                (pb, Interval::new(60.0, 100.0 + 3e-8)),
+            ],
+            0.0,
+            100.0,
+        );
+        // leg 2 opens with a sub-EPS sliver of the *old* answer before
+        // switching — the classic disagreement at the shared vertex
+        stitch_leg(
+            &mut out,
+            &[
+                (pb, Interval::new(0.0, 4e-8)),
+                (pa, Interval::new(4e-8, 80.0)),
+            ],
+            100.0,
+            180.0,
+        );
+        assert_eq!(out.len(), 3, "sliver must merge, not stand alone: {out:?}");
+        let mut cursor = 0.0;
+        for (_, iv) in &out {
+            assert!(iv.hi > iv.lo, "empty tuple {iv:?}");
+            assert_eq!(iv.lo, cursor, "gap/overlap at {cursor}");
+            cursor = iv.hi;
+        }
+        assert_eq!(cursor, 180.0);
+
+        // a leading sliver with a different successor hands its span over
+        let mut lead: Vec<(Option<DataPoint>, Interval)> = Vec::new();
+        stitch_leg(
+            &mut lead,
+            &[
+                (pa, Interval::new(0.0, 2e-8)),
+                (pb, Interval::new(2e-8, 50.0)),
+            ],
+            0.0,
+            50.0,
+        );
+        assert_eq!(lead.len(), 1);
+        assert_eq!(lead[0].0.map(|p| p.id), Some(1));
+        assert_eq!((lead[0].1.lo, lead[0].1.hi), (0.0, 50.0));
     }
 
     #[test]

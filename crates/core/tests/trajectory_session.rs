@@ -1,0 +1,203 @@
+//! Streaming-vs-batch equivalence for trajectory sessions.
+//!
+//! A [`TrajectorySession`] shares monotone state across legs (persistent
+//! visibility graph, deduplicated obstacle loads, seeded `RLMAX` bounds,
+//! old endpoint nodes left in the graph). None of that may change what the
+//! query *answers*: concatenated session deltas must be
+//! answer-equivalent — same answer identities modulo exact ties, distances
+//! within 1e-6 — to the cold per-leg reference, across kernels and across
+//! uniform/clustered point layouts. Cover invariants (gap-free, no empty
+//! tuples) are asserted on every generated trajectory, which doubles as
+//! the multi-leg joint-sliver regression suite.
+
+use conn_core::{
+    obstructed_distance, trajectory_conn_search_cold, ConnConfig, DataPoint, KernelMode,
+    Trajectory, TrajectorySession,
+};
+use conn_geom::{Interval, Point, Rect};
+use conn_index::RStarTree;
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Disjoint rectangles (overlapping candidates are dropped while building).
+fn rects() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec((pt(), 5.0..80.0f64, 5.0..80.0f64), 0..10).prop_map(|specs| {
+        let mut out: Vec<Rect> = Vec::new();
+        for (p, w, h) in specs {
+            let r = Rect::new(p.x, p.y, p.x + w, p.y + h);
+            if !out.iter().any(|o| o.intersects(&r)) {
+                out.push(r);
+            }
+        }
+        out
+    })
+}
+
+/// Uniform or hotspot-clustered data points outside obstacle interiors.
+fn points(obstacles: Vec<Rect>) -> impl Strategy<Value = (Vec<Rect>, Vec<DataPoint>)> {
+    (prop::collection::vec(pt(), 2..14), 0..2u8, pt()).prop_map(move |(raw, clustered, center)| {
+        let clustered = clustered == 1;
+        let ps = raw
+            .iter()
+            .map(|p| {
+                if clustered {
+                    // squeeze toward a hotspot: the clustered layout of
+                    // the batch workloads
+                    Point::new(
+                        center.x + (p.x - 500.0) * 0.12,
+                        center.y + (p.y - 500.0) * 0.12,
+                    )
+                } else {
+                    *p
+                }
+            })
+            .filter(|p| !obstacles.iter().any(|r| r.strictly_contains(*p)))
+            .enumerate()
+            .map(|(i, p)| DataPoint::new(i as u32, p))
+            .collect();
+        (obstacles.clone(), ps)
+    })
+}
+
+/// A trajectory of 3–6 legs: a start plus bounded random steps, with legs
+/// shorter than the space so the workload stays local.
+fn route() -> impl Strategy<Value = Vec<Point>> {
+    (
+        pt(),
+        prop::collection::vec((-160.0..160.0f64, -160.0..160.0f64), 3..7),
+    )
+        .prop_map(|(start, steps)| {
+            let mut verts = vec![start];
+            let mut cur = start;
+            for (dx, dy) in steps {
+                let (dx, dy) = if dx.abs() + dy.abs() < 1.0 {
+                    (7.0, 5.0) // avoid degenerate legs
+                } else {
+                    (dx, dy)
+                };
+                cur = Point::new(
+                    (cur.x + dx).clamp(0.0, 1000.0),
+                    (cur.y + dy).clamp(0.0, 1000.0),
+                );
+                if cur.dist(*verts.last().unwrap()) > 1.0 {
+                    verts.push(cur);
+                }
+            }
+            if verts.len() < 2 {
+                verts.push(Point::new(start.x + 10.0, start.y + 10.0));
+            }
+            verts
+        })
+}
+
+type Scenario = (Vec<Rect>, Vec<DataPoint>, Vec<Point>);
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    rects()
+        .prop_flat_map(points)
+        .prop_flat_map(|(obstacles, ps)| {
+            route().prop_map(move |verts| (obstacles.clone(), ps.clone(), verts))
+        })
+}
+
+/// Same answer at `t`, or a tie: both reachable with obstructed distances
+/// within `1e-6` of each other.
+fn answers_agree(
+    obstacles: &[Rect],
+    traj: &Trajectory,
+    t: f64,
+    a: Option<DataPoint>,
+    b: Option<DataPoint>,
+) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            if x.id != y.id {
+                let q = traj.at(t);
+                let dx = obstructed_distance(obstacles, x.pos, q);
+                let dy = obstructed_distance(obstacles, y.pos, q);
+                prop_assert!(
+                    (dx - dy).abs() < 1e-6,
+                    "t = {t}: {} (d = {dx}) vs {} (d = {dy})",
+                    x.id,
+                    y.id
+                );
+            }
+        }
+        (a, b) => prop_assert!(false, "reachability diverged at t = {t}: {a:?} vs {b:?}"),
+    }
+    Ok(())
+}
+
+fn check_kernel(scn: &Scenario, kernel: KernelMode) -> Result<(), TestCaseError> {
+    let (obstacles, ps, verts) = scn;
+    let traj = Trajectory::new(verts.clone());
+    let data_tree = RStarTree::bulk_load(ps.clone(), 4096);
+    let obstacle_tree = RStarTree::bulk_load(obstacles.clone(), 4096);
+    let cfg = ConnConfig {
+        kernel,
+        ..ConnConfig::default()
+    };
+
+    let (cold, _) = trajectory_conn_search_cold(&data_tree, &obstacle_tree, &traj, &cfg);
+    prop_assert!(cold.check_cover().is_ok(), "{:?}", cold.check_cover());
+
+    let mut session = TrajectorySession::new(&data_tree, &obstacle_tree, verts[0], cfg);
+    let mut concat: Vec<(Option<DataPoint>, Interval)> = Vec::new();
+    for &v in &verts[1..] {
+        let delta = session.push_leg(v);
+        // deltas chain without gaps
+        let prev_hi = concat.last().map_or(0.0, |x| x.1.hi);
+        prop_assert!((delta[0].1.lo - prev_hi).abs() < 1e-9);
+        for (_, iv) in &delta {
+            prop_assert!(iv.hi > iv.lo, "empty delta tuple {iv:?}");
+        }
+        concat.extend(delta);
+    }
+    let (streamed, _) = session.finish();
+    prop_assert!(
+        streamed.check_cover().is_ok(),
+        "{:?}",
+        streamed.check_cover()
+    );
+
+    // concatenated deltas == stitched result, and both match the cold
+    // reference at sampled parameters (tuple midpoints of both results
+    // plus an even grid)
+    let mut ts: Vec<f64> = Vec::new();
+    for (_, iv) in cold.segments().iter().chain(streamed.segments()) {
+        ts.push((iv.lo + iv.hi) * 0.5);
+    }
+    ts.extend((0..=48).map(|i| traj.len() * i as f64 / 48.0));
+    for t in ts {
+        let from_cold = cold.nn_at(t);
+        let from_stream = streamed.nn_at(t);
+        answers_agree(obstacles, &traj, t, from_cold, from_stream)?;
+        let from_delta = concat
+            .iter()
+            .find(|(_, iv)| iv.contains(t))
+            .and_then(|(p, _)| *p);
+        answers_agree(obstacles, &traj, t, from_delta, from_stream)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming deltas, concatenated, are answer-equivalent to the cold
+    /// per-leg batch reference — on the goal-directed kernel.
+    #[test]
+    fn streamed_deltas_match_batch_goal_directed(scn in scenario()) {
+        check_kernel(&scn, KernelMode::GoalDirected)?;
+    }
+
+    /// The same guarantee on the blind (paper-literal traversal) kernel.
+    #[test]
+    fn streamed_deltas_match_batch_blind(scn in scenario()) {
+        check_kernel(&scn, KernelMode::Blind)?;
+    }
+}

@@ -134,6 +134,81 @@ pub fn batch_queries(
     out
 }
 
+/// Generates `count` polyline routes of exactly `legs` connected legs each
+/// (vertex chains of `legs + 1` points), for the trajectory-session
+/// workloads: every leg has length `ql_frac × SPACE_SIDE`, turns by at
+/// most ±45°, and avoids obstacle interiors — the paper's convention for
+/// query segments, and the precondition under which the session's seeded
+/// `RLMAX` bound applies. Deterministic in `seed`.
+///
+/// Unlike [`QueryMix::Trajectory`] (which flattens chains into a segment
+/// batch and may truncate the last chain), every returned route is
+/// complete: chains that dead-end against obstacles are abandoned and
+/// resampled.
+pub fn trajectory_routes(
+    count: usize,
+    legs: usize,
+    ql_frac: f64,
+    seed: u64,
+    obstacles: &[Rect],
+) -> Vec<Vec<Point>> {
+    assert!(legs >= 1, "trajectories need at least one leg");
+    assert!(ql_frac > 0.0 && ql_frac < 1.0, "ql out of range");
+    let lookup = ObstacleLookup::build(obstacles);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6C62_272E_07BB_0142);
+    let len = ql_frac * SPACE_SIDE;
+    let mut out = Vec::with_capacity(count);
+    let mut rejected = 0usize;
+    while out.len() < count {
+        let first = loop {
+            match sample_segment(&mut rng, None, None, len, &lookup) {
+                Some(seg) => break seg,
+                None => {
+                    rejected += 1;
+                    assert!(
+                        rejected < 200_000 * count.max(10),
+                        "route generation stalled: obstacle field too dense"
+                    );
+                }
+            }
+        };
+        let mut verts = vec![first.a, first.b];
+        let mut heading = (first.b.y - first.a.y).atan2(first.b.x - first.a.x);
+        let mut cursor = first.b;
+        let mut complete = true;
+        for _ in 1..legs {
+            let mut placed = false;
+            for attempt in 0..96 {
+                // prefer gentle ±45° turns; widen toward a full U-turn when
+                // the chain is stuck against an obstacle or the space
+                // boundary (long routes would otherwise dead-end forever)
+                let half_range = (std::f64::consts::FRAC_PI_4 * (1.0 + attempt as f64 / 16.0))
+                    .min(std::f64::consts::PI);
+                let turn = rng.gen_range(-half_range..half_range);
+                let theta = heading + turn;
+                if let Some(seg) =
+                    sample_segment(&mut rng, None, Some((cursor, theta)), len, &lookup)
+                {
+                    heading = theta;
+                    cursor = seg.b;
+                    verts.push(seg.b);
+                    placed = true;
+                    break;
+                }
+                rejected += 1;
+            }
+            if !placed {
+                complete = false; // dead end: abandon and resample the route
+                break;
+            }
+        }
+        if complete {
+            out.push(verts);
+        }
+    }
+    out
+}
+
 /// The default server workload: one third uniform, one third clustered
 /// (4 hotspots), one third trajectories of 4 legs — interleaved so every
 /// prefix of the batch stays mixed.
@@ -270,6 +345,25 @@ mod tests {
             }
         }
         assert!(chained >= 6, "only {chained} chained transitions");
+    }
+
+    #[test]
+    fn trajectory_routes_are_complete_chains() {
+        let obstacles = la_like(200, 21);
+        let lookup = ObstacleLookup::build(&obstacles);
+        let routes = trajectory_routes(8, 5, 0.03, 17, &obstacles);
+        assert_eq!(routes.len(), 8);
+        for verts in &routes {
+            assert_eq!(verts.len(), 6, "5 legs = 6 vertices");
+            for w in verts.windows(2) {
+                let leg = conn_geom::Segment::new(w[0], w[1]);
+                assert!((leg.len() - 0.03 * SPACE_SIDE).abs() < EPS);
+                assert!(!lookup.segment_blocked(&leg), "leg crosses an obstacle");
+            }
+        }
+        // deterministic
+        let again = trajectory_routes(8, 5, 0.03, 17, &obstacles);
+        assert_eq!(routes, again);
     }
 
     #[test]

@@ -40,6 +40,19 @@ impl Rect {
         Rect::new(s.a.x, s.a.y, s.b.x, s.b.y)
     }
 
+    /// Exact-identity hash key (the corner coordinates' bit patterns) for
+    /// deduplicating rectangles loaded from an R-tree — the shared key of
+    /// every "already loaded" set (session streams, joins, RNN).
+    #[inline]
+    pub fn bit_key(&self) -> [u64; 4] {
+        [
+            self.min_x.to_bits(),
+            self.min_y.to_bits(),
+            self.max_x.to_bits(),
+            self.max_y.to_bits(),
+        ]
+    }
+
     #[inline]
     pub fn width(&self) -> f64 {
         self.max_x - self.min_x

@@ -38,13 +38,19 @@
 //! prefix **replays** from the retained label array and expansion resumes
 //! from the retained heap, instead of re-running from a cold heap.
 //!
-//! When obstacles were loaded in between (version advanced, but the node
-//! set only grew by their corners — tracked via [`VisGraph::shape_epoch`]),
-//! the engine **reseeds**: obstacles only ever lengthen paths, so every
-//! label whose witness path avoids the newly added rectangles is still
-//! exact and re-enters the heap as a seed; only invalidated labels are
-//! re-discovered through relaxation. Both warm paths produce the same
-//! settlement sequence as a cold start on the final graph.
+//! When obstacles were loaded in between (version advanced, but nothing
+//! was removed — tracked via [`VisGraph::shape_epoch`]), the engine
+//! **reseeds**: obstacles only ever lengthen paths, so every label whose
+//! witness path avoids the newly added rectangles is still exact and
+//! re-enters the heap as a seed; only invalidated labels are re-discovered
+//! through relaxation. Both warm paths produce the same settlement
+//! sequence as a cold start on the final graph.
+//!
+//! When the *goal* changed as well (a trajectory session moving to its
+//! next leg, or an odist call toward a moved target), the engine
+//! **retargets**: settled distances are exact regardless of the heuristic
+//! that ordered their settlement, so surviving labels are simply re-keyed
+//! by `d + h_new` and expansion continues toward the new goal.
 //!
 //! The engine snapshots the graph version at preparation: advancing it
 //! after a structural change is a logic bug and panics in debug builds.
@@ -100,12 +106,18 @@ pub enum Prep {
     /// Fresh search: labels cleared, heap holds only the source.
     Cold,
     /// Same source, goal and graph version: the settled prefix replays from
-    /// the retained labels; expansion continues from the retained heap.
+    /// the retained labels; expansion continues from the retained heap,
+    /// under the retained expansion bound if the run was bounded.
     Replayed,
     /// Obstacles were added since the last run: labels whose witness paths
     /// avoid the new rectangles were kept as exact seeds, the rest were
     /// invalidated and will be re-discovered.
     Reseeded,
+    /// Same source but a *different goal* (and possibly new obstacles):
+    /// surviving labels were re-keyed under the new heuristic and re-enter
+    /// the heap as exact seeds — the cross-leg warm path of a trajectory
+    /// session, and the moving-target path of repeated odist calls.
+    Retargeted,
 }
 
 /// Single-source shortest-path engine with incremental settlement.
@@ -122,9 +134,10 @@ pub struct DijkstraEngine {
     goal: Goal,
     /// Expansion bound on `f`; candidates above it are never pushed.
     bound: f64,
-    /// True once `set_bound` tightened below ∞ — a bounded run's labels are
-    /// incomplete inside the frontier, so it must not be replayed verbatim
-    /// (reseeding is still fine: settled labels stay exact).
+    /// True once `set_bound` tightened below ∞. A bounded run's labels are
+    /// incomplete beyond the bound, so a replayed continuation keeps the
+    /// retained bound (it may only shrink further), and reseeding keeps
+    /// only the settled labels, which stay exact regardless of the bound.
     tightened: bool,
     /// Settlement order `(node, d)` — the replay tape of a continuation.
     settle_log: Vec<(u32, f64)>,
@@ -133,14 +146,24 @@ pub struct DijkstraEngine {
     cursor: usize,
     /// Relaxation scratch (edges of the node being settled).
     edge_scratch: Vec<(u32, f64)>,
-    /// Reseed scratch: `(node, d, pred)` of labels that survived.
-    reseed_scratch: Vec<(u32, f64, u32)>,
+    /// Exact labels `(node, d, pred)` re-entered by the last reseed, in
+    /// predecessor-first order. A seed's distance is exact whether or not
+    /// the subsequent run ever pops it (relaxation cannot improve an
+    /// optimal label), so the *next* reseed must classify these alongside
+    /// the settle log — dropping them would lose the source itself when a
+    /// run stops at its target before re-popping the seeds.
+    seeds: Vec<(u32, f64, u32)>,
+    /// Deduplication stamps for the reseed classification pass.
+    mark: Vec<u32>,
+    mark_gen: u32,
     /// Runs whose label arrays fit in already-allocated capacity.
     reuses: u64,
     /// Warm continuations served (settled prefix replayed).
     continuations: u64,
     /// Warm reseeds served (labels repaired after obstacle loads).
     reseeds: u64,
+    /// Warm retargets served (labels re-keyed under a new goal).
+    retargets: u64,
     prepared: bool,
 }
 
@@ -173,6 +196,7 @@ impl DijkstraEngine {
         self.settled.resize(n, false);
         self.heap.clear();
         self.settle_log.clear();
+        self.seeds.clear();
         self.cursor = 0;
         self.version = g.version();
         self.shape_epoch = g.shape_epoch();
@@ -186,9 +210,14 @@ impl DijkstraEngine {
     }
 
     /// Warm-or-cold preparation: replays the retained search when `src`,
-    /// `goal` and the graph are unchanged, reseeds the labels when only
-    /// obstacles were added, and falls back to [`Self::prepare_directed`]
-    /// otherwise (always, when `allow_warm` is false).
+    /// `goal` and the graph are unchanged, reseeds the labels when the
+    /// graph only *grew* (obstacles and/or point nodes added) — re-keying
+    /// them under the new goal when it changed — and falls back to
+    /// [`Self::prepare_directed`] otherwise (always, when `allow_warm` is
+    /// false). Settled labels are exact shortest-path distances regardless
+    /// of the heuristic that ordered their settlement, so a goal change
+    /// alone never invalidates them: the reseed pass simply re-enters
+    /// every surviving label into the heap keyed by `d + h_new`.
     pub fn ensure_prepared(
         &mut self,
         g: &VisGraph,
@@ -199,62 +228,97 @@ impl DijkstraEngine {
         if allow_warm
             && self.prepared
             && self.src == src
-            && self.goal == goal
             && self.shape_epoch == g.shape_epoch()
+            && self.version <= g.version()
         {
-            if self.version == g.version() && !self.tightened {
+            self.reuses += 1; // every warm path runs on retained capacity
+            if self.goal == goal && self.version == g.version() {
+                // A bounded (`tightened`) run's labels are incomplete
+                // beyond its bound, so the replayed continuation *keeps*
+                // the retained bound instead of resetting it — the tape
+                // and heap are exactly a bounded run's state, and the
+                // consumer's own bound may only shrink it further (the
+                // IOR→CPLC handoff caps both sides with the same
+                // incumbent bound, so nothing is lost).
                 self.cursor = 0;
-                self.bound = f64::INFINITY;
                 self.continuations += 1;
                 return Prep::Replayed;
             }
-            if self.version < g.version() {
-                self.reseed(g);
-                self.reseeds += 1;
-                return Prep::Reseeded;
+            let retargeted = self.goal != goal;
+            self.goal = goal;
+            self.reseed(g);
+            if retargeted {
+                self.retargets += 1;
+                return Prep::Retargeted;
             }
+            self.reseeds += 1;
+            return Prep::Reseeded;
         }
         self.prepare_directed(g, src, goal);
         Prep::Cold
     }
 
-    /// Warm restart after obstacle loads: keeps every settled label whose
-    /// witness path avoids the rectangles added since the snapshot (those
-    /// labels are provably still exact — obstacles only lengthen paths) and
-    /// re-enters them into the heap as seeds, so re-settling them performs
-    /// no label convergence and almost no pushes. Invalidated and new nodes
-    /// are re-discovered through ordinary relaxation. Validity is inherited
-    /// along the predecessor chain: a node's witness path extends its
-    /// predecessor's, and predecessors settle (hence classify) first.
+    /// Warm restart after graph growth (and/or a goal change): keeps every
+    /// exact label whose witness path avoids the rectangles added since the
+    /// snapshot (obstacles only lengthen paths; point-node additions change
+    /// nothing) and re-enters them into the heap as seeds keyed by the
+    /// *current* goal, so re-settling them performs no label convergence
+    /// and almost no pushes. Invalidated and new nodes are re-discovered
+    /// through ordinary relaxation.
+    ///
+    /// The exact-label set is the previous reseed's surviving seeds — a
+    /// seed stays exact whether or not the run re-popped it — plus the
+    /// nodes the run settled. Classification walks seeds first, then the
+    /// settle log: within each list predecessors precede dependents, and a
+    /// settled node's predecessor is either an earlier-settled node or a
+    /// seed, so validity can be inherited along the predecessor chain
+    /// (`settled` doubles as the "witness still valid" marker during the
+    /// pass).
     fn reseed(&mut self, g: &VisGraph) {
         let n = g.capacity();
         if self.dist.len() < n {
-            // new obstacle corners
+            // newly added obstacle corners / point nodes
             self.dist.resize(n, f64::INFINITY);
             self.pred.resize(n, NO_PRED);
             self.settled.resize(n, false);
         }
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.mark_gen = self.mark_gen.wrapping_add(1);
+        if self.mark_gen == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.mark_gen = 1;
+        }
         let new_rects = g.rects_since(self.version);
+        let old_seeds = std::mem::take(&mut self.seeds);
         let old_log = std::mem::take(&mut self.settle_log);
-        let mut kept = std::mem::take(&mut self.reseed_scratch);
-        kept.clear();
-        for &(u, d) in &old_log {
+        let mut kept: Vec<(u32, f64, u32)> = Vec::with_capacity(old_seeds.len() + old_log.len());
+        for i in 0..old_seeds.len() + old_log.len() {
+            let (u, d, p) = if i < old_seeds.len() {
+                old_seeds[i]
+            } else {
+                let (u, d) = old_log[i - old_seeds.len()];
+                // a seed that was re-popped appears in both lists; the
+                // first pass already classified it
+                if self.mark[u as usize] == self.mark_gen {
+                    continue;
+                }
+                (u, d, self.pred[u as usize])
+            };
             let ui = u as usize;
+            self.mark[ui] = self.mark_gen;
             let ok = if u == self.src.0 {
                 true
             } else {
-                let p = self.pred[ui];
                 p != NO_PRED && self.settled[p as usize] && {
                     let seg = Segment::new(g.node_pos(NodeId(p)), g.node_pos(NodeId(u)));
                     !new_rects.iter().any(|(_, r)| r.blocks(&seg))
                 }
             };
-            // `settled` doubles as the "witness still valid" marker during
-            // this pass (every logged node had it set; predecessors are
-            // re-classified before their children).
             self.settled[ui] = ok;
             if ok {
-                kept.push((u, d, self.pred[ui]));
+                kept.push((u, d, p));
             }
         }
         self.dist.iter_mut().for_each(|d| *d = f64::INFINITY);
@@ -274,7 +338,7 @@ impl DijkstraEngine {
         self.version = g.version();
         self.bound = f64::INFINITY;
         self.tightened = false;
-        self.reseed_scratch = kept;
+        self.seeds = kept;
     }
 
     /// How many [`DijkstraEngine::prepare`] calls reused retained capacity
@@ -291,6 +355,11 @@ impl DijkstraEngine {
     /// Warm reseeds served so far (the `label_reseeds` metric).
     pub fn reseeds(&self) -> u64 {
         self.reseeds
+    }
+
+    /// Warm goal retargets served so far (the `label_retargets` metric).
+    pub fn retargets(&self) -> u64 {
+        self.retargets
     }
 
     pub fn source(&self) -> NodeId {
@@ -363,9 +432,21 @@ impl DijkstraEngine {
             let goal = self.goal;
             let bound = self.bound;
             let upos = g.node_pos(NodeId(u));
-            g.neighbors_into_filtered(NodeId(u), &mut edges, |v, vpos| {
-                !settled[v as usize] && d + upos.dist(vpos) + goal.h(vpos) <= bound
-            });
+            // a neighbor farther than `bound − d` can never settle within
+            // the bound (h ≥ 0), so a radius-complete adjacency cache
+            // suffices — and costs local-density work to build, not
+            // whole-graph work
+            let radius = if bound.is_finite() {
+                bound - d
+            } else {
+                f64::INFINITY
+            };
+            g.neighbors_into_ranged(
+                NodeId(u),
+                &mut edges,
+                |v, vpos| !settled[v as usize] && d + upos.dist(vpos) + goal.h(vpos) <= bound,
+                radius,
+            );
             for &(v, w) in &edges {
                 let vi = v as usize;
                 if self.settled[vi] {
@@ -611,6 +692,169 @@ mod tests {
             }
         }
         assert_eq!(warm.reseeds(), 1);
+    }
+
+    /// Retargeting the goal keeps every settled label (they are exact
+    /// distances, independent of the heuristic) and matches a cold start
+    /// under the new goal bit for bit — with and without obstacle loads in
+    /// between.
+    #[test]
+    fn retarget_matches_cold_start_under_new_goal() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 0..14 {
+            g.add_point(
+                Point::new((i * 37 % 220) as f64, (i * 19 % 130) as f64 - 30.0),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(Rect::new(50.0, -10.0, 80.0, 60.0));
+        let goal_a = Goal::Point(Point::new(200.0, 0.0));
+        let goal_b = Goal::Segment(Segment::new(Point::new(0.0, 90.0), Point::new(220.0, 90.0)));
+
+        let mut warm = DijkstraEngine::default();
+        assert_eq!(warm.ensure_prepared(&g, s, goal_a, true), Prep::Cold);
+        warm.run_all(&mut g);
+        // same graph, new goal → retarget (no rects to test witnesses against)
+        assert_eq!(warm.ensure_prepared(&g, s, goal_b, true), Prep::Retargeted);
+        warm.run_all(&mut g);
+        // load an obstacle AND change the goal back → retarget with reseeding
+        g.add_obstacle(Rect::new(120.0, 20.0, 150.0, 110.0));
+        assert_eq!(warm.ensure_prepared(&g, s, goal_a, true), Prep::Retargeted);
+        warm.run_all(&mut g);
+        assert_eq!(warm.retargets(), 2);
+
+        let mut cold = DijkstraEngine::default();
+        cold.prepare_directed(&g, s, goal_a);
+        cold.run_all(&mut g);
+        for v in g.node_ids() {
+            let (a, b) = (warm.settled_dist(v), cold.settled_dist(v));
+            assert_eq!(a.is_some(), b.is_some(), "settled set diverged at {v:?}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
+            }
+        }
+    }
+
+    /// Adding point nodes (no removal) keeps the warm path available: the
+    /// new nodes are discovered through relaxation and every pre-existing
+    /// label stays bitwise exact.
+    #[test]
+    fn point_additions_preserve_warm_labels() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        g.add_obstacle(Rect::new(30.0, -20.0, 50.0, 40.0));
+        let t1 = g.add_point(Point::new(100.0, 0.0), NodeKind::DataPoint);
+        let mut warm = DijkstraEngine::default();
+        assert_eq!(warm.ensure_prepared(&g, s, Goal::None, true), Prep::Cold);
+        warm.run_all(&mut g);
+        let d1 = warm.settled_dist(t1).unwrap();
+        // add a new endpoint and a new data point — shape epoch must hold
+        let e2 = g.add_point(Point::new(120.0, 50.0), NodeKind::Endpoint);
+        let t2 = g.add_point(Point::new(60.0, 60.0), NodeKind::DataPoint);
+        assert_eq!(
+            warm.ensure_prepared(&g, s, Goal::None, true),
+            Prep::Reseeded
+        );
+        warm.run_all(&mut g);
+        assert_eq!(warm.settled_dist(t1).unwrap().to_bits(), d1.to_bits());
+        let mut cold = DijkstraEngine::default();
+        cold.prepare(&g, s);
+        cold.run_all(&mut g);
+        for v in [t1, t2, e2] {
+            assert_eq!(
+                warm.settled_dist(v).unwrap().to_bits(),
+                cold.settled_dist(v).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// Regression: chained warm restarts must not lose the seeds a run
+    /// never re-popped. A retargeted run that stops at its target leaves
+    /// the source (and most seeds) unsettled in the log; the next reseed
+    /// must still classify them — dropping them used to empty the heap and
+    /// report ∞ for reachable targets.
+    #[test]
+    fn chained_retargets_keep_unpopped_seeds() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(100.0, 0.0), NodeKind::DataPoint);
+        let far = g.add_point(Point::new(60.0, 0.0), NodeKind::DataPoint);
+        let mut e = DijkstraEngine::default();
+        assert_eq!(
+            e.ensure_prepared(&g, s, Goal::Point(Point::new(60.0, 0.0)), true),
+            Prep::Cold
+        );
+        assert_eq!(e.run_until_settled(&mut g, far), 40.0);
+        // two more targets, each a retarget; free space, so every distance
+        // is the straight line
+        let t1 = g.add_point(Point::new(10.0, 0.0), NodeKind::DataPoint);
+        assert_eq!(
+            e.ensure_prepared(&g, s, Goal::Point(Point::new(10.0, 0.0)), true),
+            Prep::Retargeted
+        );
+        assert_eq!(e.run_until_settled(&mut g, t1), 90.0);
+        let t2 = g.add_point(Point::new(104.0, 3.0), NodeKind::DataPoint);
+        assert_eq!(
+            e.ensure_prepared(&g, s, Goal::Point(Point::new(104.0, 3.0)), true),
+            Prep::Retargeted
+        );
+        assert_eq!(e.run_until_settled(&mut g, t2), 5.0);
+    }
+
+    /// A bounded (tightened) run replays under its *retained* bound —
+    /// within it, labels match an unbounded cold run bitwise; beyond it,
+    /// the engine reports exhaustion. A graph change then reseeds, the
+    /// bound resets, and full coverage is recovered.
+    #[test]
+    fn tightened_run_replays_under_retained_bound_then_reseeds() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 1..20 {
+            g.add_point(
+                Point::new((i * 41 % 260) as f64, (i * 23 % 170) as f64),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(Rect::new(60.0, 10.0, 90.0, 100.0));
+        let bound = 120.0;
+        let mut warm = DijkstraEngine::default();
+        assert_eq!(warm.ensure_prepared(&g, s, Goal::None, true), Prep::Cold);
+        warm.set_bound(bound);
+        warm.run_all(&mut g);
+        assert_eq!(
+            warm.ensure_prepared(&g, s, Goal::None, true),
+            Prep::Replayed
+        );
+        assert_eq!(warm.bound(), bound, "replay keeps the retained bound");
+        warm.run_all(&mut g);
+        let mut cold = DijkstraEngine::default();
+        cold.prepare(&g, s);
+        cold.run_all(&mut g);
+        for v in g.node_ids() {
+            match (warm.settled_dist(v), cold.settled_dist(v)) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (None, Some(b)) => assert!(b > bound - 1e-9, "{v:?} missing below the bound"),
+                (None, None) => {}
+                (Some(_), None) => panic!("bounded replay settled a node cold missed"),
+            }
+        }
+        // a graph change reseeds; the bound resets and coverage completes
+        g.add_obstacle(Rect::new(200.0, 120.0, 230.0, 150.0));
+        assert_eq!(
+            warm.ensure_prepared(&g, s, Goal::None, true),
+            Prep::Reseeded
+        );
+        warm.run_all(&mut g);
+        let mut cold2 = DijkstraEngine::default();
+        cold2.prepare(&g, s);
+        cold2.run_all(&mut g);
+        for v in g.node_ids() {
+            let (a, b) = (warm.settled_dist(v), cold2.settled_dist(v));
+            assert_eq!(a.is_some(), b.is_some(), "settled set diverged at {v:?}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
+            }
+        }
     }
 
     /// Node churn (a transient data point removed and re-added in the same

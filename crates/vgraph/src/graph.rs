@@ -66,6 +66,14 @@ struct CachedAdj {
     /// [`VisGraph::base_removal_epoch`] at cache time: a removed stable
     /// node invalidates incremental repair (full recompute instead).
     removal_epoch: u64,
+    /// Completeness radius: the cache is guaranteed to hold every visible
+    /// stable neighbor within this Euclidean distance of the node (∞ = the
+    /// classical complete cache). Bounded searches ask for bounded radii,
+    /// which keeps rebuild cost proportional to *local* obstacle density
+    /// instead of the total graph size — the difference between a
+    /// trajectory session's accumulated supergraph and a single query's
+    /// neighborhood.
+    radius: f64,
     edges: Vec<(u32, f64)>,
 }
 
@@ -74,6 +82,7 @@ impl Default for CachedAdj {
         CachedAdj {
             version: STALE,
             removal_epoch: 0,
+            radius: 0.0,
             edges: Vec::new(),
         }
     }
@@ -93,11 +102,16 @@ pub struct VisGraph {
     /// Bumped when a stable node is *removed* (rare; disables incremental
     /// cache repair until the next full recompute).
     base_removal_epoch: u64,
-    /// Bumped by every change that is **not** a pure obstacle addition
-    /// (point add/remove, reset). While it holds still, a search engine's
-    /// retained labels can be repaired incrementally: obstacles only ever
-    /// lengthen paths, so labels whose witness paths avoid the newly added
-    /// rectangles stay exact (see `DijkstraEngine` warm reseeding).
+    /// Bumped by node *removals* and [`VisGraph::reset`] only. While it
+    /// holds still, a search engine's retained labels can be repaired
+    /// incrementally: obstacles only ever lengthen paths (labels whose
+    /// witness paths avoid newly added rectangles stay exact), and added
+    /// point nodes cannot shorten anything — the corner graph already
+    /// realizes the exact obstructed distance over the loaded obstacle
+    /// set, so a new free node only adds equal-or-longer alternatives.
+    /// Removals invalidate because retained predecessor chains (and slot
+    /// ids, via the free list) may alias a departed node (see
+    /// `DijkstraEngine` warm reseeding).
     shape_epoch: u64,
     /// Live transient ([`NodeKind::DataPoint`]) node ids — the overlay.
     transients: Vec<u32>,
@@ -107,6 +121,15 @@ pub struct VisGraph {
     rect_log: Vec<(u64, Rect)>,
     /// Per-query log of stable-node insertions `(base_version, node id)`.
     node_log: Vec<(u64, u32)>,
+    /// Live stable non-corner nodes (query endpoints) — enumerated
+    /// explicitly by radius-bounded cache rebuilds, since only obstacle
+    /// corners are reachable through the grid.
+    endpoints: Vec<u32>,
+    /// Corner node ids per grid obstacle id (insertion order) — the
+    /// grid-to-node mapping of radius-bounded cache rebuilds.
+    rect_corners: Vec<[u32; 4]>,
+    /// Scratch for grid candidate queries during bounded rebuilds.
+    rect_scratch: Vec<u32>,
     adj: Vec<CachedAdj>,
     /// Scratch for the slice-returning [`VisGraph::neighbors`] facade.
     combined: Vec<(u32, f64)>,
@@ -127,6 +150,9 @@ impl VisGraph {
             transients: Vec::new(),
             rect_log: Vec::new(),
             node_log: Vec::new(),
+            endpoints: Vec::new(),
+            rect_corners: Vec::new(),
+            rect_scratch: Vec::new(),
             adj: Vec::new(),
             combined: Vec::new(),
         }
@@ -149,6 +175,8 @@ impl VisGraph {
         self.transients.clear();
         self.rect_log.clear();
         self.node_log.clear();
+        self.endpoints.clear();
+        self.rect_corners.clear();
         self.grid.reset();
         self.version += 1;
         self.base_version = self.version;
@@ -185,10 +213,11 @@ impl VisGraph {
         self.version
     }
 
-    /// Monotone counter bumped by every change that is not a pure obstacle
-    /// addition. `shape_epoch` unchanged + `version` advanced means the only
-    /// difference since the snapshot is a set of added obstacles — the
-    /// precondition for warm search-label reseeding.
+    /// Monotone counter bumped only by node removals and resets.
+    /// `shape_epoch` unchanged + `version` advanced means everything since
+    /// the snapshot was an *addition* (obstacles and/or point nodes) — the
+    /// precondition for warm search-label reseeding: additions can only
+    /// lengthen or leave shortest paths, never shorten settled labels.
     pub fn shape_epoch(&self) -> u64 {
         self.shape_epoch
     }
@@ -232,7 +261,6 @@ impl VisGraph {
     /// the base adjacency caches.
     pub fn add_point(&mut self, pos: Point, kind: NodeKind) -> NodeId {
         self.version += 1;
-        self.shape_epoch += 1;
         if kind != NodeKind::DataPoint {
             self.base_version = self.version;
         }
@@ -241,6 +269,7 @@ impl VisGraph {
             self.transients.push(id.0);
         } else {
             self.node_log.push((self.base_version, id.0));
+            self.endpoints.push(id.0);
         }
         id
     }
@@ -264,6 +293,7 @@ impl VisGraph {
         } else {
             self.base_version = self.version;
             self.base_removal_epoch += 1;
+            self.endpoints.retain(|&t| t != id.0);
         }
     }
 
@@ -280,6 +310,7 @@ impl VisGraph {
         for id in ids {
             self.node_log.push((self.base_version, id.0));
         }
+        self.rect_corners.push(ids.map(|id| id.0));
         ids
     }
 
@@ -292,6 +323,7 @@ impl VisGraph {
             };
             // Mark stale but keep the edge-list allocation for reuse.
             self.adj[slot as usize].version = STALE;
+            self.adj[slot as usize].radius = 0.0;
             NodeId(slot)
         } else {
             self.nodes.push(VNode {
@@ -302,6 +334,7 @@ impl VisGraph {
             let i = self.nodes.len() - 1;
             if i < self.adj.len() {
                 self.adj[i].version = STALE; // slot retained across a reset
+                self.adj[i].radius = 0.0;
             } else {
                 self.adj.push(CachedAdj::default());
             }
@@ -340,26 +373,56 @@ impl VisGraph {
     /// the CONN loop the only live transient is the (always-settled) source
     /// itself, so the overlay's per-settle grid walks vanish entirely.
     ///
-    /// The *base cache itself* is always built unpruned — it is shared
-    /// across every data point of the query, each with a different bound
-    /// ellipse, and a partially built cache would poison later lookups.
+    /// The base cache is shared across every data point of the query, each
+    /// with a different bound ellipse; `neighbors_into_filtered` therefore
+    /// maintains it complete for *all* stable nodes (infinite radius).
+    /// Bounded searches should use [`VisGraph::neighbors_into_ranged`],
+    /// which settles for a radius-complete cache.
     pub fn neighbors_into_filtered(
         &mut self,
         u: NodeId,
         out: &mut Vec<(u32, f64)>,
         keep: impl Fn(u32, Point) -> bool,
     ) {
+        self.neighbors_into_ranged(u, out, keep, f64::INFINITY)
+    }
+
+    /// Like [`VisGraph::neighbors_into_filtered`], but the caller promises
+    /// it only needs neighbors within Euclidean `radius` of the node (a
+    /// bounded Dijkstra passes `bound − d(u)`: any neighbor farther away
+    /// can never settle within the bound). The cache records the radius it
+    /// is complete for; a bounded rebuild enumerates candidates from the
+    /// obstacle grid — cost proportional to the *local* density — instead
+    /// of scanning every stable node of the graph, which is what keeps a
+    /// trajectory session's accumulated graph from taxing each leg's
+    /// searches.
+    pub fn neighbors_into_ranged(
+        &mut self,
+        u: NodeId,
+        out: &mut Vec<(u32, f64)>,
+        keep: impl Fn(u32, Point) -> bool,
+        radius: f64,
+    ) {
         let ui = u.index();
         debug_assert!(self.nodes[ui].alive, "neighbors of dead node");
         let cached = &self.adj[ui];
-        if cached.version != self.base_version {
+        if cached.version != self.base_version || cached.radius < radius {
             let repairable = cached.version != STALE
+                && cached.version != self.base_version
                 && cached.removal_epoch == self.base_removal_epoch
+                && cached.radius >= radius
                 && self.repair_cheaper_than_rebuild(cached.version, cached.edges.len());
             if repairable {
                 self.repair_base_cache(ui);
             } else {
-                self.rebuild_base_cache(ui);
+                // geometric growth: a slightly larger radius now saves the
+                // rebuild when the next search asks for marginally more
+                let target = if radius.is_finite() {
+                    (radius * 1.5).max(self.grid.cell_size() * 2.0)
+                } else {
+                    f64::INFINITY
+                };
+                self.rebuild_base_cache(ui, target);
             }
         }
         let nodes = &self.nodes;
@@ -405,11 +468,17 @@ impl VisGraph {
     }
 
     /// Incremental base-cache repair: drop retained edges blocked by rects
-    /// newer than the cache, append newly logged stable nodes that are
-    /// visible. Produces the same edge *set* as a full rebuild.
+    /// newer than the cache, append newly logged stable nodes (within the
+    /// cache's completeness radius) that are visible. The result is
+    /// radius-complete, like a rebuild at the same radius; the exact edge
+    /// *sets* may differ beyond the radius (bounded rebuilds include some
+    /// over-the-radius extras from window corners, repairs filter new
+    /// nodes strictly by distance) — both are harmless supersets of the
+    /// radius guarantee.
     fn repair_base_cache(&mut self, ui: usize) {
         let upos = self.nodes[ui].pos;
         let old_version = self.adj[ui].version;
+        let radius = self.adj[ui].radius;
         let mut edges = std::mem::take(&mut self.adj[ui].edges);
         let new_rects = &self.rect_log[Self::log_start(&self.rect_log, old_version)..];
         if !new_rects.is_empty() {
@@ -427,7 +496,7 @@ impl VisGraph {
             }
             debug_assert!(self.nodes[vi].alive, "logged stable node died");
             let vpos = self.nodes[vi].pos;
-            if !self.grid.blocks(upos, vpos) {
+            if upos.dist(vpos) <= radius && !self.grid.blocks(upos, vpos) {
                 edges.push((nid, upos.dist(vpos)));
             }
         }
@@ -437,24 +506,66 @@ impl VisGraph {
         slot.edges = edges;
     }
 
-    /// Full base-cache rebuild: one grid sight test per live stable node.
-    fn rebuild_base_cache(&mut self, ui: usize) {
+    /// Base-cache rebuild, complete up to `radius`: candidates come from
+    /// the obstacle grid (corners of rectangles near the node) plus the
+    /// endpoint list when the radius is finite, and from a scan of every
+    /// stable node when it is infinite. One grid sight test per candidate
+    /// either way.
+    fn rebuild_base_cache(&mut self, ui: usize, radius: f64) {
         let upos = self.nodes[ui].pos;
         let mut edges = std::mem::take(&mut self.adj[ui].edges);
         edges.clear();
-        for vi in 0..self.nodes.len() {
-            let v = &self.nodes[vi];
-            if vi == ui || !v.alive || v.kind == NodeKind::DataPoint {
-                continue;
+        if radius.is_finite() {
+            let window = Rect::new(
+                upos.x - radius,
+                upos.y - radius,
+                upos.x + radius,
+                upos.y + radius,
+            );
+            let mut rect_ids = std::mem::take(&mut self.rect_scratch);
+            self.grid.candidates_in_rect(&window, &mut rect_ids);
+            for &rid in &rect_ids {
+                for vid in self.rect_corners[rid as usize] {
+                    let vi = vid as usize;
+                    // corner nodes are permanent today, but keep the same
+                    // liveness filter as the infinite-radius scan
+                    if vi == ui || !self.nodes[vi].alive {
+                        continue;
+                    }
+                    let vpos = self.nodes[vi].pos;
+                    if !self.grid.blocks(upos, vpos) {
+                        edges.push((vid, upos.dist(vpos)));
+                    }
+                }
             }
-            let vpos = v.pos;
-            if !self.grid.blocks(upos, vpos) {
-                edges.push((vi as u32, upos.dist(vpos)));
+            for ei in 0..self.endpoints.len() {
+                let vid = self.endpoints[ei];
+                let vi = vid as usize;
+                if vi == ui || !self.nodes[vi].alive {
+                    continue;
+                }
+                let vpos = self.nodes[vi].pos;
+                if !self.grid.blocks(upos, vpos) {
+                    edges.push((vid, upos.dist(vpos)));
+                }
+            }
+            self.rect_scratch = rect_ids;
+        } else {
+            for vi in 0..self.nodes.len() {
+                let v = &self.nodes[vi];
+                if vi == ui || !v.alive || v.kind == NodeKind::DataPoint {
+                    continue;
+                }
+                let vpos = v.pos;
+                if !self.grid.blocks(upos, vpos) {
+                    edges.push((vi as u32, upos.dist(vpos)));
+                }
             }
         }
         let slot = &mut self.adj[ui];
         slot.version = self.base_version;
         slot.removal_epoch = self.base_removal_epoch;
+        slot.radius = radius;
         slot.edges = edges;
     }
 

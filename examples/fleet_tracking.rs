@@ -1,0 +1,108 @@
+//! Streaming trajectory sessions: a delivery fleet moving through a city.
+//!
+//! Several vans drive multi-leg routes between warehouse blocks. Each van
+//! holds a [`TrajectorySession`]: every position ping extends its
+//! trajectory by one leg and immediately yields the *delta* tuples — which
+//! depot is nearest (by actual travel distance) along the stretch just
+//! driven. The vans run concurrently, one session per thread, over the
+//! same shared R\*-trees.
+//!
+//! Dispatch also keeps an ETA line per van: the obstructed route from the
+//! depot to the van's latest position, recomputed per ping on one reused
+//! engine — the repeated same-origin/moved-target pattern that the
+//! Dijkstra kernel's *goal retargeting* serves without cold restarts.
+//!
+//! ```text
+//! cargo run --release --example fleet_tracking
+//! ```
+
+use conn::prelude::*;
+use conn_core::{QueryEngine, TrajectorySession};
+
+fn main() {
+    // Depots the vans are served from.
+    let depots = vec![
+        DataPoint::new(0, Point::new(120.0, 150.0)),
+        DataPoint::new(1, Point::new(880.0, 180.0)),
+        DataPoint::new(2, Point::new(500.0, 860.0)),
+    ];
+    // City blocks: an irregular grid of buildings.
+    let mut blocks = Vec::new();
+    for i in 0..5 {
+        for j in 0..4 {
+            let (x, y) = (140.0 + i as f64 * 165.0, 260.0 + j as f64 * 150.0);
+            if (i + 2 * j) % 4 != 1 {
+                blocks.push(Rect::new(x, y, x + 95.0, y + 75.0));
+            }
+        }
+    }
+    let depot_tree = RStarTree::bulk_load(depots.clone(), DEFAULT_PAGE_SIZE);
+    let block_tree = RStarTree::bulk_load(blocks.clone(), DEFAULT_PAGE_SIZE);
+
+    // Each van's ping stream (first point = where it starts).
+    let routes: [&[Point]; 3] = [
+        &[
+            Point::new(60.0, 60.0),
+            Point::new(420.0, 90.0),
+            Point::new(640.0, 230.0),
+            Point::new(700.0, 520.0),
+            Point::new(540.0, 700.0),
+        ],
+        &[
+            Point::new(950.0, 80.0),
+            Point::new(760.0, 240.0),
+            Point::new(620.0, 430.0),
+            Point::new(430.0, 560.0),
+            Point::new(250.0, 700.0),
+        ],
+        &[
+            Point::new(80.0, 900.0),
+            Point::new(300.0, 820.0),
+            Point::new(520.0, 740.0),
+            Point::new(760.0, 680.0),
+            Point::new(900.0, 480.0),
+        ],
+    ];
+
+    let dispatch_depot = depots[0].pos;
+    std::thread::scope(|scope| {
+        for (van, pings) in routes.iter().enumerate() {
+            let (depot_tree, block_tree, blocks) = (&depot_tree, &block_tree, &blocks);
+            scope.spawn(move || {
+                let mut session = TrajectorySession::new(
+                    depot_tree,
+                    block_tree,
+                    pings[0],
+                    ConnConfig::default(),
+                );
+                // dispatch's ETA engine: one origin (depot 0), moving target
+                let mut eta_engine = QueryEngine::default();
+                let depot = dispatch_depot;
+                for &ping in &pings[1..] {
+                    let delta = session.push_leg(ping);
+                    let (eta_dist, _) = eta_engine.obstructed_route(blocks, depot, ping);
+                    for (nn, iv) in &delta {
+                        let who = nn.map_or("unreachable".to_string(), |p| format!("depot {}", p.id));
+                        println!(
+                            "van {van}: km {:>6.1}–{:>6.1} → {who}   (ETA line from depot 0: {:.0})",
+                            iv.lo, iv.hi, eta_dist
+                        );
+                    }
+                }
+                let (plan, stats) = session.finish();
+                plan.check_cover().expect("route fully covered");
+                println!(
+                    "van {van}: {} legs, {:.0} total length, {} tuples | warm legs {} | \
+                     obstacle loads {} | label reseeds {} | ETA retargets {}",
+                    plan.trajectory().num_legs(),
+                    plan.trajectory().len(),
+                    plan.segments().len(),
+                    stats.reuse.graph_reuses,
+                    stats.noe,
+                    stats.reuse.label_reseeds,
+                    eta_engine.label_retargets(),
+                );
+            });
+        }
+    });
+}
