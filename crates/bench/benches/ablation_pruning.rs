@@ -48,7 +48,7 @@ fn bench_lemmas(c: &mut Criterion) {
             b.iter(|| {
                 for q in &w.queries {
                     let (res, _) = coknn_search(&w.data_tree, &w.obstacle_tree, q, DEFAULT_K, cfg);
-                    black_box(res);
+                    let _ = black_box(res);
                 }
             })
         });
@@ -71,7 +71,7 @@ fn bench_local_vs_global(c: &mut Criterion) {
         b.iter(|| {
             for q in &w.queries {
                 let (res, _) = coknn_search(&w.data_tree, &w.obstacle_tree, q, 1, &cfg);
-                black_box(res);
+                let _ = black_box(res);
             }
         })
     });

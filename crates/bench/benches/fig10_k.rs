@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 for q in &w.queries {
                     let (res, _) = coknn_search(&w.data_tree, &w.obstacle_tree, q, k, &cfg);
-                    black_box(res);
+                    let _ = black_box(res);
                 }
             })
         });

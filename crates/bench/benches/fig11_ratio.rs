@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                     for q in &w.queries {
                         let (res, _) =
                             coknn_search(&w.data_tree, &w.obstacle_tree, q, DEFAULT_K, &cfg);
-                        black_box(res);
+                        let _ = black_box(res);
                     }
                 })
             });

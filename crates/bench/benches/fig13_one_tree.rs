@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 for q in &w.queries {
                     let (res, _) = coknn_search(&w.data_tree, &w.obstacle_tree, q, DEFAULT_K, &cfg);
-                    black_box(res);
+                    let _ = black_box(res);
                 }
             })
         });
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 for q in &w.queries {
                     let (res, _) = coknn_search_single_tree(&unified, q, DEFAULT_K, &cfg);
-                    black_box(res);
+                    let _ = black_box(res);
                 }
             })
         });

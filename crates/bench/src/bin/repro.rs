@@ -454,10 +454,13 @@ fn conn_smoke(args: &Args) {
 }
 
 /// `batch`: the batch-layer comparison — legacy one-shot loop vs serial
-/// engine reuse vs the parallel batch front-end, on a mixed workload.
-/// Asserts identical results across all three paths and records the
-/// numbers as JSON.
+/// engine reuse vs the parallel batch front-end vs the typed
+/// `ConnService::execute_batch` dispatch, on a mixed workload. Asserts
+/// identical results across all four paths and records the numbers
+/// (including the service dispatch overhead) as JSON.
 fn batch(args: &Args) {
+    use conn_core::{ConnService, Query, Scene};
+
     let n_queries = args.batch_queries();
     println!("\n## Batch layer — mixed workload (uniform + clustered + trajectory), k = 1");
     let w = Workload::build_mixed(
@@ -478,8 +481,45 @@ fn batch(args: &Args) {
     let (engine_results, engine_pooled) = w.run_conn_engine(&cfg);
     let engine_s = t1.elapsed().as_secs_f64();
 
+    // single-run walls stay the recorded batch_s / service_batch_s (the
+    // same estimator as serial_s and engine_s, so the speedup series in
+    // BENCH_batch.json keeps its meaning run over run)
     let (batch_results, stats) = w.run_conn_batch(&cfg, args.threads);
     let batch_s = stats.wall.as_secs_f64();
+
+    // the same workload through the typed front door: one mixed-capable
+    // service batch (here all-CONN, so the answers must be identical)
+    let service = ConnService::with_config(Scene::borrowing(&w.data_tree, &w.obstacle_tree), cfg);
+    let typed: Vec<Query> = w
+        .queries
+        .iter()
+        .map(|q| Query::conn(*q).build().expect("workload query is valid"))
+        .collect();
+    let (service_responses, service_stats) = service
+        .execute_batch_threads(&typed, args.threads)
+        .expect("service batch");
+    let service_s = service_stats.wall.as_secs_f64();
+    let service_results: Vec<conn_core::ConnResult> = service_responses
+        .into_iter()
+        .map(|r| r.answer.into_conn().expect("conn answer"))
+        .collect();
+
+    // the overhead ratio divides one short wall-clock by another, so it
+    // uses best-of-3 minima on BOTH sides (min/min is the stable,
+    // apples-to-apples estimator under scheduler noise)
+    let mut batch_best = batch_s;
+    for _ in 0..2 {
+        let (_, again) = w.run_conn_batch(&cfg, args.threads);
+        batch_best = batch_best.min(again.wall.as_secs_f64());
+    }
+    let mut service_best = service_s;
+    for _ in 0..2 {
+        let (_, again) = service
+            .execute_batch_threads(&typed, args.threads)
+            .expect("service batch");
+        service_best = service_best.min(again.wall.as_secs_f64());
+    }
+    let service_overhead_pct = (service_best / batch_best - 1.0) * 100.0;
 
     assert!(
         conn_results_identical(&serial, &engine_results),
@@ -488,6 +528,10 @@ fn batch(args: &Args) {
     assert!(
         conn_results_identical(&serial, &batch_results),
         "batch path diverged from the one-shot API"
+    );
+    assert!(
+        conn_results_identical(&serial, &service_results),
+        "service dispatch diverged from the one-shot API"
     );
 
     println!(
@@ -505,6 +549,11 @@ fn batch(args: &Args) {
     row("one-shot API loop", serial_s);
     row("serial engine reuse", engine_s);
     row(&format!("batch ({} threads)", stats.threads), batch_s);
+    row(
+        &format!("service batch ({} threads)", service_stats.threads),
+        service_s,
+    );
+    println!("service dispatch overhead vs per-family batch: {service_overhead_pct:+.2}%");
     println!(
         "latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
         stats.mean_s * 1e3,
@@ -525,7 +574,8 @@ fn batch(args: &Args) {
     let json = format!(
         "{{\n  \"scale\": {},\n  \"queries\": {},\n  \"threads\": {},\n  \
          \"serial_one_shot_s\": {:.6},\n  \"serial_engine_s\": {:.6},\n  \
-         \"batch_s\": {:.6},\n  \"speedup_engine\": {:.4},\n  \
+         \"batch_s\": {:.6},\n  \"service_batch_s\": {:.6},\n  \
+         \"service_overhead_pct\": {:.4},\n  \"speedup_engine\": {:.4},\n  \
          \"speedup_batch\": {:.4},\n  \"throughput_qps\": {:.2},\n  \
          \"latency_mean_ms\": {:.4},\n  \"latency_p50_ms\": {:.4},\n  \
          \"latency_p99_ms\": {:.4},\n  \"graph_reuses\": {},\n  \
@@ -536,6 +586,8 @@ fn batch(args: &Args) {
         serial_s,
         engine_s,
         batch_s,
+        service_s,
+        service_overhead_pct,
         serial_s / engine_s,
         serial_s / batch_s,
         stats.throughput_qps,

@@ -27,6 +27,7 @@ use crate::types::DataPoint;
 
 /// Aggregated telemetry of one batch run.
 #[derive(Debug, Clone, Copy)]
+#[must_use]
 pub struct BatchStats {
     /// Number of queries answered.
     pub queries: usize,
@@ -48,7 +49,7 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    fn from_parts(
+    pub(crate) fn from_parts(
         queries: usize,
         threads: usize,
         wall: Duration,
@@ -101,8 +102,11 @@ fn pool_size(requested: usize, queries: usize) -> usize {
 /// Generic batch driver: work-steals workload indices off a shared atomic
 /// cursor, one engine per worker, results re-assembled in workload order.
 /// Items are whatever the workload is made of — query segments for
-/// CONN/COkNN, whole trajectories for the session batch.
-fn run_batch<I, R, F>(
+/// CONN/COkNN, whole trajectories for the session batch, typed [`Query`]
+/// values for the mixed-family service batch.
+///
+/// [`Query`]: crate::Query
+pub(crate) fn run_batch<I, R, F>(
     items: &[I],
     cfg: &ConnConfig,
     threads: usize,

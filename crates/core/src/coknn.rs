@@ -212,16 +212,19 @@ impl KnnResultList {
     }
 
     /// Validation helper: the entries exactly cover `[0, qlen]`.
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         let mut cursor = 0.0;
         for e in &self.entries {
             if (e.interval.lo - cursor).abs() > 1e-6 {
-                return Err(format!("gap at {cursor}"));
+                return Err(crate::Error::cover_violation(format!("gap at {cursor}")));
             }
             cursor = e.interval.hi;
         }
         if (cursor - self.qlen).abs() > 1e-6 {
-            return Err(format!("cover ends at {cursor} != {}", self.qlen));
+            return Err(crate::Error::cover_violation(format!(
+                "cover ends at {cursor} != {}",
+                self.qlen
+            )));
         }
         Ok(())
     }
@@ -257,6 +260,7 @@ impl ResultSink for KnnResultList {
 
 /// Answer of a COkNN query.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct CoknnResult {
     q: Segment,
     list: KnnResultList,
@@ -300,7 +304,7 @@ impl CoknnResult {
         out
     }
 
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         self.list.check_cover()
     }
 }
@@ -335,7 +339,14 @@ pub fn coknn_search(
     k: usize,
     cfg: &ConnConfig,
 ) -> (CoknnResult, QueryStats) {
-    crate::engine::QueryEngine::new(*cfg).coknn(data_tree, obstacle_tree, q, k)
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::coknn(*q, k)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    let res = resp.answer.into_coknn().expect("coknn answer");
+    (res, resp.stats)
 }
 
 #[cfg(test)]

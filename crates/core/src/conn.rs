@@ -6,7 +6,7 @@
 //! `RLMAX` (Lemma 2). The same loop drives the COkNN and single-tree
 //! variants through the [`ResultSink`] and [`crate::streams::QueryStreams`]
 //! abstractions, and runs entirely on a caller-provided
-//! [`crate::Workspace`] so a reused engine performs no per-query substrate
+//! [`crate::engine::Workspace`] so a reused engine performs no per-query substrate
 //! allocations.
 
 use conn_geom::{Interval, Rect, Segment, EPS};
@@ -15,7 +15,7 @@ use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
 use crate::cpl::{cplc_bounded, ControlPointList};
-use crate::engine::{QueryEngine, Workspace};
+use crate::engine::Workspace;
 use crate::ior::ior;
 use crate::rlu::{ResultEntry, ResultList, RluScratch};
 use crate::stats::QueryStats;
@@ -230,6 +230,7 @@ fn refine_to_fixpoint<S: QueryStreams>(
 
 /// Answer of a CONN query.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct ConnResult {
     q: Segment,
     list: ResultList,
@@ -277,7 +278,7 @@ impl ConnResult {
     }
 
     /// Validation helper: the entries exactly cover the segment.
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         self.list.check_cover()
     }
 
@@ -313,17 +314,28 @@ impl ConnResult {
 /// both trees are reset at query start, so the returned statistics are
 /// exactly this query's footprint.
 ///
-/// This is the legacy one-shot API: it constructs a throwaway
-/// [`QueryEngine`] per call. Callers answering many queries should hold a
-/// [`QueryEngine`] (or use [`crate::conn_batch`]) to amortize substrate
-/// allocations across queries.
+/// This is the legacy one-shot API, kept as a thin wrapper over the typed
+/// service ([`crate::ConnService`]) so both surfaces answer byte-identically
+/// by construction. It builds a throwaway service (and engine) per call;
+/// callers answering many queries should hold a [`crate::ConnService`] or a
+/// [`crate::QueryEngine`] (or use [`crate::conn_batch`]) to amortize substrate
+/// allocations across queries. Invalid input (degenerate/NaN segment)
+/// panics here — the service's [`crate::Query::conn`] builder is the
+/// non-panicking path.
 pub fn conn_search(
     data_tree: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     q: &Segment,
     cfg: &ConnConfig,
 ) -> (ConnResult, QueryStats) {
-    QueryEngine::new(*cfg).conn(data_tree, obstacle_tree, q)
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::conn(*q)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    let conn = resp.answer.into_conn().expect("conn answer");
+    (conn, resp.stats)
 }
 
 #[cfg(test)]

@@ -157,16 +157,22 @@ impl ControlPointList {
     }
 
     /// Validation helper for tests: entries cover `[0, qlen]` without gaps.
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         let mut cursor = 0.0;
         for (_, iv) in &self.entries {
             if (iv.lo - cursor).abs() > 1e-6 {
-                return Err(format!("gap at {cursor}: next starts {}", iv.lo));
+                return Err(crate::Error::cover_violation(format!(
+                    "gap at {cursor}: next starts {}",
+                    iv.lo
+                )));
             }
             cursor = iv.hi;
         }
         if (cursor - self.qlen).abs() > 1e-6 {
-            return Err(format!("cover ends at {cursor} != {}", self.qlen));
+            return Err(crate::Error::cover_violation(format!(
+                "cover ends at {cursor} != {}",
+                self.qlen
+            )));
         }
         Ok(())
     }

@@ -15,7 +15,7 @@
 //!
 //! ## Reuse contract
 //!
-//! Between queries, [`Workspace::begin_query`] **clears** all query-visible
+//! Between queries, `Workspace::begin_query` **clears** all query-visible
 //! state — the node set, the loaded obstacle set, the visible-region cache,
 //! the IOR loading threshold and all Dijkstra labels — so a reused engine is
 //! *byte-identical* in its answers to fresh per-query state (guarded by the
@@ -198,6 +198,14 @@ impl QueryEngine {
 
     pub fn config(&self) -> &ConnConfig {
         &self.cfg
+    }
+
+    /// Swaps the engine's configuration for subsequent queries (the typed
+    /// service applies per-query [`ConnConfig`] overrides this way). The
+    /// workspace rewind at the next query start picks up the new grid cell
+    /// size; retained allocations survive.
+    pub fn set_config(&mut self, cfg: ConnConfig) {
+        self.cfg = cfg;
     }
 
     /// Lifetime total of goal-retargeted warm searches this engine served

@@ -1,0 +1,77 @@
+//! Typed errors of the query layer.
+//!
+//! Historically the crate signalled misuse with panics (`assert!` inside
+//! the family internals) and invariant violations with `Result<(), String>`.
+//! The typed front door ([`crate::Query`] / [`crate::ConnService`]) reports
+//! both through this one [`enum@Error`] instead: malformed requests are
+//! rejected by [`crate::QueryBuilder::build`] *before* they reach an algorithm,
+//! and the `check_cover` validators return structured cover violations.
+
+use std::fmt;
+
+/// Everything the query layer can report going wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The request is malformed and was rejected up front: a NaN/infinite
+    /// coordinate, a degenerate (zero-length) query segment, `k = 0`, a
+    /// negative radius or join distance, or an empty join set.
+    InvalidQuery(String),
+    /// A result list violates its coverage invariant (gaps, zero-width
+    /// tuples, or a cover that does not end at the query length).
+    CoverViolation(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidQuery`].
+    pub fn invalid_query(reason: impl Into<String>) -> Self {
+        Error::InvalidQuery(reason.into())
+    }
+
+    /// Builds an [`Error::CoverViolation`].
+    pub fn cover_violation(reason: impl Into<String>) -> Self {
+        Error::CoverViolation(reason.into())
+    }
+
+    /// The human-readable reason, whatever the variant.
+    pub fn reason(&self) -> &str {
+        match self {
+            Error::InvalidQuery(r) | Error::CoverViolation(r) => r,
+        }
+    }
+
+    /// True for [`Error::InvalidQuery`].
+    pub fn is_invalid_query(&self) -> bool {
+        matches!(self, Error::InvalidQuery(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidQuery(r) => write!(f, "invalid query: {r}"),
+            Error::CoverViolation(r) => write!(f, "cover violation: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shorthand result type of the query layer.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_reason() {
+        let e = Error::invalid_query("k must be at least 1");
+        assert!(e.is_invalid_query());
+        assert_eq!(e.reason(), "k must be at least 1");
+        assert_eq!(e.to_string(), "invalid query: k must be at least 1");
+        let c = Error::cover_violation("gap at 3");
+        assert!(!c.is_invalid_query());
+        assert_eq!(c.to_string(), "cover violation: gap at 3");
+    }
+}

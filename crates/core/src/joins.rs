@@ -85,10 +85,22 @@ impl QueryEngine {
         tree_b: &RStarTree<DataPoint>,
         obstacle_tree: &RStarTree<Rect>,
     ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
+        self.closest_pair_impl(tree_a, tree_b, obstacle_tree, true)
+    }
+
+    /// [`QueryEngine::closest_pair`] with tree-counter handling factored
+    /// out (`track_io = false` for batch workers).
+    pub(crate) fn closest_pair_impl(
+        &mut self,
+        tree_a: &RStarTree<DataPoint>,
+        tree_b: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        track_io: bool,
+    ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
         let cfg = *self.config();
         let ws = self.workspace();
         ws.begin_query(cfg.vgraph_cell);
-        let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree, &cfg);
+        let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree, &cfg, track_io);
         stats.reuse = ws.finish_query();
         (best, stats)
     }
@@ -101,10 +113,24 @@ impl QueryEngine {
         obstacle_tree: &RStarTree<Rect>,
         e: f64,
     ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
+        self.edistance_join_impl(tree_a, tree_b, obstacle_tree, e, true)
+    }
+
+    /// [`QueryEngine::edistance_join`] with tree-counter handling factored
+    /// out (`track_io = false` for batch workers).
+    pub(crate) fn edistance_join_impl(
+        &mut self,
+        tree_a: &RStarTree<DataPoint>,
+        tree_b: &RStarTree<DataPoint>,
+        obstacle_tree: &RStarTree<Rect>,
+        e: f64,
+        track_io: bool,
+    ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
         let cfg = *self.config();
         let ws = self.workspace();
         ws.begin_query(cfg.vgraph_cell);
-        let (pairs, mut stats) = edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e, &cfg);
+        let (pairs, mut stats) =
+            edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e, &cfg, track_io);
         stats.reuse = ws.finish_query();
         (pairs, stats)
     }
@@ -116,11 +142,14 @@ fn closest_pair_on(
     tree_b: &RStarTree<DataPoint>,
     obstacle_tree: &RStarTree<Rect>,
     cfg: &ConnConfig,
+    track_io: bool,
 ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
     let started = Instant::now();
-    tree_a.reset_stats();
-    tree_b.reset_stats();
-    obstacle_tree.reset_stats();
+    if track_io {
+        tree_a.reset_stats();
+        tree_b.reset_stats();
+        obstacle_tree.reset_stats();
+    }
 
     let mut best: Option<(DataPoint, DataPoint, f64)> = None;
     let mut resolver = OdistResolver::new(ws, obstacle_tree, cfg);
@@ -202,6 +231,7 @@ fn closest_pair_on(
         obstacle_tree,
         pairs_resolved,
         resolver.noe,
+        track_io,
     );
     (best, stats)
 }
@@ -236,12 +266,15 @@ fn edistance_join_on(
     obstacle_tree: &RStarTree<Rect>,
     e: f64,
     cfg: &ConnConfig,
+    track_io: bool,
 ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
     assert!(e >= 0.0, "negative join distance");
     let started = Instant::now();
-    tree_a.reset_stats();
-    tree_b.reset_stats();
-    obstacle_tree.reset_stats();
+    if track_io {
+        tree_a.reset_stats();
+        tree_b.reset_stats();
+        obstacle_tree.reset_stats();
+    }
 
     let mut out: Vec<(DataPoint, DataPoint, f64)> = Vec::new();
     let mut resolver = OdistResolver::new(ws, obstacle_tree, cfg);
@@ -291,6 +324,7 @@ fn edistance_join_on(
         obstacle_tree,
         pairs_resolved,
         resolver.noe,
+        track_io,
     );
     (out, stats)
 }
@@ -382,14 +416,20 @@ fn join_stats(
     obstacle_tree: &RStarTree<Rect>,
     pairs_resolved: u64,
     noe: u64,
+    track_io: bool,
 ) -> QueryStats {
-    let mut data_io = tree_a.stats();
-    let b = tree_b.stats();
-    data_io.reads += b.reads;
-    data_io.faults += b.faults;
+    let (data_io, obstacle_io) = if track_io {
+        let mut data_io = tree_a.stats();
+        let b = tree_b.stats();
+        data_io.reads += b.reads;
+        data_io.faults += b.faults;
+        (data_io, obstacle_tree.stats())
+    } else {
+        (Default::default(), Default::default())
+    };
     QueryStats {
         data_io,
-        obstacle_io: obstacle_tree.stats(),
+        obstacle_io,
         cpu: started.elapsed(),
         npe: pairs_resolved,
         noe,

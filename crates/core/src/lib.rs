@@ -24,27 +24,38 @@
 //! | parallel batch execution (beyond the paper) | [`batch`] |
 //! | trajectory CONN/COkNN (§6 future work) | [`trajectory`] |
 //! | streaming trajectory sessions (beyond the paper) | [`session`] |
+//! | typed `Query`/`Answer` front door (beyond the paper) | [`query`] |
+//! | `Scene` + `ConnService` execution handle (beyond the paper) | [`service`] |
+//! | typed errors ([`enum@Error`]) | [`error`] |
 //!
 //! ## Quick start
 //!
-//! ```
-//! use conn_core::{conn_search, ConnConfig, DataPoint};
-//! use conn_geom::{Point, Rect, Segment};
-//! use conn_index::RStarTree;
+//! The typed front door: a [`Scene`] owns the indexed world, a
+//! [`ConnService`] executes validated [`Query`] values of any family.
 //!
-//! let points = vec![
-//!     DataPoint::new(0, Point::new(20.0, 60.0)),
-//!     DataPoint::new(1, Point::new(80.0, 60.0)),
-//! ];
-//! let obstacles = vec![Rect::new(45.0, 30.0, 55.0, 70.0)];
-//! let data_tree = RStarTree::bulk_load(points, 4096);
-//! let obs_tree = RStarTree::bulk_load(obstacles, 4096);
+//! ```
+//! use conn_core::{ConnService, DataPoint, Query, Scene};
+//! use conn_geom::{Point, Rect, Segment};
+//!
+//! let scene = Scene::new(
+//!     vec![
+//!         DataPoint::new(0, Point::new(20.0, 60.0)),
+//!         DataPoint::new(1, Point::new(80.0, 60.0)),
+//!     ],
+//!     vec![Rect::new(45.0, 30.0, 55.0, 70.0)],
+//! );
+//! let service = ConnService::new(scene);
 //! let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
 //!
-//! let (result, stats) = conn_search(&data_tree, &obs_tree, &q, &ConnConfig::default());
+//! let response = service.execute(&Query::conn(q).build()?)?;
+//! let result = response.answer.as_conn().expect("conn answer");
 //! assert!(!result.entries().is_empty());
-//! assert!(stats.npe >= 1);
+//! assert!(response.stats.npe >= 1);
+//! # Ok::<(), conn_core::Error>(())
 //! ```
+//!
+//! The legacy free functions ([`conn_search`], [`coknn_search`], …) remain
+//! as thin wrappers over the service, answering byte-identically.
 
 pub mod baseline;
 pub mod batch;
@@ -54,13 +65,16 @@ pub mod conn;
 pub mod cpl;
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod ior;
 pub mod joins;
 pub mod odist;
 pub mod onn;
 pub mod orange;
+pub mod query;
 pub mod rlu;
 pub mod rnn;
+pub mod service;
 pub mod session;
 pub mod single_tree;
 pub mod split;
@@ -76,12 +90,15 @@ pub use config::{ConnConfig, KernelMode};
 pub use conn::{conn_search, ConnResult};
 pub use dist::ControlPoint;
 pub use engine::QueryEngine;
+pub use error::Error;
 pub use joins::{obstructed_closest_pair, obstructed_edistance_join};
 pub use odist::{obstructed_distance, obstructed_path, obstructed_route};
 pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;
+pub use query::{Answer, Query, QueryBuilder, QueryKind, Response};
 pub use rlu::{ResultEntry, ResultList};
 pub use rnn::obstructed_rnn;
+pub use service::{ConnService, Scene};
 pub use session::{TrajectoryCoknnSession, TrajectorySession};
 pub use single_tree::{
     build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject,

@@ -16,7 +16,7 @@ use conn_index::RStarTree;
 use conn_vgraph::{DijkstraEngine, NodeId, NodeKind, VisGraph};
 
 use crate::config::ConnConfig;
-use crate::stats::QueryStats;
+use crate::stats::{IoWindow, QueryStats};
 use crate::types::DataPoint;
 
 /// Obstructed k-nearest neighbors of location `s`, with per-query metrics.
@@ -50,9 +50,32 @@ pub fn onn_search(
     k: usize,
     cfg: &ConnConfig,
 ) -> (Vec<(DataPoint, f64)>, QueryStats) {
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::onn(s, k)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    match resp.answer {
+        crate::Answer::Onn(v) => (v, resp.stats),
+        _ => unreachable!("onn query answered by another family"),
+    }
+}
+
+/// [`onn_search`] with the tree-counter handling factored out: batch
+/// workers (`track_io = false`) share the trees with other in-flight
+/// queries, so per-query resets would race — I/O is pooled at the batch
+/// level instead and the returned stats report zero I/O.
+pub(crate) fn onn_search_impl(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    s: Point,
+    k: usize,
+    cfg: &ConnConfig,
+    track_io: bool,
+) -> (Vec<(DataPoint, f64)>, QueryStats) {
     assert!(k >= 1, "k must be positive");
-    data_tree.reset_stats();
-    obstacle_tree.reset_stats();
+    let io = IoWindow::begin(track_io, data_tree, obstacle_tree);
     let started = Instant::now();
 
     let mut g = VisGraph::new(cfg.vgraph_cell);
@@ -119,9 +142,10 @@ pub fn onn_search(
     }
     results.truncate(k);
 
+    let (data_io, obstacle_io) = io.end(data_tree, obstacle_tree);
     let stats = QueryStats {
-        data_io: data_tree.stats(),
-        obstacle_io: obstacle_tree.stats(),
+        data_io,
+        obstacle_io,
         cpu: started.elapsed(),
         npe,
         noe,

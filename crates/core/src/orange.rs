@@ -14,7 +14,7 @@ use conn_index::RStarTree;
 use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
 
 use crate::config::ConnConfig;
-use crate::stats::QueryStats;
+use crate::stats::{IoWindow, QueryStats};
 use crate::types::DataPoint;
 
 /// All data points whose obstructed distance to `s` is at most `radius`,
@@ -26,9 +26,30 @@ pub fn obstructed_range_search(
     radius: f64,
     cfg: &ConnConfig,
 ) -> (Vec<(DataPoint, f64)>, QueryStats) {
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::range(s, radius)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    match resp.answer {
+        crate::Answer::Range(v) => (v, resp.stats),
+        _ => unreachable!("range query answered by another family"),
+    }
+}
+
+/// [`obstructed_range_search`] with tree-counter handling factored out
+/// (`track_io = false` for batch workers — see the batch module docs).
+pub(crate) fn range_search_impl(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    s: Point,
+    radius: f64,
+    cfg: &ConnConfig,
+    track_io: bool,
+) -> (Vec<(DataPoint, f64)>, QueryStats) {
     assert!(radius >= 0.0, "negative radius");
-    data_tree.reset_stats();
-    obstacle_tree.reset_stats();
+    let io = IoWindow::begin(track_io, data_tree, obstacle_tree);
     let started = Instant::now();
 
     let mut g = VisGraph::new(cfg.vgraph_cell);
@@ -70,9 +91,10 @@ pub fn obstructed_range_search(
         }
     }
 
+    let (data_io, obstacle_io) = io.end(data_tree, obstacle_tree);
     let stats = QueryStats {
-        data_io: data_tree.stats(),
-        obstacle_io: obstacle_tree.stats(),
+        data_io,
+        obstacle_io,
         cpu: started.elapsed(),
         npe,
         noe,

@@ -1,0 +1,581 @@
+//! The typed query front door: one [`Query`] type for every family.
+//!
+//! The paper defines CONN/COkNN as one family of obstructed queries over a
+//! shared substrate (R\*-trees, visibility graph, Dijkstra kernel), and the
+//! crate grew one free function per family around that substrate. [`Query`]
+//! unifies them behind a single request type the way a database exposes one
+//! query interface over many plans:
+//!
+//! * a [`QueryKind`] variant per family — CONN, COkNN, snapshot ONN,
+//!   obstructed range / reverse-NN, point-to-point distance and route, the
+//!   two join queries, and trajectory CONN/COkNN;
+//! * a builder with an optional per-query [`ConnConfig`] override;
+//! * **upfront validation**: [`QueryBuilder::build`] rejects NaN and
+//!   infinite coordinates, degenerate segments, `k = 0`, negative radii and
+//!   empty join sets with [`Error::InvalidQuery`] — inputs that historically
+//!   panicked (or span) deep inside the family internals;
+//! * a typed [`Answer`] enum (plus [`Response`] with the per-query
+//!   [`QueryStats`]) replacing the ad-hoc tuple returns.
+//!
+//! Execution lives in [`crate::ConnService`]; a built [`Query`] is inert
+//! data and can be cloned, stored and shipped across threads.
+
+use std::sync::Arc;
+
+use conn_geom::{Point, Segment};
+use conn_index::RStarTree;
+
+use crate::coknn::CoknnResult;
+use crate::config::ConnConfig;
+use crate::conn::ConnResult;
+use crate::error::Error;
+use crate::stats::QueryStats;
+use crate::trajectory::{Trajectory, TrajectoryResult};
+use crate::types::DataPoint;
+
+/// The family a [`Query`] belongs to, with its parameters.
+///
+/// Join variants carry their second point set as a shared tree
+/// (`Arc<RStarTree<DataPoint>>`): the scene owns the *primary* data set,
+/// and the join streams candidate pairs between the two.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum QueryKind {
+    /// CONN (paper Algorithm 4): the obstructed NN of every point of `q`.
+    Conn { q: Segment },
+    /// COkNN (paper §4.5): the `k` obstructed NNs of every point of `q`.
+    Coknn { q: Segment, k: usize },
+    /// Snapshot obstructed kNN at a point.
+    Onn { s: Point, k: usize },
+    /// All data points within obstructed distance `radius` of `s`.
+    Range { s: Point, radius: f64 },
+    /// Obstructed reverse nearest neighbors of a facility at `s`.
+    Rnn { s: Point },
+    /// Point-to-point obstructed distance over the scene's obstacles.
+    Odist { a: Point, b: Point },
+    /// Obstructed distance *and* shortest path polyline.
+    Route { a: Point, b: Point },
+    /// All pairs `(p, o)` with `‖p, o‖ ≤ e` between the scene's data set
+    /// and `other`.
+    EDistanceJoin {
+        other: Arc<RStarTree<DataPoint>>,
+        e: f64,
+    },
+    /// The closest pair between the scene's data set and `other`.
+    ClosestPair { other: Arc<RStarTree<DataPoint>> },
+    /// Trajectory CONN (`k = 1`) or COkNN (`k > 1`) along a polyline.
+    Trajectory { route: Trajectory, k: usize },
+}
+
+impl QueryKind {
+    /// Short family label (diagnostics, telemetry).
+    pub fn family(&self) -> &'static str {
+        match self {
+            QueryKind::Conn { .. } => "conn",
+            QueryKind::Coknn { .. } => "coknn",
+            QueryKind::Onn { .. } => "onn",
+            QueryKind::Range { .. } => "range",
+            QueryKind::Rnn { .. } => "rnn",
+            QueryKind::Odist { .. } => "odist",
+            QueryKind::Route { .. } => "route",
+            QueryKind::EDistanceJoin { .. } => "edistance_join",
+            QueryKind::ClosestPair { .. } => "closest_pair",
+            QueryKind::Trajectory { .. } => "trajectory",
+        }
+    }
+}
+
+/// A validated request, ready for [`crate::ConnService::execute`].
+///
+/// Construct through the per-family builders ([`Query::conn`],
+/// [`Query::coknn`], …) — [`QueryBuilder::build`] is the only way to obtain
+/// a `Query`, so every instance a service sees has already passed
+/// validation.
+///
+/// ```
+/// use conn_core::{ConnConfig, Query};
+/// use conn_geom::{Point, Segment};
+///
+/// let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+/// let query = Query::coknn(q, 3)
+///     .config(ConnConfig::paper())
+///     .build()
+///     .unwrap();
+/// assert_eq!(query.kind().family(), "coknn");
+///
+/// // malformed requests never reach an algorithm
+/// let degenerate = Segment::new(Point::new(5.0, 5.0), Point::new(5.0, 5.0));
+/// assert!(Query::conn(degenerate).build().is_err());
+/// assert!(Query::coknn(q, 0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    kind: QueryKind,
+    cfg: Option<ConnConfig>,
+}
+
+impl Query {
+    /// CONN over a query segment.
+    pub fn conn(q: Segment) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Conn { q })
+    }
+
+    /// COkNN over a query segment.
+    pub fn coknn(q: Segment, k: usize) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Coknn { q, k })
+    }
+
+    /// Snapshot obstructed kNN at `s`.
+    pub fn onn(s: Point, k: usize) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Onn { s, k })
+    }
+
+    /// Obstructed range search around `s`.
+    pub fn range(s: Point, radius: f64) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Range { s, radius })
+    }
+
+    /// Obstructed reverse nearest neighbors of `s`.
+    pub fn rnn(s: Point) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Rnn { s })
+    }
+
+    /// Point-to-point obstructed distance.
+    pub fn odist(a: Point, b: Point) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Odist { a, b })
+    }
+
+    /// Point-to-point obstructed distance plus the path itself.
+    pub fn route(a: Point, b: Point) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Route { a, b })
+    }
+
+    /// Obstructed e-distance join against a second point set.
+    pub fn edistance_join(other: Arc<RStarTree<DataPoint>>, e: f64) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::EDistanceJoin { other, e })
+    }
+
+    /// Obstructed closest pair against a second point set.
+    pub fn closest_pair(other: Arc<RStarTree<DataPoint>>) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::ClosestPair { other })
+    }
+
+    /// Trajectory CONN (`k = 1`) / COkNN (`k > 1`) along `route`.
+    pub fn trajectory(route: Trajectory, k: usize) -> QueryBuilder {
+        QueryBuilder::new(QueryKind::Trajectory { route, k })
+    }
+
+    /// The validated family and parameters.
+    pub fn kind(&self) -> &QueryKind {
+        &self.kind
+    }
+
+    /// The per-query configuration override, if any (the service default
+    /// applies otherwise).
+    pub fn config(&self) -> Option<&ConnConfig> {
+        self.cfg.as_ref()
+    }
+}
+
+/// Builder for [`Query`]: set the optional per-query config, then
+/// [`build`](QueryBuilder::build) to validate.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    kind: QueryKind,
+    cfg: Option<ConnConfig>,
+}
+
+fn finite(p: Point) -> bool {
+    p.x.is_finite() && p.y.is_finite()
+}
+
+fn check_segment(q: &Segment, family: &str) -> Result<(), Error> {
+    if !finite(q.a) || !finite(q.b) {
+        return Err(Error::invalid_query(format!(
+            "{family}: non-finite query segment endpoint"
+        )));
+    }
+    if q.is_degenerate() {
+        return Err(Error::invalid_query(format!(
+            "{family}: degenerate (zero-length) query segment"
+        )));
+    }
+    Ok(())
+}
+
+fn check_point(p: Point, family: &str, role: &str) -> Result<(), Error> {
+    if !finite(p) {
+        return Err(Error::invalid_query(format!("{family}: non-finite {role}")));
+    }
+    Ok(())
+}
+
+fn check_k(k: usize, family: &str) -> Result<(), Error> {
+    if k == 0 {
+        return Err(Error::invalid_query(format!(
+            "{family}: k must be at least 1"
+        )));
+    }
+    Ok(())
+}
+
+impl QueryBuilder {
+    fn new(kind: QueryKind) -> Self {
+        QueryBuilder { kind, cfg: None }
+    }
+
+    /// Overrides the service's default [`ConnConfig`] for this one query.
+    pub fn config(mut self, cfg: ConnConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Validates the request. Malformed parameters — the inputs that used
+    /// to panic (or loop) deep inside the family internals — come back as
+    /// [`Error::InvalidQuery`] instead.
+    pub fn build(self) -> Result<Query, Error> {
+        let family = self.kind.family();
+        match &self.kind {
+            QueryKind::Conn { q } => check_segment(q, family)?,
+            QueryKind::Coknn { q, k } => {
+                check_segment(q, family)?;
+                check_k(*k, family)?;
+            }
+            QueryKind::Onn { s, k } => {
+                check_point(*s, family, "query point")?;
+                check_k(*k, family)?;
+            }
+            QueryKind::Range { s, radius } => {
+                check_point(*s, family, "query point")?;
+                if !radius.is_finite() || *radius < 0.0 {
+                    return Err(Error::invalid_query(format!(
+                        "{family}: radius must be finite and non-negative (got {radius})"
+                    )));
+                }
+            }
+            QueryKind::Rnn { s } => check_point(*s, family, "facility point")?,
+            QueryKind::Odist { a, b } | QueryKind::Route { a, b } => {
+                check_point(*a, family, "source point")?;
+                check_point(*b, family, "target point")?;
+            }
+            QueryKind::EDistanceJoin { other, e } => {
+                if !e.is_finite() || *e < 0.0 {
+                    return Err(Error::invalid_query(format!(
+                        "{family}: join distance must be finite and non-negative (got {e})"
+                    )));
+                }
+                if other.is_empty() {
+                    return Err(Error::invalid_query(format!(
+                        "{family}: empty join set (the second tree holds no points)"
+                    )));
+                }
+            }
+            QueryKind::ClosestPair { other } => {
+                if other.is_empty() {
+                    return Err(Error::invalid_query(format!(
+                        "{family}: empty join set (the second tree holds no points)"
+                    )));
+                }
+            }
+            QueryKind::Trajectory { route, k } => {
+                check_k(*k, family)?;
+                // Trajectory construction already validates length and
+                // degeneracy; re-check the cheap invariants in place so a
+                // Trajectory built before a future unchecked constructor
+                // still cannot slip through (no clone, no re-derivation).
+                if route.vertices().len() < 2 {
+                    return Err(Error::invalid_query(format!(
+                        "{family}: trajectory needs at least two vertices"
+                    )));
+                }
+                for v in route.vertices() {
+                    check_point(*v, family, "trajectory vertex")?;
+                }
+            }
+        }
+        Ok(Query {
+            kind: self.kind,
+            cfg: self.cfg,
+        })
+    }
+}
+
+/// The typed answer of one executed [`Query`], one variant per family.
+///
+/// The per-family accessors (`as_conn`, `neighbors`, `distance`, …) return
+/// `None` when called on the wrong family, so call sites that know what
+/// they asked for can unwrap without matching the whole enum.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Answer {
+    /// CONN result list.
+    Conn(ConnResult),
+    /// COkNN result list.
+    Coknn(CoknnResult),
+    /// Snapshot ONN: `(point, obstructed distance)` ascending.
+    Onn(Vec<(DataPoint, f64)>),
+    /// Range search: `(point, obstructed distance)` ascending.
+    Range(Vec<(DataPoint, f64)>),
+    /// Reverse NN: the captured points with their distances to `s`.
+    Rnn(Vec<(DataPoint, f64)>),
+    /// Obstructed distance (∞ when unreachable).
+    Odist(f64),
+    /// Obstructed distance plus the path polyline (`None` when
+    /// unreachable).
+    Route { dist: f64, path: Option<Vec<Point>> },
+    /// All join pairs `(a, b, ‖a, b‖)` ascending by distance.
+    EDistanceJoin(Vec<(DataPoint, DataPoint, f64)>),
+    /// The closest pair, or `None` when either set is unreachable.
+    ClosestPair(Option<(DataPoint, DataPoint, f64)>),
+    /// Trajectory CONN (`k = 1`): stitched tuples in cumulative arclength.
+    Trajectory(TrajectoryResult),
+    /// Trajectory COkNN (`k > 1`): one full result per leg.
+    TrajectoryKnn(Vec<CoknnResult>),
+}
+
+impl Answer {
+    /// Short family label of this answer (diagnostics, telemetry).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Answer::Conn(_) => "conn",
+            Answer::Coknn(_) => "coknn",
+            Answer::Onn(_) => "onn",
+            Answer::Range(_) => "range",
+            Answer::Rnn(_) => "rnn",
+            Answer::Odist(_) => "odist",
+            Answer::Route { .. } => "route",
+            Answer::EDistanceJoin(_) => "edistance_join",
+            Answer::ClosestPair(_) => "closest_pair",
+            Answer::Trajectory(_) => "trajectory",
+            Answer::TrajectoryKnn(_) => "trajectory",
+        }
+    }
+
+    /// The CONN result, if this is a [`Answer::Conn`].
+    pub fn as_conn(&self) -> Option<&ConnResult> {
+        match self {
+            Answer::Conn(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the CONN result, if this is a [`Answer::Conn`].
+    pub fn into_conn(self) -> Option<ConnResult> {
+        match self {
+            Answer::Conn(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The COkNN result, if this is a [`Answer::Coknn`].
+    pub fn as_coknn(&self) -> Option<&CoknnResult> {
+        match self {
+            Answer::Coknn(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the COkNN result, if this is a [`Answer::Coknn`].
+    pub fn into_coknn(self) -> Option<CoknnResult> {
+        match self {
+            Answer::Coknn(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The `(point, distance)` list of a point-anchored family
+    /// ([`Answer::Onn`], [`Answer::Range`] or [`Answer::Rnn`]).
+    pub fn neighbors(&self) -> Option<&[(DataPoint, f64)]> {
+        match self {
+            Answer::Onn(v) | Answer::Range(v) | Answer::Rnn(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The obstructed distance of an [`Answer::Odist`] or
+    /// [`Answer::Route`].
+    pub fn distance(&self) -> Option<f64> {
+        match self {
+            Answer::Odist(d) | Answer::Route { dist: d, .. } => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The path polyline of a reachable [`Answer::Route`].
+    pub fn path(&self) -> Option<&[Point]> {
+        match self {
+            Answer::Route {
+                path: Some(path), ..
+            } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// The pair list of an [`Answer::EDistanceJoin`].
+    pub fn pairs(&self) -> Option<&[(DataPoint, DataPoint, f64)]> {
+        match self {
+            Answer::EDistanceJoin(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The pair of an [`Answer::ClosestPair`] (inner `None` = no
+    /// connected pair).
+    pub fn pair(&self) -> Option<&Option<(DataPoint, DataPoint, f64)>> {
+        match self {
+            Answer::ClosestPair(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The stitched trajectory result, if this is an
+    /// [`Answer::Trajectory`].
+    pub fn as_trajectory(&self) -> Option<&TrajectoryResult> {
+        match self {
+            Answer::Trajectory(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the trajectory result, if this is an
+    /// [`Answer::Trajectory`].
+    pub fn into_trajectory(self) -> Option<TrajectoryResult> {
+        match self {
+            Answer::Trajectory(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The per-leg results of an [`Answer::TrajectoryKnn`].
+    pub fn as_trajectory_knn(&self) -> Option<&[CoknnResult]> {
+        match self {
+            Answer::TrajectoryKnn(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One executed query: the typed [`Answer`] plus the paper's per-query
+/// metrics.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct Response {
+    /// The typed answer.
+    pub answer: Answer,
+    /// Per-query metrics (inside a batch, tree I/O is pooled at the batch
+    /// level and reads as zero here).
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conn_geom::Rect;
+
+    fn seg() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+    }
+
+    fn assert_invalid(b: QueryBuilder, needle: &str) {
+        match b.build() {
+            Err(Error::InvalidQuery(reason)) => {
+                assert!(reason.contains(needle), "{reason:?} missing {needle:?}")
+            }
+            other => panic!("expected InvalidQuery({needle}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_and_nan_segments_are_rejected() {
+        let z = Point::new(5.0, 5.0);
+        assert_invalid(Query::conn(Segment::new(z, z)), "degenerate");
+        // NaN/∞ segments bypass Segment::new (it debug-asserts) the way a
+        // release-mode caller could; build() must still catch them
+        let nan = Segment {
+            a: Point::new(f64::NAN, 0.0),
+            b: z,
+        };
+        assert_invalid(Query::conn(nan), "non-finite");
+        let inf = Segment {
+            a: z,
+            b: Point::new(f64::INFINITY, 0.0),
+        };
+        assert_invalid(Query::coknn(inf, 2), "non-finite");
+        assert!(Query::conn(seg()).build().is_ok());
+    }
+
+    #[test]
+    fn zero_k_is_rejected_everywhere() {
+        assert_invalid(Query::coknn(seg(), 0), "k must be at least 1");
+        assert_invalid(Query::onn(Point::new(0.0, 0.0), 0), "k must be at least 1");
+        let route = Trajectory::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        assert_invalid(Query::trajectory(route, 0), "k must be at least 1");
+    }
+
+    #[test]
+    fn bad_radii_and_points_are_rejected() {
+        let s = Point::new(1.0, 2.0);
+        assert_invalid(Query::range(s, -1.0), "non-negative");
+        assert_invalid(Query::range(s, f64::NAN), "finite");
+        assert_invalid(Query::range(Point::new(f64::NAN, 0.0), 5.0), "non-finite");
+        assert_invalid(Query::rnn(Point::new(0.0, f64::INFINITY)), "non-finite");
+        assert_invalid(Query::odist(Point::new(f64::NAN, 0.0), s), "non-finite");
+        assert_invalid(Query::route(s, Point::new(0.0, f64::NAN)), "non-finite");
+        assert!(Query::range(s, 0.0).build().is_ok(), "zero radius is legal");
+    }
+
+    #[test]
+    fn empty_join_sets_are_rejected() {
+        let empty: Arc<RStarTree<DataPoint>> = Arc::new(RStarTree::bulk_load(vec![], 4096));
+        assert_invalid(Query::closest_pair(Arc::clone(&empty)), "empty join set");
+        assert_invalid(Query::edistance_join(empty, 10.0), "empty join set");
+        let one = Arc::new(RStarTree::bulk_load(
+            vec![DataPoint::new(0, Point::new(3.0, 4.0))],
+            4096,
+        ));
+        assert_invalid(
+            Query::edistance_join(Arc::clone(&one), -2.0),
+            "non-negative",
+        );
+        assert!(Query::closest_pair(one).build().is_ok());
+    }
+
+    #[test]
+    fn invalid_trajectories_are_rejected_by_try_new() {
+        assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0)]).is_err());
+        assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)]).is_err());
+        assert!(
+            Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)]).is_err()
+        );
+        assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(9.0, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn builder_carries_the_config_override() {
+        let q = Query::conn(seg())
+            .config(ConnConfig::paper())
+            .build()
+            .unwrap();
+        assert_eq!(q.config().unwrap().kernel, crate::KernelMode::Blind);
+        assert!(Query::conn(seg()).build().unwrap().config().is_none());
+    }
+
+    #[test]
+    fn answer_accessors_are_family_checked() {
+        let a = Answer::Odist(42.0);
+        assert_eq!(a.distance(), Some(42.0));
+        assert!(a.as_conn().is_none());
+        assert!(a.neighbors().is_none());
+        let r = Answer::Route {
+            dist: 5.0,
+            path: Some(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]),
+        };
+        assert_eq!(r.distance(), Some(5.0));
+        assert_eq!(r.path().unwrap().len(), 2);
+        assert_eq!(r.family(), "route");
+        let n = Answer::Onn(vec![(DataPoint::new(0, Point::new(1.0, 1.0)), 2.0)]);
+        assert_eq!(n.neighbors().unwrap().len(), 1);
+        assert!(n.distance().is_none());
+        let _ = Rect::new(0.0, 0.0, 1.0, 1.0); // keep the import honest
+    }
+}

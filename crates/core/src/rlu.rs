@@ -231,16 +231,22 @@ impl ResultList {
     }
 
     /// Validation helper: the entries exactly cover `[0, qlen]`.
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         let mut cursor = 0.0;
         for e in &self.entries {
             if (e.interval.lo - cursor).abs() > 1e-6 {
-                return Err(format!("gap at {cursor}: next starts {}", e.interval.lo));
+                return Err(crate::Error::cover_violation(format!(
+                    "gap at {cursor}: next starts {}",
+                    e.interval.lo
+                )));
             }
             cursor = e.interval.hi;
         }
         if (cursor - self.qlen).abs() > 1e-6 {
-            return Err(format!("cover ends at {cursor} != {}", self.qlen));
+            return Err(crate::Error::cover_violation(format!(
+                "cover ends at {cursor} != {}",
+                self.qlen
+            )));
         }
         Ok(())
     }

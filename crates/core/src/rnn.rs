@@ -23,7 +23,7 @@ use conn_index::RStarTree;
 use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
 
 use crate::config::ConnConfig;
-use crate::stats::QueryStats;
+use crate::stats::{IoWindow, QueryStats};
 use crate::types::DataPoint;
 
 /// All data points that would adopt a facility at `s` as their obstructed
@@ -34,9 +34,29 @@ pub fn obstructed_rnn(
     s: Point,
     cfg: &ConnConfig,
 ) -> (Vec<(DataPoint, f64)>, QueryStats) {
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::rnn(s)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    match resp.answer {
+        crate::Answer::Rnn(v) => (v, resp.stats),
+        _ => unreachable!("rnn query answered by another family"),
+    }
+}
+
+/// [`obstructed_rnn`] with tree-counter handling factored out
+/// (`track_io = false` for batch workers — see the batch module docs).
+pub(crate) fn rnn_impl(
+    data_tree: &RStarTree<DataPoint>,
+    obstacle_tree: &RStarTree<Rect>,
+    s: Point,
+    cfg: &ConnConfig,
+    track_io: bool,
+) -> (Vec<(DataPoint, f64)>, QueryStats) {
     let started = Instant::now();
-    data_tree.reset_stats();
-    obstacle_tree.reset_stats();
+    let io = IoWindow::begin(track_io, data_tree, obstacle_tree);
 
     let mut resolver = PairResolver::new(cfg, obstacle_tree);
     let mut out: Vec<(DataPoint, f64)> = Vec::new();
@@ -89,9 +109,10 @@ pub fn obstructed_rnn(
     }
 
     out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+    let (data_io, obstacle_io) = io.end(data_tree, obstacle_tree);
     let stats = QueryStats {
-        data_io: data_tree.stats(),
-        obstacle_io: obstacle_tree.stats(),
+        data_io,
+        obstacle_io,
         cpu: started.elapsed(),
         npe,
         noe: resolver.noe,

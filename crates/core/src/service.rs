@@ -1,0 +1,648 @@
+//! The serving front door: [`Scene`] owns the indexed world, a
+//! [`ConnService`] executes typed [`Query`] values against it.
+//!
+//! This is the one interface every query family is driven through — the
+//! way a database exposes a single query interface over many plans:
+//!
+//! * [`Scene`] builds (or borrows) the data and obstacle R\*-trees, from
+//!   raw vecs, the paper-style dataset generators, or trees the caller
+//!   already holds;
+//! * [`ConnService::execute`] answers one validated [`Query`] of *any*
+//!   family — the engine-backed families on the service's long-lived
+//!   [`QueryEngine`] (substrate allocations amortized across queries) —
+//!   with answers byte-identical to the legacy free functions (the
+//!   `service_equivalence` suite enforces it);
+//! * [`ConnService::execute_batch`] is the first **mixed-family** batch
+//!   path: where [`crate::conn_batch`] / [`crate::coknn_batch`] /
+//!   [`crate::trajectory_conn_batch`] each fan one homogeneous family,
+//!   the service schedules a heterogeneous workload across the same
+//!   worker pool and pools one [`BatchStats`];
+//! * [`ConnService::open_session`] hands out the streaming
+//!   [`TrajectorySession`] behind the same handle.
+//!
+//! The legacy free functions remain as thin wrappers over this service,
+//! so both surfaces stay in lock-step by construction.
+
+use std::cell::{OnceCell, RefCell};
+use std::time::Instant;
+
+use conn_geom::{Point, Rect};
+use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
+
+use crate::batch::{run_batch, BatchStats};
+use crate::config::ConnConfig;
+use crate::engine::QueryEngine;
+use crate::error::Error;
+use crate::query::{Answer, Query, QueryKind, Response};
+use crate::session::{TrajectoryCoknnSession, TrajectorySession};
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// One R\*-tree, owned by the scene or borrowed from the caller.
+#[derive(Debug)]
+enum TreeSlot<'a, T> {
+    Owned(RStarTree<T>),
+    Borrowed(&'a RStarTree<T>),
+}
+
+impl<T> TreeSlot<'_, T> {
+    fn tree(&self) -> &RStarTree<T> {
+        match self {
+            TreeSlot::Owned(t) => t,
+            TreeSlot::Borrowed(t) => t,
+        }
+    }
+}
+
+/// The indexed world every query family runs against: the data-point and
+/// obstacle R\*-trees.
+///
+/// Build it from raw vecs ([`Scene::new`] /
+/// [`Scene::with_page_size`]), from the paper-style dataset generators
+/// ([`Scene::uniform`] / [`Scene::clustered`]), from trees you already
+/// own ([`Scene::from_trees`]), or borrow trees in place
+/// ([`Scene::borrowing`] — the zero-copy path the legacy free-function
+/// wrappers use).
+#[derive(Debug)]
+pub struct Scene<'a> {
+    data: TreeSlot<'a, DataPoint>,
+    obstacles: TreeSlot<'a, Rect>,
+}
+
+impl Scene<'static> {
+    /// Indexes `points` and `obstacles` in owned R\*-trees with the
+    /// default 4 KB page size.
+    pub fn new(points: Vec<DataPoint>, obstacles: Vec<Rect>) -> Self {
+        Scene::with_page_size(points, obstacles, DEFAULT_PAGE_SIZE)
+    }
+
+    /// [`Scene::new`] with an explicit page size.
+    pub fn with_page_size(points: Vec<DataPoint>, obstacles: Vec<Rect>, page_size: usize) -> Self {
+        Scene {
+            data: TreeSlot::Owned(RStarTree::bulk_load(points, page_size)),
+            obstacles: TreeSlot::Owned(RStarTree::bulk_load(obstacles, page_size)),
+        }
+    }
+
+    /// Adopts trees the caller already built (bulk-loaded, persisted, …).
+    pub fn from_trees(data_tree: RStarTree<DataPoint>, obstacle_tree: RStarTree<Rect>) -> Self {
+        Scene {
+            data: TreeSlot::Owned(data_tree),
+            obstacles: TreeSlot::Owned(obstacle_tree),
+        }
+    }
+
+    /// A paper-style scene: LA-like obstacles with uniformly distributed
+    /// data points (the UL combination of §5).
+    pub fn uniform(n_points: usize, n_obstacles: usize, seed: u64) -> Self {
+        let obstacles = conn_datasets::la_like(n_obstacles, seed);
+        let points = DataPoint::from_points(&conn_datasets::uniform_points(
+            n_points,
+            seed.wrapping_add(1),
+            &obstacles,
+        ));
+        Scene::new(points, obstacles)
+    }
+
+    /// A paper-style scene: LA-like obstacles with CA-like *clustered*
+    /// data points (the CL combination of §5).
+    pub fn clustered(n_points: usize, n_obstacles: usize, seed: u64) -> Self {
+        let obstacles = conn_datasets::la_like(n_obstacles, seed);
+        let points = DataPoint::from_points(&conn_datasets::ca_like(
+            n_points,
+            seed.wrapping_add(1),
+            &obstacles,
+        ));
+        Scene::new(points, obstacles)
+    }
+}
+
+impl<'a> Scene<'a> {
+    /// Borrows trees in place — no copy, the scene lives as long as the
+    /// borrow. This is how the legacy free functions wrap the service.
+    pub fn borrowing(
+        data_tree: &'a RStarTree<DataPoint>,
+        obstacle_tree: &'a RStarTree<Rect>,
+    ) -> Scene<'a> {
+        Scene {
+            data: TreeSlot::Borrowed(data_tree),
+            obstacles: TreeSlot::Borrowed(obstacle_tree),
+        }
+    }
+
+    /// The data-point tree.
+    pub fn data_tree(&self) -> &RStarTree<DataPoint> {
+        self.data.tree()
+    }
+
+    /// The obstacle tree.
+    pub fn obstacle_tree(&self) -> &RStarTree<Rect> {
+        self.obstacles.tree()
+    }
+
+    /// Number of data points in the scene.
+    pub fn num_points(&self) -> usize {
+        self.data_tree().len()
+    }
+
+    /// Number of obstacles in the scene.
+    pub fn num_obstacles(&self) -> usize {
+        self.obstacle_tree().len()
+    }
+
+    /// All obstacles, collected from the tree (the flat field the
+    /// point-to-point distance kernel primes its graph from).
+    pub fn obstacles(&self) -> Vec<Rect> {
+        self.obstacle_tree().iter_items().copied().collect()
+    }
+}
+
+/// The unified execution handle: one typed front door for every query
+/// family over one [`Scene`].
+///
+/// Owns a long-lived [`QueryEngine`] for serial [`execute`] calls —
+/// substrate reuse across queries *and* families for the engine-backed
+/// ones (CONN, COkNN, odist/route, the joins, trajectories; the
+/// point-anchored ONN/range/RNN families build their incremental local
+/// graph per query, as their free functions always have) — and fans
+/// [`execute_batch`] workloads across the same worker pool the
+/// per-family batch entry points use, but accepting a *mixed* vector of
+/// families in one call.
+///
+/// [`execute`]: ConnService::execute
+/// [`execute_batch`]: ConnService::execute_batch
+///
+/// ```
+/// use conn_core::{ConnService, DataPoint, Query, Scene};
+/// use conn_geom::{Point, Rect, Segment};
+///
+/// let scene = Scene::new(
+///     vec![
+///         DataPoint::new(0, Point::new(20.0, 60.0)),
+///         DataPoint::new(1, Point::new(80.0, 60.0)),
+///     ],
+///     vec![Rect::new(45.0, 30.0, 55.0, 70.0)],
+/// );
+/// let service = ConnService::new(scene);
+///
+/// let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+/// let response = service.execute(&Query::conn(q).build()?)?;
+/// let conn = response.answer.as_conn().expect("conn answer");
+/// assert!(!conn.entries().is_empty());
+/// assert!(response.stats.npe >= 1);
+///
+/// // …and a mixed-family batch through the same handle:
+/// let batch = vec![
+///     Query::conn(q).build()?,
+///     Query::coknn(q, 2).build()?,
+///     Query::onn(Point::new(50.0, 0.0), 1).build()?,
+///     Query::odist(Point::new(0.0, 0.0), Point::new(100.0, 0.0)).build()?,
+/// ];
+/// let (responses, stats) = service.execute_batch(&batch)?;
+/// assert_eq!(responses.len(), 4);
+/// assert_eq!(stats.queries, 4);
+/// # Ok::<(), conn_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ConnService<'a> {
+    scene: Scene<'a>,
+    cfg: ConnConfig,
+    engine: RefCell<QueryEngine>,
+    /// Obstacles collected once for the point-to-point distance family.
+    field: OnceCell<Vec<Rect>>,
+}
+
+impl<'a> ConnService<'a> {
+    /// A service over `scene` with the default configuration.
+    pub fn new(scene: Scene<'a>) -> Self {
+        ConnService::with_config(scene, ConnConfig::default())
+    }
+
+    /// A service over `scene` with an explicit default [`ConnConfig`]
+    /// (individual queries may still override it via
+    /// [`crate::QueryBuilder::config`]).
+    pub fn with_config(scene: Scene<'a>, cfg: ConnConfig) -> Self {
+        ConnService {
+            scene,
+            cfg,
+            engine: RefCell::new(QueryEngine::new(cfg)),
+            field: OnceCell::new(),
+        }
+    }
+
+    /// The scene this service answers queries over.
+    pub fn scene(&self) -> &Scene<'a> {
+        &self.scene
+    }
+
+    /// The service's default configuration.
+    pub fn config(&self) -> &ConnConfig {
+        &self.cfg
+    }
+
+    fn obstacle_field(&self) -> &[Rect] {
+        self.field.get_or_init(|| self.scene.obstacles())
+    }
+
+    /// Answers one query of any family on the service's long-lived
+    /// engine. Answers are byte-identical to the corresponding legacy
+    /// free function; tree I/O counters are reset per query exactly like
+    /// the free functions do.
+    ///
+    /// Note on empty scenes: a scene with no data points (or no
+    /// obstacles) is *legal* — CONN reports an unassigned cover, the
+    /// point families report empty answers — matching the free-function
+    /// semantics. Only the emptiness a [`Query`] itself can see (the join
+    /// families' `other` set) is rejected at build time.
+    pub fn execute(&self, query: &Query) -> Result<Response, Error> {
+        // the flat obstacle field is only read by the point-to-point
+        // distance family; collecting it for every query would tax each
+        // free-function wrapper call with an O(|O|) tree scan
+        let field: &[Rect] = match query.kind() {
+            QueryKind::Odist { .. } | QueryKind::Route { .. } => self.obstacle_field(),
+            _ => &[],
+        };
+        let mut engine = self.engine.borrow_mut();
+        let (answer, stats) = dispatch(&mut engine, &self.scene, field, self.cfg, query, true);
+        Ok(Response { answer, stats })
+    }
+
+    /// Answers a **mixed-family** workload across the shared worker pool
+    /// (`0` workers = available parallelism — see
+    /// [`ConnService::execute_batch_threads`]). Responses come back in
+    /// workload order; per-query tree I/O is pooled into the returned
+    /// [`BatchStats`] (the per-response stats report zero I/O), exactly
+    /// like the per-family batch entry points.
+    ///
+    /// Pooling covers the **scene's** two trees. The `other` tree a join
+    /// query carries is owned by the caller (and possibly shared with
+    /// concurrent users), so the batch neither resets nor reads its
+    /// counters — accesses to it are not part of `pooled`; run joins
+    /// through [`ConnService::execute`] when their full I/O footprint
+    /// matters.
+    pub fn execute_batch(&self, queries: &[Query]) -> Result<(Vec<Response>, BatchStats), Error> {
+        self.execute_batch_threads(queries, 0)
+    }
+
+    /// [`ConnService::execute_batch`] with an explicit worker-pool size.
+    pub fn execute_batch_threads(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<(Vec<Response>, BatchStats), Error> {
+        let dt = self.scene.data_tree();
+        let ot = self.scene.obstacle_tree();
+        // The odist field cache is per-service (OnceCell is !Sync): fill
+        // it before fanning out if any query needs it.
+        let field: &[Rect] = if queries
+            .iter()
+            .any(|q| matches!(q.kind(), QueryKind::Odist { .. } | QueryKind::Route { .. }))
+        {
+            self.obstacle_field()
+        } else {
+            &[]
+        };
+        dt.reset_stats();
+        ot.reset_stats();
+        let started = Instant::now();
+        let scene = &self.scene;
+        let cfg = self.cfg;
+        let (answers, threads, per_query) = run_batch(queries, &cfg, threads, |engine, q| {
+            dispatch(engine, scene, field, cfg, q, false)
+        });
+        let wall = started.elapsed();
+        let mut pooled = QueryStats::default();
+        let mut lat = Vec::with_capacity(per_query.len());
+        for (_, s) in &per_query {
+            pooled.accumulate(s);
+            lat.push(s.cpu.as_secs_f64());
+        }
+        pooled.data_io = dt.stats();
+        pooled.obstacle_io = ot.stats();
+        let stats = BatchStats::from_parts(queries.len(), threads, wall, pooled, lat);
+        let responses = answers
+            .into_iter()
+            .zip(per_query)
+            .map(|(answer, (_, stats))| Response { answer, stats })
+            .collect();
+        Ok((responses, stats))
+    }
+
+    /// Opens a streaming trajectory CONN session over the scene (its own
+    /// warm engine; the service's serial engine stays free for
+    /// [`ConnService::execute`] calls alongside).
+    pub fn open_session(&self, start: Point) -> TrajectorySession<'_, 'static> {
+        TrajectorySession::new(
+            self.scene.data_tree(),
+            self.scene.obstacle_tree(),
+            start,
+            self.cfg,
+        )
+    }
+
+    /// Opens a streaming trajectory COkNN session over the scene.
+    pub fn open_coknn_session(
+        &self,
+        start: Point,
+        k: usize,
+    ) -> TrajectoryCoknnSession<'_, 'static> {
+        TrajectoryCoknnSession::new(
+            self.scene.data_tree(),
+            self.scene.obstacle_tree(),
+            start,
+            k,
+            self.cfg,
+        )
+    }
+}
+
+/// The one family dispatcher `execute` and the batch workers share.
+/// `track_io = true` resets the scene trees' counters per query (the
+/// serial / free-function contract); `false` leaves them to be pooled at
+/// the batch level.
+fn dispatch(
+    engine: &mut QueryEngine,
+    scene: &Scene<'_>,
+    field: &[Rect],
+    default_cfg: ConnConfig,
+    query: &Query,
+    track_io: bool,
+) -> (Answer, QueryStats) {
+    let cfg = query.config().copied().unwrap_or(default_cfg);
+    engine.set_config(cfg);
+    let dt = scene.data_tree();
+    let ot = scene.obstacle_tree();
+    match query.kind() {
+        QueryKind::Conn { q } => {
+            let (res, stats) = if track_io {
+                engine.conn(dt, ot, q)
+            } else {
+                engine.conn_pooled_io(dt, ot, q)
+            };
+            (Answer::Conn(res), stats)
+        }
+        QueryKind::Coknn { q, k } => {
+            let (res, stats) = if track_io {
+                engine.coknn(dt, ot, q, *k)
+            } else {
+                engine.coknn_pooled_io(dt, ot, q, *k)
+            };
+            (Answer::Coknn(res), stats)
+        }
+        QueryKind::Onn { s, k } => {
+            let (v, stats) = crate::onn::onn_search_impl(dt, ot, *s, *k, &cfg, track_io);
+            (Answer::Onn(v), stats)
+        }
+        QueryKind::Range { s, radius } => {
+            let (v, stats) = crate::orange::range_search_impl(dt, ot, *s, *radius, &cfg, track_io);
+            (Answer::Range(v), stats)
+        }
+        QueryKind::Rnn { s } => {
+            let (v, stats) = crate::rnn::rnn_impl(dt, ot, *s, &cfg, track_io);
+            (Answer::Rnn(v), stats)
+        }
+        QueryKind::Odist { a, b } => {
+            let started = Instant::now();
+            let retargets = engine.label_retargets();
+            let d = engine.obstructed_distance(field, *a, *b);
+            let mut stats = QueryStats {
+                cpu: started.elapsed(),
+                result_tuples: 1,
+                ..QueryStats::default()
+            };
+            stats.reuse.label_retargets = engine.label_retargets() - retargets;
+            (Answer::Odist(d), stats)
+        }
+        QueryKind::Route { a, b } => {
+            let started = Instant::now();
+            let retargets = engine.label_retargets();
+            let (dist, path) = engine.obstructed_route(field, *a, *b);
+            let mut stats = QueryStats {
+                cpu: started.elapsed(),
+                result_tuples: 1,
+                ..QueryStats::default()
+            };
+            stats.reuse.label_retargets = engine.label_retargets() - retargets;
+            (Answer::Route { dist, path }, stats)
+        }
+        QueryKind::EDistanceJoin { other, e } => {
+            let (pairs, stats) = engine.edistance_join_impl(dt, other, ot, *e, track_io);
+            (Answer::EDistanceJoin(pairs), stats)
+        }
+        QueryKind::ClosestPair { other } => {
+            let (best, stats) = engine.closest_pair_impl(dt, other, ot, track_io);
+            (Answer::ClosestPair(best), stats)
+        }
+        QueryKind::Trajectory { route, k } => {
+            if *k == 1 {
+                let mut session =
+                    TrajectorySession::with_engine(dt, ot, route.vertices()[0], engine);
+                if !track_io {
+                    session = session.pooled_io();
+                }
+                for &v in &route.vertices()[1..] {
+                    session.push_leg(v);
+                }
+                let (res, stats) = session.finish();
+                (Answer::Trajectory(res), stats)
+            } else {
+                let mut session =
+                    TrajectoryCoknnSession::with_engine(dt, ot, route.vertices()[0], *k, engine);
+                if !track_io {
+                    session = session.pooled_io();
+                }
+                for &v in &route.vertices()[1..] {
+                    session.push_leg(v);
+                }
+                let (legs, stats) = session.finish();
+                (Answer::TrajectoryKnn(legs), stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{coknn_search, conn_search, Query, Trajectory};
+    use conn_geom::Segment;
+
+    fn scene() -> Scene<'static> {
+        Scene::new(
+            vec![
+                DataPoint::new(0, Point::new(10.0, 20.0)),
+                DataPoint::new(1, Point::new(50.0, 8.0)),
+                DataPoint::new(2, Point::new(90.0, 25.0)),
+                DataPoint::new(3, Point::new(45.0, 60.0)),
+            ],
+            vec![
+                Rect::new(30.0, 5.0, 40.0, 30.0),
+                Rect::new(60.0, 10.0, 75.0, 18.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn scene_constructors_agree() {
+        let s = scene();
+        assert_eq!(s.num_points(), 4);
+        assert_eq!(s.num_obstacles(), 2);
+        assert_eq!(s.obstacles().len(), 2);
+        let gen = Scene::uniform(30, 20, 7);
+        assert_eq!(gen.num_points(), 30);
+        assert_eq!(gen.num_obstacles(), 20);
+        let cl = Scene::clustered(30, 20, 7);
+        assert_eq!(cl.num_points(), 30);
+    }
+
+    #[test]
+    fn execute_matches_free_functions() {
+        let service = ConnService::new(scene());
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let cfg = ConnConfig::default();
+
+        let resp = service.execute(&Query::conn(q).build().unwrap()).unwrap();
+        let (free, free_stats) = conn_search(
+            service.scene().data_tree(),
+            service.scene().obstacle_tree(),
+            &q,
+            &cfg,
+        );
+        let got = resp.answer.as_conn().unwrap();
+        assert_eq!(got.entries().len(), free.entries().len());
+        for (a, b) in got.entries().iter().zip(free.entries()) {
+            assert_eq!(a.point.map(|p| p.id), b.point.map(|p| p.id));
+            assert_eq!(a.interval.lo.to_bits(), b.interval.lo.to_bits());
+        }
+        assert_eq!(resp.stats.npe, free_stats.npe);
+        assert_eq!(resp.stats.noe, free_stats.noe);
+
+        let resp = service
+            .execute(&Query::coknn(q, 2).build().unwrap())
+            .unwrap();
+        let (free, _) = coknn_search(
+            service.scene().data_tree(),
+            service.scene().obstacle_tree(),
+            &q,
+            2,
+            &cfg,
+        );
+        assert_eq!(
+            resp.answer.as_coknn().unwrap().entries().len(),
+            free.entries().len()
+        );
+    }
+
+    #[test]
+    fn per_query_config_override_applies() {
+        let service = ConnService::new(scene());
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let blind = Query::conn(q)
+            .config(ConnConfig::baseline_kernel())
+            .build()
+            .unwrap();
+        let a = service.execute(&blind).unwrap();
+        let b = service.execute(&Query::conn(q).build().unwrap()).unwrap();
+        // both kernels agree on the answer values
+        assert!(a
+            .answer
+            .as_conn()
+            .unwrap()
+            .values_equivalent(b.answer.as_conn().unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn mixed_batch_covers_every_family() {
+        let service = ConnService::new(scene());
+        let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let other = std::sync::Arc::new(RStarTree::bulk_load(
+            vec![
+                DataPoint::new(100, Point::new(5.0, 50.0)),
+                DataPoint::new(101, Point::new(95.0, 55.0)),
+            ],
+            4096,
+        ));
+        let route = Trajectory::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 0.0),
+            Point::new(60.0, 50.0),
+        ]);
+        let batch = vec![
+            Query::conn(q).build().unwrap(),
+            Query::coknn(q, 3).build().unwrap(),
+            Query::onn(Point::new(50.0, 0.0), 2).build().unwrap(),
+            Query::range(Point::new(50.0, 0.0), 60.0).build().unwrap(),
+            Query::rnn(Point::new(20.0, 30.0)).build().unwrap(),
+            Query::odist(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+                .build()
+                .unwrap(),
+            Query::route(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+                .build()
+                .unwrap(),
+            Query::edistance_join(std::sync::Arc::clone(&other), 80.0)
+                .build()
+                .unwrap(),
+            Query::closest_pair(other).build().unwrap(),
+            Query::trajectory(route, 1).build().unwrap(),
+        ];
+        let (responses, stats) = service.execute_batch_threads(&batch, 2).unwrap();
+        assert_eq!(responses.len(), batch.len());
+        assert_eq!(stats.queries, batch.len());
+        assert!(stats.pooled.reads() > 0, "pooled tree I/O missing");
+        for (resp, q) in responses.iter().zip(&batch) {
+            assert_eq!(resp.answer.family(), q.kind().family());
+            // inside a batch, per-query I/O is pooled at the batch level
+            assert_eq!(resp.stats.reads(), 0);
+        }
+        // spot-check against serial execution
+        for (resp, q) in responses.iter().zip(&batch) {
+            let serial = service.execute(q).unwrap();
+            match (&resp.answer, &serial.answer) {
+                (Answer::Conn(a), Answer::Conn(b)) => {
+                    assert_eq!(a.entries().len(), b.entries().len())
+                }
+                (Answer::Odist(a), Answer::Odist(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Answer::ClosestPair(a), Answer::ClosestPair(b)) => {
+                    assert_eq!(a.is_some(), b.is_some())
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn open_session_matches_trajectory_search() {
+        let service = ConnService::new(scene());
+        let verts = [
+            Point::new(0.0, 0.0),
+            Point::new(70.0, 5.0),
+            Point::new(70.0, 55.0),
+        ];
+        let mut session = service.open_session(verts[0]);
+        for &v in &verts[1..] {
+            session.push_leg(v);
+        }
+        let (plan, _) = session.finish();
+        plan.check_cover().unwrap();
+        let (free, _) = crate::trajectory_conn_search(
+            service.scene().data_tree(),
+            service.scene().obstacle_tree(),
+            &Trajectory::new(verts.to_vec()),
+            service.config(),
+        );
+        assert_eq!(plan.segments().len(), free.segments().len());
+        for (a, b) in plan.segments().iter().zip(free.segments()) {
+            assert_eq!(a.0.map(|p| p.id), b.0.map(|p| p.id));
+            assert_eq!(a.1.lo.to_bits(), b.1.lo.to_bits());
+            assert_eq!(a.1.hi.to_bits(), b.1.hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let service = ConnService::new(scene());
+        let (responses, stats) = service.execute_batch(&[]).unwrap();
+        assert!(responses.is_empty());
+        assert_eq!(stats.queries, 0);
+    }
+}

@@ -5,10 +5,46 @@
 
 use std::time::Duration;
 
-use conn_index::StatsSnapshot;
+use conn_index::{Mbr, RStarTree, StatsSnapshot};
 
 /// Milliseconds charged per R-tree page fault (paper §5.1).
 pub const IO_MS_PER_FAULT: f64 = 10.0;
+
+/// Tree-counter window shared by the point-anchored families (ONN, range,
+/// RNN): resets both trees' counters at query start when `track_io` (the
+/// serial / free-function contract) and snapshots them at the end. In
+/// pooled mode (`track_io = false`, batch workers on shared trees) both
+/// steps are skipped — resets would race across workers — and the
+/// snapshots read zero, with I/O pooled at the batch level instead.
+pub(crate) struct IoWindow {
+    track: bool,
+}
+
+impl IoWindow {
+    pub(crate) fn begin<A: Mbr + Clone, B: Mbr + Clone>(
+        track_io: bool,
+        a: &RStarTree<A>,
+        b: &RStarTree<B>,
+    ) -> Self {
+        if track_io {
+            a.reset_stats();
+            b.reset_stats();
+        }
+        IoWindow { track: track_io }
+    }
+
+    pub(crate) fn end<A: Mbr + Clone, B: Mbr + Clone>(
+        &self,
+        a: &RStarTree<A>,
+        b: &RStarTree<B>,
+    ) -> (StatsSnapshot, StatsSnapshot) {
+        if self.track {
+            (a.stats(), b.stats())
+        } else {
+            (StatsSnapshot::default(), StatsSnapshot::default())
+        }
+    }
+}
 
 /// Allocation-avoidance counters of the reusable query engine. All three
 /// are zero when a query runs on fresh per-query state (the legacy
@@ -51,6 +87,7 @@ impl ReuseCounters {
 
 /// Everything the evaluation section measures about one query.
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use]
 pub struct QueryStats {
     /// Data R-tree accesses (for the 1T variant, the unified tree's
     /// accesses are reported here and `obstacle_io` stays zero).

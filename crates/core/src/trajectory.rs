@@ -25,7 +25,7 @@ use conn_index::RStarTree;
 use crate::coknn::coknn_search;
 use crate::config::ConnConfig;
 use crate::conn::conn_search;
-use crate::session::{TrajectoryCoknnSession, TrajectorySession};
+use crate::session::TrajectoryCoknnSession;
 use crate::stats::QueryStats;
 use crate::types::DataPoint;
 
@@ -39,19 +39,38 @@ pub struct Trajectory {
 
 impl Trajectory {
     /// Builds a trajectory; needs ≥ 2 vertices and no degenerate leg.
+    /// Panics on invalid input — [`Trajectory::try_new`] is the checked
+    /// variant the typed query API builds on.
     pub fn new(vertices: Vec<Point>) -> Self {
-        assert!(
-            vertices.len() >= 2,
-            "trajectory needs at least two vertices"
-        );
+        Trajectory::try_new(vertices).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked constructor: rejects fewer than 2 vertices, non-finite
+    /// coordinates and degenerate (zero-length) legs with
+    /// [`Error::InvalidQuery`](crate::Error::InvalidQuery).
+    pub fn try_new(vertices: Vec<Point>) -> Result<Self, crate::Error> {
+        if vertices.len() < 2 {
+            return Err(crate::Error::invalid_query(
+                "trajectory needs at least two vertices",
+            ));
+        }
         let mut cum = Vec::with_capacity(vertices.len());
         cum.push(0.0);
         for w in vertices.windows(2) {
+            if !w[1].x.is_finite()
+                || !w[1].y.is_finite()
+                || !w[0].x.is_finite()
+                || !w[0].y.is_finite()
+            {
+                return Err(crate::Error::invalid_query("non-finite trajectory vertex"));
+            }
             let leg = Segment::new(w[0], w[1]);
-            assert!(!leg.is_degenerate(), "degenerate trajectory leg");
+            if leg.is_degenerate() {
+                return Err(crate::Error::invalid_query("degenerate trajectory leg"));
+            }
             cum.push(cum.last().unwrap() + leg.len());
         }
-        Trajectory { vertices, cum }
+        Ok(Trajectory { vertices, cum })
     }
 
     pub fn vertices(&self) -> &[Point] {
@@ -154,19 +173,24 @@ impl TrajectoryResult {
     /// Validation: tuples cover `[0, len]` without gaps, and every tuple
     /// has strictly positive width — the stitcher must never emit the
     /// zero-width slivers that per-leg float drift can produce at joints.
-    pub fn check_cover(&self) -> Result<(), String> {
+    pub fn check_cover(&self) -> Result<(), crate::Error> {
         let mut cursor = 0.0;
         for (_, iv) in &self.segments {
             if (iv.lo - cursor).abs() > 1e-6 {
-                return Err(format!("gap at {cursor}"));
+                return Err(crate::Error::cover_violation(format!("gap at {cursor}")));
             }
             if iv.hi <= iv.lo {
-                return Err(format!("empty tuple at {}", iv.lo));
+                return Err(crate::Error::cover_violation(format!(
+                    "empty tuple at {}",
+                    iv.lo
+                )));
             }
             cursor = iv.hi;
         }
         if (cursor - self.trajectory.len()).abs() > 1e-6 {
-            return Err(format!("cover ends at {cursor}"));
+            return Err(crate::Error::cover_violation(format!(
+                "cover ends at {cursor}"
+            )));
         }
         Ok(())
     }
@@ -275,12 +299,14 @@ pub fn trajectory_conn_search(
     trajectory: &Trajectory,
     cfg: &ConnConfig,
 ) -> (TrajectoryResult, QueryStats) {
-    let mut session =
-        TrajectorySession::new(data_tree, obstacle_tree, trajectory.vertices()[0], *cfg);
-    for &v in &trajectory.vertices()[1..] {
-        session.push_leg(v);
-    }
-    session.finish()
+    let service =
+        crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
+    let query = crate::Query::trajectory(trajectory.clone(), 1)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+    let res = resp.answer.into_trajectory().expect("trajectory answer");
+    (res, resp.stats)
 }
 
 /// Reference implementation of [`trajectory_conn_search`]: every leg is a
@@ -322,6 +348,9 @@ pub fn trajectory_coknn_search(
     k: usize,
     cfg: &ConnConfig,
 ) -> (Vec<crate::coknn::CoknnResult>, QueryStats) {
+    // k = 1 keeps the per-leg COkNN structure this function promises, so it
+    // drives the session directly instead of the service's `Trajectory`
+    // query (which answers k = 1 as stitched trajectory CONN).
     let mut session =
         TrajectoryCoknnSession::new(data_tree, obstacle_tree, trajectory.vertices()[0], k, *cfg);
     for &v in &trajectory.vertices()[1..] {

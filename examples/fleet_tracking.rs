@@ -1,23 +1,24 @@
-//! Streaming trajectory sessions: a delivery fleet moving through a city.
+//! Streaming trajectory sessions: a delivery fleet moving through a city,
+//! served through the typed [`ConnService`] front door.
 //!
 //! Several vans drive multi-leg routes between warehouse blocks. Each van
-//! holds a [`TrajectorySession`]: every position ping extends its
-//! trajectory by one leg and immediately yields the *delta* tuples — which
-//! depot is nearest (by actual travel distance) along the stretch just
-//! driven. The vans run concurrently, one session per thread, over the
-//! same shared R\*-trees.
+//! thread holds its own [`ConnService`] over the shared R\*-trees and
+//! opens a streaming session behind it: every position ping extends the
+//! trajectory by one leg and immediately yields the *delta* tuples —
+//! which depot is nearest (by actual travel distance) along the stretch
+//! just driven.
 //!
-//! Dispatch also keeps an ETA line per van: the obstructed route from the
-//! depot to the van's latest position, recomputed per ping on one reused
-//! engine — the repeated same-origin/moved-target pattern that the
-//! Dijkstra kernel's *goal retargeting* serves without cold restarts.
+//! Dispatch also keeps an ETA line per van: a typed `Route` query from
+//! the depot to the van's latest position, answered per ping on the
+//! service's warm engine — the repeated same-origin/moved-target pattern
+//! that the Dijkstra kernel's *goal retargeting* serves without cold
+//! restarts (watch the `label_retargets` counter).
 //!
 //! ```text
 //! cargo run --release --example fleet_tracking
 //! ```
 
 use conn::prelude::*;
-use conn_core::{QueryEngine, TrajectorySession};
 
 fn main() {
     // Depots the vans are served from.
@@ -67,22 +68,25 @@ fn main() {
     let dispatch_depot = depots[0].pos;
     std::thread::scope(|scope| {
         for (van, pings) in routes.iter().enumerate() {
-            let (depot_tree, block_tree, blocks) = (&depot_tree, &block_tree, &blocks);
+            let (depot_tree, block_tree) = (&depot_tree, &block_tree);
             scope.spawn(move || {
-                let mut session = TrajectorySession::new(
-                    depot_tree,
-                    block_tree,
-                    pings[0],
-                    ConnConfig::default(),
-                );
-                // dispatch's ETA engine: one origin (depot 0), moving target
-                let mut eta_engine = QueryEngine::default();
+                // one service per van thread over the shared trees: the
+                // session streams legs, the Route queries reuse the same
+                // warm engine for the moving-target ETA line
+                let service = ConnService::new(Scene::borrowing(depot_tree, block_tree));
+                let mut session = service.open_session(pings[0]);
                 let depot = dispatch_depot;
+                let mut eta_retargets = 0;
                 for &ping in &pings[1..] {
                     let delta = session.push_leg(ping);
-                    let (eta_dist, _) = eta_engine.obstructed_route(blocks, depot, ping);
+                    let eta = service
+                        .execute(&Query::route(depot, ping).build().expect("finite route"))
+                        .expect("route query");
+                    eta_retargets += eta.stats.reuse.label_retargets;
+                    let eta_dist = eta.answer.distance().expect("route answer");
                     for (nn, iv) in &delta {
-                        let who = nn.map_or("unreachable".to_string(), |p| format!("depot {}", p.id));
+                        let who =
+                            nn.map_or("unreachable".to_string(), |p| format!("depot {}", p.id));
                         println!(
                             "van {van}: km {:>6.1}–{:>6.1} → {who}   (ETA line from depot 0: {:.0})",
                             iv.lo, iv.hi, eta_dist
@@ -100,7 +104,7 @@ fn main() {
                     stats.reuse.graph_reuses,
                     stats.noe,
                     stats.reuse.label_reseeds,
-                    eta_engine.label_retargets(),
+                    eta_retargets,
                 );
             });
         }

@@ -1,4 +1,6 @@
-//! Quickstart: the smallest useful CONN query.
+//! Quickstart: the smallest useful CONN query, through the typed front
+//! door — a [`Scene`] owns the indexed world, a [`ConnService`] executes
+//! validated [`Query`] values of any family.
 //!
 //! Three facilities, one building, one trajectory. Run with:
 //!
@@ -8,30 +10,27 @@
 
 use conn::prelude::*;
 
-fn main() {
-    // Facilities (the data set P) ...
+fn main() -> Result<(), Error> {
+    // Facilities (the data set P), one building (the obstacle set O) ...
     let facilities = vec![
         DataPoint::new(0, Point::new(250.0, 220.0)),
         DataPoint::new(1, Point::new(400.0, 120.0)),
         DataPoint::new(2, Point::new(700.0, 180.0)),
     ];
-    // ... one building (the obstacle set O) ...
     let buildings = vec![Rect::new(180.0, 90.0, 330.0, 160.0)];
     // ... and a straight trajectory (the query segment q = [S, E]).
     let trajectory = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
 
-    // Index both sets in disk-simulating R*-trees (4 KB pages).
-    let facility_tree = RStarTree::bulk_load(facilities, DEFAULT_PAGE_SIZE);
-    let building_tree = RStarTree::bulk_load(buildings, DEFAULT_PAGE_SIZE);
+    // The scene indexes both sets in disk-simulating R*-trees (4 KB
+    // pages); the service owns the scene and a warm query engine.
+    let service = ConnService::new(Scene::new(facilities, buildings));
 
     // One CONN query answers "who is nearest?" for EVERY point of the
-    // trajectory at once.
-    let (result, stats) = conn_search(
-        &facility_tree,
-        &building_tree,
-        &trajectory,
-        &ConnConfig::default(),
-    );
+    // trajectory at once. `build()` validates up front — a degenerate or
+    // NaN segment comes back as Error::InvalidQuery instead of panicking
+    // deep inside the algorithm.
+    let response = service.execute(&Query::conn(trajectory).build()?)?;
+    let result = response.answer.as_conn().expect("conn answer");
 
     println!(
         "CONN result along a {:.0}-unit trajectory:",
@@ -64,6 +63,28 @@ fn main() {
         }
     }
 
+    // The same handle answers every other family — here the 2 nearest
+    // facilities along the road, and the walking route to facility 2.
+    let coknn = service.execute(&Query::coknn(trajectory, 2).build()?)?;
+    println!(
+        "\nCOkNN (k = 2) partitions the road into {} intervals",
+        coknn
+            .answer
+            .as_coknn()
+            .expect("coknn answer")
+            .entries()
+            .len()
+    );
+    let route =
+        service.execute(&Query::route(Point::new(0.0, 0.0), Point::new(700.0, 180.0)).build()?)?;
+    if let (Some(d), Some(path)) = (route.answer.distance(), route.answer.path()) {
+        println!(
+            "route to facility 2: {d:.1} units via {} waypoints",
+            path.len()
+        );
+    }
+
+    let stats = response.stats;
     println!(
         "\nquery cost: {:.3} s CPU + {} page faults × 10 ms = {:.3} s total \
          (NPE {}, NOE {}, |SVG| {})",
@@ -74,4 +95,5 @@ fn main() {
         stats.noe,
         stats.svg_nodes,
     );
+    Ok(())
 }

@@ -14,38 +14,65 @@
 //! * [`index`] — the disk-simulating R\*-tree (page counters, LRU buffer);
 //! * [`vgraph`] — incremental local visibility graph and Dijkstra;
 //! * [`datasets`] — paper-style workload generators;
-//! * the query algorithms at the root: [`conn_search`], [`coknn_search`],
-//!   the single-tree variants, baselines, configuration, and statistics;
-//! * the serving layer: [`QueryEngine`] (reset-and-reuse workspace — answer
-//!   many queries with O(1) substrate allocations) and the parallel batch
-//!   front-end [`conn_batch`] / [`coknn_batch`] with [`BatchStats`].
+//! * the **typed front door**: [`Scene`] (owns the indexed world),
+//!   [`Query`] (one validated request type per family, `k = 0` / NaN /
+//!   degenerate input rejected as [`Error::InvalidQuery`] before any
+//!   algorithm runs) and [`ConnService`] (`execute` one query of any
+//!   family, `execute_batch` a *mixed-family* workload across the worker
+//!   pool, `open_session` a streaming [`TrajectorySession`]);
+//! * the legacy free functions at the root ([`conn_search`],
+//!   [`coknn_search`], the single-tree variants, baselines) — thin
+//!   wrappers over the service, answering byte-identically;
+//! * the serving internals: [`QueryEngine`] (reset-and-reuse workspace —
+//!   answer many queries with O(1) substrate allocations) and the
+//!   per-family batch front-ends [`conn_batch`] / [`coknn_batch`] with
+//!   [`BatchStats`].
 //!
 //! ## Example
 //!
 //! ```
 //! use conn::prelude::*;
 //!
-//! // six gas stations and one building between the highway and station 0
+//! // three gas stations and one building between the highway and station 0
 //! let stations = vec![
 //!     DataPoint::new(0, Point::new(250.0, 220.0)),
 //!     DataPoint::new(1, Point::new(400.0, 120.0)),
 //!     DataPoint::new(2, Point::new(700.0, 180.0)),
 //! ];
 //! let buildings = vec![Rect::new(180.0, 90.0, 330.0, 160.0)];
+//! let highway = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
 //!
+//! let service = ConnService::new(Scene::new(stations, buildings));
+//! let response = service.execute(&Query::conn(highway).build()?)?;
+//! let result = response.answer.as_conn().expect("conn answer");
+//! for (station, interval) in result.segments() {
+//!     println!("{station:?} is nearest along [{:.0}, {:.0}]", interval.lo, interval.hi);
+//! }
+//! assert!(response.stats.npe >= 1);
+//!
+//! // the same handle answers every family — kNN variant, point probes,
+//! // ranges, reverse NN, routes, joins, whole trajectories:
+//! let knn = service.execute(&Query::coknn(highway, 2).build()?)?;
+//! assert!(!knn.answer.as_coknn().expect("coknn answer").entries().is_empty());
+//! # Ok::<(), conn::Error>(())
+//! ```
+//!
+//! The free-function surface remains the compatibility path:
+//!
+//! ```
+//! # use conn::prelude::*;
+//! # let stations = vec![DataPoint::new(0, Point::new(250.0, 220.0))];
+//! # let buildings = vec![Rect::new(180.0, 90.0, 330.0, 160.0)];
 //! let stations_tree = RStarTree::bulk_load(stations, DEFAULT_PAGE_SIZE);
 //! let buildings_tree = RStarTree::bulk_load(buildings, DEFAULT_PAGE_SIZE);
 //! let highway = Segment::new(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
-//!
 //! let (result, stats) = conn_search(
 //!     &stations_tree,
 //!     &buildings_tree,
 //!     &highway,
 //!     &ConnConfig::default(),
 //! );
-//! for (station, interval) in result.segments() {
-//!     println!("{station:?} is nearest along [{:.0}, {:.0}]", interval.lo, interval.hi);
-//! }
+//! assert!(!result.segments().is_empty());
 //! assert!(stats.npe >= 1);
 //! ```
 
@@ -59,19 +86,21 @@ pub use conn_core::{
     build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
     conn_search, conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair,
     obstructed_distance, obstructed_edistance_join, obstructed_path, obstructed_range_search,
-    obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_search,
-    visible_knn, BatchStats, CoknnResult, ConnConfig, ConnResult, ControlPoint, DataPoint,
-    QueryEngine, QueryStats, ResultEntry, ResultList, ReuseCounters, SpatialObject, Trajectory,
-    TrajectoryResult,
+    obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_batch,
+    trajectory_conn_search, visible_knn, Answer, BatchStats, CoknnResult, ConnConfig, ConnResult,
+    ConnService, ControlPoint, DataPoint, Error, Query, QueryBuilder, QueryEngine, QueryKind,
+    QueryStats, Response, ResultEntry, ResultList, ReuseCounters, Scene, SpatialObject, Trajectory,
+    TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
 };
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use conn_core::{
         build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
-        conn_search, conn_search_single_tree, obstructed_distance, onn_search,
-        trajectory_conn_search, BatchStats, CoknnResult, ConnConfig, ConnResult, DataPoint,
-        QueryEngine, QueryStats, Trajectory,
+        conn_search, conn_search_single_tree, obstructed_distance, obstructed_range_search,
+        obstructed_rnn, onn_search, trajectory_conn_search, Answer, BatchStats, CoknnResult,
+        ConnConfig, ConnResult, ConnService, DataPoint, Error, Query, QueryEngine, QueryStats,
+        Response, ReuseCounters, Scene, Trajectory, TrajectorySession,
     };
     pub use conn_geom::{Interval, Point, Rect, Segment};
     pub use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};

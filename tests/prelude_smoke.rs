@@ -74,6 +74,27 @@ fn every_prelude_item_is_usable() {
     let (traj_res, traj_stats) = trajectory_conn_search(&data_tree, &obs_tree, &traj, &cfg);
     assert!(!traj_res.segments().is_empty());
     assert!(traj_stats.npe >= 1);
+
+    // The extended point-query family.
+    let (rnn, _) = obstructed_rnn(&data_tree, &obs_tree, Point::new(500.0, 0.0), &cfg);
+    let (in_range, range_stats) =
+        obstructed_range_search(&data_tree, &obs_tree, Point::new(500.0, 0.0), 400.0, &cfg);
+    assert!(rnn.len() <= points.len() && in_range.len() <= points.len());
+    let _: ReuseCounters = range_stats.reuse;
+
+    // The typed front door: Scene → Query → ConnService → Response/Answer.
+    let service = ConnService::new(Scene::new(points.clone(), obstacles.clone()));
+    let query: Query = Query::conn(q).build().expect("valid query");
+    let response: Response = service.execute(&query).expect("execution");
+    let front_door: &ConnResult = response.answer.as_conn().expect("conn answer");
+    assert_eq!(front_door.segments().len(), conn_res.segments().len());
+    let err: Error = Query::coknn(q, 0).build().unwrap_err();
+    assert!(matches!(err, Error::InvalidQuery(_)));
+
+    // Streaming sessions re-exported at the top level.
+    let mut session = TrajectorySession::new(&data_tree, &obs_tree, Point::new(0.0, 0.0), cfg);
+    let delta = session.push_leg(Point::new(400.0, 20.0));
+    assert!(!delta.is_empty());
 }
 
 #[test]
