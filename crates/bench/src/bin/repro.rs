@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [TARGET | --target TARGET] [--scale S] [--queries N] [--seed S]
-//!       [--batch] [--threads T] [--out FILE.json]
+//!       [--batch] [--sanitize] [--threads T] [--out FILE.json]
 //! ```
 //!
 //! * `TARGET` — `fig9`…`fig13`, `ablation`, `motivation`, `all`; plus
@@ -21,6 +21,11 @@
 //! * `--threads` — batch worker-pool size (0 = available parallelism).
 //! * `--out` — where the `batch` / `conn` targets write their JSON records
 //!   (defaults `BENCH_batch.json` / `BENCH_conn.json`).
+//! * `--sanitize` — (conn target; requires a binary built with
+//!   `--features sanitize-invariants`) additionally times the kernel with
+//!   the runtime invariant audits off and on, asserts the answers are
+//!   identical, and records the informational `sanitize_overhead_pct` in
+//!   `BENCH_conn.json`.
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-ins for CA/LA, reduced scale); the *shapes* — who wins, what grows
@@ -41,6 +46,7 @@ struct Args {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    sanitize: bool,
 }
 
 impl Args {
@@ -86,7 +92,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro [{} | --target T] [--scale smoke|small|default|paper|RATIO] \
-         [--queries N] [--seed S] [--batch] [--threads T] [--out FILE.json]",
+         [--queries N] [--seed S] [--batch] [--sanitize] [--threads T] [--out FILE.json]",
         KNOWN_TARGETS.join("|")
     );
     std::process::exit(2);
@@ -105,6 +111,7 @@ fn parse_args() -> Args {
     let mut seed = 2009u64;
     let mut threads = 0usize;
     let mut out: Option<String> = None;
+    let mut sanitize = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -153,10 +160,29 @@ fn parse_args() -> Args {
                 what = t.to_string();
             }
             "--batch" => what = "batch".to_string(),
+            "--sanitize" => sanitize = true,
             other if KNOWN_TARGETS.contains(&other) => what = other.to_string(),
             other => usage(&format!("unknown target {other:?}")),
         }
         i += 1;
+    }
+    if sanitize {
+        match what.as_str() {
+            // --sanitize alone implies the conn target it instruments.
+            "all" => what = "conn".to_string(),
+            "conn" => {}
+            other => usage(&format!(
+                "--sanitize applies to the conn target only (got {other:?})"
+            )),
+        }
+        if !conn_geom::sanitize::compiled() {
+            eprintln!(
+                "error: --sanitize needs the invariant audits compiled in; rebuild with\n  \
+                 cargo run --release -p conn-bench --features sanitize-invariants \
+                 --bin repro -- conn --sanitize"
+            );
+            std::process::exit(2);
+        }
     }
     Args {
         what,
@@ -165,6 +191,7 @@ fn parse_args() -> Args {
         seed,
         threads,
         out,
+        sanitize,
     }
 }
 
@@ -383,6 +410,11 @@ fn conn_smoke(args: &Args) {
         (wall, pct(0.50), pct(0.99), acc, results)
     };
 
+    // With --sanitize the headline walls stay comparable to unsanitized
+    // runs: audits are switched off for them and measured separately below.
+    if args.sanitize {
+        conn_geom::sanitize::set_enabled(false);
+    }
     let (base_wall, base_p50, base_p99, _, base_results) = run(&ConnConfig::baseline_kernel());
     let (goal_wall, goal_p50, goal_p99, acc, goal_results) = run(&ConnConfig::default());
     assert!(
@@ -427,6 +459,39 @@ fn conn_smoke(args: &Args) {
         acc.reuse.label_reseeds
     );
 
+    // --sanitize: time the production kernel with audits off vs on (same
+    // binary, runtime switch), best-of-3 minima on both sides of the ratio,
+    // and require byte-identical answers.
+    let sanitize_overhead_pct = if args.sanitize {
+        let best = |on: bool| {
+            conn_geom::sanitize::set_enabled(on);
+            let mut wall = f64::INFINITY;
+            let mut results = Vec::new();
+            for _ in 0..3 {
+                let (w, _, _, _, r) = run(&ConnConfig::default());
+                wall = wall.min(w);
+                results = r;
+            }
+            (wall, results)
+        };
+        let (off_wall, off_results) = best(false);
+        let (on_wall, on_results) = best(true);
+        conn_geom::sanitize::set_enabled(true);
+        assert!(
+            conn_results_identical(&off_results, &on_results),
+            "sanitized run diverged from the unsanitized run"
+        );
+        let pct = (on_wall / off_wall - 1.0) * 100.0;
+        println!(
+            "sanitize-invariants: audits off {:.3}s vs on {:.3}s — overhead {:+.2}% \
+             (informational), answers identical",
+            off_wall, on_wall, pct
+        );
+        format!("{pct:.4}")
+    } else {
+        "null".to_string()
+    };
+
     let n = w.queries.len();
     let json = format!(
         "{{\n  \"scale\": {},\n  \"queries\": {},\n  \"wall_s\": {:.6},\n  \
@@ -434,7 +499,8 @@ fn conn_smoke(args: &Args) {
          \"baseline_wall_s\": {:.6},\n  \"baseline_p50_ms\": {:.4},\n  \
          \"baseline_p99_ms\": {:.4},\n  \"speedup_vs_baseline_kernel\": {:.4},\n  \
          \"throughput_qps\": {:.2},\n  \"label_continuations\": {},\n  \
-         \"label_reseeds\": {},\n  \"results_equivalent\": true\n}}\n",
+         \"label_reseeds\": {},\n  \"sanitize_overhead_pct\": {},\n  \
+         \"results_equivalent\": true\n}}\n",
         args.scale.0,
         n,
         goal_wall,
@@ -447,6 +513,7 @@ fn conn_smoke(args: &Args) {
         n as f64 / goal_wall,
         acc.reuse.label_continuations,
         acc.reuse.label_reseeds,
+        sanitize_overhead_pct,
     );
     let out = args.out("BENCH_conn.json");
     std::fs::write(&out, json).expect("write conn kernel record");

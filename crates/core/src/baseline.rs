@@ -43,7 +43,9 @@ pub fn brute_force_oknn(
 /// One sample of the naive baseline: parameter, and the kNN set there.
 #[derive(Debug, Clone)]
 pub struct ConnSample {
+    /// Sample parameter on the query segment.
     pub t: f64,
+    /// The k nearest data points at `t`, ascending by obstructed distance.
     pub neighbors: Vec<(DataPoint, f64)>,
 }
 

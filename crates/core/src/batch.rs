@@ -12,6 +12,7 @@
 //! totals into [`BatchStats::pooled`]. The per-query [`QueryStats`] inside
 //! a batch therefore report zero tree I/O and real CPU/NPE/NOE.
 
+// lint:allow-file(no-panic-in-query-path[index]): chunk bounds are computed from the same slice's length
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -140,6 +141,9 @@ where
             }));
         }
         for h in handles {
+            // Propagating a worker panic is the only correct response to
+            // join() failing: the worker already tore down mid-query.
+            // lint:allow(no-panic-in-query-path)
             collected.extend(h.join().expect("batch worker panicked"));
         }
     });
@@ -233,7 +237,9 @@ pub fn trajectory_conn_batch(
 ) -> (Vec<crate::TrajectoryResult>, BatchStats) {
     data_tree.reset_stats();
     obstacle_tree.reset_stats();
-    let started = Instant::now();
+    // Batch-boundary wall time for BatchStats, not kernel-side timing.
+    // Batch-boundary wall time for BatchStats, not kernel-side timing.
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels) // lint:allow(no-wallclock-in-kernels)
     let (results, threads, per_traj) = run_batch(trajectories, cfg, threads, |engine, traj| {
         let mut session = crate::TrajectorySession::with_engine(
             data_tree,
@@ -297,7 +303,9 @@ where
 {
     data_tree.reset_stats();
     obstacle_tree.reset_stats();
-    let started = Instant::now();
+    // Batch-boundary wall time for BatchStats, not kernel-side timing.
+    // Batch-boundary wall time for BatchStats, not kernel-side timing.
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels) // lint:allow(no-wallclock-in-kernels)
     let (results, threads, per_query) = run_batch(queries, cfg, threads, f);
     let wall = started.elapsed();
     let mut pooled = QueryStats::default();

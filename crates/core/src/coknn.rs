@@ -14,6 +14,7 @@
 //! control point that cannot beat the k-th member anywhere stops the graph
 //! traversal instead of merely being filtered out of the result.
 
+// lint:allow-file(no-panic-in-query-path[index]): k-list slots are allocated up front; member indices are bounded by k
 use conn_geom::{Interval, Rect, Segment, EPS};
 use conn_index::RStarTree;
 
@@ -28,7 +29,9 @@ use crate::types::DataPoint;
 /// One member of an interval's ONN set.
 #[derive(Debug, Clone, Copy)]
 pub struct Member {
+    /// The data point.
     pub point: DataPoint,
+    /// The control point its distance function is anchored at.
     pub cp: ControlPoint,
 }
 
@@ -36,7 +39,9 @@ pub struct Member {
 /// `R` (the order is constant within the interval by construction).
 #[derive(Debug, Clone)]
 pub struct KnnEntry {
+    /// The interval's ONN set, ascending by distance.
     pub members: Vec<Member>,
+    /// The interval of the query segment this set answers.
     pub interval: Interval,
 }
 
@@ -49,6 +54,7 @@ pub struct KnnResultList {
 }
 
 impl KnnResultList {
+    /// A single-interval list covering `[0, qlen]` with an empty ONN set.
     pub fn new(qlen: f64, k: usize) -> Self {
         assert!(k >= 1, "k must be positive");
         KnnResultList {
@@ -61,10 +67,12 @@ impl KnnResultList {
         }
     }
 
+    /// The `k` the list was built for.
     pub fn k(&self) -> usize {
         self.k
     }
 
+    /// The tuples, in ascending interval order.
     pub fn entries(&self) -> &[KnnEntry] {
         &self.entries
     }
@@ -268,13 +276,23 @@ pub struct CoknnResult {
 
 impl CoknnResult {
     pub(crate) fn new(q: Segment, list: KnnResultList) -> Self {
-        CoknnResult { q, list }
+        let res = CoknnResult { q, list };
+        // Sanitizer choke point: every COkNN answer passes through this
+        // constructor, so the cover audit sees all of them.
+        if conn_geom::sanitize::enabled() {
+            if let Err(e) = res.check_cover() {
+                conn_geom::sanitize::violation("CoknnResult cover", &e.to_string());
+            }
+        }
+        res
     }
 
+    /// The query segment.
     pub fn query(&self) -> &Segment {
         &self.q
     }
 
+    /// The `k` the query asked for.
     pub fn k(&self) -> usize {
         self.list.k()
     }
@@ -304,6 +322,8 @@ impl CoknnResult {
         out
     }
 
+    /// Validates the answer's cover invariants (see
+    /// [`KnnResultList::check_cover`]).
     pub fn check_cover(&self) -> Result<(), crate::Error> {
         self.list.check_cover()
     }
@@ -343,8 +363,10 @@ pub fn coknn_search(
         crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
     let query = crate::Query::coknn(*q, k)
         .build()
-        .unwrap_or_else(|e| panic!("{e}"));
-    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+        .unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+                                                                          // Infallible: the service answers each query kind with its own family.
+                                                                          // lint:allow(no-panic-in-query-path)
     let res = resp.answer.into_coknn().expect("coknn answer");
     (res, resp.stats)
 }

@@ -9,6 +9,7 @@
 //! [`crate::engine::Workspace`] so a reused engine performs no per-query substrate
 //! allocations.
 
+// lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
 use conn_geom::{Interval, Rect, Segment, EPS};
 use conn_index::RStarTree;
 use conn_vgraph::NodeKind;
@@ -66,8 +67,11 @@ impl ResultSink for ResultList {
 /// snapshot around the loop).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LoopTelemetry {
+    /// Data points evaluated (paper metric NPE).
     pub npe: u64,
+    /// Obstacles evaluated (paper metric NOE).
     pub noe: u64,
+    /// Peak visibility-graph node count (paper metric |SVG|).
     pub svg_nodes: u64,
 }
 
@@ -121,6 +125,8 @@ pub(crate) fn run_leg<S: QueryStreams, R: ResultSink>(
         if dist > outer_bound {
             break;
         }
+        // Infallible: the peek above returned Some for this same stream.
+        // lint:allow(no-panic-in-query-path)
         let (p, _) = streams.next_point().expect("peeked point");
         npe += 1;
 
@@ -238,7 +244,15 @@ pub struct ConnResult {
 
 impl ConnResult {
     pub(crate) fn new(q: Segment, list: ResultList) -> Self {
-        ConnResult { q, list }
+        let res = ConnResult { q, list };
+        // Sanitizer choke point: every CONN answer passes through this
+        // constructor, so the cover audit sees all of them.
+        if conn_geom::sanitize::enabled() {
+            if let Err(e) = res.check_cover() {
+                conn_geom::sanitize::violation("ConnResult cover", &e.to_string());
+            }
+        }
+        res
     }
 
     /// The query segment.
@@ -332,8 +346,10 @@ pub fn conn_search(
         crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
     let query = crate::Query::conn(*q)
         .build()
-        .unwrap_or_else(|e| panic!("{e}"));
-    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+        .unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+                                                                          // Infallible: the service answers each query kind with its own family.
+                                                                          // lint:allow(no-panic-in-query-path)
     let conn = resp.answer.into_conn().expect("conn answer");
     (conn, resp.stats)
 }
@@ -351,6 +367,25 @@ mod tests {
         let dt = RStarTree::bulk_load(points, 4096);
         let ot = RStarTree::bulk_load(obstacles, 4096);
         conn_search(&dt, &ot, &q(), &ConnConfig::default())
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn cover_audit_fires_on_gapped_answer() {
+        use crate::rlu::ResultList;
+        let q = q();
+        let intact = ResultList::new(q.len());
+        let _ = ConnResult::new(q, intact.clone()); // full cover passes
+
+        let mut gapped = intact;
+        gapped.force_qlen_for_test(q.len() + 5.0); // entries now stop short
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ConnResult::new(q, gapped)
+            }))
+            .is_err(),
+            "cover audit must reject a gapped result list"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   worst value currently recorded in the list (∞ while any interval is
 //!   still uncovered — footnote 5 of the paper).
 
+// lint:allow-file(no-panic-in-query-path[index]): slots is resized to the graph's node count by ensure() before any access
 use conn_geom::{Interval, IntervalSet, Point, Segment, EPS};
 use conn_vgraph::{DijkstraEngine, NodeId, VisGraph};
 
@@ -39,10 +40,12 @@ impl ControlPointList {
         }
     }
 
+    /// The `(control point, interval)` tuples, ascending in parameter.
     pub fn entries(&self) -> &[(Option<ControlPoint>, Interval)] {
         &self.entries
     }
 
+    /// Length of the query segment the list partitions.
     pub fn qlen(&self) -> f64 {
         self.qlen
     }
@@ -216,9 +219,12 @@ impl VrCache {
     /// The region computed by the last [`VrCache::ensure`] for this node.
     /// Panics when the node was never ensured (a logic bug).
     pub fn cached(&self, node: NodeId) -> &IntervalSet {
+        // Infallible: every caller goes through ensure() first, which
+        // fills this slot before handing the node id out.
         self.slots[node.index()]
             .as_ref()
             .map(|(_, vr)| vr)
+            // lint:allow(no-panic-in-query-path)
             .expect("visible region not ensured")
     }
 

@@ -20,11 +20,16 @@ use conn_geom::{Interval, Point, Segment};
 /// point it serves (`base = ‖p, cp‖`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlPoint {
+    /// Position of the control point (paper Def. 8: `p` itself or an
+    /// obstacle vertex on the shortest path).
     pub pos: Point,
+    /// Obstructed distance from the data point to this control point.
     pub base: f64,
 }
 
 impl ControlPoint {
+    /// A control point at `pos` whose path back to the data point has
+    /// length `base`.
     pub fn new(pos: Point, base: f64) -> Self {
         debug_assert!(base >= 0.0, "negative path length");
         ControlPoint { pos, base }

@@ -189,6 +189,7 @@ impl Default for QueryEngine {
 }
 
 impl QueryEngine {
+    /// An engine with a fresh workspace sized for `cfg`.
     pub fn new(cfg: ConnConfig) -> Self {
         QueryEngine {
             ws: Workspace::new(cfg.vgraph_cell),
@@ -196,6 +197,7 @@ impl QueryEngine {
         }
     }
 
+    /// The configuration every query on this engine runs under.
     pub fn config(&self) -> &ConnConfig {
         &self.cfg
     }
@@ -250,7 +252,9 @@ impl QueryEngine {
         mut sink: R,
     ) -> (R, QueryStats) {
         assert!(!q.is_degenerate(), "degenerate query segment");
-        let started = Instant::now();
+        // Query-boundary elapsed time for QueryStats; the kernel loop
+        // below never reads the clock.
+        let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
         let telemetry = run_search(&mut streams, q, &self.cfg, &mut sink, &mut self.ws);
         let stats = QueryStats {
             cpu: started.elapsed(),

@@ -31,13 +31,16 @@ use crate::streams::QueryStreams;
 /// loaded — the paper's "previous search distance d".
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IorState {
+    /// `mindist` to `q` up to which obstacles are fully loaded.
     pub loaded_bound: f64,
 }
 
 /// Shortest paths from `p` to both query endpoints after IOR converges.
 #[derive(Debug, Clone, Copy)]
 pub struct EndpointPaths {
+    /// Obstructed distance from `p` to `S`.
     pub dist_s: f64,
+    /// Obstructed distance from `p` to `E`.
     pub dist_e: f64,
 }
 

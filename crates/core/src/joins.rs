@@ -144,7 +144,9 @@ fn closest_pair_on(
     cfg: &ConnConfig,
     track_io: bool,
 ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
-    let started = Instant::now();
+    // Query-boundary elapsed time for QueryStats; the kernel loop
+    // below never reads the clock.
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
     if track_io {
         tree_a.reset_stats();
         tree_b.reset_stats();
@@ -269,7 +271,9 @@ fn edistance_join_on(
     track_io: bool,
 ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
     assert!(e >= 0.0, "negative join distance");
-    let started = Instant::now();
+    // Query-boundary elapsed time for QueryStats; the kernel loop
+    // below never reads the clock.
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
     if track_io {
         tree_a.reset_stats();
         tree_b.reset_stats();

@@ -57,6 +57,9 @@
 //! The legacy free functions ([`conn_search`], [`coknn_search`], …) remain
 //! as thin wrappers over the service, answering byte-identically.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod batch;
 pub mod coknn;

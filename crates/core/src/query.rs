@@ -42,29 +42,70 @@ use crate::types::DataPoint;
 #[non_exhaustive]
 pub enum QueryKind {
     /// CONN (paper Algorithm 4): the obstructed NN of every point of `q`.
-    Conn { q: Segment },
+    Conn {
+        /// The query segment.
+        q: Segment,
+    },
     /// COkNN (paper §4.5): the `k` obstructed NNs of every point of `q`.
-    Coknn { q: Segment, k: usize },
+    Coknn {
+        /// The query segment.
+        q: Segment,
+        /// Neighbors per point.
+        k: usize,
+    },
     /// Snapshot obstructed kNN at a point.
-    Onn { s: Point, k: usize },
+    Onn {
+        /// The query point.
+        s: Point,
+        /// Number of neighbors.
+        k: usize,
+    },
     /// All data points within obstructed distance `radius` of `s`.
-    Range { s: Point, radius: f64 },
+    Range {
+        /// The query point.
+        s: Point,
+        /// Obstructed-distance radius.
+        radius: f64,
+    },
     /// Obstructed reverse nearest neighbors of a facility at `s`.
-    Rnn { s: Point },
+    Rnn {
+        /// The facility location.
+        s: Point,
+    },
     /// Point-to-point obstructed distance over the scene's obstacles.
-    Odist { a: Point, b: Point },
+    Odist {
+        /// Path start.
+        a: Point,
+        /// Path end.
+        b: Point,
+    },
     /// Obstructed distance *and* shortest path polyline.
-    Route { a: Point, b: Point },
+    Route {
+        /// Path start.
+        a: Point,
+        /// Path end.
+        b: Point,
+    },
     /// All pairs `(p, o)` with `‖p, o‖ ≤ e` between the scene's data set
     /// and `other`.
     EDistanceJoin {
+        /// The second (outer) data set.
         other: Arc<RStarTree<DataPoint>>,
+        /// The distance threshold.
         e: f64,
     },
     /// The closest pair between the scene's data set and `other`.
-    ClosestPair { other: Arc<RStarTree<DataPoint>> },
+    ClosestPair {
+        /// The second (outer) data set.
+        other: Arc<RStarTree<DataPoint>>,
+    },
     /// Trajectory CONN (`k = 1`) or COkNN (`k > 1`) along a polyline.
-    Trajectory { route: Trajectory, k: usize },
+    Trajectory {
+        /// The polyline route.
+        route: Trajectory,
+        /// Neighbors per point (1 = CONN).
+        k: usize,
+    },
 }
 
 impl QueryKind {
@@ -322,7 +363,12 @@ pub enum Answer {
     Odist(f64),
     /// Obstructed distance plus the path polyline (`None` when
     /// unreachable).
-    Route { dist: f64, path: Option<Vec<Point>> },
+    Route {
+        /// Obstructed distance (∞ when unreachable).
+        dist: f64,
+        /// The shortest path polyline (`None` when unreachable).
+        path: Option<Vec<Point>>,
+    },
     /// All join pairs `(a, b, ‖a, b‖)` ascending by distance.
     EDistanceJoin(Vec<(DataPoint, DataPoint, f64)>),
     /// The closest pair, or `None` when either set is unreachable.
@@ -492,13 +538,19 @@ mod tests {
         // NaN/∞ segments bypass Segment::new (it debug-asserts) the way a
         // release-mode caller could; build() must still catch them
         let nan = Segment {
-            a: Point::new(f64::NAN, 0.0),
+            a: Point {
+                x: f64::NAN,
+                y: 0.0,
+            },
             b: z,
         };
         assert_invalid(Query::conn(nan), "non-finite");
         let inf = Segment {
             a: z,
-            b: Point::new(f64::INFINITY, 0.0),
+            b: Point {
+                x: f64::INFINITY,
+                y: 0.0,
+            },
         };
         assert_invalid(Query::coknn(inf, 2), "non-finite");
         assert!(Query::conn(seg()).build().is_ok());
@@ -517,10 +569,43 @@ mod tests {
         let s = Point::new(1.0, 2.0);
         assert_invalid(Query::range(s, -1.0), "non-negative");
         assert_invalid(Query::range(s, f64::NAN), "finite");
-        assert_invalid(Query::range(Point::new(f64::NAN, 0.0), 5.0), "non-finite");
-        assert_invalid(Query::rnn(Point::new(0.0, f64::INFINITY)), "non-finite");
-        assert_invalid(Query::odist(Point::new(f64::NAN, 0.0), s), "non-finite");
-        assert_invalid(Query::route(s, Point::new(0.0, f64::NAN)), "non-finite");
+        assert_invalid(
+            Query::range(
+                Point {
+                    x: f64::NAN,
+                    y: 0.0,
+                },
+                5.0,
+            ),
+            "non-finite",
+        );
+        assert_invalid(
+            Query::rnn(Point {
+                x: 0.0,
+                y: f64::INFINITY,
+            }),
+            "non-finite",
+        );
+        assert_invalid(
+            Query::odist(
+                Point {
+                    x: f64::NAN,
+                    y: 0.0,
+                },
+                s,
+            ),
+            "non-finite",
+        );
+        assert_invalid(
+            Query::route(
+                s,
+                Point {
+                    x: 0.0,
+                    y: f64::NAN,
+                },
+            ),
+            "non-finite",
+        );
         assert!(Query::range(s, 0.0).build().is_ok(), "zero radius is legal");
     }
 
@@ -544,9 +629,14 @@ mod tests {
     fn invalid_trajectories_are_rejected_by_try_new() {
         assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0)]).is_err());
         assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)]).is_err());
-        assert!(
-            Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)]).is_err()
-        );
+        assert!(Trajectory::try_new(vec![
+            Point::new(0.0, 0.0),
+            Point {
+                x: f64::NAN,
+                y: 1.0
+            }
+        ])
+        .is_err());
         assert!(Trajectory::try_new(vec![Point::new(0.0, 0.0), Point::new(9.0, 1.0)]).is_ok());
     }
 

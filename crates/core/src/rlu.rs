@@ -7,6 +7,7 @@
 //! splitting them wherever `p`'s distance function crosses the incumbent's
 //! (Lemma 1 shortcut, then the quadratic Split of §3).
 
+// lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
 use conn_geom::{Interval, Segment};
 
 use crate::config::ConnConfig;
@@ -19,8 +20,11 @@ use crate::types::DataPoint;
 /// point evaluated so far can reach this interval.
 #[derive(Debug, Clone, Copy)]
 pub struct ResultEntry {
+    /// The answer point (`None` = unreachable interval).
     pub point: Option<DataPoint>,
+    /// The control point realizing the answer's distance function.
     pub cp: Option<ControlPoint>,
+    /// The interval of the query segment this tuple answers.
     pub interval: Interval,
 }
 
@@ -55,6 +59,7 @@ pub struct ResultList {
 }
 
 impl ResultList {
+    /// A single-interval list covering `[0, qlen]` with no answer yet.
     pub fn new(qlen: f64) -> Self {
         ResultList {
             entries: vec![ResultEntry {
@@ -66,10 +71,12 @@ impl ResultList {
         }
     }
 
+    /// The tuples, in ascending interval order.
     pub fn entries(&self) -> &[ResultEntry] {
         &self.entries
     }
 
+    /// Length of the query segment the list partitions.
     pub fn qlen(&self) -> f64 {
         self.qlen
     }
@@ -249,6 +256,13 @@ impl ResultList {
             )));
         }
         Ok(())
+    }
+
+    /// Corrupted-fixture hook: forces a cover gap by pretending the query
+    /// segment is longer than the entries actually cover.
+    #[cfg(all(test, feature = "sanitize-invariants"))]
+    pub(crate) fn force_qlen_for_test(&mut self, qlen: f64) {
+        self.qlen = qlen;
     }
 }
 

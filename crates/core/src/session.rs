@@ -142,6 +142,8 @@ impl<'t, 'e> SessionCore<'t, 'e> {
     }
 
     fn position(&self) -> Point {
+        // Infallible: vertices starts with the session origin and only grows.
+        // lint:allow(no-panic-in-query-path)
         *self.vertices.last().unwrap()
     }
 
@@ -159,6 +161,8 @@ impl<'t, 'e> SessionCore<'t, 'e> {
         );
         let leg = Segment::new(self.position(), to);
         assert!(!leg.is_degenerate(), "degenerate trajectory leg");
+        // Infallible: cum starts as vec![0.0] and only grows.
+        // lint:allow(no-panic-in-query-path)
         let offset = *self.cum.last().unwrap();
         let cfg = *self.engine.get().config();
 
@@ -166,7 +170,9 @@ impl<'t, 'e> SessionCore<'t, 'e> {
             self.data_tree.reset_stats();
             self.obstacle_tree.reset_stats();
         }
-        let started = Instant::now();
+        // Query-boundary elapsed time for QueryStats; the kernel loop
+        // below never reads the clock.
+        let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
         // Lipschitz continuation bound: along an unblocked leg the NN
         // distance moves at most 1:1 with the parameter, so the previous
@@ -357,6 +363,8 @@ impl<'t, 'e> TrajectorySession<'t, 'e> {
 
     /// Cumulative arclength covered so far.
     pub fn len(&self) -> f64 {
+        // Infallible: cum starts as vec![0.0] and only grows.
+        // lint:allow(no-panic-in-query-path)
         *self.core.cum.last().unwrap()
     }
 
@@ -400,6 +408,7 @@ pub struct TrajectoryCoknnSession<'t, 'e> {
 }
 
 impl<'t> TrajectoryCoknnSession<'t, 'static> {
+    /// Opens a session at `start` over borrowed trees.
     pub fn new(
         data_tree: &'t RStarTree<DataPoint>,
         obstacle_tree: &'t RStarTree<Rect>,
@@ -462,6 +471,8 @@ impl<'t, 'e> TrajectoryCoknnSession<'t, 'e> {
         self.core.joint_bound =
             (knn.len() == k).then(|| knn.iter().map(|(_, d)| *d).fold(0.0, f64::max));
         self.legs.push(res);
+        // Infallible: pushed on the line above.
+        // lint:allow(no-panic-in-query-path)
         self.legs.last().unwrap()
     }
 
@@ -470,6 +481,7 @@ impl<'t, 'e> TrajectoryCoknnSession<'t, 'e> {
         &self.legs
     }
 
+    /// The per-point neighbor count every leg answers with.
     pub fn k(&self) -> usize {
         self.k
     }
@@ -624,6 +636,9 @@ mod tests {
     fn non_finite_leg_is_rejected() {
         let (dt, ot) = setup();
         let mut s = TrajectorySession::new(&dt, &ot, Point::new(0.0, 0.0), ConnConfig::default());
-        let _ = s.push_leg(Point::new(f64::NAN, 1.0));
+        let _ = s.push_leg(Point {
+            x: f64::NAN,
+            y: 1.0,
+        });
     }
 }

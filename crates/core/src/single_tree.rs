@@ -12,6 +12,7 @@
 //! cap all live below the [`QueryStreams`] abstraction, so the tree layout
 //! and the kernel compose freely.
 
+// lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
 use std::collections::VecDeque;
 
 use conn_geom::{Rect, Segment};
@@ -29,7 +30,9 @@ use crate::types::DataPoint;
 /// An entry of the unified tree: either a data point or an obstacle.
 #[derive(Debug, Clone, Copy)]
 pub enum SpatialObject {
+    /// A data point of `P`.
     Point(DataPoint),
+    /// An obstacle rectangle of `O`.
     Obstacle(Rect),
 }
 
@@ -97,6 +100,7 @@ pub struct OneTreeStreams<'a> {
 }
 
 impl<'a> OneTreeStreams<'a> {
+    /// Streams over the unified tree, ordered by `mindist` to `q`.
     pub fn new(tree: &'a RStarTree<SpatialObject>, q: &Segment) -> Self {
         OneTreeStreams {
             iter: tree.nearest_iter(*q),
@@ -158,6 +162,8 @@ impl QueryStreams for OneTreeStreams<'_> {
                     self.loaded += added;
                     return added;
                 }
+                // Infallible: guarded by the peek on the line above.
+                // lint:allow(no-panic-in-query-path)
                 let (r, _) = self.obstacle_buf.pop_front().expect("front checked");
                 g.add_obstacle(r);
                 added += 1;

@@ -164,14 +164,23 @@ impl QueryStats {
 /// Workload-averaged metrics, as reported in the paper's figures.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AveragedStats {
+    /// Mean logical page reads per query.
     pub reads: f64,
+    /// Mean page faults per query.
     pub faults: f64,
+    /// Mean CPU seconds per query.
     pub cpu_s: f64,
+    /// Mean charged I/O seconds per query (faults × 10 ms).
     pub io_s: f64,
+    /// Mean total seconds per query (`cpu_s + io_s`).
     pub total_s: f64,
+    /// Mean data points evaluated per query.
     pub npe: f64,
+    /// Mean obstacles evaluated per query.
     pub noe: f64,
+    /// Mean visibility-graph size per query.
     pub svg_nodes: f64,
+    /// Mean result tuples per query.
     pub result_tuples: f64,
 }
 

@@ -40,6 +40,7 @@ pub struct TwoTreeStreams<'a> {
 }
 
 impl<'a> TwoTreeStreams<'a> {
+    /// Opens both mindist-ordered streams for `q`.
     pub fn new(
         data_tree: &'a RStarTree<DataPoint>,
         obstacle_tree: &'a RStarTree<Rect>,
@@ -83,6 +84,8 @@ impl QueryStreams for TwoTreeStreams<'_> {
             if d > bound {
                 break;
             }
+            // Infallible: guarded by the peek on the line above.
+            // lint:allow(no-panic-in-query-path)
             let r = self.pop_obstacle().expect("peeked obstacle");
             g.add_obstacle(r);
             added += 1;
@@ -132,6 +135,7 @@ impl LoadedObstacles {
         self.keys.len()
     }
 
+    /// True when no obstacle has been loaded yet.
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
     }
@@ -156,6 +160,7 @@ pub struct SessionStreams<'a, 's> {
 }
 
 impl<'a, 's> SessionStreams<'a, 's> {
+    /// Opens the leg's streams, deduplicating against `loaded`.
     pub fn new(
         data_tree: &'a RStarTree<DataPoint>,
         obstacle_tree: &'a RStarTree<Rect>,
@@ -206,6 +211,8 @@ impl QueryStreams for SessionStreams<'_, '_> {
             if d > bound {
                 break;
             }
+            // Infallible: guarded by the peek on the line above.
+            // lint:allow(no-panic-in-query-path)
             let r = self.pop_obstacle().expect("peeked obstacle");
             self.loaded.insert(&r);
             g.add_obstacle(r);

@@ -19,6 +19,7 @@
 //! `repro --target traj` measures the session against, and the oracle the
 //! streaming-equivalence proptests compare to.
 
+// lint:allow-file(no-panic-in-query-path[index]): leg/vertex indices are bounded by the constructor-validated vertex count
 use conn_geom::{Interval, Point, Rect, Segment, EPS};
 use conn_index::RStarTree;
 
@@ -42,7 +43,7 @@ impl Trajectory {
     /// Panics on invalid input — [`Trajectory::try_new`] is the checked
     /// variant the typed query API builds on.
     pub fn new(vertices: Vec<Point>) -> Self {
-        Trajectory::try_new(vertices).unwrap_or_else(|e| panic!("{e}"))
+        Trajectory::try_new(vertices).unwrap_or_else(|e| panic!("{e}")) // lint:allow(no-panic-in-query-path)
     }
 
     /// Checked constructor: rejects fewer than 2 vertices, non-finite
@@ -68,11 +69,14 @@ impl Trajectory {
             if leg.is_degenerate() {
                 return Err(crate::Error::invalid_query("degenerate trajectory leg"));
             }
+            // Infallible: cum is seeded with 0.0 before the loop.
+            // lint:allow(no-panic-in-query-path)
             cum.push(cum.last().unwrap() + leg.len());
         }
         Ok(Trajectory { vertices, cum })
     }
 
+    /// The polyline vertices.
     pub fn vertices(&self) -> &[Point] {
         &self.vertices
     }
@@ -84,6 +88,8 @@ impl Trajectory {
 
     /// Total arclength.
     pub fn len(&self) -> f64 {
+        // Infallible: cum is non-empty for every constructed trajectory.
+        // lint:allow(no-panic-in-query-path)
         *self.cum.last().unwrap()
     }
 
@@ -143,6 +149,7 @@ impl TrajectoryResult {
         }
     }
 
+    /// The route the result answers.
     pub fn trajectory(&self) -> &Trajectory {
         &self.trajectory
     }
@@ -303,8 +310,10 @@ pub fn trajectory_conn_search(
         crate::ConnService::with_config(crate::Scene::borrowing(data_tree, obstacle_tree), *cfg);
     let query = crate::Query::trajectory(trajectory.clone(), 1)
         .build()
-        .unwrap_or_else(|e| panic!("{e}"));
-    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}"));
+        .unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+    let resp = service.execute(&query).unwrap_or_else(|e| panic!("{e}")); // lint:allow(no-panic-in-query-path)
+                                                                          // Infallible: the service answers each query kind with its own family.
+                                                                          // lint:allow(no-panic-in-query-path)
     let res = resp.answer.into_trajectory().expect("trajectory answer");
     (res, resp.stats)
 }

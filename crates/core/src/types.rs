@@ -7,11 +7,14 @@ use conn_index::{Mbr, PersistItem};
 /// with a stable identifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataPoint {
+    /// Stable application identifier.
     pub id: u32,
+    /// Location in the plane.
     pub pos: Point,
 }
 
 impl DataPoint {
+    /// A data point with identifier `id` at `pos`.
     pub fn new(id: u32, pos: Point) -> Self {
         DataPoint { id, pos }
     }

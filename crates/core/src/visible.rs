@@ -31,7 +31,9 @@ pub fn visible_knn(
     assert!(k >= 1, "k must be positive");
     data_tree.reset_stats();
     obstacle_tree.reset_stats();
-    let started = Instant::now();
+    // Query-boundary elapsed time for QueryStats; the kernel loop
+    // below never reads the clock.
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
     let mut g = VisGraph::new(cfg.vgraph_cell);
     g.add_point(s, NodeKind::Endpoint);

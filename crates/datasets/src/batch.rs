@@ -31,10 +31,18 @@ pub enum QueryMix {
     Uniform,
     /// Segments anchored near `hotspots` uniformly-placed centers, with
     /// anchors spread within `spread × SPACE_SIDE` of their center.
-    Clustered { hotspots: usize, spread: f64 },
+    Clustered {
+        /// Number of uniformly-placed cluster centers.
+        hotspots: usize,
+        /// Anchor spread around each center, as a fraction of `SPACE_SIDE`.
+        spread: f64,
+    },
     /// Chains of `legs` connected segments; consecutive legs turn by at
     /// most ±45°.
-    Trajectory { legs: usize },
+    Trajectory {
+        /// Connected legs per chain.
+        legs: usize,
+    },
 }
 
 /// Generates a `count`-query batch of the given mix; each segment has

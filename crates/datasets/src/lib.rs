@@ -18,6 +18,9 @@
 //!
 //! Every generator is deterministic in its seed.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod lookup;
 pub mod obstacles;
@@ -67,6 +70,7 @@ pub enum Combo {
 }
 
 impl Combo {
+    /// Two-letter figure label for this combination.
     pub fn label(self) -> &'static str {
         match self {
             Combo::Cl => "CL",

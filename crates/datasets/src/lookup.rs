@@ -14,6 +14,7 @@ pub struct ObstacleLookup {
 }
 
 impl ObstacleLookup {
+    /// Creates an empty lookup with the given grid cell size.
     pub fn new(cell: f64) -> Self {
         assert!(cell > 0.0);
         ObstacleLookup {
@@ -36,10 +37,12 @@ impl ObstacleLookup {
         l
     }
 
+    /// Number of obstacles inserted.
     pub fn len(&self) -> usize {
         self.rects.len()
     }
 
+    /// True when no obstacle has been inserted.
     pub fn is_empty(&self) -> bool {
         self.rects.is_empty()
     }
@@ -52,6 +55,7 @@ impl ObstacleLookup {
         )
     }
 
+    /// Inserts an obstacle into the grid.
     pub fn insert(&mut self, r: Rect) {
         let id = self.rects.len() as u32;
         self.rects.push(r);

@@ -11,7 +11,9 @@ use crate::approx::EPS;
 /// A closed interval `[lo, hi]` of the segment parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
+    /// Lower bound of the parameter range.
     pub lo: f64,
+    /// Upper bound of the parameter range.
     pub hi: f64,
 }
 
@@ -26,6 +28,7 @@ impl Interval {
         }
     }
 
+    /// Interval length `hi - lo`.
     #[inline]
     pub fn len(&self) -> f64 {
         self.hi - self.lo
@@ -38,11 +41,13 @@ impl Interval {
         self.len() <= EPS
     }
 
+    /// True when `t` lies inside the interval (with [`EPS`] slack).
     #[inline]
     pub fn contains(&self, t: f64) -> bool {
         t >= self.lo - EPS && t <= self.hi + EPS
     }
 
+    /// Midpoint of the interval.
     #[inline]
     pub fn midpoint(&self) -> f64 {
         (self.lo + self.hi) / 2.0
@@ -112,11 +117,13 @@ impl IntervalSet {
         IntervalSet { ivs: out }
     }
 
+    /// True when the set holds no intervals.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.ivs.is_empty()
     }
 
+    /// The intervals, sorted and disjoint.
     #[inline]
     pub fn intervals(&self) -> &[Interval] {
         &self.ivs

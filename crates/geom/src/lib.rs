@@ -17,11 +17,15 @@
 //! (Definition 1) and its convention that data points may lie on obstacle
 //! boundaries but not inside them.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod approx;
 pub mod interval;
 pub mod point;
 pub mod quadratic;
 pub mod rect;
+pub mod sanitize;
 pub mod segment;
 
 pub use approx::{approx_eq, approx_ge, approx_le, OrdF64, EPS};

@@ -6,14 +6,30 @@ use std::ops::{Add, Mul, Sub};
 /// A point (or free vector) in the plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 
 impl Point {
     /// Creates a point from coordinates.
+    #[cfg(not(feature = "sanitize-invariants"))]
     #[inline]
     pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point from coordinates.
+    ///
+    /// Sanitized builds install this checked constructor instead of the
+    /// `const` one: NaN, infinite, and negative-zero coordinates are
+    /// rejected at build time (see [`crate::sanitize`]).
+    #[cfg(feature = "sanitize-invariants")]
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        crate::sanitize::audit_coord("Point::new x", x);
+        crate::sanitize::audit_coord("Point::new y", y);
         Point { x, y }
     }
 
@@ -75,11 +91,19 @@ impl Point {
     }
 }
 
+// The arithmetic operators build the struct directly rather than going
+// through `Point::new`: IEEE 754 can legitimately produce `-0.0` in derived
+// vectors (a zero component times a negative scalar), and the sanitized
+// constructor audit targets *ingested* coordinates, not intermediate math.
+
 impl Add for Point {
     type Output = Point;
     #[inline]
     fn add(self, rhs: Point) -> Point {
-        Point::new(self.x + rhs.x, self.y + rhs.y)
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
@@ -87,7 +111,10 @@ impl Sub for Point {
     type Output = Point;
     #[inline]
     fn sub(self, rhs: Point) -> Point {
-        Point::new(self.x - rhs.x, self.y - rhs.y)
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
@@ -95,7 +122,10 @@ impl Mul<f64> for Point {
     type Output = Point;
     #[inline]
     fn mul(self, s: f64) -> Point {
-        Point::new(self.x * s, self.y * s)
+        Point {
+            x: self.x * s,
+            y: self.y * s,
+        }
     }
 }
 
@@ -145,5 +175,26 @@ mod tests {
         assert_eq!(a * 2.0, Point::new(2.0, 4.0));
         assert_eq!(a.dot(b), 1.0);
         assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn sanitized_build_rejects_bad_coordinates() {
+        let _guard = crate::sanitize::test_guard();
+        assert!(std::panic::catch_unwind(|| Point::new(f64::NAN, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Point::new(0.0, f64::INFINITY)).is_err());
+        assert!(std::panic::catch_unwind(|| Point::new(-0.0, 1.0)).is_err());
+        // honest coordinates still pass
+        let _ = Point::new(0.0, -17.25);
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn runtime_switch_off_permits_bad_coordinates() {
+        let _guard = crate::sanitize::test_guard();
+        crate::sanitize::set_enabled(false);
+        let p = Point::new(f64::NAN, 0.0);
+        crate::sanitize::set_enabled(true);
+        assert!(p.x.is_nan());
     }
 }

@@ -10,16 +10,28 @@ use crate::segment::Segment;
 /// an R-tree minimum bounding rectangle. A point MBR is a zero-area `Rect`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
+    /// Left edge.
     pub min_x: f64,
+    /// Bottom edge.
     pub min_y: f64,
+    /// Right edge.
     pub max_x: f64,
+    /// Top edge.
     pub max_y: f64,
 }
 
 impl Rect {
     /// Creates a rectangle, normalizing the corner order.
+    ///
+    /// Sanitized builds audit the coordinates (no NaN/∞/`-0.0` — see
+    /// [`crate::sanitize`]): with NaN in play `min`/`max` silently pick the
+    /// non-NaN side and the "normalized corner order" post-condition melts.
     #[inline]
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        crate::sanitize::audit_coord("Rect::new x0", x0);
+        crate::sanitize::audit_coord("Rect::new y0", y0);
+        crate::sanitize::audit_coord("Rect::new x1", x1);
+        crate::sanitize::audit_coord("Rect::new y1", y1);
         Rect {
             min_x: x0.min(x1),
             min_y: y0.min(y1),
@@ -53,16 +65,19 @@ impl Rect {
         ]
     }
 
+    /// Extent along the x axis.
     #[inline]
     pub fn width(&self) -> f64 {
         self.max_x - self.min_x
     }
 
+    /// Extent along the y axis.
     #[inline]
     pub fn height(&self) -> f64 {
         self.max_y - self.min_y
     }
 
+    /// Rectangle area (`width × height`).
     #[inline]
     pub fn area(&self) -> f64 {
         self.width() * self.height()
@@ -74,6 +89,7 @@ impl Rect {
         self.width() + self.height()
     }
 
+    /// Center point.
     #[inline]
     pub fn center(&self) -> Point {
         Point::new(
@@ -367,5 +383,15 @@ mod tests {
     fn blocks_chord_between_boundary_points() {
         // chord between two boundary points passing through the interior
         assert!(R.blocks(&seg(2.0, 2.0, 6.0, 5.0)));
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn sanitized_build_rejects_bad_coordinates() {
+        let _guard = crate::sanitize::test_guard();
+        assert!(std::panic::catch_unwind(|| Rect::new(f64::NAN, 0.0, 1.0, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Rect::new(0.0, 0.0, f64::INFINITY, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Rect::new(0.0, -0.0, 1.0, 1.0)).is_err());
+        let _ = Rect::new(0.0, 0.0, 1.0, 1.0);
     }
 }

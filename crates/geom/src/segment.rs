@@ -13,15 +13,25 @@ use crate::point::Point;
 /// A directed line segment from `a` to `b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
+    /// Start point.
     pub a: Point,
+    /// End point.
     pub b: Point,
 }
 
 impl Segment {
-    /// Creates a segment. Coordinates must be finite.
+    /// Creates a segment. Coordinates must be finite (sanitized builds
+    /// audit this — NaN/∞/`-0.0` endpoints are rejected, see
+    /// [`crate::sanitize`]; other builds debug-assert finiteness only).
     #[inline]
     pub fn new(a: Point, b: Point) -> Self {
         debug_assert!(a.is_finite() && b.is_finite(), "non-finite segment");
+        if crate::sanitize::enabled() {
+            crate::sanitize::audit_coord("Segment::new a.x", a.x);
+            crate::sanitize::audit_coord("Segment::new a.y", a.y);
+            crate::sanitize::audit_coord("Segment::new b.x", b.x);
+            crate::sanitize::audit_coord("Segment::new b.y", b.y);
+        }
         Segment { a, b }
     }
 
@@ -226,5 +236,21 @@ mod tests {
         assert!(s.is_degenerate());
         assert_eq!(s.at(5.0), Point::new(1.0, 1.0));
         assert_eq!(s.dist_to_point(Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn sanitized_build_rejects_bad_endpoints() {
+        let _guard = crate::sanitize::test_guard();
+        // a NaN that bypassed Point::new (struct literal) is still caught
+        // by the segment's own endpoint audit
+        let bad = Point {
+            x: f64::NAN,
+            y: 0.0,
+        };
+        let ok = Point::new(0.0, 0.0);
+        assert!(std::panic::catch_unwind(|| Segment::new(ok, bad)).is_err());
+        assert!(std::panic::catch_unwind(|| Segment::new(bad, ok)).is_err());
+        let _ = Segment::new(ok, Point::new(5.0, 5.0));
     }
 }

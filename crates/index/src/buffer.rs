@@ -4,6 +4,7 @@
 //! size; only the I/O metric reacts. The buffer here is a textbook O(1) LRU:
 //! a hash map from page id to a slot in an intrusive doubly-linked list.
 
+// lint:allow-file(no-panic-in-query-path[index]): frame indices come from the LRU list the same struct maintains
 use crate::node::PageId;
 use std::collections::HashMap;
 
@@ -41,14 +42,17 @@ impl LruBuffer {
         }
     }
 
+    /// Maximum number of resident pages.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of currently resident pages.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when no pages are resident.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }

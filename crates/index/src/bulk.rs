@@ -39,11 +39,16 @@ impl<T: Mbr + Clone> RStarTree<T> {
             level_entries = self.pack_level(level_entries, level, cap);
             level += 1;
         }
+        // Infallible: the loop above runs until exactly one entry is
+        // left, and bulk_fill is never called with an empty item set.
+        // lint:allow(no-panic-in-query-path)
         match level_entries.pop().expect("non-empty packing") {
             Entry::Node { page, .. } => self.root = page,
+            // lint:allow(no-panic-in-query-path): the final pack level is nodes
             Entry::Item(_) => unreachable!("packing always produces a node"),
         }
         self.set_len(n);
+        self.audit_structure("RStarTree::bulk_load");
     }
 
     /// Packs `entries` into nodes of `level`, returning parent entries.

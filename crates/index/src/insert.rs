@@ -8,6 +8,7 @@
 //! recursion and corrupt ancestor MBRs; the deferred queue produces the same
 //! tree-quality behaviour without the re-entrancy hazard.
 
+// lint:allow-file(no-panic-in-query-path[index]): page ids and entry indices are tree-structural invariants (children exist, fanout within bounds) re-audited after every mutation by check_invariants / sanitize-invariants
 use conn_geom::Rect;
 
 use crate::node::{Entry, Mbr, Node, PageId};
@@ -43,6 +44,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
             self.insert_entry(p.entry, p.level, &mut reinserted, &mut pending);
         }
         self.bump_len();
+        self.audit_structure("RStarTree::insert");
     }
 
     /// Inserts a raw entry at a given level through the full insertion
@@ -102,6 +104,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
             let idx = self.choose_subtree(page, &entry.mbr());
             let child = match self.pages[page as usize].entries[idx] {
                 Entry::Node { page, .. } => page,
+                // lint:allow(no-panic-in-query-path): page.level > 0 here
                 Entry::Item(_) => unreachable!("item entry above the leaf level"),
             };
             let split = self.insert_rec(child, entry, target_level, reinserted, pending);
@@ -206,6 +209,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
                                 .total_cmp(&node.entries[b].mbr().area()),
                         )
                 })
+                // lint:allow(no-panic-in-query-path): nodes hold ≥ min_entries ≥ 1
                 .expect("choose_subtree on empty node")
         } else {
             (0..node.entries.len())
@@ -219,6 +223,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
                                 .total_cmp(&node.entries[b].mbr().area()),
                         )
                 })
+                // lint:allow(no-panic-in-query-path): nodes hold ≥ min_entries ≥ 1
                 .expect("choose_subtree on empty node")
         }
     }
@@ -265,6 +270,8 @@ impl<T: Mbr + Clone> RStarTree<T> {
                 acc = acc.union(&entries[i].mbr());
                 prefix.push(acc);
             }
+            // Infallible: an overflowing node has max_entries + 1 entries.
+            // lint:allow(no-panic-in-query-path)
             let mut suffix = vec![entries[*order.last().unwrap()].mbr(); total];
             for k in (0..total - 1).rev() {
                 suffix[k] = suffix[k + 1].union(&entries[order[k]].mbr());
@@ -304,6 +311,8 @@ impl<T: Mbr + Clone> RStarTree<T> {
                 }
             }
         }
+        // Infallible: the distribution loop always runs at least once.
+        // lint:allow(no-panic-in-query-path)
         let (_, _, oi, k) = best.expect("split found no distribution");
         let order = &orderings[oi].1;
 

@@ -18,6 +18,9 @@
 //! [`Point`]: conn_geom::Point
 //! [`Segment`]: conn_geom::Segment
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod bulk;
 pub mod delete;

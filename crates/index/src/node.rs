@@ -8,6 +8,7 @@ pub type PageId = u32;
 /// Anything that can live in the tree: must expose a minimum bounding
 /// rectangle (a point item returns a degenerate rectangle).
 pub trait Mbr {
+    /// Minimum bounding rectangle of the item.
     fn mbr(&self) -> Rect;
 }
 
@@ -30,7 +31,12 @@ impl Mbr for conn_geom::Point {
 #[derive(Debug, Clone)]
 pub enum Entry<T> {
     /// Pointer to a child node one level below.
-    Node { mbr: Rect, page: PageId },
+    Node {
+        /// Bounding rectangle covering the child's subtree.
+        mbr: Rect,
+        /// Page id of the child node.
+        page: PageId,
+    },
     /// A data item stored at the leaf level.
     Item(T),
 }
@@ -51,10 +57,12 @@ impl<T: Mbr> Entry<T> {
 pub struct Node<T> {
     /// 0 for leaves; parents of leaves are level 1, and so on up to the root.
     pub level: u32,
+    /// The node's slots (at most the tree's `max_entries`).
     pub entries: Vec<Entry<T>>,
 }
 
 impl<T: Mbr> Node<T> {
+    /// An empty node at `level`.
     pub fn new(level: u32) -> Self {
         Node {
             level,
@@ -62,6 +70,7 @@ impl<T: Mbr> Node<T> {
         }
     }
 
+    /// True for level-0 (item-holding) nodes.
     #[inline]
     pub fn is_leaf(&self) -> bool {
         self.level == 0

@@ -15,6 +15,7 @@
 //!   item: T::encode (fixed width)
 //! ```
 
+// lint:allow-file(no-panic-in-query-path[index]): offsets are length-checked against the byte buffer before slicing
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -29,7 +30,9 @@ const MAGIC: &[u8; 8] = b"CONNRT01";
 pub trait PersistItem: Sized {
     /// Encoded width in bytes (fixed per type).
     const ENCODED_SIZE: usize;
+    /// Appends exactly [`Self::ENCODED_SIZE`] bytes to `out`.
     fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes from a [`Self::ENCODED_SIZE`]-byte slice.
     fn decode(bytes: &[u8]) -> io::Result<Self>;
 }
 
@@ -71,6 +74,8 @@ pub fn read_f64(bytes: &[u8], offset: usize) -> io::Result<f64> {
     let slice = bytes
         .get(offset..offset + 8)
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated f64"))?;
+    // Infallible: get() above returned exactly 8 bytes.
+    // lint:allow(no-panic-in-query-path)
     Ok(f64::from_le_bytes(slice.try_into().expect("8 bytes")))
 }
 
@@ -79,6 +84,8 @@ pub fn read_u32(bytes: &[u8], offset: usize) -> io::Result<u32> {
     let slice = bytes
         .get(offset..offset + 4)
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated u32"))?;
+    // Infallible: get() above returned exactly 4 bytes.
+    // lint:allow(no-panic-in-query-path)
     Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
 }
 

@@ -7,6 +7,7 @@
 //! first traversal (Hjaltason & Samet) is I/O-optimal: it reads exactly the
 //! nodes whose `mindist` is below the final stopping distance.
 
+// lint:allow-file(no-panic-in-query-path[index]): page ids and entry indices are tree-structural invariants (children exist, fanout within bounds) re-audited after every mutation by check_invariants / sanitize-invariants
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 

@@ -35,6 +35,7 @@ impl StatsSnapshot {
 }
 
 impl PageStats {
+    /// Records one logical read, plus a fault when the buffer missed.
     pub fn record(&self, fault: bool) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         if fault {
@@ -42,6 +43,7 @@ impl PageStats {
         }
     }
 
+    /// Point-in-time copy of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
@@ -49,6 +51,7 @@ impl PageStats {
         }
     }
 
+    /// Zeroes both counters.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);

@@ -1,5 +1,6 @@
 //! The tree structure, simulated page store, and maintenance entry points.
 
+// lint:allow-file(no-panic-in-query-path[index]): page ids and entry indices are tree-structural invariants (children exist, fanout within bounds) re-audited after every mutation by check_invariants / sanitize-invariants
 use std::sync::Mutex;
 
 use conn_geom::{Point, Rect};
@@ -69,6 +70,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
         self.len
     }
 
+    /// True when the tree stores no items.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -84,10 +86,12 @@ impl<T: Mbr + Clone> RStarTree<T> {
         self.pages[self.root as usize].level + 1
     }
 
+    /// Maximum entries per node (page fanout).
     pub fn max_entries(&self) -> usize {
         self.max_entries
     }
 
+    /// Minimum fill per non-root node.
     pub fn min_entries(&self) -> usize {
         self.min_entries
     }
@@ -102,7 +106,11 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// Reads a page, charging the access (and a fault on buffer miss).
     #[inline]
     pub(crate) fn read(&self, page: PageId) -> &Node<T> {
-        let hit = self.buffer.lock().expect("buffer poisoned").access(page);
+        let hit = self
+            .buffer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .access(page);
         self.stats.record(!hit);
         &self.pages[page as usize]
     }
@@ -123,6 +131,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
         self.stats.snapshot()
     }
 
+    /// Zeroes the access counters (the paper resets them per query).
     pub fn reset_stats(&self) {
         self.stats.reset();
     }
@@ -131,7 +140,7 @@ impl<T: Mbr + Clone> RStarTree<T> {
     pub fn set_buffer_pages(&self, pages: usize) {
         self.buffer
             .lock()
-            .expect("buffer poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .set_capacity(pages);
     }
 
@@ -144,7 +153,10 @@ impl<T: Mbr + Clone> RStarTree<T> {
 
     /// Drops all buffered pages (capacity is kept).
     pub fn clear_buffer(&self) {
-        self.buffer.lock().expect("buffer poisoned").clear();
+        self.buffer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     // ----- whole-tree iteration (untracked; for tests and validation) -------
@@ -168,6 +180,19 @@ impl<T: Mbr + Clone> RStarTree<T> {
             return Err(format!("len {} != stored items {}", self.len, counted));
         }
         Ok(())
+    }
+
+    /// Sanitizer hook: runs [`Self::check_invariants`] after a structure
+    /// modification and aborts (via [`conn_geom::sanitize::violation`]) on
+    /// any violation. Compiles to nothing without the `sanitize-invariants`
+    /// feature; obeys the runtime switch with it.
+    #[inline]
+    pub(crate) fn audit_structure(&self, op: &str) {
+        if conn_geom::sanitize::enabled() {
+            if let Err(msg) = self.check_invariants() {
+                conn_geom::sanitize::violation(op, &msg);
+            }
+        }
     }
 
     fn check_node(&self, page: PageId, expect_level: Option<u32>) -> Result<(), String> {
@@ -298,5 +323,32 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.reads, 2);
         assert_eq!(s.faults, 1); // second read hits
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn structure_audit_fires_on_corrupted_mbr() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(i as f64 * 3.0, (i * 7 % 13) as f64))
+            .collect();
+        let mut t = RStarTree::bulk_load_with_fanout(pts, 4, 2);
+        assert!(t.height() >= 2, "fixture needs an inner level");
+        t.audit_structure("intact fixture"); // clean tree passes
+
+        // Shrink a root entry's MBR so it no longer contains its subtree.
+        let root = t.root;
+        match &mut t.pages[root as usize].entries[0] {
+            Entry::Node { mbr, .. } => *mbr = Rect::new(1e6, 1e6, 1e6 + 1.0, 1e6 + 1.0),
+            Entry::Item(_) => panic!("two-level root holds node entries"),
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.audit_structure("corrupted fixture")
+        }))
+        .expect_err("audit must fire on a corrupted MBR");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("sanitize-invariants"),
+            "panic message should carry the sanitizer prefix, got: {msg}"
+        );
     }
 }

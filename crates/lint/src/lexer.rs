@@ -1,0 +1,565 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint pass needs token-level structure, not a full parse tree: rule
+//! patterns are short token subsequences (`Instant :: now`, `. unwrap (`,
+//! an identifier followed by `[`). The lexer therefore recognizes exactly
+//! the lexical classes that matter for that — identifiers, lifetimes,
+//! string/char/numeric literals, doc comments, punctuation — and records
+//! the line number of every token so diagnostics can point at source.
+//!
+//! Ordinary (non-doc) comments do not become tokens, but they are scanned
+//! for `lint:allow(...)` / `lint:allow-file(...)` suppression markers,
+//! which are returned alongside the token stream.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, …).
+    Ident,
+    /// String literal (normal, raw, or byte); `text` holds the contents.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    Doc,
+    /// Punctuation; `::` is fused into a single token, everything else is
+    /// one character.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Token text (for [`TokKind::Str`], the unescaped-ish contents —
+    /// escapes are kept verbatim, which is fine for name matching).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A `lint:allow` suppression marker found in a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Rule name being allowed, optionally with a `[facet]` suffix.
+    pub target: String,
+    /// True for `lint:allow-file(...)` (whole-file scope).
+    pub file_scope: bool,
+    /// True when a `: justification` trails the closing paren.
+    pub justified: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Every suppression marker found in comments.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes `src`, returning the token stream plus any `lint:allow` markers.
+///
+/// The lexer is intentionally forgiving: malformed input never panics, it
+/// just degrades into punctuation tokens. Lint rules only ever *miss* on
+/// garbage input (which rustc will reject anyway), they don't crash.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comments: doc comments become tokens, ordinary comments are
+        // scanned for lint:allow markers.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let mut j = i;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                out.tokens.push(Token {
+                    kind: TokKind::Doc,
+                    text,
+                    line,
+                });
+            } else {
+                parse_allow(&text, line, &mut out.allows);
+            }
+            i = j;
+            continue;
+        }
+
+        // Block comments (nested, as in Rust).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let is_doc = i + 2 < n
+                && (chars[i + 2] == '!'
+                    || (chars[i + 2] == '*' && !(i + 3 < n && chars[i + 3] == '/')));
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut body = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    body.push(chars[j]);
+                    j += 1;
+                }
+            }
+            if is_doc {
+                out.tokens.push(Token {
+                    kind: TokKind::Doc,
+                    text: body,
+                    line: start_line,
+                });
+            } else {
+                parse_allow(&body, start_line, &mut out.allows);
+            }
+            i = j;
+            continue;
+        }
+
+        // Identifiers, keywords, and the string-prefix forms r"", b"",
+        // br"", r#"", r#ident.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let ident: String = chars[start..j].iter().collect();
+            if (ident == "r" || ident == "b" || ident == "br") && j < n {
+                if chars[j] == '"' {
+                    let (end, content, nl) = scan_plain_or_raw_string(&chars, j, ident != "b");
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: content,
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                    continue;
+                }
+                if chars[j] == '#' && ident != "b" {
+                    // Raw string r#"…"# (any hash count) or raw ident r#type.
+                    let mut h = j;
+                    while h < n && chars[h] == '#' {
+                        h += 1;
+                    }
+                    if h < n && chars[h] == '"' {
+                        let hashes = h - j;
+                        let (end, content, nl) = scan_raw_string(&chars, h + 1, hashes);
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: content,
+                            line,
+                        });
+                        line += nl;
+                        i = end;
+                        continue;
+                    }
+                    if ident == "r"
+                        && h == j + 1
+                        && h < n
+                        && (chars[h].is_alphabetic() || chars[h] == '_')
+                    {
+                        let mut k = h;
+                        while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                            k += 1;
+                        }
+                        let raw: String = chars[h..k].iter().collect();
+                        out.tokens.push(Token {
+                            kind: TokKind::Ident,
+                            text: raw,
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                if ident == "b" && chars[j] == '\'' {
+                    let (end, nl) = scan_char_literal(&chars, j);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let (end, content, nl) = scan_plain_or_raw_string(&chars, i, false);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: content,
+                line,
+            });
+            line += nl;
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => after == Some('\''),
+                None => false,
+            };
+            if is_char {
+                let (end, nl) = scan_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            } else {
+                // Lifetime: ' followed by an identifier, no closing quote.
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let name: String = chars[i + 1..j].iter().collect();
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+
+        // Numbers (we only need "a literal happened here", not its value).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n {
+                let d = chars[j];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && j + 1 < n && chars[j + 1].is_ascii_digit())
+                    || ((d == '+' || d == '-') && j > start && matches!(chars[j - 1], 'e' | 'E'));
+                if continues {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = chars[start..j].iter().collect();
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Punctuation; fuse `::` since path patterns need it.
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "::".into(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Scans a quoted string starting at the opening `"` (index `open`).
+/// Returns (index past closing quote, contents, newlines crossed).
+/// With `raw`, backslash is not an escape (r"" / br"" zero-hash form).
+fn scan_plain_or_raw_string(chars: &[char], open: usize, raw: bool) -> (usize, String, u32) {
+    let n = chars.len();
+    let mut j = open + 1;
+    let mut content = String::new();
+    let mut nl = 0u32;
+    while j < n {
+        let c = chars[j];
+        if c == '"' {
+            return (j + 1, content, nl);
+        }
+        if c == '\\' && !raw && j + 1 < n {
+            content.push(c);
+            content.push(chars[j + 1]);
+            if chars[j + 1] == '\n' {
+                nl += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if c == '\n' {
+            nl += 1;
+        }
+        content.push(c);
+        j += 1;
+    }
+    (n, content, nl)
+}
+
+/// Scans a raw string body (past `r##"`), looking for `"` + `hashes` hashes.
+fn scan_raw_string(chars: &[char], body: usize, hashes: usize) -> (usize, String, u32) {
+    let n = chars.len();
+    let mut j = body;
+    let mut content = String::new();
+    let mut nl = 0u32;
+    while j < n {
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut h = 0usize;
+            while k < n && chars[k] == '#' && h < hashes {
+                k += 1;
+                h += 1;
+            }
+            if h == hashes {
+                return (k, content, nl);
+            }
+        }
+        if chars[j] == '\n' {
+            nl += 1;
+        }
+        content.push(chars[j]);
+        j += 1;
+    }
+    (n, content, nl)
+}
+
+/// Scans a char/byte-char literal starting at the opening `'`.
+fn scan_char_literal(chars: &[char], open: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = open + 1;
+    let mut nl = 0u32;
+    if j < n && chars[j] == '\\' {
+        // Skip the escaped char, then run to the closing quote (covers
+        // \u{…} and friends).
+        j += 2;
+        while j < n && chars[j] != '\'' {
+            if chars[j] == '\n' {
+                nl += 1;
+            }
+            j += 1;
+        }
+        return (j.min(n - 1) + 1, nl);
+    }
+    if j < n {
+        if chars[j] == '\n' {
+            nl += 1;
+        }
+        j += 1; // the char itself
+    }
+    if j < n && chars[j] == '\'' {
+        j += 1;
+    }
+    (j, nl)
+}
+
+/// Parses `lint:allow(rule, rule2)` / `lint:allow-file(rule): why` markers
+/// out of a comment's text.
+fn parse_allow(text: &str, line: u32, allows: &mut Vec<Allow>) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:allow") {
+        rest = &rest[pos + "lint:allow".len()..];
+        let file_scope = if let Some(r) = rest.strip_prefix("-file") {
+            rest = r;
+            true
+        } else {
+            false
+        };
+        let Some(r) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = r.find(')') else { continue };
+        let targets = &r[..close];
+        let after = &r[close + 1..];
+        let justified = after
+            .trim_start()
+            .strip_prefix(':')
+            .map(|j| !j.trim().is_empty())
+            .unwrap_or(false);
+        for t in targets.split(',') {
+            let t = t.trim();
+            if !t.is_empty() {
+                allows.push(Allow {
+                    line,
+                    target: t.to_string(),
+                    file_scope,
+                    justified,
+                });
+            }
+        }
+        rest = after;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn main() {\n    x.unwrap();\n}\n");
+        let idents: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![("fn", 1), ("main", 1), ("x", 2), ("unwrap", 2)]
+        );
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let l = lex("Instant::now()");
+        assert!(l.tokens[1].is_punct("::"));
+        assert!(l.tokens[2].is_ident("now"));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let l = lex(r#"let s = "x.unwrap() [0]"; let c = '['; let r = r"[1]";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_punct("[")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let l = lex(r"let q = '\''; let lt: &'static str = x;");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn raw_hash_string_and_raw_ident() {
+        let l = lex(r###"let a = r#"has "quotes" and [0]"#; let b = r#type;"###);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("quotes")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(!l.tokens.iter().any(|t| t.is_punct("[")));
+    }
+
+    #[test]
+    fn doc_comments_are_tokens_plain_comments_are_not() {
+        let l = lex("/// doc\n// plain\n//! inner\nfn f() {}\n");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Doc).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn allow_markers() {
+        let l = lex("// lint:allow(no-panic-in-query-path)\n\
+             x.unwrap(); // lint:allow(a, b)\n\
+             // lint:allow-file(no-panic-in-query-path[index]): dense arrays\n");
+        assert_eq!(l.allows.len(), 4);
+        assert_eq!(l.allows[0].line, 1);
+        assert!(!l.allows[0].file_scope);
+        assert_eq!(l.allows[1].target, "a");
+        assert_eq!(l.allows[2].target, "b");
+        assert_eq!(l.allows[1].line, 2);
+        let f = &l.allows[3];
+        assert!(f.file_scope && f.justified);
+        assert_eq!(f.target, "no-panic-in-query-path[index]");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn float_literals_single_token() {
+        let l = lex("let x = 1.5e-3 + 0x1f; let r = 0..10;");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0x1f", "0", "10"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! CLI entry point: `cargo run -p conn-lint [--list-rules] [ROOT]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in conn_lint::RULES {
+                    println!("{}\n    {}\n", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "conn-lint — domain-specific static analysis for the conn workspace\n\n\
+                     usage: conn-lint [--list-rules] [ROOT]\n\n\
+                     ROOT defaults to the enclosing cargo workspace. Exit 0 = clean,\n\
+                     1 = violations (printed as path:line: [rule] message), 2 = error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("conn-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("conn-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match conn_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("conn-lint: no enclosing cargo workspace found; pass ROOT");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match conn_lint::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("conn-lint: clean ({} rules)", conn_lint::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{}", conn_lint::render(d));
+            }
+            println!("conn-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("conn-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal Cargo.toml reading — just enough to answer "which feature names
+//! does this crate declare?" for the feature-gate-hygiene rule.
+//!
+//! This is deliberately not a TOML parser: it recognizes section headers
+//! and `name = …` keys line-wise, which matches how every manifest in this
+//! workspace (and virtually all hand-written manifests) is laid out.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Reads the `[features]` table of `crate_dir/Cargo.toml` and returns the
+/// declared feature names. Optional dependencies also create implicit
+/// features, so `optional = true` dependency names are included too.
+pub fn crate_features(crate_dir: &Path) -> io::Result<HashSet<String>> {
+    let text = fs::read_to_string(crate_dir.join("Cargo.toml"))?;
+    let mut feats = HashSet::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let declares_feature = section == "[features]"
+            || (section.starts_with("[dependencies")
+                && value.contains("optional")
+                && value.contains("true"));
+        if declares_feature {
+            feats.insert(key.to_string());
+        }
+    }
+    Ok(feats)
+}
+
+/// Walks up from `file` to the nearest directory containing a Cargo.toml,
+/// stopping at (and including) `root`.
+pub fn owning_crate_dir(root: &Path, file: &Path) -> Option<PathBuf> {
+    let mut dir = file.parent()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        if dir == root {
+            return None;
+        }
+        dir = dir.parent()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_manifests() {
+        // Run against this crate's own manifest: no features declared.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let feats = crate_features(dir).expect("read own manifest");
+        assert!(feats.is_empty());
+
+        // And the geom crate, which declares sanitize-invariants.
+        let geom = dir.parent().expect("crates/").join("geom");
+        let feats = crate_features(&geom).expect("read geom manifest");
+        assert!(feats.contains("sanitize-invariants"), "got {feats:?}");
+    }
+}

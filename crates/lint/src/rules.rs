@@ -1,0 +1,774 @@
+//! The rule catalog.
+//!
+//! Each rule is a function over one lexed file plus its workspace context.
+//! Rules emit [`Diagnostic`]s; suppression via `lint:allow` comments is
+//! applied centrally by [`apply_allows`], so rules stay oblivious to it.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use std::collections::HashSet;
+
+/// One lint finding, pointing at a workspace-relative `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (unix separators).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule code, optionally with a `[facet]` suffix
+    /// (e.g. `no-panic-in-query-path[index]`).
+    pub code: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--list-rules` and the README.
+pub struct RuleInfo {
+    /// Rule code as used in diagnostics and `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line summary of what it enforces and where.
+    pub summary: &'static str,
+}
+
+/// The full catalog, in evaluation order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "no-naked-float-cmp",
+        summary: "raw partial_cmp on distances is forbidden outside conn_geom::approx — \
+                  route orderings through OrdF64 (total order); the PartialOrd-delegates-\
+                  to-Ord idiom `Some(self.cmp(other))` is recognized and allowed",
+    },
+    RuleInfo {
+        name: "no-panic-in-query-path",
+        summary: "unwrap/expect (facets [unwrap]/[expect]), panic!-family macros \
+                  ([panic]) and slice indexing ([index]) are forbidden in non-test code \
+                  of crates/{core,vgraph,index} — route failures through conn::Error",
+    },
+    RuleInfo {
+        name: "no-thread-spawn-outside-pool",
+        summary: "std::thread::spawn is only allowed in crates/core/src/batch.rs (the \
+                  worker pool) — everything else must go through the pool",
+    },
+    RuleInfo {
+        name: "no-wallclock-in-kernels",
+        summary: "Instant::now / SystemTime::now are only allowed in crates/bench and \
+                  crates/core/src/stats.rs — kernels must stay deterministic and \
+                  timing-free",
+    },
+    RuleInfo {
+        name: "pub-api-documented",
+        summary: "every plain `pub fn` in the facade (src/lib.rs) and in \
+                  core::{query,service} must carry a doc comment",
+    },
+    RuleInfo {
+        name: "feature-gate-hygiene",
+        summary: "every cfg(feature = \"…\") name must be declared in the owning \
+                  crate's Cargo.toml [features] table",
+    },
+    RuleInfo {
+        name: "lint-allow-hygiene",
+        summary: "file-scoped allows (`lint:allow-file(rule): why`) must carry a \
+                  non-empty justification after the closing paren",
+    },
+];
+
+/// Everything a rule needs to know about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// Lexed token stream + allow markers.
+    pub lexed: &'a Lexed,
+    /// Per-token flag: token is inside `#[cfg(test)]` / `#[test]` code.
+    pub test_mask: Vec<bool>,
+    /// Whole file is test/bench/example scaffolding (`tests/`, `benches/`,
+    /// `examples/` directories).
+    pub file_is_test: bool,
+    /// `[features]` names declared by the owning crate's Cargo.toml.
+    pub declared_features: &'a HashSet<String>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context, computing the test mask from the token stream.
+    pub fn new(
+        rel_path: &'a str,
+        lexed: &'a Lexed,
+        declared_features: &'a HashSet<String>,
+    ) -> Self {
+        let file_is_test = ["tests/", "benches/", "examples/"]
+            .iter()
+            .any(|d| rel_path.contains(&format!("/{d}")) || rel_path.starts_with(d));
+        let test_mask = compute_test_mask(&lexed.tokens);
+        FileContext {
+            rel_path,
+            lexed,
+            test_mask,
+            file_is_test,
+            declared_features,
+        }
+    }
+
+    fn toks(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// True when token `i` sits in test code (file-level or `cfg(test)`).
+    fn in_test(&self, i: usize) -> bool {
+        self.file_is_test || self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    fn diag(&self, out: &mut Vec<Diagnostic>, line: u32, code: &str, message: &str) {
+        out.push(Diagnostic {
+            path: self.rel_path.to_string(),
+            line,
+            code: code.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Marks every token covered by a `#[cfg(test)]` or `#[test]` item.
+///
+/// Strategy: when such an attribute is seen, the following item (after any
+/// further attributes and doc comments) is masked up to either its matching
+/// close brace or a top-level `;`.
+fn compute_test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let close = match matching(toks, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_marks_test(&toks[i + 2..close]) {
+                let end = item_end(toks, close + 1);
+                for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Does `#[ … ]` content mark a test item? Covers `test`, `cfg(test)`,
+/// `cfg(all(test, …))`, `bench`, `cfg(any(test, …))`.
+fn attr_marks_test(inner: &[Token]) -> bool {
+    let first_is_carrier = inner
+        .first()
+        .map(|t| t.is_ident("test") || t.is_ident("cfg") || t.is_ident("bench"))
+        .unwrap_or(false);
+    first_is_carrier
+        && inner
+            .iter()
+            .any(|t| t.is_ident("test") || t.is_ident("bench"))
+}
+
+/// Index one past the end of the item starting at `start` (skipping leading
+/// attributes/docs): past the matching `}` of its body, or past a top-level
+/// `;` for braceless items.
+fn item_end(toks: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes and doc comments before the item keyword.
+    loop {
+        if i < toks.len() && toks[i].kind == TokKind::Doc {
+            i += 1;
+            continue;
+        }
+        if i + 1 < toks.len() && toks[i].is_punct("#") && toks[i + 1].is_punct("[") {
+            match matching(toks, i + 1, "[", "]") {
+                Some(c) => {
+                    i = c + 1;
+                    continue;
+                }
+                None => return toks.len(),
+            }
+        }
+        break;
+    }
+    let mut depth_paren = 0i32;
+    let mut depth_brack = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth_paren += 1,
+                ")" => depth_paren -= 1,
+                "[" => depth_brack += 1,
+                "]" => depth_brack -= 1,
+                "{" if depth_paren == 0 && depth_brack == 0 => {
+                    return matching(toks, i, "{", "}")
+                        .map(|c| c + 1)
+                        .unwrap_or(toks.len());
+                }
+                ";" if depth_paren == 0 && depth_brack == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index of the punct matching `open` at position `at` (which must hold an
+/// `open` punct), honoring nesting.
+fn matching(toks: &[Token], at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    no_naked_float_cmp(ctx, &mut out);
+    no_panic_in_query_path(ctx, &mut out);
+    no_thread_spawn_outside_pool(ctx, &mut out);
+    no_wallclock_in_kernels(ctx, &mut out);
+    pub_api_documented(ctx, &mut out);
+    feature_gate_hygiene(ctx, &mut out);
+    out
+}
+
+/// Filters diagnostics through the file's `lint:allow` markers and emits
+/// `lint-allow-hygiene` findings for unjustified file-scope allows.
+pub fn apply_allows(ctx: &FileContext<'_>, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| {
+            !ctx.lexed.allows.iter().any(|a| {
+                let target_hits = a.target == d.code
+                    || d.code
+                        .split_once('[')
+                        .map(|(base, _)| a.target == base)
+                        .unwrap_or(false);
+                let scope_hits = if a.file_scope {
+                    a.justified
+                } else {
+                    a.line == d.line || a.line + 1 == d.line
+                };
+                target_hits && scope_hits
+            })
+        })
+        .collect();
+    for a in &ctx.lexed.allows {
+        if a.file_scope && !a.justified {
+            ctx.diag(
+                &mut out,
+                a.line,
+                "lint-allow-hygiene",
+                "lint:allow-file(...) must carry a justification: \
+                 `// lint:allow-file(rule): <why this whole file is exempt>`",
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-naked-float-cmp
+// ---------------------------------------------------------------------------
+
+fn no_naked_float_cmp(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    // The total-order shim itself is the one place allowed to touch
+    // partial_cmp directly.
+    if ctx.rel_path == "crates/geom/src/approx.rs" {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") || ctx.in_test(i) {
+            continue;
+        }
+        // Blessed idiom: `fn partial_cmp(…) -> … { Some(self.cmp(other)) }`,
+        // the standard PartialOrd-delegates-to-Ord impl.
+        if i > 0 && toks[i - 1].is_ident("fn") && delegates_to_ord(toks, i) {
+            continue;
+        }
+        ctx.diag(
+            out,
+            t.line,
+            "no-naked-float-cmp",
+            "raw partial_cmp — on distance values this silently drops NaN ordering; \
+             wrap operands in conn_geom::OrdF64 (total order) instead",
+        );
+    }
+}
+
+/// Looks ahead from a `partial_cmp` definition for the exact body
+/// `{ Some ( self . cmp ( other ) ) }`.
+fn delegates_to_ord(toks: &[Token], def: usize) -> bool {
+    let body_open = toks
+        .iter()
+        .enumerate()
+        .skip(def)
+        .find(|(_, t)| t.is_punct("{"))
+        .map(|(j, _)| j);
+    let Some(b) = body_open else { return false };
+    let want: &[(&str, TokKind)] = &[
+        ("Some", TokKind::Ident),
+        ("(", TokKind::Punct),
+        ("self", TokKind::Ident),
+        (".", TokKind::Punct),
+        ("cmp", TokKind::Ident),
+        ("(", TokKind::Punct),
+        ("other", TokKind::Ident),
+        (")", TokKind::Punct),
+        (")", TokKind::Punct),
+        ("}", TokKind::Punct),
+    ];
+    toks.len() > b + want.len()
+        && want
+            .iter()
+            .enumerate()
+            .all(|(k, (txt, kind))| toks[b + 1 + k].kind == *kind && toks[b + 1 + k].text == *txt)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-panic-in-query-path
+// ---------------------------------------------------------------------------
+
+const QUERY_PATH_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/vgraph/src/",
+    "crates/index/src/",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn no_panic_in_query_path(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !QUERY_PATH_PREFIXES
+        .iter()
+        .any(|p| ctx.rel_path.starts_with(p))
+    {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // .unwrap( / .expect(   — method calls only, not unwrap_or etc.
+        // (idents compare whole, so unwrap_or is a different token).
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                &format!("no-panic-in-query-path[{}]", t.text),
+                &format!(
+                    ".{}() can panic mid-query — return conn::Error, or annotate \
+                     `// lint:allow(no-panic-in-query-path)` with an infallibility proof",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // panic!-family macros.
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                "no-panic-in-query-path[panic]",
+                &format!(
+                    "{}! aborts the query — return conn::Error instead (or annotate with \
+                     an infallibility justification)",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // Indexing: `expr[` where expr ends in an identifier, `)` or `]`.
+        if t.is_punct("[") && i > 0 {
+            let p = &toks[i - 1];
+            let indexes_expr = (p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text))
+                || p.is_punct(")")
+                || p.is_punct("]");
+            if indexes_expr {
+                ctx.diag(
+                    out,
+                    t.line,
+                    "no-panic-in-query-path[index]",
+                    "slice/array indexing panics on out-of-bounds — use .get()/.get_mut(), \
+                     or file-allow the [index] facet with a bounds-invariant justification",
+                );
+            }
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an indexing
+/// expression (`return [a, b]`, `match x { _ => [0] }`, …).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "break"
+            | "in"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "loop"
+            | "move"
+            | "as"
+            | "let"
+            | "mut"
+            | "ref"
+            | "for"
+            | "box"
+            | "yield"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no-thread-spawn-outside-pool
+// ---------------------------------------------------------------------------
+
+fn no_thread_spawn_outside_pool(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.rel_path == "crates/core/src/batch.rs" {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("spawn")
+            && !ctx.in_test(i)
+            && i > 0
+            && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct("."))
+            && toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                "no-thread-spawn-outside-pool",
+                "threads are only created by the batch worker pool \
+                 (crates/core/src/batch.rs) — route parallel work through conn_batch / \
+                 ConnService::execute_batch",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no-wallclock-in-kernels
+// ---------------------------------------------------------------------------
+
+fn no_wallclock_in_kernels(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.rel_path.starts_with("crates/bench/") || ctx.rel_path == "crates/core/src/stats.rs" {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && !ctx.in_test(i)
+            && toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_ident("now")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                "no-wallclock-in-kernels",
+                &format!(
+                    "{}::now() in kernel code breaks determinism and replay — measure in \
+                     the bench/stats layer, or annotate a boundary-only measurement",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: pub-api-documented
+// ---------------------------------------------------------------------------
+
+const DOCUMENTED_FILES: &[&str] = &[
+    "src/lib.rs",
+    "crates/core/src/query.rs",
+    "crates/core/src/service.rs",
+];
+
+fn pub_api_documented(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !DOCUMENTED_FILES.contains(&ctx.rel_path) {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") || ctx.in_test(i) {
+            continue;
+        }
+        // Restricted visibility (pub(crate) etc.) is not public API.
+        if toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false) {
+            continue;
+        }
+        // `pub [const|async|unsafe|extern "…"]* fn`
+        let mut j = i + 1;
+        let mut is_fn = false;
+        while j < toks.len() && j <= i + 5 {
+            match &toks[j] {
+                x if x.is_ident("fn") => {
+                    is_fn = true;
+                    break;
+                }
+                x if x.is_ident("const")
+                    || x.is_ident("async")
+                    || x.is_ident("unsafe")
+                    || x.is_ident("extern")
+                    || x.kind == TokKind::Str =>
+                {
+                    j += 1;
+                }
+                _ => break,
+            }
+        }
+        if !is_fn {
+            continue;
+        }
+        if !has_doc_before(toks, i) {
+            let name = toks
+                .get(j + 1)
+                .map(|n| n.text.clone())
+                .unwrap_or_else(|| "?".to_string());
+            ctx.diag(
+                out,
+                t.line,
+                "pub-api-documented",
+                &format!("pub fn {name} has no doc comment — this file is public API surface"),
+            );
+        }
+    }
+}
+
+/// Walks backwards from the `pub` token across stacked attributes looking
+/// for a doc comment (or a `#[doc…]` attribute).
+fn has_doc_before(toks: &[Token], mut i: usize) -> bool {
+    while i > 0 {
+        let prev = &toks[i - 1];
+        if prev.kind == TokKind::Doc {
+            return true;
+        }
+        if prev.is_punct("]") {
+            // Skip back over one attribute `#[ … ]`.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                if toks[j].is_punct("]") {
+                    depth += 1;
+                } else if toks[j].is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            if toks.get(j + 1).map(|t| t.is_ident("doc")).unwrap_or(false) {
+                return true;
+            }
+            if j == 0 || !toks[j - 1].is_punct("#") {
+                return false;
+            }
+            i = j - 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: feature-gate-hygiene
+// ---------------------------------------------------------------------------
+
+fn feature_gate_hygiene(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("cfg") || t.is_ident("cfg_attr")) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|n| n.is_punct("(")) else {
+            continue;
+        };
+        let _ = open;
+        let Some(close) = matching(toks, i + 1, "(", ")") else {
+            continue;
+        };
+        let mut j = i + 2;
+        while j + 2 <= close {
+            if toks[j].is_ident("feature")
+                && toks[j + 1].is_punct("=")
+                && toks[j + 2].kind == TokKind::Str
+            {
+                let name = &toks[j + 2].text;
+                if !ctx.declared_features.contains(name) {
+                    ctx.diag(
+                        out,
+                        toks[j + 2].line,
+                        "feature-gate-hygiene",
+                        &format!(
+                            "cfg(feature = \"{name}\") — feature is not declared in the \
+                             owning crate's Cargo.toml [features] table; typo or missing \
+                             declaration"
+                        ),
+                    );
+                }
+                j += 3;
+            } else {
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_diags(rel_path: &str, src: &str, feats: &[&str]) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let features: HashSet<String> = feats.iter().map(|s| s.to_string()).collect();
+        let ctx = FileContext::new(rel_path, &lexed, &features);
+        apply_allows(&ctx, run_all(&ctx))
+    }
+
+    #[test]
+    fn unwrap_flagged_in_core_not_elsewhere() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = ctx_diags("crates/core/src/conn.rs", src, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-panic-in-query-path[unwrap]");
+        assert_eq!(d[0].line, 1);
+        assert!(ctx_diags("crates/datasets/src/points.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_and_tests_are_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g(x: Option<u32>) { x.unwrap(); }\n}\n";
+        assert!(ctx_diags("crates/core/src/conn.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn indexing_facet_and_file_allow() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        let d = ctx_diags("crates/vgraph/src/dijkstra.rs", src, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-panic-in-query-path[index]");
+        let allowed =
+            format!("// lint:allow-file(no-panic-in-query-path[index]): bounds proven\n{src}");
+        assert!(ctx_diags("crates/vgraph/src/dijkstra.rs", &allowed, &[]).is_empty());
+    }
+
+    #[test]
+    fn array_literals_and_attrs_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> [u32; 2] { [1, 2] }\n\
+                   fn g(x: bool) -> Vec<[u8; 2]> { if x { vec![[0, 0]] } else { vec![] } }\n";
+        assert!(ctx_diags("crates/core/src/conn.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { unreachable!(\"no\") }\n";
+        let d = ctx_diags("crates/index/src/tree.rs", src, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-panic-in-query-path[panic]");
+    }
+
+    #[test]
+    fn line_allow_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(no-panic-in-query-path)\n\
+                   x.unwrap()\n}\n";
+        assert!(ctx_diags("crates/core/src/conn.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_flagged_unless_delegating() {
+        let naked = "fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n";
+        let d = ctx_diags("crates/core/src/joins.rs", naked, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-naked-float-cmp");
+
+        let blessed = "impl PartialOrd for X {\n\
+                       fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n\
+                       Some(self.cmp(other)) }\n}\n";
+        assert!(ctx_diags("crates/core/src/joins.rs", blessed, &[]).is_empty());
+        // approx.rs itself is exempt.
+        assert!(ctx_diags("crates/geom/src/approx.rs", naked, &[]).is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_spawn() {
+        let src = "fn f() { let t = Instant::now(); std::thread::spawn(|| {}); }\n";
+        let d = ctx_diags("crates/core/src/conn.rs", src, &[]);
+        let codes: Vec<_> = d.iter().map(|d| d.code.as_str()).collect();
+        assert!(codes.contains(&"no-wallclock-in-kernels"));
+        assert!(codes.contains(&"no-thread-spawn-outside-pool"));
+        // The pool file and the bench crate are exempt.
+        assert!(ctx_diags(
+            "crates/core/src/batch.rs",
+            "fn f() { std::thread::spawn(|| {}); }",
+            &[]
+        )
+        .is_empty());
+        assert!(ctx_diags(
+            "crates/bench/src/bin/repro.rs",
+            "fn f() { Instant::now(); }",
+            &[]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pub_fn_doc_required_only_in_api_files() {
+        let src = "pub fn naked() {}\n/// documented\npub fn fine() {}\n\
+                   pub(crate) fn internal() {}\n";
+        let d = ctx_diags("crates/core/src/query.rs", src, &[]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("naked"));
+        assert!(ctx_diags("crates/core/src/conn.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn feature_gate_checked_against_manifest() {
+        let src = "#[cfg(feature = \"sanitize-invariants\")]\nfn a() {}\n\
+                   #[cfg(all(test, feature = \"nope\"))]\nfn b() {}\n";
+        let d = ctx_diags("crates/geom/src/sanitize.rs", src, &["sanitize-invariants"]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("nope"));
+    }
+
+    #[test]
+    fn unjustified_file_allow_is_itself_flagged() {
+        let src = "// lint:allow-file(no-panic-in-query-path)\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = ctx_diags("crates/core/src/conn.rs", src, &[]);
+        let codes: Vec<_> = d.iter().map(|d| d.code.as_str()).collect();
+        // The allow is rejected (no justification) so the unwrap still fires,
+        // plus the hygiene finding.
+        assert!(codes.contains(&"lint-allow-hygiene"));
+        assert!(codes.contains(&"no-panic-in-query-path[unwrap]"));
+    }
+}

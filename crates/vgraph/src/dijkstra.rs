@@ -62,6 +62,7 @@
 //! run — the number of times retained capacity was reused is reported
 //! through [`DijkstraEngine::reuses`].
 
+// lint:allow-file(no-panic-in-query-path[index]): dist/settled/heap arrays are resized to the graph's node count on every reseed; node ids are dense and audited under sanitize-invariants
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -362,6 +363,7 @@ impl DijkstraEngine {
         self.retargets
     }
 
+    /// The search's source node.
     pub fn source(&self) -> NodeId {
         self.src
     }
@@ -418,6 +420,9 @@ impl DijkstraEngine {
                 continue;
             }
             let d = self.dist[ui];
+            if conn_geom::sanitize::enabled() {
+                self.audit_settlement(g, u, d);
+            }
             self.settled[ui] = true;
             self.settle_log.push((u, d));
             self.cursor = self.settle_log.len();
@@ -466,6 +471,42 @@ impl DijkstraEngine {
             return Some((NodeId(u), d));
         }
         None
+    }
+
+    /// Sanitizer audit of a settlement about to be recorded:
+    ///
+    /// * the label is a valid distance (no NaN, no negative);
+    /// * **admissibility** — an obstructed distance dominates the Euclidean
+    ///   one, so `d(v) ≥ ‖src, v‖` (with relative slack);
+    /// * **settle-order monotonicity** — nodes pop in ascending
+    ///   `f = d + h`, the property every early-exit lemma (IOR's bound,
+    ///   CPLC's Lemma 7, RLU's `RLMAX`) rests on.
+    ///
+    /// Runs only when the `sanitize-invariants` runtime switch is on.
+    fn audit_settlement(&self, g: &VisGraph, u: u32, d: f64) {
+        use conn_geom::sanitize;
+        let ctx = "DijkstraEngine settle";
+        sanitize::audit_distance(ctx, d);
+        let pos = g.node_pos(NodeId(u));
+        let straight = g.node_pos(self.src).dist(pos);
+        if d + 1e-6 * straight.max(1.0) < straight {
+            sanitize::violation(
+                ctx,
+                &format!("node {u}: label {d} below Euclidean lower bound {straight}"),
+            );
+        }
+        let f = d + self.goal.h(pos);
+        if let Some(&(pu, pd)) = self.settle_log.last() {
+            let pf = pd + self.goal.h(g.node_pos(NodeId(pu)));
+            if f + 1e-9 * pf.abs().max(1.0) < pf {
+                sanitize::violation(
+                    ctx,
+                    &format!(
+                        "settle order not ascending in f: node {u} f={f} after node {pu} f={pf}"
+                    ),
+                );
+            }
+        }
     }
 
     /// Advances until `target` settles; returns its distance (∞ if
@@ -985,5 +1026,33 @@ mod tests {
                 assert!(dp + 1e-9 >= g.node_pos(p).dist(g.node_pos(s)));
             }
         }
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn settlement_audit_fires_on_inadmissible_label() {
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let t = g.add_point(Point::new(100.0, 0.0), NodeKind::Endpoint);
+        let d = DijkstraEngine::new(&g, s);
+        // a label of 1.0 for a node 100 away is below the Euclidean lower
+        // bound — no obstructed path can be that short
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.audit_settlement(&g, t.0, 1.0)
+            }))
+            .is_err(),
+            "audit must reject an inadmissible label"
+        );
+        // NaN labels are rejected too
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.audit_settlement(&g, t.0, f64::NAN)
+            }))
+            .is_err(),
+            "audit must reject a NaN label"
+        );
+        // an honest label passes
+        d.audit_settlement(&g, t.0, 100.0);
     }
 }

@@ -24,6 +24,7 @@
 //! what makes a reused query engine perform O(1) substrate allocations per
 //! batch instead of O(N).
 
+// lint:allow-file(no-panic-in-query-path[index]): node ids are dense indices allocated by this module and the per-node arrays are (re)sized on every allocation; the sanitize-invariants adjacency audit cross-checks them
 use conn_geom::{Point, Rect, Segment};
 
 use crate::grid::ObstacleGrid;
@@ -36,6 +37,7 @@ const STALE: u64 = u64::MAX;
 pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// The node's slot index in the graph's arrays.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -169,6 +171,11 @@ impl VisGraph {
     /// monotone version counters (so stale caches can never be mistaken
     /// for fresh ones).
     pub fn reset(&mut self) -> usize {
+        if conn_geom::sanitize::enabled() {
+            // Query boundary: the graph state the finished query computed
+            // with is still intact — audit it before it is torn down.
+            self.audit_adjacency();
+        }
         let retained = self.adj.iter().filter(|a| !a.edges.is_empty()).count();
         self.nodes.clear();
         self.free.clear();
@@ -204,6 +211,7 @@ impl VisGraph {
         self.nodes.len()
     }
 
+    /// Number of obstacle rectangles loaded so far.
     pub fn num_obstacles(&self) -> usize {
         self.grid.len()
     }
@@ -235,14 +243,17 @@ impl VisGraph {
         self.grid.cell_size()
     }
 
+    /// Position of a node (dead or alive).
     pub fn node_pos(&self, id: NodeId) -> Point {
         self.nodes[id.index()].pos
     }
 
+    /// What the node represents.
     pub fn node_kind(&self, id: NodeId) -> NodeKind {
         self.nodes[id.index()].kind
     }
 
+    /// True until the node is removed.
     pub fn is_alive(&self, id: NodeId) -> bool {
         self.nodes[id.index()].alive
     }
@@ -602,6 +613,63 @@ impl VisGraph {
     pub fn blocked(&mut self, s: &Segment) -> bool {
         self.grid.blocks(s.a, s.b)
     }
+
+    /// Sanitizer audit of every up-to-date base adjacency cache:
+    ///
+    /// * every cached edge points at a *live stable* node, with a finite
+    ///   non-negative weight equal to the Euclidean distance between the
+    ///   endpoints;
+    /// * visibility is symmetric, so the edge relation must be too — when
+    ///   both endpoints hold an up-to-date cache, an edge `u → v` within
+    ///   `v`'s completeness radius must be mirrored by `v → u`. (Caches are
+    ///   only *complete* up to their radius; edges beyond the partner's
+    ///   radius are legitimate one-sided extras from bounded rebuilds.)
+    ///
+    /// Called on [`VisGraph::reset`] (the query boundary) when the
+    /// `sanitize-invariants` runtime switch is on; public so corrupted-
+    /// fixture tests can invoke it directly.
+    pub fn audit_adjacency(&self) {
+        use conn_geom::sanitize;
+        let fresh = |slot: &CachedAdj| slot.version == self.base_version && slot.version != STALE;
+        for ui in 0..self.adj.len() {
+            if ui >= self.nodes.len() || !self.nodes[ui].alive || !fresh(&self.adj[ui]) {
+                continue;
+            }
+            let upos = self.nodes[ui].pos;
+            for &(v, w) in &self.adj[ui].edges {
+                let vi = v as usize;
+                let ctx = "VisGraph adjacency";
+                if vi >= self.nodes.len() || !self.nodes[vi].alive {
+                    sanitize::violation(ctx, &format!("edge {ui} -> {v} targets a dead node"));
+                }
+                if self.nodes[vi].kind == NodeKind::DataPoint {
+                    sanitize::violation(
+                        ctx,
+                        &format!("base cache of {ui} holds transient node {v}"),
+                    );
+                }
+                sanitize::audit_distance(ctx, w);
+                let d = upos.dist(self.nodes[vi].pos);
+                if (w - d).abs() > 1e-6 * d.max(1.0) {
+                    sanitize::violation(
+                        ctx,
+                        &format!("edge {ui} -> {v} weight {w} != distance {d}"),
+                    );
+                }
+                // Reciprocity, where the partner's cache promises coverage.
+                if self.nodes[ui].kind != NodeKind::DataPoint
+                    && fresh(&self.adj[vi])
+                    && d <= self.adj[vi].radius
+                    && !self.adj[vi].edges.iter().any(|&(x, _)| x as usize == ui)
+                {
+                    sanitize::violation(
+                        ctx,
+                        &format!("edge {ui} -> {v} not mirrored within radius"),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -666,6 +734,24 @@ mod tests {
         let ns = g.neighbors(a).to_vec();
         assert_eq!(ns.len(), 1);
         assert!((ns[0].1 - Point::new(7.0, 7.0).dist(Point::new(0.0, 0.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(feature = "sanitize-invariants")]
+    fn adjacency_audit_fires_on_corrupted_edge_weight() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        let b = g.add_point(Point::new(100.0, 0.0), NodeKind::Endpoint);
+        assert_eq!(g.neighbors(a), &[(b.0, 100.0)]); // builds a's base cache
+        g.audit_adjacency(); // intact graph passes
+
+        let slot = &mut g.adj[a.0 as usize];
+        assert!(!slot.edges.is_empty(), "fixture expects a cached edge");
+        slot.edges[0].1 += 17.0; // weight no longer the Euclidean distance
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.audit_adjacency())).is_err(),
+            "audit must fire on a corrupted edge weight"
+        );
     }
 
     #[test]

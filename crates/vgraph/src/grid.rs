@@ -7,6 +7,7 @@
 //! passes through (Amanatides–Woo traversal) — the dilation absorbs all
 //! boundary/corner cases without widening the walk.
 
+// lint:allow-file(no-panic-in-query-path[index]): cell coordinates are clamped to the grid extent before indexing
 use conn_geom::{Point, Rect, Segment};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -68,14 +69,17 @@ impl ObstacleGrid {
         }
     }
 
+    /// Number of registered obstacles.
     pub fn len(&self) -> usize {
         self.rects.len()
     }
 
+    /// True when no obstacles are registered.
     pub fn is_empty(&self) -> bool {
         self.rects.is_empty()
     }
 
+    /// The registered obstacle rectangles, in insertion order.
     pub fn rects(&self) -> &[Rect] {
         &self.rects
     }

@@ -22,6 +22,9 @@
 //! * [`visible_region`] — the visible region of a vertex over the query
 //!   segment (paper Def. 2), by shadow subtraction.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;

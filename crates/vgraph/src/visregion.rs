@@ -10,6 +10,7 @@
 //! interval by testing its midpoint with the robust interior-crossing
 //! predicate — no fragile case analysis.
 
+// lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
 use conn_geom::{Interval, IntervalSet, Point, Rect, Segment, EPS};
 
 use crate::graph::VisGraph;

@@ -76,6 +76,9 @@
 //! assert!(stats.npe >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use conn_datasets as datasets;
 pub use conn_geom as geom;
 pub use conn_index as index;
