@@ -1,6 +1,6 @@
 //! Microbenchmarks of the substrates (DESIGN.md S1–S3): R*-tree build and
-//! query, visibility-graph Dijkstra, visible regions, and the split-point
-//! solver.
+//! query, visibility-graph Dijkstra, visible regions, the split-point
+//! solver, and the arena/SoA sight-test and adjacency kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -8,9 +8,9 @@ use std::hint::black_box;
 use conn_core::split::{crossing_params, split};
 use conn_core::ControlPoint;
 use conn_datasets::{la_like, uniform_points};
-use conn_geom::{Interval, Point, Segment};
+use conn_geom::{batch, Interval, Point, Rect, RectLanes, Segment};
 use conn_index::RStarTree;
-use conn_vgraph::{visible_region, DijkstraEngine, NodeKind, VisGraph};
+use conn_vgraph::{visible_region, DijkstraEngine, NodeId, NodeKind, VisGraph};
 
 fn bench_rtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_micro");
@@ -103,5 +103,129 @@ fn bench_split(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rtree, bench_vgraph, bench_split);
+/// Splitmix-style hash → uniform f64 in [0, 1): deterministic candidate
+/// fields without threading an RNG through the bench.
+fn unit(seed: u64, i: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// `n` small rects scattered uniformly over the 1000×1000 probe window.
+fn uniform_rects(n: usize) -> Vec<Rect> {
+    (0..n as u64)
+        .map(|i| {
+            let x = unit(1, i) * 950.0;
+            let y = unit(2, i) * 950.0;
+            let w = 5.0 + unit(3, i) * 30.0;
+            let h = 5.0 + unit(4, i) * 30.0;
+            Rect::new(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+/// `n` rects packed into four tight clusters (the LA-like access pattern:
+/// most candidates share a neighborhood, many near-duplicates).
+fn clustered_rects(n: usize) -> Vec<Rect> {
+    let centers = [
+        (200.0, 300.0),
+        (700.0, 250.0),
+        (450.0, 800.0),
+        (850.0, 700.0),
+    ];
+    (0..n as u64)
+        .map(|i| {
+            let (cx, cy) = centers[(i % 4) as usize];
+            let x = cx + (unit(5, i) - 0.5) * 120.0;
+            let y = cy + (unit(6, i) - 0.5) * 120.0;
+            let w = 4.0 + unit(7, i) * 20.0;
+            let h = 4.0 + unit(8, i) * 20.0;
+            Rect::new(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+/// Scalar per-rect sight tests vs the batched SoA lane kernel, on the
+/// candidate-set sizes the grid actually hands the kernel (sparse cells,
+/// typical windows, worst-case dense windows).
+fn bench_sight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sight_micro");
+    let s = Segment::new(Point::new(10.0, 20.0), Point::new(980.0, 940.0));
+    for (label, make) in [
+        ("uniform", uniform_rects as fn(usize) -> Vec<Rect>),
+        ("clustered", clustered_rects as fn(usize) -> Vec<Rect>),
+    ] {
+        for n in [4usize, 32, 256] {
+            let rects = make(n);
+            let lanes = RectLanes::from_rects(&rects);
+            let ids: Vec<u32> = (0..n as u32).collect();
+            group.bench_function(BenchmarkId::new(format!("scalar_{label}"), n), |b| {
+                b.iter(|| black_box(rects.iter().filter(|r| r.blocks(black_box(&s))).count()))
+            });
+            let mut verdicts = Vec::with_capacity(n);
+            group.bench_function(BenchmarkId::new(format!("batched_{label}"), n), |b| {
+                b.iter(|| {
+                    batch::blocks_each(black_box(&s), &lanes, &ids, &mut verdicts);
+                    black_box(verdicts.iter().filter(|&&v| v).count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// CSR adjacency arena vs the legacy per-node `Vec<(u32, f64)>` layout:
+/// the same warm edge lists, consumed the way the Dijkstra settle loop
+/// consumes them (scan every neighbor, fold the weights).
+fn bench_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency_micro");
+    group.sample_size(20);
+    let obstacles = la_like(200, 5);
+    let mut g = VisGraph::new(50.0);
+    g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+    g.add_point(Point::new(9999.0, 9999.0), NodeKind::Endpoint);
+    for r in &obstacles {
+        g.add_obstacle(*r);
+    }
+    let n = g.num_nodes();
+    // warm every base cache once, and snapshot the legacy layout from it
+    let legacy: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|u| g.neighbors(NodeId(u as u32)).to_vec())
+        .collect();
+    group.bench_function(BenchmarkId::new("csr_neighbors", n), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for u in 0..n {
+                for &(_, w) in g.neighbors(NodeId(u as u32)) {
+                    acc += w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("legacy_neighbors", n), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for adj in &legacy {
+                for &(_, w) in adj {
+                    acc += w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_vgraph,
+    bench_split,
+    bench_sight,
+    bench_neighbors
+);
 criterion_main!(benches);

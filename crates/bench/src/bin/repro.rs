@@ -15,9 +15,11 @@
 //!   count).
 //! * `--scale` — dataset scale relative to the paper's cardinalities
 //!   (|LA| = 131,461): `smoke`/`small` (1/256), `default` (1/16), `paper`
-//!   (1), or a ratio like `0.125`.
+//!   (1), or a ratio like `0.125`. The `conn` target defaults to `paper`;
+//!   the figure sweeps default to `default`.
 //! * `--queries` — workload size per setting (paper: 100; default here 20;
-//!   the batch target defaults to 64).
+//!   the conn target defaults to 48 so p50/p99 are distinct samples, and
+//!   the batch target to 64).
 //! * `--threads` — batch worker-pool size (0 = available parallelism).
 //! * `--out` — where the `batch` / `conn` targets write their JSON records
 //!   (defaults `BENCH_batch.json` / `BENCH_conn.json`).
@@ -41,7 +43,7 @@ use conn_datasets::{Combo, DEFAULT_K, DEFAULT_QL};
 
 struct Args {
     what: String,
-    scale: Scale,
+    scale: Option<Scale>,
     queries: Option<usize>,
     seed: u64,
     threads: usize,
@@ -50,8 +52,25 @@ struct Args {
 }
 
 impl Args {
+    /// Resolved scale: an explicit `--scale` wins; otherwise the conn
+    /// kernel target runs at paper scale (its layout is sized for it) and
+    /// the figure sweeps keep the reduced default.
+    fn scale(&self) -> Scale {
+        self.scale.unwrap_or(if self.what == "conn" {
+            Scale::PAPER
+        } else {
+            Scale::DEFAULT
+        })
+    }
+
     fn queries(&self) -> usize {
         self.queries.unwrap_or(20)
+    }
+
+    /// The conn kernel records latency percentiles, so its default
+    /// workload is large enough for p50/p99 to be distinct samples.
+    fn conn_queries(&self) -> usize {
+        self.queries.unwrap_or(48)
     }
 
     /// The batch target defaults to the acceptance workload of 64 queries.
@@ -66,10 +85,10 @@ impl Args {
 
     /// Workload size actually used by the selected target (for the header).
     fn effective_queries(&self) -> usize {
-        if self.what == "batch" {
-            self.batch_queries()
-        } else {
-            self.queries()
+        match self.what.as_str() {
+            "batch" => self.batch_queries(),
+            "conn" => self.conn_queries(),
+            _ => self.queries(),
         }
     }
 }
@@ -106,7 +125,7 @@ fn flag_value(argv: &[String], i: usize) -> &str {
 
 fn parse_args() -> Args {
     let mut what = "all".to_string();
-    let mut scale = Scale::DEFAULT;
+    let mut scale: Option<Scale> = None;
     let mut queries: Option<usize> = None;
     let mut seed = 2009u64;
     let mut threads = 0usize;
@@ -118,7 +137,7 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match flag_value(&argv, i) {
+                scale = Some(match flag_value(&argv, i) {
                     "smoke" | "small" => Scale::SMOKE,
                     "default" => Scale::DEFAULT,
                     "paper" => Scale::PAPER,
@@ -127,7 +146,7 @@ fn parse_args() -> Args {
                             "--scale must be smoke, small, default, paper, or a ratio (got {s:?})"
                         ))
                     })),
-                };
+                });
             }
             "--queries" => {
                 i += 1;
@@ -199,9 +218,9 @@ fn main() {
     let args = parse_args();
     println!(
         "# CONN reproduction — scale {:.4} (|O| = {}, |P|_CA = {}), {} queries/setting, seed {}",
-        args.scale.0,
-        args.scale.obstacles(),
-        args.scale.ca_points(),
+        args.scale().0,
+        args.scale().obstacles(),
+        args.scale().ca_points(),
         args.effective_queries(),
         args.seed
     );
@@ -256,7 +275,7 @@ fn traj(args: &Args) {
     let legs = 8usize;
     let traj_ql = 0.07;
     println!("\n## Trajectory sessions — UL, k = 1, {n_traj} trajectories × {legs} legs (ql = 7%)");
-    let w = Workload::with_ratio(Combo::Ul, args.scale, 1.0, DEFAULT_QL, 1, args.seed);
+    let w = Workload::with_ratio(Combo::Ul, args.scale(), 1.0, DEFAULT_QL, 1, args.seed);
     let routes = w.trajectories(n_traj, legs, traj_ql, args.seed.wrapping_add(7));
     let cfg = ConnConfig::default();
 
@@ -347,7 +366,7 @@ fn traj(args: &Args) {
          \"session_p99_ms\": {:.4},\n  \"speedup_session_vs_cold\": {:.4},\n  \
          \"fleet_wall_s\": {:.6},\n  \"fleet_threads\": {},\n  \
          \"noe_cold\": {},\n  \"noe_session\": {},\n  \"results_equivalent\": true\n}}\n",
-        args.scale.0,
+        args.scale().0,
         n_traj,
         legs,
         cold_wall,
@@ -376,16 +395,16 @@ fn traj(args: &Args) {
 fn conn_smoke(args: &Args) {
     use conn_core::QueryEngine;
     assert!(
-        args.queries() >= 1,
+        args.conn_queries() >= 1,
         "the conn target needs at least one query (got --queries 0)"
     );
     println!("\n## CONN kernel — UL, k = 1, ql = 4.5%");
     let w = Workload::with_ratio(
         Combo::Ul,
-        args.scale,
+        args.scale(),
         1.0,
         DEFAULT_QL,
-        args.queries(),
+        args.conn_queries(),
         args.seed,
     );
 
@@ -458,6 +477,11 @@ fn conn_smoke(args: &Args) {
         acc.reuse.label_continuations,
         acc.reuse.label_reseeds
     );
+    println!(
+        "substrate: {} sight tests ({:.0} per query)",
+        acc.reuse.sight_tests,
+        acc.reuse.sight_tests as f64 / w.queries.len().max(1) as f64
+    );
 
     // --sanitize: time the production kernel with audits off vs on (same
     // binary, runtime switch), best-of-3 minima on both sides of the ratio,
@@ -499,9 +523,10 @@ fn conn_smoke(args: &Args) {
          \"baseline_wall_s\": {:.6},\n  \"baseline_p50_ms\": {:.4},\n  \
          \"baseline_p99_ms\": {:.4},\n  \"speedup_vs_baseline_kernel\": {:.4},\n  \
          \"throughput_qps\": {:.2},\n  \"label_continuations\": {},\n  \
-         \"label_reseeds\": {},\n  \"sanitize_overhead_pct\": {},\n  \
+         \"label_reseeds\": {},\n  \"sight_tests\": {},\n  \
+         \"sight_tests_per_query\": {:.1},\n  \"sanitize_overhead_pct\": {},\n  \
          \"results_equivalent\": true\n}}\n",
-        args.scale.0,
+        args.scale().0,
         n,
         goal_wall,
         goal_p50 * 1e3,
@@ -513,6 +538,8 @@ fn conn_smoke(args: &Args) {
         n as f64 / goal_wall,
         acc.reuse.label_continuations,
         acc.reuse.label_reseeds,
+        acc.reuse.sight_tests,
+        acc.reuse.sight_tests as f64 / n.max(1) as f64,
         sanitize_overhead_pct,
     );
     let out = args.out("BENCH_conn.json");
@@ -532,8 +559,8 @@ fn batch(args: &Args) {
     println!("\n## Batch layer — mixed workload (uniform + clustered + trajectory), k = 1");
     let w = Workload::build_mixed(
         Combo::Ul,
-        args.scale.obstacles(),
-        args.scale.obstacles(),
+        args.scale().obstacles(),
+        args.scale().obstacles(),
         DEFAULT_QL,
         n_queries,
         args.seed,
@@ -647,7 +674,7 @@ fn batch(args: &Args) {
          \"latency_mean_ms\": {:.4},\n  \"latency_p50_ms\": {:.4},\n  \
          \"latency_p99_ms\": {:.4},\n  \"graph_reuses\": {},\n  \
          \"nodes_retained\": {},\n  \"heap_reuses\": {}\n}}\n",
-        args.scale.0,
+        args.scale().0,
         n_queries,
         stats.threads,
         serial_s,
@@ -675,7 +702,7 @@ fn batch(args: &Args) {
 fn motivation(args: &Args) {
     use conn_core::{conn_search, naive_conn_by_onn};
     println!("\n## Motivation — naive m-point ONN sampling vs one exact CONN (UL, k = 1)");
-    let scale = Scale(args.scale.0.min(1.0 / 64.0)); // the naive side is slow
+    let scale = Scale(args.scale().0.min(1.0 / 64.0)); // the naive side is slow
     let w = Workload::with_ratio(
         Combo::Ul,
         scale,
@@ -725,7 +752,7 @@ fn fig9(args: &Args) {
     print_header("ql (% side)");
     let cfg = ConnConfig::default();
     for ql_pct in [1.5, 3.0, 4.5, 6.0, 7.5] {
-        let w = Workload::cl(args.scale, ql_pct / 100.0, args.queries(), args.seed);
+        let w = Workload::cl(args.scale(), ql_pct / 100.0, args.queries(), args.seed);
         let avg = w.run_two_tree(DEFAULT_K, &cfg, 0.0, 0);
         print_row(&format!("{ql_pct}"), &avg, w.full_vg_vertices());
     }
@@ -736,7 +763,7 @@ fn fig10(args: &Args) {
     println!("\n## Figure 10 — COkNN vs k (CL, ql = 4.5%)");
     print_header("k");
     let cfg = ConnConfig::default();
-    let w = Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed);
+    let w = Workload::cl(args.scale(), DEFAULT_QL, args.queries(), args.seed);
     for k in [1usize, 3, 5, 7, 9] {
         let avg = w.run_two_tree(k, &cfg, 0.0, 0);
         print_row(&format!("{k}"), &avg, w.full_vg_vertices());
@@ -755,7 +782,7 @@ fn fig11(args: &Args) {
         for ratio in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
             let w = Workload::with_ratio(
                 combo,
-                args.scale,
+                args.scale(),
                 ratio,
                 DEFAULT_QL,
                 args.queries(),
@@ -778,10 +805,10 @@ fn fig12(args: &Args) {
         );
         print_header("buffer (%)");
         let w = match combo {
-            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed),
+            Combo::Cl => Workload::cl(args.scale(), DEFAULT_QL, args.queries(), args.seed),
             _ => Workload::with_ratio(
                 combo,
-                args.scale,
+                args.scale(),
                 1.0,
                 DEFAULT_QL,
                 args.queries(),
@@ -809,10 +836,10 @@ fn fig13(args: &Args) {
         );
         for ql_pct in [1.5, 3.0, 4.5, 6.0, 7.5] {
             let w = match combo {
-                Combo::Cl => Workload::cl(args.scale, ql_pct / 100.0, args.queries(), args.seed),
+                Combo::Cl => Workload::cl(args.scale(), ql_pct / 100.0, args.queries(), args.seed),
                 _ => Workload::with_ratio(
                     combo,
-                    args.scale,
+                    args.scale(),
                     1.0,
                     ql_pct / 100.0,
                     args.queries(),
@@ -830,10 +857,10 @@ fn fig13(args: &Args) {
         println!("-- {} --", combo.label());
         println!("{:<14} {:>12} {:>12}", "k", "2T total(s)", "1T total(s)");
         let w = match combo {
-            Combo::Cl => Workload::cl(args.scale, DEFAULT_QL, args.queries(), args.seed),
+            Combo::Cl => Workload::cl(args.scale(), DEFAULT_QL, args.queries(), args.seed),
             _ => Workload::with_ratio(
                 combo,
-                args.scale,
+                args.scale(),
                 1.0,
                 DEFAULT_QL,
                 args.queries(),
@@ -857,7 +884,7 @@ fn fig13(args: &Args) {
         for ratio in [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
             let w = Workload::with_ratio(
                 combo,
-                args.scale,
+                args.scale(),
                 ratio,
                 DEFAULT_QL,
                 args.queries(),
@@ -875,7 +902,7 @@ fn ablation(args: &Args) {
     println!("\n## Ablation — pruning lemmas & strict mode (UL, k = 5, ql = 4.5%)");
     let w = Workload::with_ratio(
         Combo::Ul,
-        args.scale,
+        args.scale(),
         1.0,
         DEFAULT_QL,
         args.queries(),

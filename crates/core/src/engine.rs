@@ -70,6 +70,7 @@ pub struct Workspace {
     continuation_mark: u64,
     reseed_mark: u64,
     retarget_mark: u64,
+    sight_mark: u64,
 }
 
 impl Default for Workspace {
@@ -96,6 +97,7 @@ impl Workspace {
             continuation_mark: 0,
             reseed_mark: 0,
             retarget_mark: 0,
+            sight_mark: 0,
         }
     }
 
@@ -140,6 +142,9 @@ impl Workspace {
         self.continuation_mark = self.dij.continuations();
         self.reseed_mark = self.dij.reseeds();
         self.retarget_mark = self.dij.retargets();
+        // the graph's sight-test counter is a lifetime counter (it survives
+        // workspace resets), so per-query attribution is a window diff
+        self.sight_mark = self.g.sight_tests();
     }
 
     /// Closes the reuse-counter window of the current query.
@@ -148,6 +153,7 @@ impl Workspace {
         self.current.label_continuations = self.dij.continuations() - self.continuation_mark;
         self.current.label_reseeds = self.dij.reseeds() - self.reseed_mark;
         self.current.label_retargets = self.dij.retargets() - self.retarget_mark;
+        self.current.sight_tests = self.g.sight_tests() - self.sight_mark;
         self.current
     }
 }

@@ -13,7 +13,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 
 use conn_geom::{OrdF64, Point, Rect};
-use conn_index::{Entry, Mbr, RStarTree};
+use conn_index::{Mbr, RStarTree, Slot};
 use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
@@ -188,8 +188,7 @@ fn closest_pair_on(
                 }
                 // expand the node with the larger MBR (classic heuristic)
                 (Side::Node(na, ma), rhs) if expand_left(&Side::Node(na, ma), &rhs) => {
-                    for e in &tree_a.read_node(na).entries {
-                        let side = entry_side(e);
+                    for side in node_sides(tree_a.read_node(na)) {
                         seq += 1;
                         heap.push(PairElem {
                             key: Reverse(OrdF64::new(side.mbr().mindist_rect(&rhs.mbr()))),
@@ -200,8 +199,7 @@ fn closest_pair_on(
                     }
                 }
                 (lhs, Side::Node(nb, _)) => {
-                    for e in &tree_b.read_node(nb).entries {
-                        let side = entry_side(e);
+                    for side in node_sides(tree_b.read_node(nb)) {
                         seq += 1;
                         heap.push(PairElem {
                             key: Reverse(OrdF64::new(lhs.mbr().mindist_rect(&side.mbr()))),
@@ -212,8 +210,7 @@ fn closest_pair_on(
                     }
                 }
                 (Side::Node(na, _), rhs) => {
-                    for e in &tree_a.read_node(na).entries {
-                        let side = entry_side(e);
+                    for side in node_sides(tree_a.read_node(na)) {
                         seq += 1;
                         heap.push(PairElem {
                             key: Reverse(OrdF64::new(side.mbr().mindist_rect(&rhs.mbr()))),
@@ -304,18 +301,18 @@ fn edistance_join_on(
                 }
             }
             (Side::Node(na, ma), rhs) if expand_left(&Side::Node(na, ma), &rhs) => {
-                for entry in &tree_a.read_node(na).entries {
-                    stack.push((entry_side(entry), rhs));
+                for side in node_sides(tree_a.read_node(na)) {
+                    stack.push((side, rhs));
                 }
             }
             (lhs, Side::Node(nb, _)) => {
-                for entry in &tree_b.read_node(nb).entries {
-                    stack.push((lhs, entry_side(entry)));
+                for side in node_sides(tree_b.read_node(nb)) {
+                    stack.push((lhs, side));
                 }
             }
             (Side::Node(na, _), rhs) => {
-                for entry in &tree_a.read_node(na).entries {
-                    stack.push((entry_side(entry), rhs));
+                for side in node_sides(tree_a.read_node(na)) {
+                    stack.push((side, rhs));
                 }
             }
         }
@@ -333,11 +330,19 @@ fn edistance_join_on(
     (out, stats)
 }
 
-fn entry_side(e: &Entry<DataPoint>) -> Side {
-    match e {
-        Entry::Node { page, mbr } => Side::Node(*page, *mbr),
-        Entry::Item(p) => Side::Item(*p),
+fn slot_side(mbr: &Rect, slot: &Slot<DataPoint>) -> Side {
+    match slot {
+        Slot::Child(page) => Side::Node(*page, *mbr),
+        Slot::Item(p) => Side::Item(*p),
     }
+}
+
+/// Iterates a node's slots as [`Side`]s, zipping the envelope lane back in.
+fn node_sides<'n>(node: &'n conn_index::Node<DataPoint>) -> impl Iterator<Item = Side> + 'n {
+    node.mbrs
+        .iter()
+        .zip(&node.slots)
+        .map(|(m, s)| slot_side(m, s))
 }
 
 /// Shared pairwise obstructed-distance resolver over the workspace's

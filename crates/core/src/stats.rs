@@ -71,6 +71,12 @@ pub struct ReuseCounters {
     /// labels are exact regardless of the heuristic, so they re-enter the
     /// heap re-keyed by the new goal instead of a cold start.
     pub label_retargets: u64,
+    /// Segment-vs-rectangle sight tests charged by the visibility substrate
+    /// during this query: edge derivations, visible-region shadow
+    /// classification and point-membership probes all count here. This is
+    /// the unit of work the batched SoA kernels vectorize, so it is the
+    /// denominator for judging the substrate's per-test cost.
+    pub sight_tests: u64,
 }
 
 impl ReuseCounters {
@@ -82,6 +88,7 @@ impl ReuseCounters {
         self.label_continuations += other.label_continuations;
         self.label_reseeds += other.label_reseeds;
         self.label_retargets += other.label_retargets;
+        self.sight_tests += other.sight_tests;
     }
 }
 

@@ -23,20 +23,34 @@ pub fn query_segment(ql_frac: f64, seed: u64, obstacles: &[Rect]) -> Segment {
 
 /// Generates `count` query segments of length `ql_frac × SPACE_SIDE`
 /// (e.g. `ql_frac = 0.045` for the paper default of 4.5 %).
+///
+/// Dense fields (the paper-scale LA set covers a large fraction of the
+/// space) can make a full-length unblocked placement vanishingly rare, so
+/// the sampler adapts: after every `SHRINK_AFTER` consecutive rejections
+/// the candidate length shrinks by `SHRINK`, down to a floor of 5 % of
+/// the request. The schedule depends only on the rejection count, so the
+/// workload stays deterministic in the seed; sparse fields never reject
+/// enough to trigger it and keep exact-length segments.
 pub fn query_segments(count: usize, ql_frac: f64, seed: u64, obstacles: &[Rect]) -> Vec<Segment> {
+    /// Consecutive rejections before each length-shrink step.
+    const SHRINK_AFTER: usize = 500;
+    /// Per-step length factor.
+    const SHRINK: f64 = 0.9;
     assert!(ql_frac > 0.0 && ql_frac < 1.0, "ql out of range");
     let lookup = ObstacleLookup::build(obstacles);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
     let len = ql_frac * SPACE_SIDE;
     let mut out = Vec::with_capacity(count);
     let mut rejected = 0usize;
+    let mut streak = 0usize;
     while out.len() < count {
+        let cur_len = (len * SHRINK.powi((streak / SHRINK_AFTER) as i32)).max(len * 0.05);
         let s = Point::new(
             rng.gen_range(SPACE.min_x..SPACE.max_x),
             rng.gen_range(SPACE.min_y..SPACE.max_y),
         );
         let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-        let e = Point::new(s.x + len * theta.cos(), s.y + len * theta.sin());
+        let e = Point::new(s.x + cur_len * theta.cos(), s.y + cur_len * theta.sin());
         let seg = Segment::new(s, e);
         let ok = SPACE.contains(e)
             && !lookup.point_in_interior(s)
@@ -44,8 +58,10 @@ pub fn query_segments(count: usize, ql_frac: f64, seed: u64, obstacles: &[Rect])
             && !lookup.segment_blocked(&seg);
         if ok {
             out.push(seg);
+            streak = 0;
         } else {
             rejected += 1;
+            streak += 1;
             assert!(
                 rejected < 100_000 * count.max(10),
                 "query generation stalled: obstacle field too dense"
@@ -88,6 +104,33 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.a, y.a);
             assert_eq!(x.b, y.b);
+        }
+    }
+
+    #[test]
+    fn dense_field_terminates_with_shorter_segments() {
+        // A near-solid grid of blocks with 20-unit corridors: a 450-unit
+        // straight placement is essentially impossible, so the adaptive
+        // shrink has to kick in for generation to terminate at all.
+        let mut obstacles = Vec::new();
+        for gx in 0..40 {
+            for gy in 0..40 {
+                let x = gx as f64 * 250.0;
+                let y = gy as f64 * 250.0;
+                obstacles.push(Rect::new(x, y, x + 230.0, y + 230.0));
+            }
+        }
+        let lookup = ObstacleLookup::build(&obstacles);
+        let qs = query_segments(5, 0.045, 7, &obstacles);
+        assert_eq!(qs.len(), 5);
+        for q in &qs {
+            assert!(q.len() <= 450.0 + EPS, "longer than requested: {}", q.len());
+            assert!(
+                q.len() >= 0.05 * 450.0 - EPS,
+                "below the floor: {}",
+                q.len()
+            );
+            assert!(!lookup.segment_blocked(q));
         }
     }
 

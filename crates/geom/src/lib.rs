@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod batch;
 pub mod interval;
 pub mod point;
 pub mod quadratic;
@@ -29,6 +30,7 @@ pub mod sanitize;
 pub mod segment;
 
 pub use approx::{approx_eq, approx_ge, approx_le, OrdF64, EPS};
+pub use batch::{RectLanes, SegProbe};
 pub use interval::{Interval, IntervalSet};
 pub use point::Point;
 pub use quadratic::solve_quadratic;

@@ -5,7 +5,9 @@
 //! benchmark harness uses; incremental insertion remains available for
 //! dynamic workloads and is exercised by the structural tests.
 
-use crate::node::{Entry, Mbr, Node};
+use conn_geom::Rect;
+
+use crate::node::{Mbr, Node, Slot};
 use crate::tree::RStarTree;
 
 impl<T: Mbr + Clone> RStarTree<T> {
@@ -32,7 +34,10 @@ impl<T: Mbr + Clone> RStarTree<T> {
         let n = items.len();
         // Pack leaves: STR tiles on x, then fills runs on y.
         let cap = self.max_entries;
-        let leaf_entries: Vec<Entry<T>> = items.into_iter().map(Entry::Item).collect();
+        let leaf_entries: Vec<(Rect, Slot<T>)> = items
+            .into_iter()
+            .map(|it| (it.mbr(), Slot::Item(it)))
+            .collect();
         let mut level_entries = self.pack_level(leaf_entries, 0, cap);
         let mut level = 1;
         while level_entries.len() > 1 {
@@ -43,9 +48,9 @@ impl<T: Mbr + Clone> RStarTree<T> {
         // left, and bulk_fill is never called with an empty item set.
         // lint:allow(no-panic-in-query-path)
         match level_entries.pop().expect("non-empty packing") {
-            Entry::Node { page, .. } => self.root = page,
+            (_, Slot::Child(page)) => self.root = page,
             // lint:allow(no-panic-in-query-path): the final pack level is nodes
-            Entry::Item(_) => unreachable!("packing always produces a node"),
+            (_, Slot::Item(_)) => unreachable!("packing always produces a node"),
         }
         self.set_len(n);
         self.audit_structure("RStarTree::bulk_load");
@@ -57,31 +62,41 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// `cap`-sized runs) so no node falls below the minimum fill — greedy
     /// packing leaves an underfull tail node whenever `slice_len % cap`
     /// is small but non-zero.
-    fn pack_level(&mut self, mut entries: Vec<Entry<T>>, level: u32, cap: usize) -> Vec<Entry<T>> {
+    fn pack_level(
+        &mut self,
+        mut entries: Vec<(Rect, Slot<T>)>,
+        level: u32,
+        cap: usize,
+    ) -> Vec<(Rect, Slot<T>)> {
         let n = entries.len();
+        let fill = |node: &mut Node<T>, drained: std::vec::Drain<'_, (Rect, Slot<T>)>| {
+            for (r, s) in drained {
+                node.push(r, s);
+            }
+        };
         if n <= cap {
             let mut node = Node::new(level);
-            node.entries = entries;
+            fill(&mut node, entries.drain(..));
             let mbr = node.mbr();
             let page = self.alloc(node);
-            return vec![Entry::Node { mbr, page }];
+            return vec![(mbr, Slot::Child(page))];
         }
         let node_count = n.div_ceil(cap);
         let slice_count = (node_count as f64).sqrt().ceil() as usize;
 
-        entries.sort_by(|a, b| a.mbr().center().x.total_cmp(&b.mbr().center().x));
+        entries.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
         let mut parents = Vec::with_capacity(node_count);
         let mut rest = entries;
         for chunk in even_chunks(n, slice_count) {
-            let mut slice: Vec<Entry<T>> = rest.drain(..chunk).collect();
-            slice.sort_by(|a, b| a.mbr().center().y.total_cmp(&b.mbr().center().y));
+            let mut slice: Vec<(Rect, Slot<T>)> = rest.drain(..chunk).collect();
+            slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             let slice_len = slice.len();
             for node_chunk in even_chunks(slice_len, slice_len.div_ceil(cap)) {
                 let mut node = Node::new(level);
-                node.entries = slice.drain(..node_chunk).collect();
+                fill(&mut node, slice.drain(..node_chunk));
                 let mbr = node.mbr();
                 let page = self.alloc(node);
-                parents.push(Entry::Node { mbr, page });
+                parents.push((mbr, Slot::Child(page)));
             }
         }
         parents

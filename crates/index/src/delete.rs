@@ -8,7 +8,7 @@
 // lint:allow-file(no-panic-in-query-path[index]): page ids and entry indices are tree-structural invariants (children exist, fanout within bounds) re-audited after every mutation by check_invariants / sanitize-invariants
 use conn_geom::Rect;
 
-use crate::node::{Entry, Mbr, PageId};
+use crate::node::{Mbr, PageId, Slot};
 use crate::tree::RStarTree;
 
 impl<T: Mbr + Clone> RStarTree<T> {
@@ -21,24 +21,24 @@ impl<T: Mbr + Clone> RStarTree<T> {
     where
         F: Fn(&T) -> bool,
     {
-        let mut orphans: Vec<(Entry<T>, u32)> = Vec::new();
+        let mut orphans: Vec<(Rect, Slot<T>, u32)> = Vec::new();
         let removed = self.delete_rec(self.root, probe, &predicate, &mut orphans)?;
 
-        // re-insert orphaned entries at their original levels
-        for (entry, level) in orphans {
-            self.reattach(entry, level);
+        // re-insert orphaned slots at their original levels
+        for (mbr, slot, level) in orphans {
+            self.reattach(mbr, slot, level);
         }
 
         // shrink a degenerate root (single child, non-leaf)
         loop {
             let root = &self.pages[self.root as usize];
-            if root.is_leaf() || root.entries.len() != 1 {
+            if root.is_leaf() || root.len() != 1 {
                 break;
             }
-            let child = match root.entries[0] {
-                Entry::Node { page, .. } => page,
+            let child = match root.slots[0] {
+                Slot::Child(page) => page,
                 // lint:allow(no-panic-in-query-path): root.level > 0 here
-                Entry::Item(_) => unreachable!("item in non-leaf root"),
+                Slot::Item(_) => unreachable!("item in non-leaf root"),
             };
             self.root = child;
         }
@@ -65,18 +65,25 @@ impl<T: Mbr + Clone> RStarTree<T> {
         page: PageId,
         probe: &Rect,
         predicate: &F,
-        orphans: &mut Vec<(Entry<T>, u32)>,
+        orphans: &mut Vec<(Rect, Slot<T>, u32)>,
     ) -> Option<T>
     where
         F: Fn(&T) -> bool,
     {
         if self.pages[page as usize].is_leaf() {
             let node = &mut self.pages[page as usize];
-            let idx = node.entries.iter().position(|e| match e {
-                Entry::Item(item) => item.mbr().intersects(probe) && predicate(item),
-                Entry::Node { .. } => false,
-            })?;
-            let Entry::Item(item) = node.entries.swap_remove(idx) else {
+            // the envelope lane pre-filters; the payload is only touched
+            // for slots whose cached MBR intersects the probe
+            let idx = node
+                .mbrs
+                .iter()
+                .zip(&node.slots)
+                .position(|(mbr, slot)| match slot {
+                    Slot::Item(item) => mbr.intersects(probe) && predicate(item),
+                    Slot::Child(_) => false,
+                })?;
+            node.mbrs.swap_remove(idx);
+            let Slot::Item(item) = node.slots.swap_remove(idx) else {
                 // idx came from the Item-only position() match right above
                 // lint:allow(no-panic-in-query-path)
                 unreachable!("position() matched an item");
@@ -85,11 +92,12 @@ impl<T: Mbr + Clone> RStarTree<T> {
         }
         // search every child whose MBR intersects the probe
         let candidates: Vec<(usize, PageId)> = self.pages[page as usize]
-            .entries
+            .mbrs
             .iter()
+            .zip(&self.pages[page as usize].slots)
             .enumerate()
-            .filter_map(|(i, e)| match e {
-                Entry::Node { mbr, page } if mbr.intersects(probe) => Some((i, *page)),
+            .filter_map(|(i, (mbr, slot))| match slot {
+                Slot::Child(page) if mbr.intersects(probe) => Some((i, *page)),
                 _ => None,
             })
             .collect();
@@ -98,46 +106,49 @@ impl<T: Mbr + Clone> RStarTree<T> {
                 continue;
             };
             // condense: dissolve an underfull child, else refresh its MBR
-            let child_len = self.pages[child as usize].entries.len();
+            let child_len = self.pages[child as usize].len();
             if child_len < self.min_entries {
                 let level = self.pages[child as usize].level;
-                let dissolved = std::mem::take(&mut self.pages[child as usize].entries);
-                orphans.extend(dissolved.into_iter().map(|e| (e, level)));
-                self.pages[page as usize].entries.remove(idx);
+                let rects = std::mem::take(&mut self.pages[child as usize].mbrs);
+                let slots = std::mem::take(&mut self.pages[child as usize].slots);
+                orphans.extend(rects.into_iter().zip(slots).map(|(r, s)| (r, s, level)));
+                self.pages[page as usize].mbrs.remove(idx);
+                self.pages[page as usize].slots.remove(idx);
             } else {
                 let mbr = self.pages[child as usize].mbr();
-                if let Entry::Node { mbr: m, .. } = &mut self.pages[page as usize].entries[idx] {
-                    *m = mbr;
-                }
+                self.pages[page as usize].mbrs[idx] = mbr;
             }
             return Some(item);
         }
         None
     }
 
-    /// Re-attaches a condensed entry at its original level. If the tree has
+    /// Re-attaches a condensed slot at its original level. If the tree has
     /// shrunk below that level in the meantime, the orphaned subtree is
     /// dissolved recursively and its pieces re-attached where they fit.
-    fn reattach(&mut self, entry: Entry<T>, level: u32) {
+    fn reattach(&mut self, mbr: Rect, slot: Slot<T>, level: u32) {
         let root_level = self.pages[self.root as usize].level;
         if level > root_level {
-            match entry {
+            match slot {
                 // lint:allow(no-panic-in-query-path): level > root_level ≥ 0
-                Entry::Item(_) => unreachable!("items live at level 0 ≤ root level"),
-                Entry::Node { page, .. } => {
+                Slot::Item(_) => unreachable!("items live at level 0 ≤ root level"),
+                Slot::Child(page) => {
                     let inner_level = self.pages[page as usize].level;
-                    let entries = std::mem::take(&mut self.pages[page as usize].entries);
-                    for e in entries {
-                        self.reattach(e, inner_level);
+                    let rects = std::mem::take(&mut self.pages[page as usize].mbrs);
+                    let slots = std::mem::take(&mut self.pages[page as usize].slots);
+                    for (r, s) in rects.into_iter().zip(slots) {
+                        self.reattach(r, s, inner_level);
                     }
                 }
             }
             return;
         }
-        match entry {
-            item @ Entry::Item(_) => self.insert_entry_at_level(item, 0),
-            node @ Entry::Node { .. } => self.insert_entry_at_level(node, level),
-        }
+        let target = if matches!(slot, Slot::Item(_)) {
+            0
+        } else {
+            level
+        };
+        self.insert_slot_at_level(mbr, slot, target);
     }
 
     fn dec_len(&mut self) {

@@ -11,7 +11,7 @@
 // lint:allow-file(no-panic-in-query-path[index]): page ids and entry indices are tree-structural invariants (children exist, fanout within bounds) re-audited after every mutation by check_invariants / sanitize-invariants
 use conn_geom::Rect;
 
-use crate::node::{Entry, Mbr, Node, PageId};
+use crate::node::{Mbr, Node, PageId, Slot};
 use crate::tree::RStarTree;
 
 /// Fraction of entries evicted by forced reinsertion (R\* recommends 30 %).
@@ -27,7 +27,8 @@ const MAX_LEVELS: usize = 64;
 
 /// An entry waiting to be re-inserted at a given level.
 struct Pending<T> {
-    entry: Entry<T>,
+    mbr: Rect,
+    slot: Slot<T>,
     level: u32,
 }
 
@@ -37,23 +38,24 @@ impl<T: Mbr + Clone> RStarTree<T> {
     pub fn insert(&mut self, item: T) {
         let mut reinserted = [false; MAX_LEVELS];
         let mut pending = vec![Pending {
-            entry: Entry::Item(item),
+            mbr: item.mbr(),
+            slot: Slot::Item(item),
             level: 0,
         }];
         while let Some(p) = pending.pop() {
-            self.insert_entry(p.entry, p.level, &mut reinserted, &mut pending);
+            self.insert_entry(p.mbr, p.slot, p.level, &mut reinserted, &mut pending);
         }
         self.bump_len();
         self.audit_structure("RStarTree::insert");
     }
 
-    /// Inserts a raw entry at a given level through the full insertion
+    /// Inserts a raw slot at a given level through the full insertion
     /// machinery (used by deletion's condense-tree reattachment).
-    pub(crate) fn insert_entry_at_level(&mut self, entry: Entry<T>, level: u32) {
+    pub(crate) fn insert_slot_at_level(&mut self, mbr: Rect, slot: Slot<T>, level: u32) {
         let mut reinserted = [false; MAX_LEVELS];
-        let mut pending = vec![Pending { entry, level }];
+        let mut pending = vec![Pending { mbr, slot, level }];
         while let Some(p) = pending.pop() {
-            self.insert_entry(p.entry, p.level, &mut reinserted, &mut pending);
+            self.insert_entry(p.mbr, p.slot, p.level, &mut reinserted, &mut pending);
         }
     }
 
@@ -61,13 +63,14 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// split.
     fn insert_entry(
         &mut self,
-        entry: Entry<T>,
+        mbr: Rect,
+        slot: Slot<T>,
         target_level: u32,
         reinserted: &mut [bool; MAX_LEVELS],
         pending: &mut Vec<Pending<T>>,
     ) {
         if let Some((new_mbr, new_page)) =
-            self.insert_rec(self.root, entry, target_level, reinserted, pending)
+            self.insert_rec(self.root, mbr, slot, target_level, reinserted, pending)
         {
             // Root split: grow the tree by one level.
             let old_root = self.root;
@@ -75,14 +78,8 @@ impl<T: Mbr + Clone> RStarTree<T> {
             let new_level = self.pages[old_root as usize].level + 1;
             assert!((new_level as usize) < MAX_LEVELS, "tree too deep");
             let mut root = Node::new(new_level);
-            root.entries.push(Entry::Node {
-                mbr: old_mbr,
-                page: old_root,
-            });
-            root.entries.push(Entry::Node {
-                mbr: new_mbr,
-                page: new_page,
-            });
+            root.push(old_mbr, Slot::Child(old_root));
+            root.push(new_mbr, Slot::Child(new_page));
             self.root = self.alloc(root);
         }
     }
@@ -92,36 +89,32 @@ impl<T: Mbr + Clone> RStarTree<T> {
     fn insert_rec(
         &mut self,
         page: PageId,
-        entry: Entry<T>,
+        mbr: Rect,
+        slot: Slot<T>,
         target_level: u32,
         reinserted: &mut [bool; MAX_LEVELS],
         pending: &mut Vec<Pending<T>>,
     ) -> Option<(Rect, PageId)> {
         let level = self.pages[page as usize].level;
         if level == target_level {
-            self.pages[page as usize].entries.push(entry);
+            self.pages[page as usize].push(mbr, slot);
         } else {
-            let idx = self.choose_subtree(page, &entry.mbr());
-            let child = match self.pages[page as usize].entries[idx] {
-                Entry::Node { page, .. } => page,
+            let idx = self.choose_subtree(page, &mbr);
+            let child = match self.pages[page as usize].slots[idx] {
+                Slot::Child(page) => page,
                 // lint:allow(no-panic-in-query-path): page.level > 0 here
-                Entry::Item(_) => unreachable!("item entry above the leaf level"),
+                Slot::Item(_) => unreachable!("item slot above the leaf level"),
             };
-            let split = self.insert_rec(child, entry, target_level, reinserted, pending);
+            let split = self.insert_rec(child, mbr, slot, target_level, reinserted, pending);
             // Refresh the child MBR from ground truth (reinsert eviction may
             // have shrunk the child).
             let child_mbr = self.pages[child as usize].mbr();
-            if let Entry::Node { mbr, .. } = &mut self.pages[page as usize].entries[idx] {
-                *mbr = child_mbr;
-            }
+            self.pages[page as usize].mbrs[idx] = child_mbr;
             if let Some((sib_mbr, sib_page)) = split {
-                self.pages[page as usize].entries.push(Entry::Node {
-                    mbr: sib_mbr,
-                    page: sib_page,
-                });
+                self.pages[page as usize].push(sib_mbr, Slot::Child(sib_page));
             }
         }
-        if self.pages[page as usize].entries.len() > self.max_entries {
+        if self.pages[page as usize].len() > self.max_entries {
             return self.overflow(page, reinserted, pending);
         }
         None
@@ -152,18 +145,21 @@ impl<T: Mbr + Clone> RStarTree<T> {
         let level = self.pages[page as usize].level;
         let center = self.pages[page as usize].mbr().center();
         let node = &mut self.pages[page as usize];
-        let p = ((node.entries.len() as f64 * REINSERT_FRAC).ceil() as usize).max(1);
-        let mut keyed: Vec<(f64, Entry<T>)> = node
-            .entries
+        let p = ((node.len() as f64 * REINSERT_FRAC).ceil() as usize).max(1);
+        let mut keyed: Vec<(f64, Rect, Slot<T>)> = node
+            .mbrs
             .drain(..)
-            .map(|e| (e.mbr().center().dist_sq(center), e))
+            .zip(node.slots.drain(..))
+            .map(|(r, s)| (r.center().dist_sq(center), r, s))
             .collect();
         keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
         let evicted = keyed.split_off(keyed.len() - p);
-        node.entries.extend(keyed.into_iter().map(|(_, e)| e));
+        for (_, r, s) in keyed {
+            node.push(r, s);
+        }
         // pending is a stack: push farthest first so the nearest pops first
-        for (_, entry) in evicted.into_iter().rev() {
-            pending.push(Pending { entry, level });
+        for (_, mbr, slot) in evicted.into_iter().rev() {
+            pending.push(Pending { mbr, slot, level });
         }
     }
 
@@ -172,23 +168,22 @@ impl<T: Mbr + Clone> RStarTree<T> {
     fn choose_subtree(&self, page: PageId, mbr: &Rect) -> usize {
         let node = &self.pages[page as usize];
         debug_assert!(!node.is_leaf());
+        // all decisions below read only the contiguous envelope lane
+        let lane = &node.mbrs;
         let enlargement = |r: &Rect| r.union(mbr).area() - r.area();
         if node.level == 1 {
             // children are leaves → minimize overlap enlargement among the
             // OVERLAP_CANDIDATES least-area-enlargement entries
-            let mut order: Vec<usize> = (0..node.entries.len()).collect();
-            order.sort_by(|&a, &b| {
-                enlargement(&node.entries[a].mbr()).total_cmp(&enlargement(&node.entries[b].mbr()))
-            });
+            let mut order: Vec<usize> = (0..lane.len()).collect();
+            order.sort_by(|&a, &b| enlargement(&lane[a]).total_cmp(&enlargement(&lane[b])));
             order.truncate(OVERLAP_CANDIDATES);
             let overlap_delta = |idx: usize| -> f64 {
-                let r = node.entries[idx].mbr();
+                let r = lane[idx];
                 let grown = r.union(mbr);
                 let mut delta = 0.0;
-                for (j, other) in node.entries.iter().enumerate() {
+                for (j, o) in lane.iter().enumerate() {
                     if j != idx {
-                        let o = other.mbr();
-                        delta += grown.intersection_area(&o) - r.intersection_area(&o);
+                        delta += grown.intersection_area(o) - r.intersection_area(o);
                     }
                 }
                 delta
@@ -198,30 +193,17 @@ impl<T: Mbr + Clone> RStarTree<T> {
                 .min_by(|&&a, &&b| {
                     overlap_delta(a)
                         .total_cmp(&overlap_delta(b))
-                        .then(
-                            enlargement(&node.entries[a].mbr())
-                                .total_cmp(&enlargement(&node.entries[b].mbr())),
-                        )
-                        .then(
-                            node.entries[a]
-                                .mbr()
-                                .area()
-                                .total_cmp(&node.entries[b].mbr().area()),
-                        )
+                        .then(enlargement(&lane[a]).total_cmp(&enlargement(&lane[b])))
+                        .then(lane[a].area().total_cmp(&lane[b].area()))
                 })
                 // lint:allow(no-panic-in-query-path): nodes hold ≥ min_entries ≥ 1
                 .expect("choose_subtree on empty node")
         } else {
-            (0..node.entries.len())
+            (0..lane.len())
                 .min_by(|&a, &b| {
-                    enlargement(&node.entries[a].mbr())
-                        .total_cmp(&enlargement(&node.entries[b].mbr()))
-                        .then(
-                            node.entries[a]
-                                .mbr()
-                                .area()
-                                .total_cmp(&node.entries[b].mbr().area()),
-                        )
+                    enlargement(&lane[a])
+                        .total_cmp(&enlargement(&lane[b]))
+                        .then(lane[a].area().total_cmp(&lane[b].area()))
                 })
                 // lint:allow(no-panic-in-query-path): nodes hold ≥ min_entries ≥ 1
                 .expect("choose_subtree on empty node")
@@ -234,13 +216,13 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// group in place and returns the new sibling.
     pub(crate) fn split(&mut self, page: PageId) -> (Rect, PageId) {
         let level = self.pages[page as usize].level;
-        let entries = std::mem::take(&mut self.pages[page as usize].entries);
+        let mbrs = std::mem::take(&mut self.pages[page as usize].mbrs);
+        let slots = std::mem::take(&mut self.pages[page as usize].slots);
         let m = self.min_entries;
-        let total = entries.len();
+        let total = slots.len();
         debug_assert!(total > self.max_entries);
 
-        let sort_key = |e: &Entry<T>, axis: usize, upper: bool| -> (f64, f64) {
-            let r = e.mbr();
+        let sort_key = |r: &Rect, axis: usize, upper: bool| -> (f64, f64) {
             match (axis, upper) {
                 (0, false) => (r.min_x, r.max_x),
                 (0, true) => (r.max_x, r.min_x),
@@ -253,8 +235,8 @@ impl<T: Mbr + Clone> RStarTree<T> {
             .map(|&(axis, upper)| {
                 let mut idx: Vec<usize> = (0..total).collect();
                 idx.sort_by(|&a, &b| {
-                    let ka = sort_key(&entries[a], axis, upper);
-                    let kb = sort_key(&entries[b], axis, upper);
+                    let ka = sort_key(&mbrs[a], axis, upper);
+                    let kb = sort_key(&mbrs[b], axis, upper);
                     ka.0.total_cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
                 });
                 (axis, idx)
@@ -264,17 +246,17 @@ impl<T: Mbr + Clone> RStarTree<T> {
         // prefix[i] = mbr of order[..=i]; suffix[i] = mbr of order[i..]
         let group_mbrs = |order: &[usize]| -> (Vec<Rect>, Vec<Rect>) {
             let mut prefix = Vec::with_capacity(total);
-            let mut acc = entries[order[0]].mbr();
+            let mut acc = mbrs[order[0]];
             prefix.push(acc);
             for &i in &order[1..] {
-                acc = acc.union(&entries[i].mbr());
+                acc = acc.union(&mbrs[i]);
                 prefix.push(acc);
             }
             // Infallible: an overflowing node has max_entries + 1 entries.
             // lint:allow(no-panic-in-query-path)
-            let mut suffix = vec![entries[*order.last().unwrap()].mbr(); total];
+            let mut suffix = vec![mbrs[*order.last().unwrap()]; total];
             for k in (0..total - 1).rev() {
-                suffix[k] = suffix[k + 1].union(&entries[order[k]].mbr());
+                suffix[k] = suffix[k + 1].union(&mbrs[order[k]]);
             }
             (prefix, suffix)
         };
@@ -320,18 +302,19 @@ impl<T: Mbr + Clone> RStarTree<T> {
         for &i in &order[..k] {
             taken[i] = true;
         }
-        let mut keep = Vec::with_capacity(k);
-        let mut give = Vec::with_capacity(total - k);
-        for (i, e) in entries.into_iter().enumerate() {
+        let node = &mut self.pages[page as usize];
+        node.mbrs.reserve(k);
+        node.slots.reserve(k);
+        let mut sibling = Node::new(level);
+        sibling.mbrs.reserve(total - k);
+        sibling.slots.reserve(total - k);
+        for (i, (r, s)) in mbrs.into_iter().zip(slots).enumerate() {
             if taken[i] {
-                keep.push(e);
+                node.push(r, s);
             } else {
-                give.push(e);
+                sibling.push(r, s);
             }
         }
-        self.pages[page as usize].entries = keep;
-        let mut sibling = Node::new(level);
-        sibling.entries = give;
         let sib_mbr = sibling.mbr();
         let sib_page = self.alloc(sibling);
         (sib_mbr, sib_page)

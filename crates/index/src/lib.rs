@@ -32,7 +32,7 @@ pub mod stats;
 pub mod tree;
 
 pub use buffer::LruBuffer;
-pub use node::{Entry, Mbr, Node, PageId};
+pub use node::{Mbr, Node, PageId, Slot};
 pub use persist::PersistItem;
 pub use query::{DistShape, NearestIter};
 pub use stats::{PageStats, StatsSnapshot};

@@ -1,4 +1,23 @@
 //! Tree nodes and the item trait.
+//!
+//! # Storage layout: envelope/payload split
+//!
+//! A node stores its slots as two parallel lanes instead of one array of
+//! tagged structs:
+//!
+//! * `mbrs: Vec<Rect>` — the **hot** lane: one navigation envelope per
+//!   slot (the child subtree's bounding rectangle on inner levels, the
+//!   item's cached MBR on leaves). Every traversal decision — `mindist`
+//!   ordering, window intersection, subtree choice — reads only this lane,
+//!   a contiguous run of 32-byte rectangles.
+//! * `slots: Vec<Slot<T>>` — the **cold** lane: the child page id or the
+//!   item payload, touched only after the envelope test passes.
+//!
+//! The split keeps payload bytes out of the cache lines the envelope scan
+//! streams through, and it caches item MBRs at insertion time instead of
+//! recomputing them from the payload on every comparison. Slots are
+//! addressed by `u32`-sized indices (`PageId` for the node, a lane index
+//! within it), which is the layout a page image serializes verbatim.
 
 use conn_geom::Rect;
 
@@ -26,39 +45,27 @@ impl Mbr for conn_geom::Point {
     }
 }
 
-/// One slot of a node: either a child-node pointer (inner levels) or a data
-/// item (leaf level). Both carry the bounding rectangle used for navigation.
+/// The cold half of one node slot: a child-node pointer (inner levels) or a
+/// data item (leaf level). The slot's navigation envelope lives in the
+/// node's parallel `mbrs` lane.
 #[derive(Debug, Clone)]
-pub enum Entry<T> {
+pub enum Slot<T> {
     /// Pointer to a child node one level below.
-    Node {
-        /// Bounding rectangle covering the child's subtree.
-        mbr: Rect,
-        /// Page id of the child node.
-        page: PageId,
-    },
+    Child(PageId),
     /// A data item stored at the leaf level.
     Item(T),
 }
 
-impl<T: Mbr> Entry<T> {
-    /// The navigation rectangle of this entry.
-    #[inline]
-    pub fn mbr(&self) -> Rect {
-        match self {
-            Entry::Node { mbr, .. } => *mbr,
-            Entry::Item(item) => item.mbr(),
-        }
-    }
-}
-
-/// A tree node occupying one simulated disk page.
+/// A tree node occupying one simulated disk page; see the module docs for
+/// the two-lane layout.
 #[derive(Debug, Clone)]
 pub struct Node<T> {
     /// 0 for leaves; parents of leaves are level 1, and so on up to the root.
     pub level: u32,
-    /// The node's slots (at most the tree's `max_entries`).
-    pub entries: Vec<Entry<T>>,
+    /// Hot lane: navigation envelopes, parallel to `slots`.
+    pub mbrs: Vec<Rect>,
+    /// Cold lane: payloads, parallel to `mbrs`.
+    pub slots: Vec<Slot<T>>,
 }
 
 impl<T: Mbr> Node<T> {
@@ -66,8 +73,22 @@ impl<T: Mbr> Node<T> {
     pub fn new(level: u32) -> Self {
         Node {
             level,
-            entries: Vec::new(),
+            mbrs: Vec::new(),
+            slots: Vec::new(),
         }
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        debug_assert_eq!(self.mbrs.len(), self.slots.len());
+        self.slots.len()
+    }
+
+    /// True when the node has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
     }
 
     /// True for level-0 (item-holding) nodes.
@@ -76,15 +97,22 @@ impl<T: Mbr> Node<T> {
         self.level == 0
     }
 
-    /// Bounding rectangle of all entries (callers guarantee non-empty nodes
+    /// Appends a slot with its envelope.
+    #[inline]
+    pub fn push(&mut self, mbr: Rect, slot: Slot<T>) {
+        self.mbrs.push(mbr);
+        self.slots.push(slot);
+    }
+
+    /// Bounding rectangle of all slots (callers guarantee non-empty nodes
     /// everywhere except a brand-new empty root).
     pub fn mbr(&self) -> Rect {
-        let mut it = self.entries.iter();
+        let mut it = self.mbrs.iter();
         let first = it
             .next()
-            .map(|e| e.mbr())
+            .copied()
             .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0));
-        it.fold(first, |acc, e| acc.union(&e.mbr()))
+        it.fold(first, |acc, r| acc.union(r))
     }
 }
 
@@ -94,21 +122,24 @@ mod tests {
     use conn_geom::Point;
 
     #[test]
-    fn entry_mbr_dispatch() {
-        let e: Entry<Point> = Entry::Item(Point::new(1.0, 2.0));
-        assert_eq!(e.mbr(), Rect::new(1.0, 2.0, 1.0, 2.0));
-        let n: Entry<Point> = Entry::Node {
-            mbr: Rect::new(0.0, 0.0, 5.0, 5.0),
-            page: 7,
-        };
-        assert_eq!(n.mbr().area(), 25.0);
+    fn lanes_stay_parallel() {
+        let mut n: Node<Point> = Node::new(0);
+        let p = Point::new(1.0, 2.0);
+        n.push(p.mbr(), Slot::Item(p));
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.mbrs[0], Rect::new(1.0, 2.0, 1.0, 2.0));
+        let mut inner: Node<Point> = Node::new(1);
+        inner.push(Rect::new(0.0, 0.0, 5.0, 5.0), Slot::Child(7));
+        assert_eq!(inner.mbrs[0].area(), 25.0);
+        assert!(!inner.is_leaf());
     }
 
     #[test]
-    fn node_mbr_unions_entries() {
+    fn node_mbr_unions_envelope_lane() {
         let mut n: Node<Point> = Node::new(0);
-        n.entries.push(Entry::Item(Point::new(1.0, 1.0)));
-        n.entries.push(Entry::Item(Point::new(4.0, 9.0)));
+        for p in [Point::new(1.0, 1.0), Point::new(4.0, 9.0)] {
+            n.push(p.mbr(), Slot::Item(p));
+        }
         assert_eq!(n.mbr(), Rect::new(1.0, 1.0, 4.0, 9.0));
         assert!(n.is_leaf());
     }

@@ -21,7 +21,7 @@ use std::path::Path;
 
 use conn_geom::{Point, Rect};
 
-use crate::node::{Entry, Mbr, Node};
+use crate::node::{Mbr, Node, Slot};
 use crate::tree::RStarTree;
 
 const MAGIC: &[u8; 8] = b"CONNRT01";
@@ -103,10 +103,10 @@ impl<T: Mbr + Clone + PersistItem> RStarTree<T> {
         for node in self.pages_raw() {
             buf.clear();
             buf.extend_from_slice(&node.level.to_le_bytes());
-            buf.extend_from_slice(&(node.entries.len() as u32).to_le_bytes());
-            for e in &node.entries {
-                match e {
-                    Entry::Node { mbr, page } => {
+            buf.extend_from_slice(&(node.len() as u32).to_le_bytes());
+            for (mbr, slot) in node.mbrs.iter().zip(&node.slots) {
+                match slot {
+                    Slot::Child(page) => {
                         buf.push(0);
                         buf.extend_from_slice(&mbr.min_x.to_le_bytes());
                         buf.extend_from_slice(&mbr.min_y.to_le_bytes());
@@ -114,7 +114,7 @@ impl<T: Mbr + Clone + PersistItem> RStarTree<T> {
                         buf.extend_from_slice(&mbr.max_y.to_le_bytes());
                         buf.extend_from_slice(&page.to_le_bytes());
                     }
-                    Entry::Item(item) => {
+                    Slot::Item(item) => {
                         buf.push(1);
                         item.encode(&mut buf);
                     }
@@ -164,7 +164,8 @@ impl<T: Mbr + Clone + PersistItem> RStarTree<T> {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "overfull page"));
             }
             let mut node = Node::new(level);
-            node.entries.reserve(count);
+            node.mbrs.reserve(count);
+            node.slots.reserve(count);
             for _ in 0..count {
                 let mut tag = [0u8; 1];
                 r.read_exact(&mut tag)?;
@@ -185,12 +186,15 @@ impl<T: Mbr + Clone + PersistItem> RStarTree<T> {
                                 "child page out of range",
                             ));
                         }
-                        node.entries.push(Entry::Node { mbr, page });
+                        node.push(mbr, Slot::Child(page));
                     }
                     1 => {
                         let mut rec = vec![0u8; T::ENCODED_SIZE];
                         r.read_exact(&mut rec)?;
-                        node.entries.push(Entry::Item(T::decode(&rec)?));
+                        // the item's envelope is recomputed, not stored:
+                        // the on-disk format stays CONNRT01
+                        let item = T::decode(&rec)?;
+                        node.push(item.mbr(), Slot::Item(item));
                     }
                     t => {
                         return Err(io::Error::new(

@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 
 use conn_geom::{OrdF64, Point, Rect, Segment};
 
-use crate::node::{Entry, Mbr, PageId};
+use crate::node::{Mbr, PageId, Slot};
 use crate::tree::RStarTree;
 
 /// A query shape that can lower-bound its distance to an MBR.
@@ -121,21 +121,18 @@ impl<'a, T: Mbr + Clone, Q: DistShape> Iterator for NearestIter<'a, T, Q> {
             match item {
                 HeapItem::Item(it) => return Some((it, key.0)),
                 HeapItem::Node(page) => {
-                    let node = self.tree.read(page);
-                    // clone entries out so the heap can own them past this read
-                    let expanded: Vec<(OrdF64, HeapItem<T>)> = node
-                        .entries
-                        .iter()
-                        .map(|e| {
-                            let d = OrdF64::new(self.query.dist_rect(&e.mbr()));
-                            match e {
-                                Entry::Node { page, .. } => (d, HeapItem::Node(*page)),
-                                Entry::Item(it) => (d, HeapItem::Item(it.clone())),
-                            }
-                        })
-                        .collect();
-                    for (d, hi) in expanded {
-                        self.push(d, hi);
+                    // `tree` is a copy of the &'a reference, so `node`
+                    // outlives the &mut self borrows of push() below: the
+                    // expansion streams the contiguous envelope lane
+                    // straight onto the heap, no intermediate buffer
+                    let tree = self.tree;
+                    let node = tree.read(page);
+                    for (mbr, slot) in node.mbrs.iter().zip(&node.slots) {
+                        let d = OrdF64::new(self.query.dist_rect(mbr));
+                        match slot {
+                            Slot::Child(page) => self.push(d, HeapItem::Node(*page)),
+                            Slot::Item(it) => self.push(d, HeapItem::Item(it.clone())),
+                        }
                     }
                 }
             }
@@ -165,11 +162,11 @@ impl<T: Mbr + Clone> RStarTree<T> {
         while let Some(page) = stack.pop() {
             let node = self.read(page);
             let mut child_pages = Vec::new();
-            for e in &node.entries {
-                if e.mbr().intersects(window) {
-                    match e {
-                        Entry::Node { page, .. } => child_pages.push(*page),
-                        Entry::Item(it) => out.push(it.clone()),
+            for (mbr, slot) in node.mbrs.iter().zip(&node.slots) {
+                if mbr.intersects(window) {
+                    match slot {
+                        Slot::Child(page) => child_pages.push(*page),
+                        Slot::Item(it) => out.push(it.clone()),
                     }
                 }
             }

@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use conn_geom::{Point, Rect};
 
 use crate::buffer::LruBuffer;
-use crate::node::{Entry, Mbr, Node, PageId};
+use crate::node::{Mbr, Node, PageId, Slot};
 use crate::stats::{PageStats, StatsSnapshot};
 
 /// Paper §5.1: "the page size fixed at 4KB".
@@ -164,9 +164,9 @@ impl<T: Mbr + Clone> RStarTree<T> {
     /// Iterates over all items without charging I/O.
     pub fn iter_items(&self) -> impl Iterator<Item = &T> {
         self.pages.iter().flat_map(|n| {
-            n.entries.iter().filter_map(|e| match e {
-                Entry::Item(it) => Some(it),
-                Entry::Node { .. } => None,
+            n.slots.iter().filter_map(|s| match s {
+                Slot::Item(it) => Some(it),
+                Slot::Child(_) => None,
             })
         })
     }
@@ -203,25 +203,38 @@ impl<T: Mbr + Clone> RStarTree<T> {
             }
         }
         let is_root = page == self.root;
-        if !is_root && node.entries.len() < self.min_entries {
+        if node.mbrs.len() != node.slots.len() {
+            return Err(format!(
+                "page {page}: lanes diverged ({} envelopes, {} slots)",
+                node.mbrs.len(),
+                node.slots.len()
+            ));
+        }
+        if !is_root && node.len() < self.min_entries {
             return Err(format!(
                 "page {page}: underfull ({} < {})",
-                node.entries.len(),
+                node.len(),
                 self.min_entries
             ));
         }
-        if node.entries.len() > self.max_entries {
-            return Err(format!("page {page}: overfull ({})", node.entries.len()));
+        if node.len() > self.max_entries {
+            return Err(format!("page {page}: overfull ({})", node.len()));
         }
-        if is_root && !node.is_leaf() && node.entries.len() < 2 {
+        if is_root && !node.is_leaf() && node.len() < 2 {
             return Err("non-leaf root with < 2 children".into());
         }
-        for e in &node.entries {
-            match e {
-                Entry::Item(_) if !node.is_leaf() => {
+        for (mbr, slot) in node.mbrs.iter().zip(&node.slots) {
+            match slot {
+                Slot::Item(_) if !node.is_leaf() => {
                     return Err(format!("item in non-leaf page {page}"));
                 }
-                Entry::Node { mbr, page: child } => {
+                Slot::Item(item) => {
+                    let actual = item.mbr();
+                    if actual != *mbr {
+                        return Err(format!("page {page}: stale item envelope"));
+                    }
+                }
+                Slot::Child(child) => {
                     if node.is_leaf() {
                         return Err(format!("child pointer in leaf page {page}"));
                     }
@@ -240,7 +253,6 @@ impl<T: Mbr + Clone> RStarTree<T> {
                     }
                     self.check_node(*child, Some(node.level - 1))?;
                 }
-                Entry::Item(_) => {}
             }
         }
         Ok(())
@@ -335,12 +347,14 @@ mod tests {
         assert!(t.height() >= 2, "fixture needs an inner level");
         t.audit_structure("intact fixture"); // clean tree passes
 
-        // Shrink a root entry's MBR so it no longer contains its subtree.
+        // Shrink a root entry's envelope so it no longer contains its
+        // subtree (lane corruption: the slot itself stays intact).
         let root = t.root;
-        match &mut t.pages[root as usize].entries[0] {
-            Entry::Node { mbr, .. } => *mbr = Rect::new(1e6, 1e6, 1e6 + 1.0, 1e6 + 1.0),
-            Entry::Item(_) => panic!("two-level root holds node entries"),
-        }
+        assert!(
+            matches!(t.pages[root as usize].slots[0], Slot::Child(_)),
+            "two-level root holds child slots"
+        );
+        t.pages[root as usize].mbrs[0] = Rect::new(1e6, 1e6, 1e6 + 1.0, 1e6 + 1.0);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             t.audit_structure("corrupted fixture")
         }))

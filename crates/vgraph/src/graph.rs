@@ -19,8 +19,33 @@
 //! proportional to the nodes Dijkstra actually expands, not to the full
 //! `O(n²)` edge set.
 //!
+//! # Storage layout: CSR arena + SoA node lanes
+//!
+//! The graph is stored as flat parallel arrays, not per-node allocations:
+//!
+//! * **Nodes** are three SoA lanes (`node_pos` / `node_kind` /
+//!   `node_alive`) indexed by [`NodeId`]. The settle loop of a search only
+//!   touches the position lane; kind and liveness stay out of its cache
+//!   lines.
+//! * **Base adjacency** is a CSR-style arena: one contiguous `Vec<u32>` of
+//!   edge targets and a parallel `Vec<f64>` of Euclidean weights, with a
+//!   small per-node `AdjMeta` record holding the node's `{start, len}`
+//!   range plus its cache-coherency keys (version, removal epoch,
+//!   completeness radius). Rebuilt and repaired ranges are appended at the
+//!   arena tail; abandoned ranges are tracked as garbage and squeezed out
+//!   by an occasional compaction pass, so relaxation streams over
+//!   contiguous memory instead of chasing one heap allocation per node.
+//! * The **transient overlay** stays a small side table (`transients`):
+//!   data-point nodes come and go once per evaluated point and never enter
+//!   the arena.
+//!
+//! Indices are `u32` on purpose: half the bytes of `usize` doubles the
+//! edges per cache line, and a self-contained `u32`-indexed arena is the
+//! layout an mmap-able graph snapshot (ROADMAP item 6) can serialize
+//! verbatim.
+//!
 //! [`VisGraph::reset`] clears the graph for the next query while retaining
-//! every allocation (node slots, per-slot edge lists, grid cells), which is
+//! every allocation (node lanes, the adjacency arena, grid cells), which is
 //! what makes a reused query engine perform O(1) substrate allocations per
 //! batch instead of O(N).
 
@@ -29,7 +54,7 @@ use conn_geom::{Point, Rect, Segment};
 
 use crate::grid::ObstacleGrid;
 
-/// `CachedAdj::version` value marking a slot whose cache is invalid.
+/// `AdjMeta::version` value marking a slot whose cache is invalid.
 const STALE: u64 = u64::MAX;
 
 /// Handle to a graph node.
@@ -55,15 +80,11 @@ pub enum NodeKind {
     ObstacleVertex,
 }
 
-#[derive(Debug, Clone)]
-struct VNode {
-    pos: Point,
-    kind: NodeKind,
-    alive: bool,
-}
-
-#[derive(Debug, Clone)]
-struct CachedAdj {
+/// Per-node metadata of the CSR adjacency arena: the node's `[start,
+/// start + len)` range in the targets/weights lanes plus the
+/// cache-coherency keys deciding whether that range is current.
+#[derive(Debug, Clone, Copy)]
+struct AdjMeta {
     version: u64,
     /// [`VisGraph::base_removal_epoch`] at cache time: a removed stable
     /// node invalidates incremental repair (full recompute instead).
@@ -76,16 +97,20 @@ struct CachedAdj {
     /// trajectory session's accumulated supergraph and a single query's
     /// neighborhood.
     radius: f64,
-    edges: Vec<(u32, f64)>,
+    /// First arena index of this node's edge range.
+    start: u32,
+    /// Number of edges in the range.
+    len: u32,
 }
 
-impl Default for CachedAdj {
+impl Default for AdjMeta {
     fn default() -> Self {
-        CachedAdj {
+        AdjMeta {
             version: STALE,
             removal_epoch: 0,
             radius: 0.0,
-            edges: Vec::new(),
+            start: 0,
+            len: 0,
         }
     }
 }
@@ -93,7 +118,12 @@ impl Default for CachedAdj {
 /// Local visibility graph over a growing obstacle set.
 #[derive(Debug)]
 pub struct VisGraph {
-    nodes: Vec<VNode>,
+    /// Node positions — the hot lane every relaxation filter reads.
+    node_pos: Vec<Point>,
+    /// What each node represents (parallel to `node_pos`).
+    node_kind: Vec<NodeKind>,
+    /// Liveness per node slot (parallel to `node_pos`).
+    node_alive: Vec<bool>,
     free: Vec<u32>,
     grid: ObstacleGrid,
     /// Bumped by every structural change (guards running Dijkstras).
@@ -132,9 +162,24 @@ pub struct VisGraph {
     rect_corners: Vec<[u32; 4]>,
     /// Scratch for grid candidate queries during bounded rebuilds.
     rect_scratch: Vec<u32>,
-    adj: Vec<CachedAdj>,
+    /// Per-node arena ranges + cache-coherency keys.
+    adj: Vec<AdjMeta>,
+    /// CSR arena, target lane: edge targets of every cached range.
+    adj_targets: Vec<u32>,
+    /// CSR arena, weight lane (parallel to `adj_targets`).
+    adj_weights: Vec<f64>,
+    /// Arena entries no longer referenced by any range (rebuilds and
+    /// repairs append at the tail and abandon their old range); compaction
+    /// squeezes them out once they dominate.
+    adj_dead: usize,
+    /// Swap buffers for arena compaction (retained across compactions).
+    compact_targets: Vec<u32>,
+    compact_weights: Vec<f64>,
     /// Scratch for the slice-returning [`VisGraph::neighbors`] facade.
     combined: Vec<(u32, f64)>,
+    /// Scratch for visible-region candidate gathering (ids + rects).
+    vr_ids: Vec<u32>,
+    vr_rects: Vec<Rect>,
 }
 
 impl VisGraph {
@@ -142,7 +187,9 @@ impl VisGraph {
     /// obstacle index (≈ a few typical obstacle diameters).
     pub fn new(cell: f64) -> Self {
         VisGraph {
-            nodes: Vec::new(),
+            node_pos: Vec::new(),
+            node_kind: Vec::new(),
+            node_alive: Vec::new(),
             free: Vec::new(),
             grid: ObstacleGrid::new(cell),
             version: 0,
@@ -156,7 +203,14 @@ impl VisGraph {
             rect_corners: Vec::new(),
             rect_scratch: Vec::new(),
             adj: Vec::new(),
+            adj_targets: Vec::new(),
+            adj_weights: Vec::new(),
+            adj_dead: 0,
+            compact_targets: Vec::new(),
+            compact_weights: Vec::new(),
             combined: Vec::new(),
+            vr_ids: Vec::new(),
+            vr_rects: Vec::new(),
         }
     }
 
@@ -176,8 +230,10 @@ impl VisGraph {
             // with is still intact — audit it before it is torn down.
             self.audit_adjacency();
         }
-        let retained = self.adj.iter().filter(|a| !a.edges.is_empty()).count();
-        self.nodes.clear();
+        let retained = self.adj.iter().filter(|m| m.len > 0).count();
+        self.node_pos.clear();
+        self.node_kind.clear();
+        self.node_alive.clear();
         self.free.clear();
         self.transients.clear();
         self.rect_log.clear();
@@ -185,6 +241,17 @@ impl VisGraph {
         self.endpoints.clear();
         self.rect_corners.clear();
         self.grid.reset();
+        // the edge arena restarts empty (allocations retained); stale
+        // metas must not keep ranges into the cleared arena
+        self.adj_targets.clear();
+        self.adj_weights.clear();
+        self.adj_dead = 0;
+        for m in &mut self.adj {
+            m.version = STALE;
+            m.radius = 0.0;
+            m.start = 0;
+            m.len = 0;
+        }
         self.version += 1;
         self.base_version = self.version;
         self.shape_epoch += 1;
@@ -203,12 +270,12 @@ impl VisGraph {
     /// Number of live nodes — the `|SVG|` metric of the paper's Figures 9–12
     /// counts the obstacle vertices held in the local graph.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| n.alive).count()
+        self.node_alive.iter().filter(|&&a| a).count()
     }
 
     /// Total slots, including dead nodes (array sizing for Dijkstra).
     pub fn capacity(&self) -> usize {
-        self.nodes.len()
+        self.node_pos.len()
     }
 
     /// Number of obstacle rectangles loaded so far.
@@ -245,26 +312,34 @@ impl VisGraph {
 
     /// Position of a node (dead or alive).
     pub fn node_pos(&self, id: NodeId) -> Point {
-        self.nodes[id.index()].pos
+        self.node_pos[id.index()]
     }
 
     /// What the node represents.
     pub fn node_kind(&self, id: NodeId) -> NodeKind {
-        self.nodes[id.index()].kind
+        self.node_kind[id.index()]
     }
 
     /// True until the node is removed.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].alive
+        self.node_alive[id.index()]
     }
 
     /// Iterates live node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
+        self.node_alive
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.alive)
+            .filter(|(_, &alive)| alive)
             .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Lifetime count of segment-vs-rect sight classifications performed on
+    /// behalf of this graph (grid walks + visible-region fans). Monotone
+    /// across [`VisGraph::reset`] — callers diff marks per query window,
+    /// like the Dijkstra reuse counters.
+    pub fn sight_tests(&self) -> u64 {
+        self.grid.sight_tests()
     }
 
     /// Adds a non-obstacle node (query endpoint or data point). Data points
@@ -288,14 +363,14 @@ impl VisGraph {
     /// Removes a node added with [`VisGraph::add_point`] (typically the data
     /// point once its evaluation ends).
     pub fn remove_node(&mut self, id: NodeId) {
-        let node = &mut self.nodes[id.index()];
-        debug_assert!(node.alive, "double removal of node {id:?}");
+        let i = id.index();
+        debug_assert!(self.node_alive[i], "double removal of node {id:?}");
         debug_assert!(
-            node.kind != NodeKind::ObstacleVertex,
+            self.node_kind[i] != NodeKind::ObstacleVertex,
             "obstacle vertices are permanent"
         );
-        let kind = node.kind;
-        node.alive = false;
+        let kind = self.node_kind[i];
+        self.node_alive[i] = false;
         self.free.push(id.0);
         self.version += 1;
         self.shape_epoch += 1;
@@ -327,30 +402,38 @@ impl VisGraph {
 
     fn push_node(&mut self, pos: Point, kind: NodeKind) -> NodeId {
         if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = VNode {
-                pos,
-                kind,
-                alive: true,
-            };
-            // Mark stale but keep the edge-list allocation for reuse.
-            self.adj[slot as usize].version = STALE;
-            self.adj[slot as usize].radius = 0.0;
+            let i = slot as usize;
+            self.node_pos[i] = pos;
+            self.node_kind[i] = kind;
+            self.node_alive[i] = true;
+            // Mark stale and abandon the slot's old arena range.
+            self.retire_range(i);
+            self.adj[i].version = STALE;
+            self.adj[i].radius = 0.0;
             NodeId(slot)
         } else {
-            self.nodes.push(VNode {
-                pos,
-                kind,
-                alive: true,
-            });
-            let i = self.nodes.len() - 1;
+            self.node_pos.push(pos);
+            self.node_kind.push(kind);
+            self.node_alive.push(true);
+            let i = self.node_pos.len() - 1;
             if i < self.adj.len() {
-                self.adj[i].version = STALE; // slot retained across a reset
+                // slot retained across a reset (range already zeroed there)
+                self.retire_range(i);
+                self.adj[i].version = STALE;
                 self.adj[i].radius = 0.0;
             } else {
-                self.adj.push(CachedAdj::default());
+                self.adj.push(AdjMeta::default());
             }
             NodeId(i as u32)
         }
+    }
+
+    /// Abandons a slot's arena range (if any), accounting it as garbage.
+    fn retire_range(&mut self, i: usize) {
+        let m = &mut self.adj[i];
+        self.adj_dead += m.len as usize;
+        m.start = 0;
+        m.len = 0;
     }
 
     /// Sight-line test against the *local* obstacle set (paper Def. 1).
@@ -415,42 +498,57 @@ impl VisGraph {
         radius: f64,
     ) {
         let ui = u.index();
-        debug_assert!(self.nodes[ui].alive, "neighbors of dead node");
+        debug_assert!(self.node_alive[ui], "neighbors of dead node");
         let cached = &self.adj[ui];
         if cached.version != self.base_version || cached.radius < radius {
+            // modest speculative growth: the margin only has to absorb
+            // jitter between consecutive requests, because asking for more
+            // later costs just the annulus (sight tests scale with window
+            // area, so the margin is paid quadratically)
+            let target = if radius.is_finite() {
+                (radius * 1.2).max(self.grid.cell_size() * 2.0)
+            } else {
+                f64::INFINITY
+            };
+            // a finite cache can grow to a finite target by sight-testing
+            // just the annulus beyond its old radius, once its version is
+            // current (either already, or brought there by a repair)
+            let growable = cached.radius > 0.0 && cached.radius.is_finite() && target.is_finite();
             let repairable = cached.version != STALE
                 && cached.version != self.base_version
                 && cached.removal_epoch == self.base_removal_epoch
-                && cached.radius >= radius
-                && self.repair_cheaper_than_rebuild(cached.version, cached.edges.len());
+                && (cached.radius >= radius || growable)
+                && self.repair_cheaper_than_rebuild(cached.version, cached.len as usize);
             if repairable {
                 self.repair_base_cache(ui);
+                if self.adj[ui].radius < radius {
+                    self.extend_base_cache(ui, target);
+                }
+            } else if cached.version == self.base_version && growable {
+                self.extend_base_cache(ui, target);
             } else {
-                // geometric growth: a slightly larger radius now saves the
-                // rebuild when the next search asks for marginally more
-                let target = if radius.is_finite() {
-                    (radius * 1.5).max(self.grid.cell_size() * 2.0)
-                } else {
-                    f64::INFINITY
-                };
                 self.rebuild_base_cache(ui, target);
             }
+            self.maybe_compact();
         }
-        let nodes = &self.nodes;
+        let m = self.adj[ui];
+        let (start, end) = (m.start as usize, (m.start + m.len) as usize);
+        let pos = &self.node_pos;
         out.extend(
-            self.adj[ui]
-                .edges
+            self.adj_targets[start..end]
                 .iter()
-                .filter(|&&(v, _)| keep(v, nodes[v as usize].pos)),
+                .zip(&self.adj_weights[start..end])
+                .filter(|&(&v, _)| keep(v, pos[v as usize]))
+                .map(|(&v, &w)| (v, w)),
         );
-        let upos = self.nodes[ui].pos;
+        let upos = self.node_pos[ui];
         for ti in 0..self.transients.len() {
             let t = self.transients[ti];
             if t as usize == ui {
                 continue;
             }
-            debug_assert!(self.nodes[t as usize].alive, "dead transient tracked");
-            let tpos = self.nodes[t as usize].pos;
+            debug_assert!(self.node_alive[t as usize], "dead transient tracked");
+            let tpos = self.node_pos[t as usize];
             if !keep(t, tpos) {
                 continue;
             }
@@ -473,48 +571,123 @@ impl VisGraph {
     fn repair_cheaper_than_rebuild(&self, version: u64, edges: usize) -> bool {
         let new_rects = self.rect_log.len() - Self::log_start(&self.rect_log, version);
         let new_nodes = self.node_log.len() - Self::log_start(&self.node_log, version);
-        let candidates = self.nodes.len().saturating_sub(self.free.len());
+        let candidates = self.node_pos.len().saturating_sub(self.free.len());
         const WALK_COST: usize = 4; // ≈ rect tests per grid walk
         edges * new_rects + new_nodes * WALK_COST < candidates * WALK_COST
     }
 
-    /// Incremental base-cache repair: drop retained edges blocked by rects
-    /// newer than the cache, append newly logged stable nodes (within the
-    /// cache's completeness radius) that are visible. The result is
-    /// radius-complete, like a rebuild at the same radius; the exact edge
-    /// *sets* may differ beyond the radius (bounded rebuilds include some
-    /// over-the-radius extras from window corners, repairs filter new
-    /// nodes strictly by distance) — both are harmless supersets of the
-    /// radius guarantee.
-    fn repair_base_cache(&mut self, ui: usize) {
-        let upos = self.nodes[ui].pos;
-        let old_version = self.adj[ui].version;
-        let radius = self.adj[ui].radius;
-        let mut edges = std::mem::take(&mut self.adj[ui].edges);
-        let new_rects = &self.rect_log[Self::log_start(&self.rect_log, old_version)..];
-        if !new_rects.is_empty() {
-            let nodes = &self.nodes;
-            edges.retain(|&(x, _)| {
-                let seg = Segment::new(upos, nodes[x as usize].pos);
-                !new_rects.iter().any(|(_, r)| r.blocks(&seg))
-            });
+    /// Compacts the adjacency arena once abandoned ranges dominate: live
+    /// ranges are copied front-to-back in slot order into retained swap
+    /// buffers and every meta is rebased. Ranges keep their internal order,
+    /// so repairable (stale-but-retained) caches survive compaction intact.
+    fn maybe_compact(&mut self) {
+        let live = self.adj_targets.len() - self.adj_dead;
+        if self.adj_dead < 4096 || self.adj_dead < 2 * live {
+            return;
         }
-        for li in Self::log_start(&self.node_log, old_version)..self.node_log.len() {
+        let mut ts = std::mem::take(&mut self.compact_targets);
+        let mut ws = std::mem::take(&mut self.compact_weights);
+        ts.clear();
+        ws.clear();
+        ts.reserve(live);
+        ws.reserve(live);
+        for m in &mut self.adj {
+            if m.len == 0 {
+                m.start = 0;
+                continue;
+            }
+            let (s, e) = (m.start as usize, (m.start + m.len) as usize);
+            m.start = ts.len() as u32;
+            ts.extend_from_slice(&self.adj_targets[s..e]);
+            ws.extend_from_slice(&self.adj_weights[s..e]);
+        }
+        std::mem::swap(&mut self.adj_targets, &mut ts);
+        std::mem::swap(&mut self.adj_weights, &mut ws);
+        // keep the old arena buffers as the next compaction's scratch
+        self.compact_targets = ts;
+        self.compact_weights = ws;
+        self.adj_dead = 0;
+    }
+
+    /// Incremental base-cache repair: drop retained edges blocked by rects
+    /// newer than the cache, append newly logged stable nodes inside the
+    /// cache's window that are visible.
+    ///
+    /// Every cache constructor (rebuild, repair, annulus extension) decides
+    /// candidates by the same **window-membership rule** — a stable node is
+    /// a candidate iff its Chebyshev distance from the cache's node is at
+    /// most the recorded radius. An up-to-date cache therefore holds
+    /// exactly the visible stable nodes inside its window, regardless of
+    /// the rebuild/repair/extension history; radius growth can then test
+    /// just the annulus (see [`VisGraph::extend_base_cache`]).
+    fn repair_base_cache(&mut self, ui: usize) {
+        let upos = self.node_pos[ui];
+        let m = self.adj[ui];
+        let (start, len) = (m.start as usize, m.len as usize);
+        let rect_from = Self::log_start(&self.rect_log, m.version);
+        let at_tail = start + len == self.adj_targets.len();
+        let new_start = if at_tail {
+            start
+        } else {
+            self.adj_targets.len()
+        };
+        if at_tail {
+            // the range sits at the arena tail: filter it in place
+            let mut w = start;
+            for r in start..start + len {
+                let t = self.adj_targets[r];
+                let wt = self.adj_weights[r];
+                if self.edge_survives(upos, t, rect_from) {
+                    self.adj_targets[w] = t;
+                    self.adj_weights[w] = wt;
+                    w += 1;
+                }
+            }
+            self.adj_targets.truncate(w);
+            self.adj_weights.truncate(w);
+        } else {
+            // copy-filter to the tail; the old range becomes garbage
+            for r in start..start + len {
+                let t = self.adj_targets[r];
+                let wt = self.adj_weights[r];
+                if self.edge_survives(upos, t, rect_from) {
+                    self.adj_targets.push(t);
+                    self.adj_weights.push(wt);
+                }
+            }
+            self.adj_dead += len;
+        }
+        for li in Self::log_start(&self.node_log, m.version)..self.node_log.len() {
             let (_, nid) = self.node_log[li];
             let vi = nid as usize;
             if vi == ui {
                 continue;
             }
-            debug_assert!(self.nodes[vi].alive, "logged stable node died");
-            let vpos = self.nodes[vi].pos;
-            if upos.dist(vpos) <= radius && !self.grid.blocks(upos, vpos) {
-                edges.push((nid, upos.dist(vpos)));
+            debug_assert!(self.node_alive[vi], "logged stable node died");
+            let vpos = self.node_pos[vi];
+            let cheb = (vpos.x - upos.x).abs().max((vpos.y - upos.y).abs());
+            if cheb <= m.radius && !self.grid.blocks(upos, vpos) {
+                self.adj_targets.push(nid);
+                self.adj_weights.push(upos.dist(vpos));
             }
         }
         let slot = &mut self.adj[ui];
         slot.version = self.base_version;
         slot.removal_epoch = self.base_removal_epoch;
-        slot.edges = edges;
+        slot.start = new_start as u32;
+        slot.len = (self.adj_targets.len() - new_start) as u32;
+    }
+
+    /// True when a retained edge `u → target` is not blocked by any rect
+    /// logged at or after `rect_from` (repair's incremental filter).
+    fn edge_survives(&self, upos: Point, target: u32, rect_from: usize) -> bool {
+        if rect_from == self.rect_log.len() {
+            return true;
+        }
+        let seg = Segment::new(upos, self.node_pos[target as usize]);
+        !self.rect_log[rect_from..]
+            .iter()
+            .any(|(_, r)| r.blocks(&seg))
     }
 
     /// Base-cache rebuild, complete up to `radius`: candidates come from
@@ -523,9 +696,10 @@ impl VisGraph {
     /// stable node when it is infinite. One grid sight test per candidate
     /// either way.
     fn rebuild_base_cache(&mut self, ui: usize, radius: f64) {
-        let upos = self.nodes[ui].pos;
-        let mut edges = std::mem::take(&mut self.adj[ui].edges);
-        edges.clear();
+        let upos = self.node_pos[ui];
+        // abandon the old range and append the rebuilt one at the tail
+        self.retire_range(ui);
+        let new_start = self.adj_targets.len();
         if radius.is_finite() {
             let window = Rect::new(
                 upos.x - radius,
@@ -540,36 +714,48 @@ impl VisGraph {
                     let vi = vid as usize;
                     // corner nodes are permanent today, but keep the same
                     // liveness filter as the infinite-radius scan
-                    if vi == ui || !self.nodes[vi].alive {
+                    if vi == ui || !self.node_alive[vi] {
                         continue;
                     }
-                    let vpos = self.nodes[vi].pos;
+                    let vpos = self.node_pos[vi];
+                    // window-membership rule: a rect can intersect the
+                    // window while this corner lies outside it
+                    let cheb = (vpos.x - upos.x).abs().max((vpos.y - upos.y).abs());
+                    if cheb > radius {
+                        continue;
+                    }
                     if !self.grid.blocks(upos, vpos) {
-                        edges.push((vid, upos.dist(vpos)));
+                        self.adj_targets.push(vid);
+                        self.adj_weights.push(upos.dist(vpos));
                     }
                 }
             }
             for ei in 0..self.endpoints.len() {
                 let vid = self.endpoints[ei];
                 let vi = vid as usize;
-                if vi == ui || !self.nodes[vi].alive {
+                if vi == ui || !self.node_alive[vi] {
                     continue;
                 }
-                let vpos = self.nodes[vi].pos;
+                let vpos = self.node_pos[vi];
+                let cheb = (vpos.x - upos.x).abs().max((vpos.y - upos.y).abs());
+                if cheb > radius {
+                    continue;
+                }
                 if !self.grid.blocks(upos, vpos) {
-                    edges.push((vid, upos.dist(vpos)));
+                    self.adj_targets.push(vid);
+                    self.adj_weights.push(upos.dist(vpos));
                 }
             }
             self.rect_scratch = rect_ids;
         } else {
-            for vi in 0..self.nodes.len() {
-                let v = &self.nodes[vi];
-                if vi == ui || !v.alive || v.kind == NodeKind::DataPoint {
+            for vi in 0..self.node_pos.len() {
+                if vi == ui || !self.node_alive[vi] || self.node_kind[vi] == NodeKind::DataPoint {
                     continue;
                 }
-                let vpos = v.pos;
+                let vpos = self.node_pos[vi];
                 if !self.grid.blocks(upos, vpos) {
-                    edges.push((vi as u32, upos.dist(vpos)));
+                    self.adj_targets.push(vi as u32);
+                    self.adj_weights.push(upos.dist(vpos));
                 }
             }
         }
@@ -577,7 +763,87 @@ impl VisGraph {
         slot.version = self.base_version;
         slot.removal_epoch = self.base_removal_epoch;
         slot.radius = radius;
-        slot.edges = edges;
+        slot.start = new_start as u32;
+        slot.len = (self.adj_targets.len() - new_start) as u32;
+    }
+
+    /// Annulus extension: grow an **up-to-date** radius-complete cache to a
+    /// larger radius by sight-testing only the stable nodes in the annulus
+    /// `old_radius < cheb(v, u) ≤ target`. Valid precisely because every
+    /// cache constructor obeys the window-membership rule (see
+    /// [`VisGraph::repair_base_cache`]): the retained edges are exactly the
+    /// visible nodes of the old window, so the annulus candidates are
+    /// disjoint from them and no dedup pass is needed. Requires
+    /// `version == base_version` (nothing to reconcile) and a finite target.
+    fn extend_base_cache(&mut self, ui: usize, target: f64) {
+        let upos = self.node_pos[ui];
+        let m = self.adj[ui];
+        debug_assert_eq!(m.version, self.base_version, "extending a stale cache");
+        let (start, len) = (m.start as usize, m.len as usize);
+        let old_radius = m.radius;
+        let at_tail = start + len == self.adj_targets.len();
+        let new_start = if at_tail {
+            start
+        } else {
+            self.adj_targets.len()
+        };
+        if !at_tail {
+            // relocate the retained range to the tail so the annulus edges
+            // can append contiguously; the old range becomes garbage
+            for r in start..start + len {
+                let t = self.adj_targets[r];
+                let w = self.adj_weights[r];
+                self.adj_targets.push(t);
+                self.adj_weights.push(w);
+            }
+            self.adj_dead += len;
+        }
+        let window = Rect::new(
+            upos.x - target,
+            upos.y - target,
+            upos.x + target,
+            upos.y + target,
+        );
+        let mut rect_ids = std::mem::take(&mut self.rect_scratch);
+        self.grid.candidates_in_rect(&window, &mut rect_ids);
+        for &rid in &rect_ids {
+            for vid in self.rect_corners[rid as usize] {
+                let vi = vid as usize;
+                if vi == ui || !self.node_alive[vi] {
+                    continue;
+                }
+                let vpos = self.node_pos[vi];
+                let cheb = (vpos.x - upos.x).abs().max((vpos.y - upos.y).abs());
+                if cheb <= old_radius || cheb > target {
+                    continue;
+                }
+                if !self.grid.blocks(upos, vpos) {
+                    self.adj_targets.push(vid);
+                    self.adj_weights.push(upos.dist(vpos));
+                }
+            }
+        }
+        for ei in 0..self.endpoints.len() {
+            let vid = self.endpoints[ei];
+            let vi = vid as usize;
+            if vi == ui || !self.node_alive[vi] {
+                continue;
+            }
+            let vpos = self.node_pos[vi];
+            let cheb = (vpos.x - upos.x).abs().max((vpos.y - upos.y).abs());
+            if cheb <= old_radius || cheb > target {
+                continue;
+            }
+            if !self.grid.blocks(upos, vpos) {
+                self.adj_targets.push(vid);
+                self.adj_weights.push(upos.dist(vpos));
+            }
+        }
+        self.rect_scratch = rect_ids;
+        let slot = &mut self.adj[ui];
+        slot.radius = target;
+        slot.start = new_start as u32;
+        slot.len = (self.adj_targets.len() - new_start) as u32;
     }
 
     /// Slice-returning facade over [`VisGraph::neighbors_into`] (the hot
@@ -594,6 +860,24 @@ impl VisGraph {
     /// Grid access for visible-region computation.
     pub(crate) fn grid_mut(&mut self) -> &mut ObstacleGrid {
         &mut self.grid
+    }
+
+    /// Borrow-juggling helpers for the visible-region scratch buffers
+    /// (candidate ids + their rects), so repeated visible-region calls
+    /// allocate nothing.
+    pub(crate) fn take_vr_ids(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.vr_ids)
+    }
+
+    /// See [`VisGraph::take_vr_ids`].
+    pub(crate) fn take_vr_rects(&mut self) -> Vec<Rect> {
+        std::mem::take(&mut self.vr_rects)
+    }
+
+    /// Returns the visible-region scratch buffers after use.
+    pub(crate) fn put_vr_scratch(&mut self, ids: Vec<u32>, rects: Vec<Rect>) {
+        self.vr_ids = ids;
+        self.vr_rects = rects;
     }
 
     /// The local obstacle rectangles (ablation baselines iterate these).
@@ -630,26 +914,41 @@ impl VisGraph {
     /// fixture tests can invoke it directly.
     pub fn audit_adjacency(&self) {
         use conn_geom::sanitize;
-        let fresh = |slot: &CachedAdj| slot.version == self.base_version && slot.version != STALE;
+        let ctx = "VisGraph adjacency";
+        let fresh = |m: &AdjMeta| m.version == self.base_version && m.version != STALE;
+        let range = |m: &AdjMeta| (m.start as usize, (m.start + m.len) as usize);
         for ui in 0..self.adj.len() {
-            if ui >= self.nodes.len() || !self.nodes[ui].alive || !fresh(&self.adj[ui]) {
+            // Arena-structure check first: every retained range (fresh or
+            // repairable) must lie inside the arena lanes.
+            let (start, end) = range(&self.adj[ui]);
+            if self.adj[ui].len > 0 && end > self.adj_targets.len() {
+                sanitize::violation(
+                    ctx,
+                    &format!(
+                        "slot {ui} range [{start}, {end}) escapes the arena (len {})",
+                        self.adj_targets.len()
+                    ),
+                );
+            }
+            if ui >= self.node_pos.len() || !self.node_alive[ui] || !fresh(&self.adj[ui]) {
                 continue;
             }
-            let upos = self.nodes[ui].pos;
-            for &(v, w) in &self.adj[ui].edges {
+            let upos = self.node_pos[ui];
+            for e in start..end {
+                let v = self.adj_targets[e];
+                let w = self.adj_weights[e];
                 let vi = v as usize;
-                let ctx = "VisGraph adjacency";
-                if vi >= self.nodes.len() || !self.nodes[vi].alive {
+                if vi >= self.node_pos.len() || !self.node_alive[vi] {
                     sanitize::violation(ctx, &format!("edge {ui} -> {v} targets a dead node"));
                 }
-                if self.nodes[vi].kind == NodeKind::DataPoint {
+                if self.node_kind[vi] == NodeKind::DataPoint {
                     sanitize::violation(
                         ctx,
                         &format!("base cache of {ui} holds transient node {v}"),
                     );
                 }
                 sanitize::audit_distance(ctx, w);
-                let d = upos.dist(self.nodes[vi].pos);
+                let d = upos.dist(self.node_pos[vi]);
                 if (w - d).abs() > 1e-6 * d.max(1.0) {
                     sanitize::violation(
                         ctx,
@@ -657,15 +956,16 @@ impl VisGraph {
                     );
                 }
                 // Reciprocity, where the partner's cache promises coverage.
-                if self.nodes[ui].kind != NodeKind::DataPoint
-                    && fresh(&self.adj[vi])
-                    && d <= self.adj[vi].radius
-                    && !self.adj[vi].edges.iter().any(|&(x, _)| x as usize == ui)
-                {
-                    sanitize::violation(
-                        ctx,
-                        &format!("edge {ui} -> {v} not mirrored within radius"),
-                    );
+                if self.node_kind[ui] != NodeKind::DataPoint && fresh(&self.adj[vi]) {
+                    let (ps, pe) = range(&self.adj[vi]);
+                    if d <= self.adj[vi].radius
+                        && !self.adj_targets[ps..pe].iter().any(|&x| x as usize == ui)
+                    {
+                        sanitize::violation(
+                            ctx,
+                            &format!("edge {ui} -> {v} not mirrored within radius"),
+                        );
+                    }
                 }
             }
         }
@@ -745,9 +1045,9 @@ mod tests {
         assert_eq!(g.neighbors(a), &[(b.0, 100.0)]); // builds a's base cache
         g.audit_adjacency(); // intact graph passes
 
-        let slot = &mut g.adj[a.0 as usize];
-        assert!(!slot.edges.is_empty(), "fixture expects a cached edge");
-        slot.edges[0].1 += 17.0; // weight no longer the Euclidean distance
+        let m = g.adj[a.0 as usize];
+        assert!(m.len > 0, "fixture expects a cached edge");
+        g.adj_weights[m.start as usize] += 17.0; // weight no longer the Euclidean distance
         assert!(
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.audit_adjacency())).is_err(),
             "audit must fire on a corrupted edge weight"

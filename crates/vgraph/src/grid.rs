@@ -8,48 +8,149 @@
 //! boundary/corner cases without widening the walk.
 
 // lint:allow-file(no-panic-in-query-path[index]): cell coordinates are clamped to the grid extent before indexing
-use conn_geom::{Point, Rect, Segment};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use conn_geom::{batch, Point, Rect, RectLanes, Segment};
 
-/// Fast non-cryptographic hasher for cell coordinates (FxHash-style
-/// multiply-mix). Cell lookups happen once per cell walked per sight test —
-/// the single hottest operation of query processing — and the default
-/// SipHash costs more than the rectangle tests it guards.
-#[derive(Default)]
-pub struct CellHasher(u64);
+/// Dense cell table: a rectangular arena of per-cell candidate lists
+/// addressed by plain index arithmetic. Cell lookups happen once per cell
+/// walked per sight test — the single hottest operation of query processing
+/// — and even a fast hash map costs more per lookup than the rectangle
+/// tests it guards.
+///
+/// The extent grows lazily to cover the cells ever inserted into (it is
+/// *retained* across [`ObstacleGrid::reset`] — queries revisit the same
+/// workspace region, so steady state never reallocates). Clearing is O(1):
+/// a generation bump invalidates every list, and each list's allocation is
+/// reused the next time its cell is touched.
+#[derive(Debug, Default)]
+struct CellTable {
+    /// Dense extent in cell coordinates: slot `(cx, cy)` lives at
+    /// `(cx - min_cx) + w * (cy - min_cy)`.
+    min_cx: i32,
+    min_cy: i32,
+    w: i32,
+    h: i32,
+    /// Current generation; a list is live iff its stamp matches.
+    gen: u64,
+    stamps: Vec<u64>,
+    lists: Vec<Vec<u32>>,
+}
 
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Growth margin (in cells) added around a point that falls outside the
+/// current extent, bounding regrow churn while the workspace is discovered.
+const GROW_PAD: i32 = 8;
 
-impl Hasher for CellHasher {
+impl CellTable {
+    /// O(1) clear: invalidates every cell list, keeping extent and
+    /// allocations.
+    fn clear(&mut self) {
+        self.gen += 1;
+    }
+
+    /// Drops the extent entirely (cell-size changes invalidate coordinates).
+    fn clear_extent(&mut self) {
+        *self = CellTable::default();
+    }
+
     #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+    fn slot(&self, cx: i32, cy: i32) -> Option<usize> {
+        let (dx, dy) = (cx - self.min_cx, cy - self.min_cy);
+        if dx < 0 || dy < 0 || dx >= self.w || dy >= self.h {
+            return None;
+        }
+        Some(dx as usize + self.w as usize * dy as usize)
+    }
+
+    /// The live candidate list of a cell (empty for never-touched, stale or
+    /// out-of-extent cells).
+    #[inline]
+    fn get(&self, cx: i32, cy: i32) -> &[u32] {
+        match self.slot(cx, cy) {
+            Some(i) if self.stamps[i] == self.gen => &self.lists[i],
+            _ => &[],
         }
     }
 
-    #[inline]
-    fn write_i32(&mut self, v: i32) {
-        self.0 = (self.0.rotate_left(5) ^ v as u32 as u64).wrapping_mul(FX_SEED);
+    /// Appends an id to a cell's list, growing the extent when needed.
+    fn push(&mut self, cx: i32, cy: i32, id: u32) {
+        let i = match self.slot(cx, cy) {
+            Some(i) => i,
+            None => self.grow_to(cx, cy),
+        };
+        if self.stamps[i] != self.gen {
+            self.stamps[i] = self.gen;
+            self.lists[i].clear();
+        }
+        self.lists[i].push(id);
     }
 
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
+    /// Expands the dense extent to cover `(cx, cy)` plus a margin,
+    /// relocating existing slots (and their retained allocations) into the
+    /// new layout. Returns the slot index of `(cx, cy)` in that layout.
+    fn grow_to(&mut self, cx: i32, cy: i32) -> usize {
+        let (nmin_cx, nmin_cy, nw, nh) = if self.w == 0 {
+            (
+                cx - GROW_PAD,
+                cy - GROW_PAD,
+                2 * GROW_PAD + 1,
+                2 * GROW_PAD + 1,
+            )
+        } else {
+            let min_cx = self.min_cx.min(cx - GROW_PAD);
+            let min_cy = self.min_cy.min(cy - GROW_PAD);
+            let max_cx = (self.min_cx + self.w - 1).max(cx + GROW_PAD);
+            let max_cy = (self.min_cy + self.h - 1).max(cy + GROW_PAD);
+            (min_cx, min_cy, max_cx - min_cx + 1, max_cy - min_cy + 1)
+        };
+        let slots = nw as usize * nh as usize;
+        let mut stamps = vec![0_u64; slots];
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        lists.resize_with(slots, Vec::new);
+        for dy in 0..self.h {
+            for dx in 0..self.w {
+                let old = dx as usize + self.w as usize * dy as usize;
+                let ncx = (self.min_cx + dx - nmin_cx) as usize;
+                let ncy = (self.min_cy + dy - nmin_cy) as usize;
+                let new = ncx + nw as usize * ncy;
+                stamps[new] = self.stamps[old];
+                lists[new] = std::mem::take(&mut self.lists[old]);
+            }
+        }
+        self.min_cx = nmin_cx;
+        self.min_cy = nmin_cy;
+        self.w = nw;
+        self.h = nh;
+        self.stamps = stamps;
+        self.lists = lists;
+        (cx - nmin_cx) as usize + nw as usize * (cy - nmin_cy) as usize
     }
 }
 
-type CellMap = HashMap<(i32, i32), Vec<u32>, BuildHasherDefault<CellHasher>>;
+/// Obstacle store shared by the cell-walk visitors: the canonical `Rect`
+/// array (AoS, for id → rectangle lookups) plus its SoA coordinate-lane
+/// mirror that the batched sight-test kernel streams over, the per-obstacle
+/// query stamps, and the walk's candidate scratch. Bundled so the traversal
+/// can hand visitors one mutable borrow disjoint from the cell map.
+#[derive(Debug)]
+struct Store {
+    rects: Vec<Rect>,
+    /// SoA mirror of `rects` (minx/miny/maxx/maxy lanes) — the hot half of
+    /// the obstacle store; candidate classification streams over these.
+    lanes: RectLanes,
+    /// query stamp per obstacle, deduplicates candidates during one walk
+    stamp: Vec<u64>,
+    /// unstamped candidates of the cell under classification
+    scratch: Vec<u32>,
+    /// lifetime count of segment-vs-rect classifications (see
+    /// [`ObstacleGrid::sight_tests`])
+    sight_tests: u64,
+}
 
 /// Obstacle index for segment-blocking queries.
 #[derive(Debug)]
 pub struct ObstacleGrid {
     cell: f64,
-    cells: CellMap,
-    rects: Vec<Rect>,
-    /// query stamp per obstacle, deduplicates candidates during one walk
-    stamp: Vec<u64>,
+    cells: CellTable,
+    store: Store,
     query_id: u64,
 }
 
@@ -62,48 +163,68 @@ impl ObstacleGrid {
         assert!(cell > 0.0, "cell size must be positive");
         ObstacleGrid {
             cell,
-            cells: CellMap::default(),
-            rects: Vec::new(),
-            stamp: Vec::new(),
+            cells: CellTable::default(),
+            store: Store {
+                rects: Vec::new(),
+                lanes: RectLanes::new(),
+                stamp: Vec::new(),
+                scratch: Vec::new(),
+                sight_tests: 0,
+            },
             query_id: 0,
         }
     }
 
     /// Number of registered obstacles.
     pub fn len(&self) -> usize {
-        self.rects.len()
+        self.store.rects.len()
     }
 
     /// True when no obstacles are registered.
     pub fn is_empty(&self) -> bool {
-        self.rects.is_empty()
+        self.store.rects.is_empty()
     }
 
     /// The registered obstacle rectangles, in insertion order.
     pub fn rects(&self) -> &[Rect] {
-        &self.rects
+        &self.store.rects
     }
 
-    /// Empties the grid for the next query. The cell map's table capacity
-    /// is retained but its keys are dropped: keeping the union of every
-    /// query's cells around (even with empty buckets) makes the hot walk
-    /// lookups cache-cold, which costs more than the per-bucket
-    /// reallocation saves.
+    /// Lifetime count of segment-vs-rect sight classifications performed by
+    /// [`ObstacleGrid::blocks`] and the visible-region fan kernel. Like the
+    /// Dijkstra reuse counters this is **not** cleared by
+    /// [`ObstacleGrid::reset`] — callers attribute per-query counts by
+    /// diffing marks across a query window.
+    pub fn sight_tests(&self) -> u64 {
+        self.store.sight_tests
+    }
+
+    /// Adds externally performed sight classifications (the visible-region
+    /// fan kernel tests midpoint sight lines without going through the
+    /// grid walk) to the lifetime counter.
+    pub(crate) fn add_sight_tests(&mut self, n: u64) {
+        self.store.sight_tests += n;
+    }
+
+    /// Empties the grid for the next query in O(1): the dense cell table
+    /// invalidates by generation bump, keeping its extent and every
+    /// per-cell list allocation for the next query's inserts.
     pub fn reset(&mut self) {
         self.cells.clear();
-        self.rects.clear();
-        self.stamp.clear();
+        self.store.rects.clear();
+        self.store.lanes.clear();
+        self.store.stamp.clear();
     }
 
     /// Changes the cell size. Only valid on an empty grid (call
     /// [`ObstacleGrid::reset`] first); a different cell size invalidates the
-    /// retained cell keys, so the map is cleared.
+    /// retained cell coordinates, so the dense extent is dropped.
     pub fn set_cell(&mut self, cell: f64) {
         assert!(cell > 0.0, "cell size must be positive");
-        assert!(self.rects.is_empty(), "set_cell on a non-empty grid");
+        assert!(self.store.rects.is_empty(), "set_cell on a non-empty grid");
         if (cell - self.cell).abs() > f64::EPSILON {
             self.cell = cell;
-            self.cells.clear();
+            self.cells.clear_extent();
         }
     }
 
@@ -122,41 +243,79 @@ impl ObstacleGrid {
 
     /// Registers an obstacle; returns its id within the grid.
     pub fn insert(&mut self, r: Rect) -> u32 {
-        let id = self.rects.len() as u32;
-        self.rects.push(r);
-        self.stamp.push(0);
+        let id = self.store.rects.len() as u32;
+        self.store.rects.push(r);
+        self.store.lanes.push(&r);
+        self.store.stamp.push(0);
         let (x0, y0) = self.cell_of(r.min_x, r.min_y);
         let (x1, y1) = self.cell_of(r.max_x, r.max_y);
         // dilate by one ring: queries then walk only exact cells
         for cx in (x0 - 1)..=(x1 + 1) {
             for cy in (y0 - 1)..=(y1 + 1) {
-                self.cells.entry((cx, cy)).or_default().push(id);
+                self.cells.push(cx, cy, id);
             }
         }
         id
     }
 
     /// True when segment `a→b` passes through any obstacle's open interior.
+    ///
+    /// Sparse cells classify their unstamped candidates in place with the
+    /// per-rect early-exit probe; dense cells gather them and run one batch
+    /// over the SoA coordinate lanes (see [`conn_geom::batch`]). Verdicts
+    /// are bit-identical to per-rect [`Rect::blocks`] calls either way, and
+    /// the walk still stops at the first blocking cell.
     pub fn blocks(&mut self, a: Point, b: Point) -> bool {
         self.query_id += 1;
         let qid = self.query_id;
         let seg = Segment::new(a, b);
+        let probe = batch::SegProbe::new(&seg);
         let mut blocked = false;
-        self.walk_cells(a, b, |cells, rects, stamp| {
+        self.walk_cells(a, b, |cells, store| {
+            if cells.len() <= batch::SMALL_BATCH {
+                for &id in cells {
+                    let idx = id as usize;
+                    if store.stamp[idx] != qid {
+                        store.stamp[idx] = qid;
+                        store.sight_tests += 1;
+                        if probe.blocks(&store.lanes, idx) {
+                            blocked = true;
+                            return true; // stop walking
+                        }
+                    }
+                }
+                return false;
+            }
+            store.scratch.clear();
             for &id in cells {
                 let idx = id as usize;
-                if stamp[idx] == qid {
-                    continue;
+                if store.stamp[idx] != qid {
+                    store.stamp[idx] = qid;
+                    store.scratch.push(id);
                 }
-                stamp[idx] = qid;
-                if rects[idx].blocks(&seg) {
-                    blocked = true;
-                    return true; // stop walking
-                }
+            }
+            store.sight_tests += store.scratch.len() as u64;
+            if batch::blocks_any(&seg, &store.lanes, &store.scratch) {
+                blocked = true;
+                return true; // stop walking
             }
             false
         });
         blocked
+    }
+
+    /// True when any of the obstacles selected by `ids` blocks `a→b`,
+    /// classified directly over the candidate lanes — no cell walk.
+    ///
+    /// `ids` must be a superset of the obstacles that can block the segment
+    /// (e.g. every obstacle overlapping a convex region that contains both
+    /// endpoints, as returned by [`ObstacleGrid::candidates_in_rect`]);
+    /// non-blockers in the superset cannot change the verdict. Callers with
+    /// many sight tests against one neighborhood (base-cache rebuilds) use
+    /// this to replace per-segment hash walks with contiguous lane scans.
+    pub fn blocks_among(&mut self, a: Point, b: Point, ids: &[u32]) -> bool {
+        self.store.sight_tests += ids.len() as u64;
+        batch::blocks_any(&Segment::new(a, b), &self.store.lanes, ids)
     }
 
     /// Collects the ids of obstacles whose cells the segment `a→b` crosses
@@ -166,11 +325,11 @@ impl ObstacleGrid {
         out.clear();
         self.query_id += 1;
         let qid = self.query_id;
-        self.walk_cells(a, b, |cells, _rects, stamp| {
+        self.walk_cells(a, b, |cells, store| {
             for &id in cells {
                 let idx = id as usize;
-                if stamp[idx] != qid {
-                    stamp[idx] = qid;
+                if store.stamp[idx] != qid {
+                    store.stamp[idx] = qid;
                     out.push(id);
                 }
             }
@@ -188,13 +347,11 @@ impl ObstacleGrid {
         let (x1, y1) = self.cell_of(r.max_x, r.max_y);
         for cx in x0..=x1 {
             for cy in y0..=y1 {
-                if let Some(cells) = self.cells.get(&(cx, cy)) {
-                    for &id in cells {
-                        let idx = id as usize;
-                        if self.stamp[idx] != qid {
-                            self.stamp[idx] = qid;
-                            out.push(id);
-                        }
+                for &id in self.cells.get(cx, cy) {
+                    let idx = id as usize;
+                    if self.store.stamp[idx] != qid {
+                        self.store.stamp[idx] = qid;
+                        out.push(id);
                     }
                 }
             }
@@ -206,7 +363,7 @@ impl ObstacleGrid {
     /// `true`.
     fn walk_cells<F>(&mut self, a: Point, b: Point, mut visit: F)
     where
-        F: FnMut(&[u32], &[Rect], &mut [u64]) -> bool,
+        F: FnMut(&[u32], &mut Store) -> bool,
     {
         let (mut cx, mut cy) = self.cell_of(a.x, a.y);
         let (ex, ey) = self.cell_of(b.x, b.y);
@@ -243,12 +400,10 @@ impl ObstacleGrid {
         // cap iterations: the walk spans at most the cell-grid diagonal
         let max_steps = ((ex - cx).abs() + (ey - cy).abs() + 2) as usize;
         for _ in 0..=max_steps {
-            if let Some(ids) = self.cells.get(&(cx, cy)) {
-                // split borrows: cells map is not touched inside visit
-                let ids: &[u32] = ids;
-                if visit(ids, &self.rects, &mut self.stamp) {
-                    return;
-                }
+            let ids = self.cells.get(cx, cy);
+            // split borrows: the cell table is not touched inside visit
+            if !ids.is_empty() && visit(ids, &mut self.store) {
+                return;
             }
             if cx == ex && cy == ey {
                 return;

@@ -9,7 +9,9 @@
 //!   plus a growing obstacle set. Adjacency is *lazy*: a node's edge list is
 //!   computed when Dijkstra first expands it and invalidated when new
 //!   obstacles arrive, so queries never pay for the full `O(n²)` edge set the
-//!   paper's related-work section warns about.
+//!   paper's related-work section warns about. Storage is a CSR-style arena
+//!   with SoA node lanes and `u32` indices (see the [`graph`] module docs
+//!   for the layout and overlay semantics).
 //! * [`ObstacleGrid`] — a dilated spatial-hash grid making each
 //!   "is this sight-line blocked?" test proportional to the cells the
 //!   sight-line crosses instead of the whole obstacle set.

@@ -11,7 +11,7 @@
 //! predicate — no fragile case analysis.
 
 // lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
-use conn_geom::{Interval, IntervalSet, Point, Rect, Segment, EPS};
+use conn_geom::{batch, Interval, IntervalSet, Point, Rect, Segment, EPS};
 
 use crate::graph::VisGraph;
 
@@ -19,42 +19,67 @@ impl VisGraph {
     /// Visible region of `viewpoint` over `q` against the local obstacle
     /// set, as an interval set in `q`'s arclength parameter.
     pub fn visible_region(&mut self, viewpoint: Point, q: &Segment) -> IntervalSet {
-        let mut candidates = Vec::new();
+        let mut candidates = self.take_vr_ids();
+        let mut rects = self.take_vr_rects();
         // any blocking obstacle must touch the triangle (viewpoint, S, E);
         // the bounding box of that triangle is a safe, cheap superset
         let hull = Rect::from_segment(q).union(&Rect::from_point(viewpoint));
         self.grid_mut().candidates_in_rect(&hull, &mut candidates);
-        let rects: Vec<Rect> = candidates
-            .iter()
-            .map(|&id| self.obstacles()[id as usize])
-            .collect();
-        visible_region(viewpoint, q, &rects)
+        rects.clear();
+        rects.extend(candidates.iter().map(|&id| self.obstacles()[id as usize]));
+        let (vr, tests) = visible_region_counted(viewpoint, q, &rects);
+        self.grid_mut().add_sight_tests(tests);
+        self.put_vr_scratch(candidates, rects);
+        vr
     }
 }
 
 /// Visible region of `viewpoint` over `q` against an explicit obstacle list.
 pub fn visible_region(viewpoint: Point, q: &Segment, obstacles: &[Rect]) -> IntervalSet {
+    visible_region_counted(viewpoint, q, obstacles).0
+}
+
+/// Like [`visible_region`], also returning the number of midpoint sight
+/// tests performed (the attributable unit of shadow classification work).
+pub fn visible_region_counted(
+    viewpoint: Point,
+    q: &Segment,
+    obstacles: &[Rect],
+) -> (IntervalSet, u64) {
     let len = q.len();
     let mut visible = IntervalSet::single(Interval::new(0.0, len));
-    let mut cuts: Vec<f64> = Vec::with_capacity(10);
+    let mut scratch = ShadowScratch::default();
+    let mut tests = 0u64;
     for r in obstacles {
         if visible.is_empty() {
             break;
         }
-        shadow_of(viewpoint, q, r, &mut cuts, &mut visible);
+        tests += shadow_of(viewpoint, q, r, &mut scratch, &mut visible);
     }
-    visible
+    (visible, tests)
 }
 
-/// Subtracts the shadow of a single obstacle from `visible`.
+/// Reused buffers of the per-obstacle shadow classification: candidate cut
+/// parameters, the elementary-interval midpoints (the fan kernel's input
+/// lanes) and their verdicts.
+#[derive(Default)]
+struct ShadowScratch {
+    cuts: Vec<f64>,
+    mids: Vec<Point>,
+    verdicts: Vec<bool>,
+}
+
+/// Subtracts the shadow of a single obstacle from `visible`; returns the
+/// number of midpoint sight tests spent.
 fn shadow_of(
     viewpoint: Point,
     q: &Segment,
     r: &Rect,
-    cuts: &mut Vec<f64>,
+    scratch: &mut ShadowScratch,
     visible: &mut IntervalSet,
-) {
+) -> u64 {
     let len = q.len();
+    let cuts = &mut scratch.cuts;
     cuts.clear();
     cuts.push(0.0);
     cuts.push(len);
@@ -70,16 +95,48 @@ fn shadow_of(
         cuts.push(t1 * len);
     }
     cuts.sort_by(f64::total_cmp);
+    // One obstacle yields at most 7 elementary intervals (2 ends + 4 corner
+    // rays + 2 clip parameters), so the common case is a tiny fan: classify
+    // it in one fused scalar pass. Wide fans (callers batching many cuts)
+    // go through the fan kernel: N sight segments sharing the viewpoint
+    // origin against one rect, over hoisted slab offsets.
+    const FAN_BATCH: usize = 4;
+    if cuts.len() - 1 <= FAN_BATCH {
+        let mut tests = 0u64;
+        for w in 0..cuts.len() - 1 {
+            let (lo, hi) = (cuts[w], cuts[w + 1]);
+            if hi - lo <= EPS {
+                continue;
+            }
+            let mid = q.at((lo + hi) / 2.0);
+            tests += 1;
+            if r.blocks(&Segment::new(viewpoint, mid)) {
+                visible.subtract_interval(&Interval::new(lo, hi));
+            }
+        }
+        return tests;
+    }
+    scratch.mids.clear();
     for w in 0..cuts.len() - 1 {
         let (lo, hi) = (cuts[w], cuts[w + 1]);
         if hi - lo <= EPS {
             continue;
         }
-        let mid = q.at((lo + hi) / 2.0);
-        if r.blocks(&Segment::new(viewpoint, mid)) {
+        scratch.mids.push(q.at((lo + hi) / 2.0));
+    }
+    batch::blocks_fan(r, viewpoint, &scratch.mids, &mut scratch.verdicts);
+    let mut v = 0;
+    for w in 0..cuts.len() - 1 {
+        let (lo, hi) = (cuts[w], cuts[w + 1]);
+        if hi - lo <= EPS {
+            continue;
+        }
+        if scratch.verdicts[v] {
             visible.subtract_interval(&Interval::new(lo, hi));
         }
+        v += 1;
     }
+    scratch.mids.len() as u64
 }
 
 #[cfg(test)]

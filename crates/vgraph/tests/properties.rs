@@ -3,7 +3,7 @@
 //! brute-force reference.
 
 use conn_geom::{Point, Rect, Segment};
-use conn_vgraph::{visible_region, DijkstraEngine, NodeKind, VisGraph};
+use conn_vgraph::{visible_region, DijkstraEngine, NodeId, NodeKind, VisGraph};
 use proptest::prelude::*;
 
 fn pt() -> impl Strategy<Value = Point> {
@@ -157,6 +157,48 @@ proptest! {
             if !near_boundary {
                 prop_assert_eq!(vr.contains(t), !blocked, "t = {}", t);
             }
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_matches_per_node_reference(rs in rects(), a in pt(), b in pt()) {
+        // The CSR arena (contiguous target/weight lanes + per-node ranges,
+        // batched grid sight tests) must present exactly the edge lists the
+        // legacy per-node layout computed: for every node, every other
+        // stable node it can see, weighted by Euclidean distance. The
+        // reference below recomputes that per node with scalar
+        // `Rect::blocks`, so the comparison also crosses the batched vs
+        // scalar kernel boundary.
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut g = VisGraph::new(60.0);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        g.add_point(b, NodeKind::Endpoint);
+        let mut scratch = Vec::new();
+        for (i, r) in rs.iter().enumerate() {
+            g.add_obstacle(*r);
+            if i % 2 == 0 {
+                // interleave reads so caches go version-stale and exercise
+                // the repair / annulus-extension paths, not just rebuilds
+                g.neighbors_into(na, &mut scratch);
+            }
+        }
+        let n = g.num_nodes();
+        for u in 0..n {
+            let upos = g.node_pos(NodeId(u as u32));
+            let mut want: Vec<(u32, f64)> = (0..n)
+                .filter(|&v| v != u)
+                .filter_map(|v| {
+                    let vpos = g.node_pos(NodeId(v as u32));
+                    let seg = Segment::new(upos, vpos);
+                    (!rs.iter().any(|r| r.blocks(&seg))).then(|| (v as u32, upos.dist(vpos)))
+                })
+                .collect();
+            let mut got = Vec::new();
+            g.neighbors_into(NodeId(u as u32), &mut got);
+            got.sort_by_key(|e| e.0);
+            want.sort_by_key(|e| e.0);
+            prop_assert_eq!(&got, &want, "adjacency of node {} diverged", u);
         }
     }
 
