@@ -177,6 +177,63 @@ fn bench_sight(c: &mut Criterion) {
     group.finish();
 }
 
+/// The three ways an adjacency-cache build can derive one pivot's candidate
+/// visibility: per-candidate grid walks (`blocks`, the pre-sweep production
+/// path), per-candidate batched SoA probes over the window's rect ids
+/// (`blocks_among`), and the rotational plane-sweep (`sweep_visibility`,
+/// one angular pass over rects + candidates). All three return identical
+/// verdicts; this group locates the candidate-count crossover that
+/// `conn_vgraph::sweep::AUTO_MIN_CANDIDATES` encodes — below it the sweep's
+/// event sort costs more than the walks it saves.
+fn bench_sweep(c: &mut Criterion) {
+    use conn_vgraph::ObstacleGrid;
+    let mut group = c.benchmark_group("sweep_micro");
+    group.sample_size(20);
+    let n_rects = 192usize;
+    for (label, make) in [
+        ("uniform", uniform_rects as fn(usize) -> Vec<Rect>),
+        ("clustered", clustered_rects as fn(usize) -> Vec<Rect>),
+    ] {
+        let rects = make(n_rects);
+        let mut grid = ObstacleGrid::new(50.0);
+        let ids: Vec<u32> = rects.iter().map(|r| grid.insert(*r)).collect();
+        let pivot = Point::new(500.0, 500.0);
+        for k in [8usize, 64, 512] {
+            let cands: Vec<Point> = (0..k as u64)
+                .map(|i| Point::new(unit(11, i) * 1000.0, unit(12, i) * 1000.0))
+                .collect();
+            group.bench_function(BenchmarkId::new(format!("walk_{label}"), k), |b| {
+                b.iter(|| {
+                    black_box(
+                        cands
+                            .iter()
+                            .filter(|c| grid.blocks(black_box(pivot), **c))
+                            .count(),
+                    )
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("batched_{label}"), k), |b| {
+                b.iter(|| {
+                    black_box(
+                        cands
+                            .iter()
+                            .filter(|c| grid.blocks_among(black_box(pivot), **c, &ids))
+                            .count(),
+                    )
+                })
+            });
+            let mut vis = Vec::with_capacity(k);
+            group.bench_function(BenchmarkId::new(format!("sweep_{label}"), k), |b| {
+                b.iter(|| {
+                    grid.sweep_visibility(black_box(pivot), &cands, &ids, &mut vis);
+                    black_box(vis.iter().filter(|&&v| v).count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// CSR adjacency arena vs the legacy per-node `Vec<(u32, f64)>` layout:
 /// the same warm edge lists, consumed the way the Dijkstra settle loop
 /// consumes them (scan every neighbor, fold the weights).
@@ -226,6 +283,7 @@ criterion_group!(
     bench_vgraph,
     bench_split,
     bench_sight,
+    bench_sweep,
     bench_neighbors
 );
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [TARGET | --target TARGET] [--scale S] [--queries N] [--seed S]
-//!       [--batch] [--sanitize] [--threads T] [--out FILE.json]
+//!       [--batch] [--sanitize] [--sweep on|off|auto] [--threads T]
+//!       [--out FILE.json]
 //! ```
 //!
 //! * `TARGET` — `fig9`…`fig13`, `ablation`, `motivation`, `all`; plus
@@ -28,6 +29,11 @@
 //!   the runtime invariant audits off and on, asserts the answers are
 //!   identical, and records the informational `sanitize_overhead_pct` in
 //!   `BENCH_conn.json`.
+//! * `--sweep` — forces the rotational plane-sweep adjacency builder `on`
+//!   (always) or `off` (per-candidate grid walks); `auto` (the default)
+//!   lets the candidate count decide. Results are bit-identical either
+//!   way; the conn target records `sweep_events` so the setting is
+//!   visible in `BENCH_conn.json`.
 //!
 //! Absolute numbers differ from the paper (different hardware, synthetic
 //! stand-ins for CA/LA, reduced scale); the *shapes* — who wins, what grows
@@ -38,7 +44,7 @@ use std::time::Instant;
 use conn_bench::{
     conn_results_equivalent, conn_results_identical, print_header, print_row, Scale, Workload,
 };
-use conn_core::ConnConfig;
+use conn_core::{ConnConfig, SweepMode};
 use conn_datasets::{Combo, DEFAULT_K, DEFAULT_QL};
 
 struct Args {
@@ -49,6 +55,7 @@ struct Args {
     threads: usize,
     out: Option<String>,
     sanitize: bool,
+    sweep: SweepMode,
 }
 
 impl Args {
@@ -111,7 +118,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro [{} | --target T] [--scale smoke|small|default|paper|RATIO] \
-         [--queries N] [--seed S] [--batch] [--sanitize] [--threads T] [--out FILE.json]",
+         [--queries N] [--seed S] [--batch] [--sanitize] [--sweep on|off|auto] \
+         [--threads T] [--out FILE.json]",
         KNOWN_TARGETS.join("|")
     );
     std::process::exit(2);
@@ -131,6 +139,7 @@ fn parse_args() -> Args {
     let mut threads = 0usize;
     let mut out: Option<String> = None;
     let mut sanitize = false;
+    let mut sweep = SweepMode::Auto;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -180,6 +189,15 @@ fn parse_args() -> Args {
             }
             "--batch" => what = "batch".to_string(),
             "--sanitize" => sanitize = true,
+            "--sweep" => {
+                i += 1;
+                sweep = match flag_value(&argv, i) {
+                    "on" | "always" => SweepMode::Always,
+                    "off" | "never" => SweepMode::Never,
+                    "auto" => SweepMode::Auto,
+                    s => usage(&format!("--sweep must be on, off, or auto (got {s:?})")),
+                };
+            }
             other if KNOWN_TARGETS.contains(&other) => what = other.to_string(),
             other => usage(&format!("unknown target {other:?}")),
         }
@@ -211,6 +229,7 @@ fn parse_args() -> Args {
         threads,
         out,
         sanitize,
+        sweep,
     }
 }
 
@@ -434,8 +453,15 @@ fn conn_smoke(args: &Args) {
     if args.sanitize {
         conn_geom::sanitize::set_enabled(false);
     }
-    let (base_wall, base_p50, base_p99, _, base_results) = run(&ConnConfig::baseline_kernel());
-    let (goal_wall, goal_p50, goal_p99, acc, goal_results) = run(&ConnConfig::default());
+    // --sweep applies to both kernels so the recorded speedup isolates the
+    // goal-directed machinery, not the adjacency builder.
+    let tune = |mut cfg: ConnConfig| {
+        cfg.sweep = args.sweep;
+        cfg
+    };
+    let (base_wall, base_p50, base_p99, _, base_results) =
+        run(&tune(ConnConfig::baseline_kernel()));
+    let (goal_wall, goal_p50, goal_p99, acc, goal_results) = run(&tune(ConnConfig::default()));
     assert!(
         conn_results_equivalent(&base_results, &goal_results),
         "goal-directed kernel diverged from the blind baseline"
@@ -478,9 +504,11 @@ fn conn_smoke(args: &Args) {
         acc.reuse.label_reseeds
     );
     println!(
-        "substrate: {} sight tests ({:.0} per query)",
+        "substrate: {} sight tests ({:.0} per query), {} sweep events ({:.0} per query)",
         acc.reuse.sight_tests,
-        acc.reuse.sight_tests as f64 / w.queries.len().max(1) as f64
+        acc.reuse.sight_tests as f64 / w.queries.len().max(1) as f64,
+        acc.reuse.sweep_events,
+        acc.reuse.sweep_events as f64 / w.queries.len().max(1) as f64
     );
 
     // --sanitize: time the production kernel with audits off vs on (same
@@ -492,7 +520,7 @@ fn conn_smoke(args: &Args) {
             let mut wall = f64::INFINITY;
             let mut results = Vec::new();
             for _ in 0..3 {
-                let (w, _, _, _, r) = run(&ConnConfig::default());
+                let (w, _, _, _, r) = run(&tune(ConnConfig::default()));
                 wall = wall.min(w);
                 results = r;
             }
@@ -524,7 +552,8 @@ fn conn_smoke(args: &Args) {
          \"baseline_p99_ms\": {:.4},\n  \"speedup_vs_baseline_kernel\": {:.4},\n  \
          \"throughput_qps\": {:.2},\n  \"label_continuations\": {},\n  \
          \"label_reseeds\": {},\n  \"sight_tests\": {},\n  \
-         \"sight_tests_per_query\": {:.1},\n  \"sanitize_overhead_pct\": {},\n  \
+         \"sight_tests_per_query\": {:.1},\n  \"sweep_events\": {},\n  \
+         \"sweep_events_per_query\": {:.1},\n  \"sanitize_overhead_pct\": {},\n  \
          \"results_equivalent\": true\n}}\n",
         args.scale().0,
         n,
@@ -540,6 +569,8 @@ fn conn_smoke(args: &Args) {
         acc.reuse.label_reseeds,
         acc.reuse.sight_tests,
         acc.reuse.sight_tests as f64 / n.max(1) as f64,
+        acc.reuse.sweep_events,
+        acc.reuse.sweep_events as f64 / n.max(1) as f64,
         sanitize_overhead_pct,
     );
     let out = args.out("BENCH_conn.json");

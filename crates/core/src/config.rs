@@ -1,7 +1,7 @@
 //! Tunables for the CONN/COkNN search algorithms.
 
 use conn_geom::Segment;
-use conn_vgraph::Goal;
+use conn_vgraph::{Goal, SweepMode, DEFAULT_GROWTH_MARGIN};
 
 /// Which obstructed-distance kernel the query families run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +89,16 @@ pub struct ConnConfig {
     /// the early obstacle loads. Applied only when the leg is verified
     /// unblocked; answers are identical either way.
     pub seed_leg_bound: bool,
+    /// When adjacency-cache builds use the rotational plane-sweep instead
+    /// of per-candidate grid walks. Edge lists — and therefore results —
+    /// are bit-identical in every mode; only the work to derive them
+    /// changes (see `conn_vgraph::sweep`).
+    pub sweep: SweepMode,
+    /// Speculative radius-growth margin of bounded adjacency-cache builds:
+    /// a request for radius `r` builds out to `r ×` this so the next
+    /// slightly-larger request costs only the annulus. Values below `1.0`
+    /// are clamped at the use site — any setting yields correct caches.
+    pub growth_margin: f64,
 }
 
 impl Default for ConnConfig {
@@ -103,6 +113,8 @@ impl Default for ConnConfig {
             label_continuation: true,
             use_rlu_bound: true,
             seed_leg_bound: true,
+            sweep: SweepMode::Auto,
+            growth_margin: DEFAULT_GROWTH_MARGIN,
         }
     }
 }
@@ -128,6 +140,20 @@ impl ConnConfig {
             use_lemma7: false,
             ..ConnConfig::default()
         }
+    }
+
+    /// Applies this config's visibility-substrate tuning — sweep mode and
+    /// speculative growth margin — to a graph a query family builds on.
+    pub(crate) fn tune_graph(&self, g: &mut conn_vgraph::VisGraph) {
+        g.set_sweep_mode(self.sweep);
+        g.set_growth_margin(self.growth_margin);
+    }
+
+    /// A fresh visibility graph sized and tuned by this config.
+    pub(crate) fn new_graph(&self) -> conn_vgraph::VisGraph {
+        let mut g = conn_vgraph::VisGraph::new(self.vgraph_cell);
+        self.tune_graph(&mut g);
+        g
     }
 
     /// The pre-goal-directed kernel on otherwise default settings: blind
@@ -160,6 +186,8 @@ mod tests {
         assert_eq!(c.kernel, KernelMode::GoalDirected);
         assert!(c.label_continuation && c.use_rlu_bound);
         assert!(c.seed_leg_bound);
+        assert_eq!(c.sweep, SweepMode::Auto);
+        assert!((c.growth_margin - DEFAULT_GROWTH_MARGIN).abs() < 1e-12);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub(crate) fn run_search<S: QueryStreams, R: ResultSink>(
     sink: &mut R,
     ws: &mut Workspace,
 ) -> LoopTelemetry {
-    ws.begin_query(cfg.vgraph_cell);
+    ws.begin_query(cfg);
     let s_node = ws.g.add_point(q.a, NodeKind::Endpoint);
     let e_node = ws.g.add_point(q.b, NodeKind::Endpoint);
     run_leg(streams, q, cfg, sink, ws, s_node, e_node, f64::INFINITY)

@@ -71,6 +71,7 @@ pub struct Workspace {
     reseed_mark: u64,
     retarget_mark: u64,
     sight_mark: u64,
+    sweep_mark: u64,
 }
 
 impl Default for Workspace {
@@ -98,12 +99,22 @@ impl Workspace {
             reseed_mark: 0,
             retarget_mark: 0,
             sight_mark: 0,
+            sweep_mark: 0,
         }
     }
 
     /// Rewinds the workspace for a new query: clears all query-visible
-    /// state, retains allocations, starts the reuse-counter window.
-    pub(crate) fn begin_query(&mut self, cell: f64) {
+    /// state, retains allocations, starts the reuse-counter window. The
+    /// graph picks up `cfg`'s substrate tuning (cell size, sweep mode,
+    /// growth margin) for the query.
+    pub(crate) fn begin_query(&mut self, cfg: &ConnConfig) {
+        self.begin_query_with_cell(cfg, cfg.vgraph_cell);
+    }
+
+    /// [`Workspace::begin_query`] with an explicit grid cell size (the
+    /// odist priming path adapts the cell to the obstacle field instead of
+    /// using `cfg.vgraph_cell`).
+    pub(crate) fn begin_query_with_cell(&mut self, cfg: &ConnConfig, cell: f64) {
         self.current = ReuseCounters::default();
         if self.primed {
             self.current.graph_reuses = 1;
@@ -111,6 +122,7 @@ impl Workspace {
         } else if (self.g.grid_cell() - cell).abs() > f64::EPSILON {
             self.g = VisGraph::new(cell);
         }
+        cfg.tune_graph(&mut self.g);
         self.begin_window();
     }
 
@@ -120,10 +132,11 @@ impl Workspace {
     /// rectangle (and every previous leg's endpoint node) stays valid. The
     /// visible-region cache and the IOR loading threshold are cleared
     /// because both are keyed to the goal segment, which changes per leg.
-    pub(crate) fn begin_leg(&mut self) {
+    pub(crate) fn begin_leg(&mut self, cfg: &ConnConfig) {
         self.current = ReuseCounters::default();
         self.current.graph_reuses = 1; // the graph survives, loaded
         self.current.nodes_retained = self.g.num_nodes() as u64;
+        cfg.tune_graph(&mut self.g);
         self.begin_window();
     }
 
@@ -142,9 +155,11 @@ impl Workspace {
         self.continuation_mark = self.dij.continuations();
         self.reseed_mark = self.dij.reseeds();
         self.retarget_mark = self.dij.retargets();
-        // the graph's sight-test counter is a lifetime counter (it survives
-        // workspace resets), so per-query attribution is a window diff
+        // the graph's sight-test and sweep-event counters are lifetime
+        // counters (they survive workspace resets), so per-query
+        // attribution is a window diff
         self.sight_mark = self.g.sight_tests();
+        self.sweep_mark = self.g.sweep_events();
     }
 
     /// Closes the reuse-counter window of the current query.
@@ -154,6 +169,7 @@ impl Workspace {
         self.current.label_reseeds = self.dij.reseeds() - self.reseed_mark;
         self.current.label_retargets = self.dij.retargets() - self.retarget_mark;
         self.current.sight_tests = self.g.sight_tests() - self.sight_mark;
+        self.current.sweep_events = self.g.sweep_events() - self.sweep_mark;
         self.current
     }
 }
@@ -386,7 +402,7 @@ impl QueryEngine {
             .map(|r| r.width().max(r.height()))
             .fold(0.0f64, f64::max)
             .max(20.0);
-        self.ws.begin_query(cell);
+        self.ws.begin_query_with_cell(&self.cfg, cell);
         for r in obstacles {
             self.ws.g.add_obstacle(*r);
         }
@@ -590,6 +606,32 @@ mod tests {
             assert_same_conn(&c1, &c2);
             k1.check_cover().unwrap();
         }
+    }
+
+    /// Satellite of the plane-sweep PR: forcing the sweep on and off must
+    /// not change a single result bit, and the `sweep_events` counter must
+    /// attribute the sweep's work to the query (and stay zero when off).
+    #[test]
+    fn sweep_mode_is_result_invariant_and_counted() {
+        use conn_vgraph::SweepMode;
+        let (dt, ot, queries) = setup();
+        let mut on = QueryEngine::new(ConnConfig {
+            sweep: SweepMode::Always,
+            ..ConnConfig::default()
+        });
+        let mut off = QueryEngine::new(ConnConfig {
+            sweep: SweepMode::Never,
+            ..ConnConfig::default()
+        });
+        let mut on_events = 0u64;
+        for q in &queries {
+            let (a, sa) = on.conn(&dt, &ot, q);
+            let (b, sb) = off.conn(&dt, &ot, q);
+            assert_same_conn(&a, &b);
+            assert_eq!(sb.reuse.sweep_events, 0, "sweep off must record no events");
+            on_events += sa.reuse.sweep_events;
+        }
+        assert!(on_events > 0, "forced sweep recorded no events");
     }
 
     #[test]

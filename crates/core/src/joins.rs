@@ -99,7 +99,7 @@ impl QueryEngine {
     ) -> (Option<(DataPoint, DataPoint, f64)>, QueryStats) {
         let cfg = *self.config();
         let ws = self.workspace();
-        ws.begin_query(cfg.vgraph_cell);
+        ws.begin_query(&cfg);
         let (best, mut stats) = closest_pair_on(ws, tree_a, tree_b, obstacle_tree, &cfg, track_io);
         stats.reuse = ws.finish_query();
         (best, stats)
@@ -128,7 +128,7 @@ impl QueryEngine {
     ) -> (Vec<(DataPoint, DataPoint, f64)>, QueryStats) {
         let cfg = *self.config();
         let ws = self.workspace();
-        ws.begin_query(cfg.vgraph_cell);
+        ws.begin_query(&cfg);
         let (pairs, mut stats) =
             edistance_join_on(ws, tree_a, tree_b, obstacle_tree, e, &cfg, track_io);
         stats.reuse = ws.finish_query();

@@ -91,6 +91,7 @@ pub use batch::{coknn_batch, conn_batch, trajectory_conn_batch, BatchStats};
 pub use coknn::{coknn_search, CoknnResult};
 pub use config::{ConnConfig, KernelMode};
 pub use conn::{conn_search, ConnResult};
+pub use conn_vgraph::SweepMode;
 pub use dist::ControlPoint;
 pub use engine::QueryEngine;
 pub use error::Error;

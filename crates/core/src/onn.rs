@@ -83,7 +83,7 @@ pub(crate) fn onn_search_impl(
     // below never reads the clock.
     let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
-    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let mut g = cfg.new_graph();
     let s_node = g.add_point(s, NodeKind::Endpoint);
     let mut obstacles = obstacle_tree.nearest_iter(s);
     let mut pending: Option<(Rect, f64)> = None;

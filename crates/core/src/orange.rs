@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use conn_geom::{Point, Rect};
 use conn_index::RStarTree;
-use conn_vgraph::{DijkstraEngine, NodeKind, VisGraph};
+use conn_vgraph::{DijkstraEngine, NodeKind};
 
 use crate::config::ConnConfig;
 use crate::stats::{IoWindow, QueryStats};
@@ -56,7 +56,7 @@ pub(crate) fn range_search_impl(
     // below never reads the clock.
     let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
-    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let mut g = cfg.new_graph();
     let s_node = g.add_point(s, NodeKind::Endpoint);
 
     // obstacles within mindist(o, s) <= radius are the only ones that can

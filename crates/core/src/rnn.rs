@@ -143,7 +143,7 @@ struct PairResolver<'a> {
 impl<'a> PairResolver<'a> {
     fn new(cfg: &ConnConfig, obstacle_tree: &'a RStarTree<Rect>) -> Self {
         PairResolver {
-            g: VisGraph::new(cfg.vgraph_cell),
+            g: cfg.new_graph(),
             dij: DijkstraEngine::default(),
             obstacle_tree,
             loaded: std::collections::HashSet::new(),

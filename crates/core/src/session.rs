@@ -190,12 +190,12 @@ impl<'t, 'e> SessionCore<'t, 'e> {
         let ws = self.engine.get().workspace();
         let s_node = match self.joint_node {
             Some(n) => {
-                ws.begin_leg();
+                ws.begin_leg(&cfg);
                 n
             }
             None => {
                 // first leg: a clean query start on (possibly reused) state
-                ws.begin_query(cfg.vgraph_cell);
+                ws.begin_query(&cfg);
                 self.loaded.clear();
                 ws.g.add_point(leg.a, NodeKind::Endpoint)
             }

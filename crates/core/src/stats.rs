@@ -77,6 +77,11 @@ pub struct ReuseCounters {
     /// the unit of work the batched SoA kernels vectorize, so it is the
     /// denominator for judging the substrate's per-test cost.
     pub sight_tests: u64,
+    /// Rotational plane-sweep events processed by adjacency-cache builds
+    /// during this query — the sweep's unit of work, recorded alongside
+    /// `sight_tests` so the pre-sweep and sweep cost models stay
+    /// comparable across the trajectory. Zero when the sweep is off.
+    pub sweep_events: u64,
 }
 
 impl ReuseCounters {
@@ -89,6 +94,7 @@ impl ReuseCounters {
         self.label_reseeds += other.label_reseeds;
         self.label_retargets += other.label_retargets;
         self.sight_tests += other.sight_tests;
+        self.sweep_events += other.sweep_events;
     }
 }
 

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use conn_geom::{Point, Rect};
 use conn_index::RStarTree;
-use conn_vgraph::{NodeKind, VisGraph};
+use conn_vgraph::NodeKind;
 
 use crate::config::ConnConfig;
 use crate::stats::QueryStats;
@@ -35,7 +35,7 @@ pub fn visible_knn(
     // below never reads the clock.
     let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
-    let mut g = VisGraph::new(cfg.vgraph_cell);
+    let mut g = cfg.new_graph();
     g.add_point(s, NodeKind::Endpoint);
     let mut obstacles = obstacle_tree.nearest_iter(s);
     let mut pending: Option<(Rect, f64)> = None;

@@ -53,9 +53,18 @@
 use conn_geom::{Point, Rect, Segment};
 
 use crate::grid::ObstacleGrid;
+use crate::sweep::SweepMode;
 
 /// `AdjMeta::version` value marking a slot whose cache is invalid.
 const STALE: u64 = u64::MAX;
+
+/// Default speculative radius-growth margin of bounded cache builds: a
+/// request for radius `r` builds the cache out to `r ×` this, so the next
+/// slightly-larger request costs only the annulus. Config-tunable via
+/// [`VisGraph::set_growth_margin`]; values below `1.0` are clamped to
+/// `1.0` at the use site (a cache smaller than the requested radius would
+/// violate the window-membership invariant).
+pub const DEFAULT_GROWTH_MARGIN: f64 = 1.2;
 
 /// Handle to a graph node.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,6 +171,16 @@ pub struct VisGraph {
     rect_corners: Vec<[u32; 4]>,
     /// Scratch for grid candidate queries during bounded rebuilds.
     rect_scratch: Vec<u32>,
+    /// When cache builds use the rotational plane-sweep instead of
+    /// per-candidate grid walks (verdicts identical either way).
+    sweep_mode: SweepMode,
+    /// Speculative radius-growth margin (see [`DEFAULT_GROWTH_MARGIN`]).
+    growth_margin: f64,
+    /// Scratch for cache builds: candidate node ids, their positions, and
+    /// the per-candidate visibility verdicts (parallel vectors).
+    cand_ids: Vec<u32>,
+    cand_pos: Vec<Point>,
+    cand_vis: Vec<bool>,
     /// Per-node arena ranges + cache-coherency keys.
     adj: Vec<AdjMeta>,
     /// CSR arena, target lane: edge targets of every cached range.
@@ -202,6 +221,11 @@ impl VisGraph {
             endpoints: Vec::new(),
             rect_corners: Vec::new(),
             rect_scratch: Vec::new(),
+            sweep_mode: SweepMode::default(),
+            growth_margin: DEFAULT_GROWTH_MARGIN,
+            cand_ids: Vec::new(),
+            cand_pos: Vec::new(),
+            cand_vis: Vec::new(),
             adj: Vec::new(),
             adj_targets: Vec::new(),
             adj_weights: Vec::new(),
@@ -342,6 +366,38 @@ impl VisGraph {
         self.grid.sight_tests()
     }
 
+    /// Lifetime count of rotational plane-sweep events processed by cache
+    /// builds on behalf of this graph — the sweep's unit of work, the
+    /// companion of [`VisGraph::sight_tests`]. Monotone across
+    /// [`VisGraph::reset`]; callers diff marks per query window.
+    pub fn sweep_events(&self) -> u64 {
+        self.grid.sweep_events()
+    }
+
+    /// How cache builds decide candidate visibility (plane-sweep vs
+    /// per-candidate grid walks). Edge lists are identical in every mode.
+    pub fn sweep_mode(&self) -> SweepMode {
+        self.sweep_mode
+    }
+
+    /// Sets the sweep mode for subsequent cache builds (existing caches
+    /// stay valid — verdicts do not depend on the mode).
+    pub fn set_sweep_mode(&mut self, mode: SweepMode) {
+        self.sweep_mode = mode;
+    }
+
+    /// The speculative radius-growth margin of bounded cache builds.
+    pub fn growth_margin(&self) -> f64 {
+        self.growth_margin
+    }
+
+    /// Sets the speculative radius-growth margin. Values below `1.0` (or
+    /// non-finite) are clamped to `1.0` at the use site, so any setting
+    /// yields window-membership-correct caches.
+    pub fn set_growth_margin(&mut self, margin: f64) {
+        self.growth_margin = margin;
+    }
+
     /// Adds a non-obstacle node (query endpoint or data point). Data points
     /// are *transient*: they live in the overlay tier and do not invalidate
     /// the base adjacency caches.
@@ -388,8 +444,10 @@ impl VisGraph {
     pub fn add_obstacle(&mut self, r: Rect) -> [NodeId; 4] {
         self.version += 1;
         self.base_version = self.version;
-        self.grid.insert(r);
+        let gid = self.grid.insert(r);
         self.rect_log.push((self.base_version, r));
+        // the sweep repair path maps rect-log indices straight to grid ids
+        debug_assert_eq!(gid as usize + 1, self.rect_log.len());
         let ids = r
             .corners()
             .map(|c| self.push_node(c, NodeKind::ObstacleVertex));
@@ -506,7 +564,15 @@ impl VisGraph {
             // later costs just the annulus (sight tests scale with window
             // area, so the margin is paid quadratically)
             let target = if radius.is_finite() {
-                (radius * 1.2).max(self.grid.cell_size() * 2.0)
+                // margins below 1.0 would build a cache smaller than the
+                // requested radius — clamp so every configured value keeps
+                // the window-membership invariant
+                let margin = if self.growth_margin.is_finite() {
+                    self.growth_margin.max(1.0)
+                } else {
+                    1.0
+                };
+                (radius * margin).max(self.grid.cell_size() * 2.0)
             } else {
                 f64::INFINITY
             };
@@ -625,6 +691,30 @@ impl VisGraph {
         let m = self.adj[ui];
         let (start, len) = (m.start as usize, m.len as usize);
         let rect_from = Self::log_start(&self.rect_log, m.version);
+        // Sweep path: decide every retained edge's survival in one angular
+        // pass over just the rects logged since the cache's version. Grid
+        // obstacle ids coincide with rect-log indices (both are insertion
+        // order, both cleared on reset), so the log suffix maps straight
+        // to a grid id range.
+        let new_rects = self.rect_log.len() - rect_from;
+        let swept = new_rects > 0 && self.sweep_mode.wants_sweep(len);
+        if swept {
+            let mut rect_ids = std::mem::take(&mut self.rect_scratch);
+            let mut cand_pos = std::mem::take(&mut self.cand_pos);
+            let mut vis = std::mem::take(&mut self.cand_vis);
+            rect_ids.clear();
+            rect_ids.extend(rect_from as u32..self.rect_log.len() as u32);
+            cand_pos.clear();
+            for r in start..start + len {
+                cand_pos.push(self.node_pos[self.adj_targets[r] as usize]);
+            }
+            vis.clear();
+            self.grid
+                .sweep_visibility(upos, &cand_pos, &rect_ids, &mut vis);
+            self.rect_scratch = rect_ids;
+            self.cand_pos = cand_pos;
+            self.cand_vis = vis;
+        }
         let at_tail = start + len == self.adj_targets.len();
         let new_start = if at_tail {
             start
@@ -637,7 +727,12 @@ impl VisGraph {
             for r in start..start + len {
                 let t = self.adj_targets[r];
                 let wt = self.adj_weights[r];
-                if self.edge_survives(upos, t, rect_from) {
+                let survives = if swept {
+                    self.cand_vis[r - start]
+                } else {
+                    self.edge_survives(upos, t, rect_from)
+                };
+                if survives {
                     self.adj_targets[w] = t;
                     self.adj_weights[w] = wt;
                     w += 1;
@@ -650,7 +745,12 @@ impl VisGraph {
             for r in start..start + len {
                 let t = self.adj_targets[r];
                 let wt = self.adj_weights[r];
-                if self.edge_survives(upos, t, rect_from) {
+                let survives = if swept {
+                    self.cand_vis[r - start]
+                } else {
+                    self.edge_survives(upos, t, rect_from)
+                };
+                if survives {
                     self.adj_targets.push(t);
                     self.adj_weights.push(wt);
                 }
@@ -700,6 +800,11 @@ impl VisGraph {
         // abandon the old range and append the rebuilt one at the tail
         self.retire_range(ui);
         let new_start = self.adj_targets.len();
+        let mut rect_ids = std::mem::take(&mut self.rect_scratch);
+        let mut cand_ids = std::mem::take(&mut self.cand_ids);
+        let mut cand_pos = std::mem::take(&mut self.cand_pos);
+        cand_ids.clear();
+        cand_pos.clear();
         if radius.is_finite() {
             let window = Rect::new(
                 upos.x - radius,
@@ -707,7 +812,6 @@ impl VisGraph {
                 upos.x + radius,
                 upos.y + radius,
             );
-            let mut rect_ids = std::mem::take(&mut self.rect_scratch);
             self.grid.candidates_in_rect(&window, &mut rect_ids);
             for &rid in &rect_ids {
                 for vid in self.rect_corners[rid as usize] {
@@ -724,10 +828,8 @@ impl VisGraph {
                     if cheb > radius {
                         continue;
                     }
-                    if !self.grid.blocks(upos, vpos) {
-                        self.adj_targets.push(vid);
-                        self.adj_weights.push(upos.dist(vpos));
-                    }
+                    cand_ids.push(vid);
+                    cand_pos.push(vpos);
                 }
             }
             for ei in 0..self.endpoints.len() {
@@ -741,30 +843,68 @@ impl VisGraph {
                 if cheb > radius {
                     continue;
                 }
-                if !self.grid.blocks(upos, vpos) {
-                    self.adj_targets.push(vid);
-                    self.adj_weights.push(upos.dist(vpos));
-                }
+                cand_ids.push(vid);
+                cand_pos.push(vpos);
             }
-            self.rect_scratch = rect_ids;
         } else {
+            // infinite radius: every obstacle can block, every stable node
+            // is a candidate
+            rect_ids.clear();
+            rect_ids.extend(0..self.grid.len() as u32);
             for vi in 0..self.node_pos.len() {
                 if vi == ui || !self.node_alive[vi] || self.node_kind[vi] == NodeKind::DataPoint {
                     continue;
                 }
-                let vpos = self.node_pos[vi];
-                if !self.grid.blocks(upos, vpos) {
-                    self.adj_targets.push(vi as u32);
-                    self.adj_weights.push(upos.dist(vpos));
-                }
+                cand_ids.push(vi as u32);
+                cand_pos.push(self.node_pos[vi]);
             }
         }
+        self.emit_candidate_edges(upos, &rect_ids, &cand_ids, &cand_pos);
+        self.rect_scratch = rect_ids;
+        self.cand_ids = cand_ids;
+        self.cand_pos = cand_pos;
         let slot = &mut self.adj[ui];
         slot.version = self.base_version;
         slot.removal_epoch = self.base_removal_epoch;
         slot.radius = radius;
         slot.start = new_start as u32;
         slot.len = (self.adj_targets.len() - new_start) as u32;
+    }
+
+    /// Shared verdict-and-emit tail of the cache constructors: appends one
+    /// edge per visible candidate to the arena, **in candidate order** —
+    /// the emission order (and weights) are exactly those of the
+    /// pre-sweep interleaved loops, so the CSR content is bit-identical
+    /// regardless of which verdict path ran. `rect_ids` must be a superset
+    /// of the obstacles that can block any `upos → candidate` segment.
+    fn emit_candidate_edges(
+        &mut self,
+        upos: Point,
+        rect_ids: &[u32],
+        cand_ids: &[u32],
+        cand_pos: &[Point],
+    ) {
+        if !rect_ids.is_empty() && self.sweep_mode.wants_sweep(cand_ids.len()) {
+            let mut vis = std::mem::take(&mut self.cand_vis);
+            vis.clear();
+            self.grid
+                .sweep_visibility(upos, cand_pos, rect_ids, &mut vis);
+            for (j, &vid) in cand_ids.iter().enumerate() {
+                if vis[j] {
+                    self.adj_targets.push(vid);
+                    self.adj_weights.push(upos.dist(cand_pos[j]));
+                }
+            }
+            self.cand_vis = vis;
+        } else {
+            for (j, &vid) in cand_ids.iter().enumerate() {
+                let vpos = cand_pos[j];
+                if !self.grid.blocks(upos, vpos) {
+                    self.adj_targets.push(vid);
+                    self.adj_weights.push(upos.dist(vpos));
+                }
+            }
+        }
     }
 
     /// Annulus extension: grow an **up-to-date** radius-complete cache to a
@@ -804,7 +944,14 @@ impl VisGraph {
             upos.x + target,
             upos.y + target,
         );
+        // candidates come from the annulus only, but the blocking-rect
+        // superset must cover the *full* new window: a rect near the pivot
+        // can block a sight line to the ring
         let mut rect_ids = std::mem::take(&mut self.rect_scratch);
+        let mut cand_ids = std::mem::take(&mut self.cand_ids);
+        let mut cand_pos = std::mem::take(&mut self.cand_pos);
+        cand_ids.clear();
+        cand_pos.clear();
         self.grid.candidates_in_rect(&window, &mut rect_ids);
         for &rid in &rect_ids {
             for vid in self.rect_corners[rid as usize] {
@@ -817,10 +964,8 @@ impl VisGraph {
                 if cheb <= old_radius || cheb > target {
                     continue;
                 }
-                if !self.grid.blocks(upos, vpos) {
-                    self.adj_targets.push(vid);
-                    self.adj_weights.push(upos.dist(vpos));
-                }
+                cand_ids.push(vid);
+                cand_pos.push(vpos);
             }
         }
         for ei in 0..self.endpoints.len() {
@@ -834,12 +979,13 @@ impl VisGraph {
             if cheb <= old_radius || cheb > target {
                 continue;
             }
-            if !self.grid.blocks(upos, vpos) {
-                self.adj_targets.push(vid);
-                self.adj_weights.push(upos.dist(vpos));
-            }
+            cand_ids.push(vid);
+            cand_pos.push(vpos);
         }
+        self.emit_candidate_edges(upos, &rect_ids, &cand_ids, &cand_pos);
         self.rect_scratch = rect_ids;
+        self.cand_ids = cand_ids;
+        self.cand_pos = cand_pos;
         let slot = &mut self.adj[ui];
         slot.radius = target;
         slot.start = new_start as u32;

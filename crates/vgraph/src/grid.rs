@@ -10,6 +10,8 @@
 // lint:allow-file(no-panic-in-query-path[index]): cell coordinates are clamped to the grid extent before indexing
 use conn_geom::{batch, Point, Rect, RectLanes, Segment};
 
+use crate::sweep::{self, SweepScratch};
+
 /// Dense cell table: a rectangular arena of per-cell candidate lists
 /// addressed by plain index arithmetic. Cell lookups happen once per cell
 /// walked per sight test — the single hottest operation of query processing
@@ -143,6 +145,9 @@ struct Store {
     /// lifetime count of segment-vs-rect classifications (see
     /// [`ObstacleGrid::sight_tests`])
     sight_tests: u64,
+    /// lifetime count of plane-sweep events processed (see
+    /// [`ObstacleGrid::sweep_events`])
+    sweep_events: u64,
 }
 
 /// Obstacle index for segment-blocking queries.
@@ -152,6 +157,8 @@ pub struct ObstacleGrid {
     cells: CellTable,
     store: Store,
     query_id: u64,
+    /// Reusable plane-sweep buffers (see [`ObstacleGrid::sweep_visibility`]).
+    sweep: SweepScratch,
 }
 
 impl ObstacleGrid {
@@ -170,8 +177,10 @@ impl ObstacleGrid {
                 stamp: Vec::new(),
                 scratch: Vec::new(),
                 sight_tests: 0,
+                sweep_events: 0,
             },
             query_id: 0,
+            sweep: SweepScratch::default(),
         }
     }
 
@@ -204,6 +213,43 @@ impl ObstacleGrid {
     /// grid walk) to the lifetime counter.
     pub(crate) fn add_sight_tests(&mut self, n: u64) {
         self.store.sight_tests += n;
+    }
+
+    /// Lifetime count of rotational plane-sweep events processed by
+    /// [`ObstacleGrid::sweep_visibility`] — the sweep's unit of work, kept
+    /// alongside [`ObstacleGrid::sight_tests`] so the old and new cost
+    /// models stay comparable. Monotone across [`ObstacleGrid::reset`],
+    /// like the sight-test counter.
+    pub fn sweep_events(&self) -> u64 {
+        self.store.sweep_events
+    }
+
+    /// Decides visibility of every candidate in `cands` from `pivot` with
+    /// one rotational plane-sweep, appending one verdict per candidate to
+    /// `vis` (`true` = unobstructed). `rect_ids` must be a superset of the
+    /// obstacles that can block any `pivot → candidate` segment (e.g.
+    /// every obstacle overlapping a convex region containing the pivot and
+    /// all candidates, as returned by [`ObstacleGrid::candidates_in_rect`]).
+    /// Verdicts are bit-identical to calling [`ObstacleGrid::blocks`] per
+    /// candidate — the sweep only narrows which rects are *exactly*
+    /// probed; see [`crate::sweep`] for why the filter is conservative.
+    pub fn sweep_visibility(
+        &mut self,
+        pivot: Point,
+        cands: &[Point],
+        rect_ids: &[u32],
+        vis: &mut Vec<bool>,
+    ) {
+        let (tests, events) = sweep::sweep_visibility(
+            &self.store.lanes,
+            rect_ids,
+            pivot,
+            cands,
+            &mut self.sweep,
+            vis,
+        );
+        self.store.sight_tests += tests;
+        self.store.sweep_events += events;
     }
 
     /// Empties the grid for the next query in O(1): the dense cell table

@@ -23,6 +23,9 @@
 //!   CPLC algorithm (paper Alg. 2) consumes and prunes with Lemma 7.
 //! * [`visible_region`] — the visible region of a vertex over the query
 //!   segment (paper Def. 2), by shadow subtraction.
+//! * [`sweep`] — the rotational plane-sweep that batches a cache build's
+//!   per-candidate sight tests into one angular pass (selected by
+//!   [`SweepMode`]), with verdicts bit-identical to the grid walks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,9 +33,11 @@
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;
+pub mod sweep;
 pub mod visregion;
 
 pub use dijkstra::{DijkstraEngine, Goal, Prep};
-pub use graph::{NodeId, NodeKind, VisGraph};
+pub use graph::{NodeId, NodeKind, VisGraph, DEFAULT_GROWTH_MARGIN};
 pub use grid::ObstacleGrid;
+pub use sweep::SweepMode;
 pub use visregion::visible_region;

@@ -3,7 +3,7 @@
 //! brute-force reference.
 
 use conn_geom::{Point, Rect, Segment};
-use conn_vgraph::{visible_region, DijkstraEngine, NodeId, NodeKind, VisGraph};
+use conn_vgraph::{visible_region, DijkstraEngine, NodeId, NodeKind, SweepMode, VisGraph};
 use proptest::prelude::*;
 
 fn pt() -> impl Strategy<Value = Point> {
@@ -23,6 +23,42 @@ fn rects() -> impl Strategy<Value = Vec<Rect>> {
         }
         out
     })
+}
+
+/// Obstacle sets exercising the plane-sweep's degenerate paths: a uniform
+/// scatter, a dense cluster (many shared-cell candidates), an axis-aligned
+/// row whose corners are collinear from any pivot on the row (shared-angle
+/// events), and zero-area rectangles (four coincident corner nodes that
+/// can never block). Overlaps are allowed — visibility semantics do not
+/// require disjointness.
+fn sweep_rects() -> impl Strategy<Value = Vec<Rect>> {
+    (
+        prop::collection::vec((pt(), 0.0..70.0f64, 0.0..70.0f64), 1..8),
+        prop::collection::vec(
+            (0.0..150.0f64, 0.0..150.0f64, 1.0..30.0f64, 1.0..30.0f64),
+            0..5,
+        ),
+        (pt(), 2..5usize),
+        prop::collection::vec(pt(), 0..3),
+    )
+        .prop_map(|(uniform, cluster, (row_at, row_n), points)| {
+            let mut out = Vec::new();
+            for (p, w, h) in uniform {
+                out.push(Rect::new(p.x, p.y, p.x + w, p.y + h));
+            }
+            for (dx, dy, w, h) in cluster {
+                let (ax, ay) = (400.0 + dx, 400.0 + dy);
+                out.push(Rect::new(ax, ay, ax + w, ay + h));
+            }
+            for i in 0..row_n {
+                let ax = (row_at.x + 60.0 * i as f64) % 950.0;
+                out.push(Rect::new(ax, row_at.y, ax + 25.0, row_at.y + 25.0));
+            }
+            for p in points {
+                out.push(Rect::new(p.x, p.y, p.x, p.y)); // zero-area
+            }
+            out
+        })
 }
 
 /// A point in free space (not inside any obstacle).
@@ -199,6 +235,123 @@ proptest! {
             got.sort_by_key(|e| e.0);
             want.sort_by_key(|e| e.0);
             prop_assert_eq!(&got, &want, "adjacency of node {} diverged", u);
+        }
+    }
+
+    #[test]
+    fn sweep_adjacency_bit_identical_across_build_paths(
+        rs in sweep_rects(),
+        a in pt(),
+        b in pt(),
+        radii in prop::collection::vec(0.0..450.0f64, 2..6),
+    ) {
+        // Two graphs replay the identical operation sequence, one forcing
+        // the rotational plane-sweep and one forcing the pre-sweep
+        // per-candidate grid walks. Interleaved ranged reads at varying
+        // radii drive all three build paths — the first read of a node is
+        // a cold build, reads after obstacle adds repair, and a larger
+        // radius later extends the annulus. The CSR edge lists must be
+        // **bit-identical** (same targets, same order, same f64 weights),
+        // and a scalar `Rect::blocks` reference pins membership inside
+        // each requested window.
+        let a = free_point(&rs, a);
+        let b = free_point(&rs, b);
+        let mut gs = VisGraph::new(60.0);
+        let mut gw = VisGraph::new(60.0);
+        gs.set_sweep_mode(SweepMode::Always);
+        gw.set_sweep_mode(SweepMode::Never);
+        let nas = gs.add_point(a, NodeKind::Endpoint);
+        let naw = gw.add_point(a, NodeKind::Endpoint);
+        prop_assert_eq!(nas, naw);
+        gs.add_point(b, NodeKind::Endpoint);
+        gw.add_point(b, NodeKind::Endpoint);
+        let (mut outs, mut outw) = (Vec::new(), Vec::new());
+        for (i, r) in rs.iter().enumerate() {
+            gs.add_obstacle(*r);
+            gw.add_obstacle(*r);
+            if i % 2 == 0 {
+                let radius = radii[(i / 2) % radii.len()];
+                outs.clear();
+                outw.clear();
+                gs.neighbors_into_ranged(nas, &mut outs, |_, _| true, radius);
+                gw.neighbors_into_ranged(naw, &mut outw, |_, _| true, radius);
+                prop_assert_eq!(&outs, &outw, "sweep vs walk diverged at step {}", i);
+                // scalar reference: inside the requested window, the edge
+                // list holds exactly the visible stable nodes
+                for v in 0..gs.capacity() {
+                    let vid = NodeId(v as u32);
+                    if v == nas.index() || !gs.is_alive(vid) {
+                        continue;
+                    }
+                    let vpos = gs.node_pos(vid);
+                    let cheb = (vpos.x - a.x).abs().max((vpos.y - a.y).abs());
+                    if cheb > radius {
+                        continue;
+                    }
+                    let seg = Segment::new(a, vpos);
+                    let want = !rs[..=i].iter().any(|r| r.blocks(&seg));
+                    let got = outs.iter().any(|e| e.0 == v as u32);
+                    prop_assert_eq!(got, want, "node {} in window {} at step {}", v, radius, i);
+                }
+            }
+        }
+        // final pass: every node (endpoints and obstacle corners alike)
+        // agrees bit-identically between the two modes
+        for u in 0..gs.capacity() {
+            let uid = NodeId(u as u32);
+            if !gs.is_alive(uid) {
+                continue;
+            }
+            outs.clear();
+            outw.clear();
+            gs.neighbors_into_ranged(uid, &mut outs, |_, _| true, 300.0);
+            gw.neighbors_into_ranged(uid, &mut outw, |_, _| true, 300.0);
+            prop_assert_eq!(&outs, &outw, "final adjacency of node {} diverged", u);
+        }
+    }
+
+    #[test]
+    fn tiny_growth_margin_keeps_windows_correct(
+        rs in sweep_rects(),
+        a in pt(),
+        margin_ix in 0..5usize,
+        radii in prop::collection::vec(10.0..450.0f64, 2..6),
+    ) {
+        // The speculative growth margin is a pure performance knob: any
+        // configured value (including senseless ones below 1.0, which the
+        // graph clamps) must still yield caches satisfying the window-
+        // membership invariant — inside every requested radius, exactly
+        // the visible stable nodes.
+        let margin = [0.0_f64, 0.5, 1.0, 1.2, 3.0][margin_ix];
+        let a = free_point(&rs, a);
+        let mut g = VisGraph::new(60.0);
+        g.set_growth_margin(margin);
+        let na = g.add_point(a, NodeKind::Endpoint);
+        let mut out = Vec::new();
+        for (i, r) in rs.iter().enumerate() {
+            g.add_obstacle(*r);
+            let radius = radii[i % radii.len()];
+            out.clear();
+            g.neighbors_into_ranged(na, &mut out, |_, _| true, radius);
+            for v in 0..g.capacity() {
+                let vid = NodeId(v as u32);
+                if v == na.index() || !g.is_alive(vid) {
+                    continue;
+                }
+                let vpos = g.node_pos(vid);
+                let cheb = (vpos.x - a.x).abs().max((vpos.y - a.y).abs());
+                if cheb > radius {
+                    continue;
+                }
+                let seg = Segment::new(a, vpos);
+                let want = !rs[..=i].iter().any(|r| r.blocks(&seg));
+                let got = out.iter().any(|e| e.0 == v as u32);
+                prop_assert_eq!(
+                    got, want,
+                    "margin {} broke window membership for node {} at step {}",
+                    margin, v, i
+                );
+            }
         }
     }
 

@@ -92,8 +92,8 @@ pub use conn_core::{
     obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_batch,
     trajectory_conn_search, visible_knn, Answer, BatchStats, CoknnResult, ConnConfig, ConnResult,
     ConnService, ControlPoint, DataPoint, Error, Query, QueryBuilder, QueryEngine, QueryKind,
-    QueryStats, Response, ResultEntry, ResultList, ReuseCounters, Scene, SpatialObject, Trajectory,
-    TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
+    QueryStats, Response, ResultEntry, ResultList, ReuseCounters, Scene, SpatialObject, SweepMode,
+    Trajectory, TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
 };
 
 /// Everything a typical user needs, in one import.
