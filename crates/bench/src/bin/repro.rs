@@ -13,7 +13,10 @@
 //!   (the batch-layer comparison; `--batch` is shorthand for it), and
 //!   `traj` (cold per-leg trajectory CONN vs warm `TrajectorySession`,
 //!   recorded in `BENCH_traj.json`; `--queries` sets the trajectory
-//!   count).
+//!   count), and `serve` (the concurrent-serving harness: multi-client
+//!   admission + coalesced batches + a live epoch publisher over a sharded
+//!   service, recorded in `BENCH_serve.json`; `--threads` sets the pump's
+//!   worker count).
 //! * `--scale` — dataset scale relative to the paper's cardinalities
 //!   (|LA| = 131,461): `smoke`/`small` (1/256), `default` (1/16), `paper`
 //!   (1), or a ratio like `0.125`. The `conn` target defaults to `paper`;
@@ -60,14 +63,15 @@ struct Args {
 
 impl Args {
     /// Resolved scale: an explicit `--scale` wins; otherwise the conn
-    /// kernel target runs at paper scale (its layout is sized for it) and
-    /// the figure sweeps keep the reduced default.
+    /// kernel and serving targets run at paper scale (their layouts are
+    /// sized for it) and the figure sweeps keep the reduced default.
     fn scale(&self) -> Scale {
-        self.scale.unwrap_or(if self.what == "conn" {
-            Scale::PAPER
-        } else {
-            Scale::DEFAULT
-        })
+        self.scale
+            .unwrap_or(if self.what == "conn" || self.what == "serve" {
+                Scale::PAPER
+            } else {
+                Scale::DEFAULT
+            })
     }
 
     fn queries(&self) -> usize {
@@ -85,6 +89,12 @@ impl Args {
         self.queries.unwrap_or(64)
     }
 
+    /// The serve target defaults to 40 queries per client (5 families × 8
+    /// segments), enough distinct latency samples for p99/p99.9.
+    fn serve_queries(&self) -> usize {
+        self.queries.unwrap_or(40)
+    }
+
     /// Where the selected target writes its JSON record.
     fn out(&self, default: &str) -> String {
         self.out.clone().unwrap_or_else(|| default.to_string())
@@ -95,12 +105,13 @@ impl Args {
         match self.what.as_str() {
             "batch" => self.batch_queries(),
             "conn" => self.conn_queries(),
+            "serve" => self.serve_queries(),
             _ => self.queries(),
         }
     }
 }
 
-const KNOWN_TARGETS: [&str; 11] = [
+const KNOWN_TARGETS: [&str; 12] = [
     "all",
     "fig9",
     "fig10",
@@ -112,6 +123,7 @@ const KNOWN_TARGETS: [&str; 11] = [
     "conn",
     "batch",
     "traj",
+    "serve",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -275,6 +287,9 @@ fn main() {
     }
     if args.what == "traj" {
         traj(&args);
+    }
+    if args.what == "serve" {
+        serve(&args);
     }
 }
 
@@ -725,6 +740,298 @@ fn batch(args: &Args) {
     );
     let out = args.out("BENCH_batch.json");
     std::fs::write(&out, json).expect("write batch record");
+    println!("recorded {out}");
+}
+
+/// 1e-6 equivalence between a sharded-service answer and the unsharded
+/// single-engine reference for the families the serve workload uses.
+/// A certified shard answer may differ from the full-scene answer by
+/// rebuilt-tree ULPs (tie-break order on the shard's bulk-loaded trees),
+/// never more; range membership may flip only for radius-boundary points.
+fn serve_answers_equivalent(
+    query: &conn_core::Query,
+    a: &conn_core::Answer,
+    b: &conn_core::Answer,
+) -> bool {
+    use conn_core::{Answer, QueryKind};
+    const TOL: f64 = 1e-6;
+    match (query.kind(), a, b) {
+        (QueryKind::Conn { .. }, Answer::Conn(x), Answer::Conn(y)) => x.values_equivalent(y, TOL),
+        (QueryKind::Coknn { q, .. }, Answer::Coknn(x), Answer::Coknn(y)) => (0..=8).all(|i| {
+            let t = q.len() * i as f64 / 8.0;
+            let (vx, vy) = (x.knn_at(t), y.knn_at(t));
+            vx.len() == vy.len() && vx.iter().zip(&vy).all(|(p, r)| (p.1 - r.1).abs() <= TOL)
+        }),
+        (QueryKind::Onn { .. }, Answer::Onn(x), Answer::Onn(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, r)| (p.1 - r.1).abs() <= TOL)
+        }
+        (QueryKind::Range { radius, .. }, Answer::Range(x), Answer::Range(y)) => {
+            [(x, y), (y, x)].iter().all(|(only, other)| {
+                only.iter().all(|(p, d)| {
+                    other
+                        .iter()
+                        .any(|(op, od)| op.id == p.id && (od - d).abs() <= TOL)
+                        || (d - radius).abs() <= TOL
+                })
+            })
+        }
+        (QueryKind::Odist { .. }, Answer::Odist(x), Answer::Odist(y)) => {
+            (x.is_infinite() && y.is_infinite()) || (x - y).abs() <= TOL
+        }
+        _ => false,
+    }
+}
+
+fn serve(args: &Args) {
+    use conn_core::{Admission, AdmissionConfig, ConnService, Query, Scene, ShardSpec};
+    use conn_datasets::SPACE_SIDE;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let n_queries = args.serve_queries();
+    let clients = 4usize;
+    let workers = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        args.threads
+    };
+    println!(
+        "\n## Serving layer — {clients} clients × {n_queries} mixed queries, \
+         {workers} pump worker(s), live epoch publisher"
+    );
+
+    let w = Workload::with_ratio(
+        Combo::Ul,
+        args.scale(),
+        1.0,
+        DEFAULT_QL,
+        n_queries,
+        args.seed,
+    );
+    let cfg = ConnConfig::default();
+
+    // mixed-family typed workload derived from the CONN segments:
+    // conn / coknn / onn / range / odist round-robin
+    let typed: Vec<Query> = w
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            match i % 5 {
+                0 => Query::conn(*q).build(),
+                1 => Query::coknn(*q, DEFAULT_K).build(),
+                2 => Query::onn(q.a, DEFAULT_K).build(),
+                3 => Query::range(q.a, q.len()).build(),
+                _ => Query::odist(q.a, q.b).build(),
+            }
+            .expect("workload query is valid")
+        })
+        .collect();
+
+    // serial baseline: an unsharded service driven by a plain execute loop
+    // (one query in flight at a time); best-of-3 walls
+    let reference = ConnService::with_config(Scene::borrowing(&w.data_tree, &w.obstacle_tree), cfg);
+    let t0 = Instant::now();
+    let serial: Vec<conn_core::Response> = typed
+        .iter()
+        .map(|q| reference.execute(q).expect("serial execute"))
+        .collect();
+    let mut serial_s = t0.elapsed().as_secs_f64();
+    for _ in 0..2 {
+        let t = Instant::now();
+        for q in &typed {
+            let _ = reference.execute(q).expect("serial execute");
+        }
+        serial_s = serial_s.min(t.elapsed().as_secs_f64());
+    }
+    let serial_qps = typed.len() as f64 / serial_s;
+
+    // the serving side: a sharded service behind the admission front door,
+    // with a writer republishing the world as fresh epochs mid-run
+    let serving = ConnService::sharded(
+        Scene::borrowing(&w.data_tree, &w.obstacle_tree),
+        cfg,
+        ShardSpec::new(2, 2, 0.2 * SPACE_SIDE).expect("shard spec"),
+    );
+    let admission = Admission::new(AdmissionConfig {
+        max_pending: 1024,
+        coalesce: 32,
+    });
+    let total = (clients * typed.len()) as u64;
+
+    // one full multi-client round: every client submits its whole sweep
+    // (a deep queue so coalescing sees real batches) while one pump thread
+    // drains it; with `live_writer`, a writer concurrently republishes the
+    // world as fresh epochs (bounded at 3 publishes — each is a full shard
+    // retiling over |O| obstacles, which would otherwise dominate the
+    // measured wall on one core). Returns (wall_s, served, publishes).
+    let run_concurrent = |live_writer: bool| -> (f64, u64, u64) {
+        let served_before = admission.served();
+        let target = admission.served() + admission.rejected() + total;
+        let done = AtomicBool::new(false);
+        let t1 = Instant::now();
+        let mut wall = 0.0f64;
+        let mut publishes = 0u64;
+        std::thread::scope(|scope| {
+            let done_ref = &done;
+            let serving_ref = &serving;
+            let w_ref = &w;
+            let writer = scope.spawn(move || {
+                let mut published = 0u64;
+                while live_writer && published < 3 && !done_ref.load(Ordering::Relaxed) {
+                    serving_ref.publish(Scene::borrowing(&w_ref.data_tree, &w_ref.obstacle_tree));
+                    published += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                }
+                published
+            });
+            for _ in 0..clients {
+                let admission = &admission;
+                let typed = &typed;
+                scope.spawn(move || {
+                    let tickets: Vec<_> =
+                        typed.iter().map(|q| admission.submit(q.clone())).collect();
+                    for t in tickets.into_iter().flatten() {
+                        let _ = t.wait();
+                    }
+                });
+            }
+            let admission = &admission;
+            let pump = scope.spawn(move || {
+                while admission.served() + admission.rejected() < target {
+                    if admission.pump(serving_ref, workers) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                done_ref.store(true, Ordering::Relaxed);
+                t1.elapsed().as_secs_f64()
+            });
+            wall = pump.join().expect("pump thread");
+            publishes = writer.join().expect("writer thread");
+        });
+        (wall, admission.served() - served_before, publishes)
+    };
+
+    // warmup — one unmeasured sweep so the pump's pooled engines are warm
+    // before either measured phase (the serial baseline warmed its own)
+    {
+        let tickets: Vec<_> = typed.iter().map(|q| admission.submit(q.clone())).collect();
+        while admission.pending() > 0 {
+            admission.pump(&serving, workers);
+        }
+        for t in tickets.into_iter().flatten() {
+            let _ = t.wait();
+        }
+        let _ = admission.take_latencies();
+    }
+
+    // phase A — writes quiesced: the serving stack's own concurrency cost
+    let (quiesced_wall, quiesced_served, _) = run_concurrent(false);
+    let qps_quiesced = quiesced_served as f64 / quiesced_wall;
+    let _ = admission.take_latencies();
+
+    // phase B — live writer: the same round under epoch churn; the
+    // latency tails recorded in the JSON come from this round
+    let (serve_wall, served, writer_publishes) = run_concurrent(true);
+    let qps_sustained = served as f64 / serve_wall;
+
+    let mut lat = admission.take_latencies();
+    lat.sort_by(|x, y| x.total_cmp(y));
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] * 1e3
+    };
+    let (p50_ms, p99_ms, p999_ms) = (pct(0.50), pct(0.99), pct(0.999));
+
+    // correctness phase, writes quiesced: the sharded service (on its
+    // latest epoch — same borrowed world) must answer equivalently to the
+    // serial single-engine reference
+    let mut results_equivalent = true;
+    for (q, want) in typed.iter().zip(&serial) {
+        let got = serving.execute(q).expect("sharded execute");
+        if !serve_answers_equivalent(q, &got.answer, &want.answer) {
+            results_equivalent = false;
+            println!("DIVERGED: {:?}", q.kind());
+        }
+    }
+    let totals = serving.reuse_totals();
+
+    println!("{:<34} {:>12}", "metric", "value");
+    println!("{:<34} {:>12.1}", "serial execute loop qps", serial_qps);
+    println!("{:<34} {:>12.1}", "quiesced qps (4 clients)", qps_quiesced);
+    println!(
+        "{:<34} {:>12.1}",
+        "sustained qps (4 clients + writer)", qps_sustained
+    );
+    println!(
+        "{:<34} {:>11.2}x",
+        "speedup vs serial",
+        qps_sustained / serial_qps
+    );
+    println!("{:<34} {:>12.3}", "p50 latency (ms)", p50_ms);
+    println!("{:<34} {:>12.3}", "p99 latency (ms)", p99_ms);
+    println!("{:<34} {:>12.3}", "p99.9 latency (ms)", p999_ms);
+    println!(
+        "{:<34} {:>12}",
+        "epochs published mid-run", writer_publishes
+    );
+    println!("{:<34} {:>12}", "coalesced batches", admission.batches());
+    println!(
+        "{:<34} {:>12}",
+        "rejected (backpressure)",
+        admission.rejected()
+    );
+    println!(
+        "{:<34} {:>12}",
+        "shard-certified answers", totals.shard_local
+    );
+    println!("{:<34} {:>12}", "full-scene fallbacks", totals.shard_merges);
+    println!(
+        "{:<34} {:>12}",
+        "results equivalent (1e-6)", results_equivalent
+    );
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "note: {cpus} CPU(s) visible — the concurrent/serial ratio is \
+         cpu-bound; on one core it measures serving-stack overhead, not \
+         parallel speedup"
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"queries\": {},\n  \"clients\": {},\n  \
+         \"workers\": {},\n  \"writer_publishes\": {},\n  \
+         \"qps_sustained\": {:.2},\n  \"qps_quiesced\": {:.2},\n  \
+         \"serial_qps\": {:.2},\n  \
+         \"speedup_vs_serial\": {:.4},\n  \"p50_ms\": {:.4},\n  \
+         \"p99_ms\": {:.4},\n  \"p999_ms\": {:.4},\n  \"rejected\": {},\n  \
+         \"coalesced_batches\": {},\n  \"shard_local\": {},\n  \
+         \"shard_merges\": {},\n  \"results_equivalent\": {}\n}}\n",
+        args.scale().0,
+        n_queries,
+        clients,
+        workers,
+        writer_publishes,
+        qps_sustained,
+        qps_quiesced,
+        serial_qps,
+        qps_sustained / serial_qps,
+        p50_ms,
+        p99_ms,
+        p999_ms,
+        admission.rejected(),
+        admission.batches(),
+        totals.shard_local,
+        totals.shard_merges,
+        results_equivalent,
+    );
+    let out = args.out("BENCH_serve.json");
+    std::fs::write(&out, json).expect("write serve record");
     println!("recorded {out}");
 }
 

@@ -13,7 +13,6 @@
 //! a batch therefore report zero tree I/O and real CPU/NPE/NOE.
 
 // lint:allow-file(no-panic-in-query-path[index]): chunk bounds are computed from the same slice's length
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use conn_geom::{Rect, Segment};
@@ -87,26 +86,14 @@ impl BatchStats {
     }
 }
 
-/// Resolves the worker-pool size: `0` means the machine's available
-/// parallelism; the pool never exceeds the workload size.
-fn pool_size(requested: usize, queries: usize) -> usize {
-    let t = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
-    t.clamp(1, queries.max(1))
-}
-
-/// Generic batch driver: work-steals workload indices off a shared atomic
-/// cursor, one engine per worker, results re-assembled in workload order.
-/// Items are whatever the workload is made of — query segments for
-/// CONN/COkNN, whole trajectories for the session batch, typed [`Query`]
-/// values for the mixed-family service batch.
+/// Generic batch driver: a one-shot [`EnginePool`] work-steals workload
+/// indices off a shared atomic cursor, one warm engine per worker, results
+/// re-assembled in workload order. Items are whatever the workload is made
+/// of — query segments for CONN/COkNN, whole trajectories for the session
+/// batch. (The service's mixed-family batch runs the same driver on its
+/// *persistent* pool instead, so engines stay warm across batches.)
 ///
-/// [`Query`]: crate::Query
+/// [`EnginePool`]: crate::EnginePool
 pub(crate) fn run_batch<I, R, F>(
     items: &[I],
     cfg: &ConnConfig,
@@ -118,43 +105,7 @@ where
     R: Send,
     F: Fn(&mut QueryEngine, &I) -> (R, QueryStats) + Sync,
 {
-    let threads = pool_size(threads, items.len());
-    let cursor = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, R, QueryStats)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut engine = QueryEngine::new(*cfg);
-                let mut local = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let (res, stats) = f(&mut engine, &items[i]);
-                    local.push((i, res, stats));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            // Propagating a worker panic is the only correct response to
-            // join() failing: the worker already tore down mid-query.
-            // lint:allow(no-panic-in-query-path)
-            collected.extend(h.join().expect("batch worker panicked"));
-        }
-    });
-    collected.sort_by_key(|(i, _, _)| *i);
-    let mut results = Vec::with_capacity(collected.len());
-    let mut stats = Vec::with_capacity(collected.len());
-    for (i, r, s) in collected {
-        results.push(r);
-        stats.push((i, s));
-    }
-    (results, threads, stats)
+    crate::pool::EnginePool::new(*cfg).run(items, threads, f)
 }
 
 /// Answers every CONN query of `queries` over the shared trees with a pool
@@ -238,8 +189,7 @@ pub fn trajectory_conn_batch(
     data_tree.reset_stats();
     obstacle_tree.reset_stats();
     // Batch-boundary wall time for BatchStats, not kernel-side timing.
-    // Batch-boundary wall time for BatchStats, not kernel-side timing.
-    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels) // lint:allow(no-wallclock-in-kernels)
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
     let (results, threads, per_traj) = run_batch(trajectories, cfg, threads, |engine, traj| {
         let mut session = crate::TrajectorySession::with_engine(
             data_tree,
@@ -304,8 +254,7 @@ where
     data_tree.reset_stats();
     obstacle_tree.reset_stats();
     // Batch-boundary wall time for BatchStats, not kernel-side timing.
-    // Batch-boundary wall time for BatchStats, not kernel-side timing.
-    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels) // lint:allow(no-wallclock-in-kernels)
+    let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
     let (results, threads, per_query) = run_batch(queries, cfg, threads, f);
     let wall = started.elapsed();
     let mut pooled = QueryStats::default();

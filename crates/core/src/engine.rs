@@ -10,8 +10,13 @@
 //! [`Workspace`] behind reset-and-reuse APIs: answering N queries performs
 //! O(1) substrate allocations instead of O(N). The engine is deliberately
 //! `!Sync` — one engine serves one thread; the batch layer
-//! ([`crate::conn_batch`]) spawns one engine per worker over the shared
-//! (immutable, `Sync`) R\*-trees.
+//! ([`crate::conn_batch`]) and the persistent [`crate::EnginePool`] keep
+//! one engine per worker slot (each slot mutex-owned, so the pool itself
+//! is `Sync`) over the shared (immutable, `Sync`) R\*-trees.
+//! [`crate::ConnService`] holds such a pool for its whole lifetime: warm
+//! engines survive across queries, batches *and* epoch publishes, since
+//! the reuse contract below never lets retained capacity leak answers
+//! from one scene into another.
 //!
 //! ## Reuse contract
 //!

@@ -20,6 +20,10 @@ pub enum Error {
     /// A result list violates its coverage invariant (gaps, zero-width
     /// tuples, or a cover that does not end at the query length).
     CoverViolation(String),
+    /// The admission queue is full: backpressure rejected the submission
+    /// before it reached the service. The request itself is well-formed —
+    /// resubmitting after the queue drains is expected to succeed.
+    Overloaded(String),
 }
 
 impl Error {
@@ -33,10 +37,15 @@ impl Error {
         Error::CoverViolation(reason.into())
     }
 
+    /// Builds an [`Error::Overloaded`].
+    pub fn overloaded(reason: impl Into<String>) -> Self {
+        Error::Overloaded(reason.into())
+    }
+
     /// The human-readable reason, whatever the variant.
     pub fn reason(&self) -> &str {
         match self {
-            Error::InvalidQuery(r) | Error::CoverViolation(r) => r,
+            Error::InvalidQuery(r) | Error::CoverViolation(r) | Error::Overloaded(r) => r,
         }
     }
 
@@ -51,6 +60,7 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidQuery(r) => write!(f, "invalid query: {r}"),
             Error::CoverViolation(r) => write!(f, "cover violation: {r}"),
+            Error::Overloaded(r) => write!(f, "overloaded: {r}"),
         }
     }
 }

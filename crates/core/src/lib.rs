@@ -26,6 +26,10 @@
 //! | streaming trajectory sessions (beyond the paper) | [`session`] |
 //! | typed `Query`/`Answer` front door (beyond the paper) | [`query`] |
 //! | `Scene` + `ConnService` execution handle (beyond the paper) | [`service`] |
+//! | epoch-snapshot scene publication (beyond the paper) | [`epoch`] |
+//! | spatial shard tiling + locality certificate (beyond the paper) | [`shard`] |
+//! | persistent warm engine pool (beyond the paper) | [`pool`] |
+//! | admission queue: coalescing + backpressure (beyond the paper) | [`admission`] |
 //! | typed errors ([`enum@Error`]) | [`error`] |
 //!
 //! ## Quick start
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod baseline;
 pub mod batch;
 pub mod coknn;
@@ -68,17 +73,20 @@ pub mod conn;
 pub mod cpl;
 pub mod dist;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod ior;
 pub mod joins;
 pub mod odist;
 pub mod onn;
 pub mod orange;
+pub mod pool;
 pub mod query;
 pub mod rlu;
 pub mod rnn;
 pub mod service;
 pub mod session;
+pub mod shard;
 pub mod single_tree;
 pub mod split;
 pub mod stats;
@@ -87,6 +95,7 @@ pub mod trajectory;
 pub mod types;
 pub mod visible;
 
+pub use admission::{Admission, AdmissionConfig, Ticket};
 pub use batch::{coknn_batch, conn_batch, trajectory_conn_batch, BatchStats};
 pub use coknn::{coknn_search, CoknnResult};
 pub use config::{ConnConfig, KernelMode};
@@ -94,16 +103,19 @@ pub use conn::{conn_search, ConnResult};
 pub use conn_vgraph::SweepMode;
 pub use dist::ControlPoint;
 pub use engine::QueryEngine;
+pub use epoch::{PinnedEpoch, SceneEpoch};
 pub use error::Error;
 pub use joins::{obstructed_closest_pair, obstructed_edistance_join};
 pub use odist::{obstructed_distance, obstructed_path, obstructed_route};
 pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;
+pub use pool::EnginePool;
 pub use query::{Answer, Query, QueryBuilder, QueryKind, Response};
 pub use rlu::{ResultEntry, ResultList};
 pub use rnn::obstructed_rnn;
 pub use service::{ConnService, Scene};
 pub use session::{TrajectoryCoknnSession, TrajectorySession};
+pub use shard::{Shard, ShardSet, ShardSpec};
 pub use single_tree::{
     build_unified_tree, coknn_search_single_tree, conn_search_single_tree, SpatialObject,
 };

@@ -8,35 +8,48 @@
 //!   raw vecs, the paper-style dataset generators, or trees the caller
 //!   already holds;
 //! * [`ConnService::execute`] answers one validated [`Query`] of *any*
-//!   family — the engine-backed families on the service's long-lived
-//!   [`QueryEngine`] (substrate allocations amortized across queries) —
-//!   with answers byte-identical to the legacy free functions (the
-//!   `service_equivalence` suite enforces it);
-//! * [`ConnService::execute_batch`] is the first **mixed-family** batch
-//!   path: where [`crate::conn_batch`] / [`crate::coknn_batch`] /
+//!   family on a warm engine from the service's persistent
+//!   [`EnginePool`], with answers byte-identical to the legacy free
+//!   functions (the `service_equivalence` suite enforces it);
+//! * the service is `Send + Sync`: independent client threads call
+//!   [`ConnService::execute`] concurrently, each against the scene epoch it pins at
+//!   query start ([`ConnService::pin`]), while a writer publishes whole
+//!   replacement scenes ([`ConnService::publish`]) without blocking
+//!   readers — see [`crate::epoch`];
+//! * [`ConnService::execute_batch`] is the **mixed-family** batch path:
+//!   where [`crate::conn_batch`] / [`crate::coknn_batch`] /
 //!   [`crate::trajectory_conn_batch`] each fan one homogeneous family,
 //!   the service schedules a heterogeneous workload across the same
-//!   worker pool and pools one [`BatchStats`];
-//! * [`ConnService::open_session`] hands out the streaming
-//!   [`TrajectorySession`] behind the same handle.
+//!   engine pool and pools one [`BatchStats`];
+//! * [`ConnService::sharded`] tiles giant scenes spatially
+//!   ([`crate::shard`]): queries whose expansion bound fits one tile's
+//!   coverage run on that shard alone, the rest fall back to the full
+//!   scene (never a min-merge — see the shard module docs for why);
+//! * streaming trajectory sessions hang off the pinned epoch
+//!   ([`crate::SceneEpoch::open_session`]), so a session keeps its
+//!   snapshot alive across legs however many epochs publish meanwhile.
 //!
 //! The legacy free functions remain as thin wrappers over this service,
 //! so both surfaces stay in lock-step by construction.
 
 // lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
-use std::cell::{OnceCell, RefCell};
 use std::time::Instant;
 
-use conn_geom::{Point, Rect};
+use conn_geom::{Rect, Segment};
 use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
 
-use crate::batch::{run_batch, BatchStats};
+use crate::batch::BatchStats;
+use crate::coknn::CoknnResult;
 use crate::config::ConnConfig;
+use crate::conn::ConnResult;
 use crate::engine::QueryEngine;
+use crate::epoch::{EpochCell, PinnedEpoch, SceneEpoch};
 use crate::error::Error;
+use crate::pool::EnginePool;
 use crate::query::{Answer, Query, QueryKind, Response};
 use crate::session::{TrajectoryCoknnSession, TrajectorySession};
-use crate::stats::QueryStats;
+use crate::shard::{ShardSet, ShardSpec};
+use crate::stats::{QueryStats, ReuseCounters};
 use crate::types::DataPoint;
 
 /// One R\*-tree, owned by the scene or borrowed from the caller.
@@ -159,16 +172,17 @@ impl<'a> Scene<'a> {
 }
 
 /// The unified execution handle: one typed front door for every query
-/// family over one [`Scene`].
+/// family over epoch-published [`Scene`]s.
 ///
-/// Owns a long-lived [`QueryEngine`] for serial [`execute`] calls —
-/// substrate reuse across queries *and* families for the engine-backed
-/// ones (CONN, COkNN, odist/route, the joins, trajectories; the
-/// point-anchored ONN/range/RNN families build their incremental local
-/// graph per query, as their free functions always have) — and fans
-/// [`execute_batch`] workloads across the same worker pool the
-/// per-family batch entry points use, but accepting a *mixed* vector of
-/// families in one call.
+/// The service is `Send + Sync` end to end: every call pins the current
+/// [`SceneEpoch`] (an `Arc` snapshot — see [`ConnService::pin`]), borrows
+/// a warm engine from the persistent [`EnginePool`], and runs entirely
+/// against that snapshot. Writers swap in whole replacement scenes with
+/// [`ConnService::publish`]; a published-over epoch stays alive until its
+/// last pinned reader drops, so mid-query publications can never tear an
+/// answer. There is no interior mutability in this type beyond the
+/// publication slot and the pool locks (the
+/// `no-interior-mutability-in-service` conn-lint rule keeps it that way).
 ///
 /// [`execute`]: ConnService::execute
 /// [`execute_batch`]: ConnService::execute_batch
@@ -192,7 +206,7 @@ impl<'a> Scene<'a> {
 /// assert!(!conn.entries().is_empty());
 /// assert!(response.stats.npe >= 1);
 ///
-/// // …and a mixed-family batch through the same handle:
+/// // …a mixed-family batch through the same handle:
 /// let batch = vec![
 ///     Query::conn(q).build()?,
 ///     Query::coknn(q, 2).build()?,
@@ -202,15 +216,23 @@ impl<'a> Scene<'a> {
 /// let (responses, stats) = service.execute_batch(&batch)?;
 /// assert_eq!(responses.len(), 4);
 /// assert_eq!(stats.queries, 4);
+///
+/// // …and a whole-scene update published under running readers:
+/// let pin = service.pin();
+/// let epoch = service.publish(Scene::new(
+///     vec![DataPoint::new(2, Point::new(50.0, 10.0))],
+///     vec![],
+/// ));
+/// assert_eq!(epoch, 1);
+/// assert_eq!(pin.epoch(), 0); // the pinned snapshot is unaffected
 /// # Ok::<(), conn_core::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct ConnService<'a> {
-    scene: Scene<'a>,
     cfg: ConnConfig,
-    engine: RefCell<QueryEngine>,
-    /// Obstacles collected once for the point-to-point distance family.
-    field: OnceCell<Vec<Rect>>,
+    epochs: EpochCell<'a>,
+    pool: EnginePool,
+    shard_spec: Option<ShardSpec>,
 }
 
 impl<'a> ConnService<'a> {
@@ -224,16 +246,54 @@ impl<'a> ConnService<'a> {
     /// [`crate::QueryBuilder::config`]).
     pub fn with_config(scene: Scene<'a>, cfg: ConnConfig) -> Self {
         ConnService {
-            scene,
             cfg,
-            engine: RefCell::new(QueryEngine::new(cfg)),
-            field: OnceCell::new(),
+            epochs: EpochCell::new(scene, None),
+            pool: EnginePool::new(cfg),
+            shard_spec: None,
         }
     }
 
-    /// The scene this service answers queries over.
-    pub fn scene(&self) -> &Scene<'a> {
-        &self.scene
+    /// A spatially sharded service: the scene (and every scene published
+    /// later) is tiled per `spec`; point- and segment-anchored queries
+    /// whose expansion bound fits one tile's coverage are answered on
+    /// that shard alone ([`ReuseCounters::shard_local`]), the rest fall
+    /// back to the full scene ([`ReuseCounters::shard_merges`]). Answers
+    /// are equivalent to the unsharded service (proptest-pinned at 1e-6;
+    /// split positions may differ by Dijkstra tie-break ULPs on the
+    /// rebuilt shard trees).
+    pub fn sharded(scene: Scene<'a>, cfg: ConnConfig, spec: ShardSpec) -> Self {
+        ConnService {
+            cfg,
+            epochs: EpochCell::new(scene, Some(spec)),
+            pool: EnginePool::new(cfg),
+            shard_spec: Some(spec),
+        }
+    }
+
+    /// Pins the currently published scene epoch: a cheap `Arc` clone
+    /// every query in flight runs against. The snapshot stays fully
+    /// alive — trees, obstacle field, shards — until the last pin drops,
+    /// however many epochs publish in the meantime.
+    pub fn pin(&self) -> PinnedEpoch<'a> {
+        self.epochs.pin()
+    }
+
+    /// Publishes `scene` as the next epoch (sharded per the service's
+    /// [`ShardSpec`] if any) and returns its number. Readers pinned to
+    /// older epochs are unaffected; new pins see the new scene.
+    pub fn publish(&self, scene: Scene<'a>) -> u64 {
+        self.epochs.publish(scene, self.shard_spec)
+    }
+
+    /// The number of the currently published epoch (0 at construction).
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.current_epoch()
+    }
+
+    /// How many published-over epochs have been fully released (their
+    /// last pin dropped) — the deferred-retirement ledger.
+    pub fn retired_epochs(&self) -> u64 {
+        self.epochs.retired()
     }
 
     /// The service's default configuration.
@@ -241,14 +301,26 @@ impl<'a> ConnService<'a> {
         &self.cfg
     }
 
-    fn obstacle_field(&self) -> &[Rect] {
-        self.field.get_or_init(|| self.scene.obstacles())
+    /// The tiling of this service, if it was built with
+    /// [`ConnService::sharded`].
+    pub fn shard_spec(&self) -> Option<&ShardSpec> {
+        self.shard_spec.as_ref()
     }
 
-    /// Answers one query of any family on the service's long-lived
-    /// engine. Answers are byte-identical to the corresponding legacy
-    /// free function; tree I/O counters are reset per query exactly like
-    /// the free functions do.
+    /// Lifetime reuse-counter totals across the engine pool — the
+    /// race-free aggregate of every query this service has served,
+    /// serial and batch (`sight_tests`, `sweep_events`, `shard_local`,
+    /// …).
+    pub fn reuse_totals(&self) -> ReuseCounters {
+        self.pool.reuse_totals()
+    }
+
+    /// Answers one query of any family against the *current* epoch on a
+    /// warm pool engine. Answers are byte-identical to the corresponding
+    /// legacy free function; tree I/O counters are reset per query
+    /// exactly like the free functions do (under concurrent executes the
+    /// per-query I/O attribution on the shared trees is best-effort —
+    /// the counters themselves are atomic).
     ///
     /// Note on empty scenes: a scene with no data points (or no
     /// obstacles) is *legal* — CONN reports an unassigned cover, the
@@ -256,26 +328,35 @@ impl<'a> ConnService<'a> {
     /// semantics. Only the emptiness a [`Query`] itself can see (the join
     /// families' `other` set) is rejected at build time.
     pub fn execute(&self, query: &Query) -> Result<Response, Error> {
+        self.execute_at(&self.pin(), query)
+    }
+
+    /// [`ConnService::execute`] against an explicitly pinned epoch — the
+    /// snapshot-isolation primitive: every read of this call sees `pin`'s
+    /// scene, whatever publishes concurrently.
+    pub fn execute_at(&self, pin: &PinnedEpoch<'a>, query: &Query) -> Result<Response, Error> {
         // the flat obstacle field is only read by the point-to-point
         // distance family; collecting it for every query would tax each
         // free-function wrapper call with an O(|O|) tree scan
         let field: &[Rect] = match query.kind() {
-            QueryKind::Odist { .. } | QueryKind::Route { .. } => self.obstacle_field(),
+            QueryKind::Odist { .. } | QueryKind::Route { .. } => pin.obstacle_field(),
             _ => &[],
         };
-        let mut engine = self.engine.borrow_mut();
-        let (answer, stats) = dispatch(&mut engine, &self.scene, field, self.cfg, query, true);
+        let cfg = self.cfg;
+        let (answer, stats) = self
+            .pool
+            .with_engine(|engine| shard_dispatch(engine, pin, field, cfg, query, true));
         Ok(Response { answer, stats })
     }
 
-    /// Answers a **mixed-family** workload across the shared worker pool
-    /// (`0` workers = available parallelism — see
+    /// Answers a **mixed-family** workload across the persistent engine
+    /// pool (`0` workers = available parallelism — see
     /// [`ConnService::execute_batch_threads`]). Responses come back in
     /// workload order; per-query tree I/O is pooled into the returned
     /// [`BatchStats`] (the per-response stats report zero I/O), exactly
     /// like the per-family batch entry points.
     ///
-    /// Pooling covers the **scene's** two trees. The `other` tree a join
+    /// Pooling covers the **epoch's** two trees. The `other` tree a join
     /// query carries is owned by the caller (and possibly shared with
     /// concurrent users), so the batch neither resets nor reads its
     /// counters — accesses to it are not part of `pooled`; run joins
@@ -285,21 +366,34 @@ impl<'a> ConnService<'a> {
         self.execute_batch_threads(queries, 0)
     }
 
-    /// [`ConnService::execute_batch`] with an explicit worker-pool size.
+    /// [`ConnService::execute_batch`] with an explicit worker count. The
+    /// whole batch pins one epoch up front, so every query of the batch
+    /// sees the same scene whatever publishes mid-flight.
     pub fn execute_batch_threads(
         &self,
         queries: &[Query],
         threads: usize,
     ) -> Result<(Vec<Response>, BatchStats), Error> {
-        let dt = self.scene.data_tree();
-        let ot = self.scene.obstacle_tree();
-        // The odist field cache is per-service (OnceCell is !Sync): fill
-        // it before fanning out if any query needs it.
+        self.execute_batch_at(&self.pin(), queries, threads)
+    }
+
+    /// [`ConnService::execute_batch_threads`] against an explicitly
+    /// pinned epoch.
+    pub fn execute_batch_at(
+        &self,
+        pin: &PinnedEpoch<'a>,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<(Vec<Response>, BatchStats), Error> {
+        let dt = pin.scene().data_tree();
+        let ot = pin.scene().obstacle_tree();
+        // The epoch's field cache is filled before fanning out so workers
+        // share one collection pass.
         let field: &[Rect] = if queries
             .iter()
             .any(|q| matches!(q.kind(), QueryKind::Odist { .. } | QueryKind::Route { .. }))
         {
-            self.obstacle_field()
+            pin.obstacle_field()
         } else {
             &[]
         };
@@ -308,10 +402,9 @@ impl<'a> ConnService<'a> {
         // Query-boundary elapsed time for QueryStats; the kernel loop
         // below never reads the clock.
         let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
-        let scene = &self.scene;
         let cfg = self.cfg;
-        let (answers, threads, per_query) = run_batch(queries, &cfg, threads, |engine, q| {
-            dispatch(engine, scene, field, cfg, q, false)
+        let (answers, threads, per_query) = self.pool.run(queries, threads, |engine, q| {
+            shard_dispatch(engine, pin, field, cfg, q, false)
         });
         let wall = started.elapsed();
         let mut pooled = QueryStats::default();
@@ -330,33 +423,196 @@ impl<'a> ConnService<'a> {
             .collect();
         Ok((responses, stats))
     }
+}
 
-    /// Opens a streaming trajectory CONN session over the scene (its own
-    /// warm engine; the service's serial engine stays free for
-    /// [`ConnService::execute`] calls alongside).
-    pub fn open_session(&self, start: Point) -> TrajectorySession<'_, 'static> {
-        TrajectorySession::new(
-            self.scene.data_tree(),
-            self.scene.obstacle_tree(),
-            start,
-            self.cfg,
-        )
+/// Shard-aware wrapper around [`dispatch`]: on sharded epochs, routes
+/// point/segment-anchored families to their home shard and serves from it
+/// when the locality certificate holds; everything else (and every
+/// straddling query) runs against the full scene.
+fn shard_dispatch(
+    engine: &mut QueryEngine,
+    epoch: &SceneEpoch<'_>,
+    field: &[Rect],
+    default_cfg: ConnConfig,
+    query: &Query,
+    track_io: bool,
+) -> (Answer, QueryStats) {
+    if let Some(shards) = epoch.shards() {
+        match try_shard(engine, shards, default_cfg, query, track_io) {
+            ShardOutcome::Served(answer, mut stats) => {
+                stats.reuse.shard_local = 1;
+                return (answer, *stats);
+            }
+            ShardOutcome::Straddles => {
+                let (answer, mut stats) =
+                    dispatch(engine, epoch.scene(), field, default_cfg, query, track_io);
+                stats.reuse.shard_merges = 1;
+                return (answer, stats);
+            }
+            ShardOutcome::NotShardable => {}
+        }
     }
+    dispatch(engine, epoch.scene(), field, default_cfg, query, track_io)
+}
 
-    /// Opens a streaming trajectory COkNN session over the scene.
-    pub fn open_coknn_session(
-        &self,
-        start: Point,
-        k: usize,
-    ) -> TrajectoryCoknnSession<'_, 'static> {
-        TrajectoryCoknnSession::new(
-            self.scene.data_tree(),
-            self.scene.obstacle_tree(),
-            start,
-            k,
-            self.cfg,
-        )
+/// Outcome of a shard-local attempt.
+enum ShardOutcome {
+    /// The certificate held: the shard answer is the full-scene answer.
+    Served(Answer, Box<QueryStats>),
+    /// The expansion bound straddled the coverage margin (or the shard
+    /// could not bound it); the attempt is discarded and the caller runs
+    /// the full scene. Discarded-attempt stats are dropped — the final
+    /// [`QueryStats`] describe the run that produced the answer.
+    Straddles,
+    /// The family has no local expansion bound (joins, reverse NN,
+    /// point-to-point distance, trajectories): always full-scene.
+    NotShardable,
+}
+
+/// Runs the query on its home shard if the family supports a locality
+/// certificate (see [`crate::shard`] for the soundness argument).
+fn try_shard(
+    engine: &mut QueryEngine,
+    shards: &ShardSet,
+    default_cfg: ConnConfig,
+    query: &Query,
+    track_io: bool,
+) -> ShardOutcome {
+    let cfg = query.config().copied().unwrap_or(default_cfg);
+    match query.kind() {
+        QueryKind::Conn { q } => {
+            let anchor = Rect::from_segment(q);
+            let Some(shard) = shards.route(&anchor) else {
+                return ShardOutcome::Straddles;
+            };
+            engine.set_config(cfg);
+            let (res, stats) = if track_io {
+                engine.conn(shard.data_tree(), shard.obstacle_tree(), q)
+            } else {
+                engine.conn_pooled_io(shard.data_tree(), shard.obstacle_tree(), q)
+            };
+            match conn_dmax(&res, q) {
+                Some(dmax) if shard.certifies(&anchor, dmax) => {
+                    ShardOutcome::Served(Answer::Conn(res), Box::new(stats))
+                }
+                _ => ShardOutcome::Straddles,
+            }
+        }
+        QueryKind::Coknn { q, k } => {
+            let anchor = Rect::from_segment(q);
+            let Some(shard) = shards.route(&anchor) else {
+                return ShardOutcome::Straddles;
+            };
+            engine.set_config(cfg);
+            let (res, stats) = if track_io {
+                engine.coknn(shard.data_tree(), shard.obstacle_tree(), q, *k)
+            } else {
+                engine.coknn_pooled_io(shard.data_tree(), shard.obstacle_tree(), q, *k)
+            };
+            match coknn_dmax(&res, q, *k) {
+                Some(dmax) if shard.certifies(&anchor, dmax) => {
+                    ShardOutcome::Served(Answer::Coknn(res), Box::new(stats))
+                }
+                _ => ShardOutcome::Straddles,
+            }
+        }
+        QueryKind::Onn { s, k } => {
+            let anchor = Rect::from_point(*s);
+            let Some(shard) = shards.route(&anchor) else {
+                return ShardOutcome::Straddles;
+            };
+            let (v, stats) = crate::onn::onn_search_impl(
+                shard.data_tree(),
+                shard.obstacle_tree(),
+                *s,
+                *k,
+                &cfg,
+                track_io,
+            );
+            match onn_dmax(&v, *k) {
+                Some(dmax) if shard.certifies(&anchor, dmax) => {
+                    ShardOutcome::Served(Answer::Onn(v), Box::new(stats))
+                }
+                _ => ShardOutcome::Straddles,
+            }
+        }
+        QueryKind::Range { s, radius } => {
+            let anchor = Rect::from_point(*s);
+            let Some(shard) = shards.route(&anchor) else {
+                return ShardOutcome::Straddles;
+            };
+            // The radius *is* the expansion bound, so the certificate is
+            // decidable before running anything.
+            if !shard.certifies(&anchor, *radius) {
+                return ShardOutcome::Straddles;
+            }
+            let (v, stats) = crate::orange::range_search_impl(
+                shard.data_tree(),
+                shard.obstacle_tree(),
+                *s,
+                *radius,
+                &cfg,
+                track_io,
+            );
+            ShardOutcome::Served(Answer::Range(v), Box::new(stats))
+        }
+        _ => ShardOutcome::NotShardable,
     }
+}
+
+/// Largest distance a CONN answer reports anywhere on the segment: per
+/// entry, `d(t) = base + |cp − q(t)|` is convex in `t`, so the maximum
+/// over the entry's interval is at an endpoint. `None` when any stretch
+/// is unassigned (the shard saw no candidate — the full scene might).
+fn conn_dmax(res: &ConnResult, q: &Segment) -> Option<f64> {
+    if res.entries().is_empty() {
+        return None;
+    }
+    let mut dmax = 0.0f64;
+    for e in res.entries() {
+        e.point?;
+        let cp = e.cp?;
+        for t in [e.interval.lo, e.interval.hi] {
+            dmax = dmax.max(cp.base + cp.pos.dist(q.at(t)));
+        }
+    }
+    Some(dmax)
+}
+
+/// Largest distance any of the k members reports anywhere on the segment
+/// (`None` when any stretch has fewer than `k` members in the shard).
+fn coknn_dmax(res: &CoknnResult, q: &Segment, k: usize) -> Option<f64> {
+    if res.entries().is_empty() {
+        return None;
+    }
+    let mut dmax = 0.0f64;
+    for e in res.entries() {
+        if e.members.len() < k {
+            return None;
+        }
+        for m in &e.members {
+            for t in [e.interval.lo, e.interval.hi] {
+                dmax = dmax.max(m.cp.base + m.cp.pos.dist(q.at(t)));
+            }
+        }
+    }
+    Some(dmax)
+}
+
+/// The k-th ONN distance (`None` when the shard found fewer than `k`
+/// reachable points).
+fn onn_dmax(v: &[(DataPoint, f64)], k: usize) -> Option<f64> {
+    if v.len() < k {
+        return None;
+    }
+    let mut dmax = 0.0f64;
+    for (_, d) in v {
+        if !d.is_finite() {
+            return None;
+        }
+        dmax = dmax.max(*d);
+    }
+    Some(dmax)
 }
 
 /// The one family dispatcher `execute` and the batch workers share.
@@ -472,7 +728,7 @@ fn dispatch(
 mod tests {
     use super::*;
     use crate::{coknn_search, conn_search, Query, Trajectory};
-    use conn_geom::Segment;
+    use conn_geom::Point;
 
     fn scene() -> Scene<'static> {
         Scene::new(
@@ -505,13 +761,14 @@ mod tests {
     #[test]
     fn execute_matches_free_functions() {
         let service = ConnService::new(scene());
+        let pin = service.pin();
         let q = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
         let cfg = ConnConfig::default();
 
         let resp = service.execute(&Query::conn(q).build().unwrap()).unwrap();
         let (free, free_stats) = conn_search(
-            service.scene().data_tree(),
-            service.scene().obstacle_tree(),
+            pin.scene().data_tree(),
+            pin.scene().obstacle_tree(),
             &q,
             &cfg,
         );
@@ -528,8 +785,8 @@ mod tests {
             .execute(&Query::coknn(q, 2).build().unwrap())
             .unwrap();
         let (free, _) = coknn_search(
-            service.scene().data_tree(),
-            service.scene().obstacle_tree(),
+            pin.scene().data_tree(),
+            pin.scene().obstacle_tree(),
             &q,
             2,
             &cfg,
@@ -620,20 +877,21 @@ mod tests {
     #[test]
     fn open_session_matches_trajectory_search() {
         let service = ConnService::new(scene());
+        let pin = service.pin();
         let verts = [
             Point::new(0.0, 0.0),
             Point::new(70.0, 5.0),
             Point::new(70.0, 55.0),
         ];
-        let mut session = service.open_session(verts[0]);
+        let mut session = pin.open_session(verts[0], *service.config());
         for &v in &verts[1..] {
             session.push_leg(v);
         }
         let (plan, _) = session.finish();
         plan.check_cover().unwrap();
         let (free, _) = crate::trajectory_conn_search(
-            service.scene().data_tree(),
-            service.scene().obstacle_tree(),
+            pin.scene().data_tree(),
+            pin.scene().obstacle_tree(),
             &Trajectory::new(verts.to_vec()),
             service.config(),
         );
@@ -651,5 +909,93 @@ mod tests {
         let (responses, stats) = service.execute_batch(&[]).unwrap();
         assert!(responses.is_empty());
         assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn publish_swaps_answers_for_new_pins_only() {
+        let service = ConnService::new(scene());
+        let pin0 = service.pin();
+        let probe = Query::onn(Point::new(10.0, 20.0), 1).build().unwrap();
+        let before = service.execute_at(&pin0, &probe).unwrap();
+        assert_eq!(before.answer.neighbors().unwrap()[0].0.id, 0);
+
+        // move the world: only point 7 remains, far from the probe
+        let epoch = service.publish(Scene::new(
+            vec![DataPoint::new(7, Point::new(90.0, 90.0))],
+            vec![],
+        ));
+        assert_eq!(epoch, 1);
+        assert_eq!(service.current_epoch(), 1);
+
+        // the old pin still answers from epoch 0…
+        let old = service.execute_at(&pin0, &probe).unwrap();
+        assert_eq!(old.answer.neighbors().unwrap()[0].0.id, 0);
+        // …while fresh executes see epoch 1
+        let new = service.execute(&probe).unwrap();
+        assert_eq!(new.answer.neighbors().unwrap()[0].0.id, 7);
+
+        assert_eq!(service.retired_epochs(), 0);
+        drop(pin0);
+        assert_eq!(service.retired_epochs(), 1);
+    }
+
+    #[test]
+    fn sharded_service_certifies_local_queries_and_falls_back() {
+        // points spread over [0,1000]^2, shards 2x2 with a 400 margin
+        let points: Vec<DataPoint> = (0..60)
+            .map(|i| {
+                DataPoint::new(
+                    i,
+                    Point::new((i as f64 * 137.0) % 1000.0, (i as f64 * 211.0) % 1000.0),
+                )
+            })
+            .collect();
+        let obstacles = vec![
+            Rect::new(200.0, 200.0, 260.0, 300.0),
+            Rect::new(700.0, 600.0, 760.0, 700.0),
+        ];
+        let unsharded = ConnService::new(Scene::new(points.clone(), obstacles.clone()));
+        let sharded = ConnService::sharded(
+            Scene::new(points, obstacles),
+            ConnConfig::default(),
+            ShardSpec::new(2, 2, 400.0).unwrap(),
+        );
+
+        // deep-inside query (clear of the obstacles): certificate holds
+        let local = Query::onn(Point::new(100.0, 450.0), 2).build().unwrap();
+        let a = sharded.execute(&local).unwrap();
+        assert_eq!(a.stats.reuse.shard_local, 1);
+        assert_eq!(a.stats.reuse.shard_merges, 0);
+        let b = unsharded.execute(&local).unwrap();
+        for (x, y) in a
+            .answer
+            .neighbors()
+            .unwrap()
+            .iter()
+            .zip(b.answer.neighbors().unwrap())
+        {
+            assert_eq!(x.0.id, y.0.id);
+            assert!((x.1 - y.1).abs() <= 1e-6);
+        }
+
+        // a range query wider than the margin must fall back
+        let wide = Query::range(Point::new(500.0, 500.0), 900.0)
+            .build()
+            .unwrap();
+        let c = sharded.execute(&wide).unwrap();
+        assert_eq!(c.stats.reuse.shard_local, 0);
+        assert_eq!(c.stats.reuse.shard_merges, 1);
+        let d = unsharded.execute(&wide).unwrap();
+        assert_eq!(
+            c.answer.neighbors().unwrap().len(),
+            d.answer.neighbors().unwrap().len()
+        );
+
+        // non-shardable families report neither counter
+        let odist = Query::odist(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0))
+            .build()
+            .unwrap();
+        let e = sharded.execute(&odist).unwrap();
+        assert_eq!(e.stats.reuse.shard_local + e.stats.reuse.shard_merges, 0);
     }
 }

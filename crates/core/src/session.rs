@@ -37,6 +37,14 @@
 //! points match to float noise), which the `trajectory_session`
 //! equivalence proptests enforce across kernels and layouts.
 //!
+//! Under the concurrent serving layer, sessions are opened from a pinned
+//! epoch ([`crate::SceneEpoch::open_session`], reached through a
+//! [`crate::PinnedEpoch`]): the session borrows the
+//! snapshot's trees, so a long-lived moving client keeps answering
+//! against the world it started on even while the service publishes new
+//! epochs behind it — the snapshot retires only after the session's pin
+//! drops.
+//!
 //! ```
 //! use conn_core::{ConnConfig, DataPoint, TrajectorySession};
 //! use conn_geom::{Point, Rect};

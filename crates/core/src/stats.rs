@@ -82,6 +82,15 @@ pub struct ReuseCounters {
     /// `sight_tests` so the pre-sweep and sweep cost models stay
     /// comparable across the trajectory. Zero when the sweep is off.
     pub sweep_events: u64,
+    /// Queries answered entirely inside one spatial shard: the expansion
+    /// bound fit the shard's coverage margin (the locality certificate
+    /// held), so the full scene was never consulted. Zero on unsharded
+    /// services.
+    pub shard_local: u64,
+    /// Queries whose expansion bound straddled a shard boundary: the
+    /// shard-local attempt was discarded and the answer merged by running
+    /// against the full scene. Zero on unsharded services.
+    pub shard_merges: u64,
 }
 
 impl ReuseCounters {
@@ -95,6 +104,8 @@ impl ReuseCounters {
         self.label_retargets += other.label_retargets;
         self.sight_tests += other.sight_tests;
         self.sweep_events += other.sweep_events;
+        self.shard_local += other.shard_local;
+        self.shard_merges += other.shard_merges;
     }
 }
 

@@ -45,8 +45,16 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "no-thread-spawn-outside-pool",
-        summary: "std::thread::spawn is only allowed in crates/core/src/batch.rs (the \
-                  worker pool) — everything else must go through the pool",
+        summary: "std::thread::spawn is only allowed in crates/core/src/pool.rs (the \
+                  worker-engine pool) and crates/bench (serving-harness clients) — \
+                  everything else must go through the pool",
+    },
+    RuleInfo {
+        name: "no-interior-mutability-in-service",
+        summary: "in the serving layer (core::{service,epoch,admission}) the cell family \
+                  (RefCell/Cell/OnceCell/UnsafeCell, facet [cell]) is banned — use epoch \
+                  snapshots / OnceLock; locks (Mutex/RwLock, facet [lock]) need a \
+                  lint:allow justification naming the bounded critical section",
     },
     RuleInfo {
         name: "no-wallclock-in-kernels",
@@ -237,6 +245,7 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     no_naked_float_cmp(ctx, &mut out);
     no_panic_in_query_path(ctx, &mut out);
     no_thread_spawn_outside_pool(ctx, &mut out);
+    no_interior_mutability_in_service(ctx, &mut out);
     no_wallclock_in_kernels(ctx, &mut out);
     pub_api_documented(ctx, &mut out);
     feature_gate_hygiene(ctx, &mut out);
@@ -444,7 +453,9 @@ fn is_keyword_before_bracket(s: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 fn no_thread_spawn_outside_pool(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-    if ctx.rel_path == "crates/core/src/batch.rs" {
+    // pool.rs is the worker pool; the bench crate spawns serving-harness
+    // client/pump/writer threads by design.
+    if ctx.rel_path == "crates/core/src/pool.rs" || ctx.rel_path.starts_with("crates/bench/") {
         return;
     }
     let toks = ctx.toks();
@@ -459,9 +470,70 @@ fn no_thread_spawn_outside_pool(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>
                 out,
                 t.line,
                 "no-thread-spawn-outside-pool",
-                "threads are only created by the batch worker pool \
-                 (crates/core/src/batch.rs) — route parallel work through conn_batch / \
+                "threads are only created by the worker-engine pool \
+                 (crates/core/src/pool.rs) — route parallel work through conn_batch / \
                  ConnService::execute_batch",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-interior-mutability-in-service
+// ---------------------------------------------------------------------------
+
+/// Files making up the serving layer, where `ConnService: Send + Sync` is a
+/// contract: interior mutability either breaks the bound (cells) or needs an
+/// explicit justification (locks).
+const SERVICE_LAYER_FILES: &[&str] = &[
+    "crates/core/src/service.rs",
+    "crates/core/src/epoch.rs",
+    "crates/core/src/admission.rs",
+];
+
+const CELL_TYPES: &[&str] = &["RefCell", "Cell", "OnceCell", "UnsafeCell"];
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+fn no_interior_mutability_in_service(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !SERVICE_LAYER_FILES.contains(&ctx.rel_path) {
+        return;
+    }
+    let toks = ctx.toks();
+    // `use …;` items only name the types — flagging them would force allows
+    // on imports, which say nothing about how the type is held.
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("use") {
+            in_use = true;
+        } else if t.is_punct(";") {
+            in_use = false;
+        }
+        if in_use || ctx.in_test(i) {
+            continue;
+        }
+        if CELL_TYPES.iter().any(|c| t.is_ident(c)) {
+            ctx.diag(
+                out,
+                t.line,
+                "no-interior-mutability-in-service[cell]",
+                &format!(
+                    "{} in the serving layer defeats ConnService: Send + Sync — publish \
+                     immutable epoch snapshots instead (OnceLock for lazy init); the cell \
+                     family is banned here",
+                    t.text
+                ),
+            );
+        } else if LOCK_TYPES.iter().any(|c| t.is_ident(c)) {
+            ctx.diag(
+                out,
+                t.line,
+                "no-interior-mutability-in-service[lock]",
+                &format!(
+                    "{} in the serving layer must be justified — annotate \
+                     `// lint:allow(no-interior-mutability-in-service)` naming the bounded \
+                     critical section it guards",
+                    t.text
+                ),
             );
         }
     }
@@ -728,17 +800,47 @@ mod tests {
         assert!(codes.contains(&"no-thread-spawn-outside-pool"));
         // The pool file and the bench crate are exempt.
         assert!(ctx_diags(
-            "crates/core/src/batch.rs",
+            "crates/core/src/pool.rs",
             "fn f() { std::thread::spawn(|| {}); }",
             &[]
         )
         .is_empty());
         assert!(ctx_diags(
             "crates/bench/src/bin/repro.rs",
-            "fn f() { Instant::now(); }",
+            "fn f() { Instant::now(); std::thread::spawn(|| {}); }",
             &[]
         )
         .is_empty());
+        // batch.rs is no longer the pool: a spawn there is flagged again.
+        let d = ctx_diags(
+            "crates/core/src/batch.rs",
+            "fn f() { std::thread::spawn(|| {}); }",
+            &[],
+        );
+        assert!(d.iter().any(|d| d.code == "no-thread-spawn-outside-pool"));
+    }
+
+    #[test]
+    fn interior_mutability_rule_covers_serving_files() {
+        // cells are banned outright…
+        let cell = "struct S { x: RefCell<u32> }\n";
+        let d = ctx_diags("crates/core/src/service.rs", cell, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-interior-mutability-in-service[cell]");
+        // …imports alone are not flagged…
+        assert!(ctx_diags("crates/core/src/epoch.rs", "use std::cell::RefCell;\n", &[]).is_empty());
+        // …locks need a justification…
+        let lock = "struct S { m: Mutex<u32> }\n";
+        let d = ctx_diags("crates/core/src/admission.rs", lock, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "no-interior-mutability-in-service[lock]");
+        let justified = "struct S {\n\
+                         // lint:allow(no-interior-mutability-in-service)\n\
+                         m: Mutex<u32>,\n}\n";
+        assert!(ctx_diags("crates/core/src/admission.rs", justified, &[]).is_empty());
+        // …and the rule only covers the serving layer.
+        assert!(ctx_diags("crates/core/src/pool.rs", lock, &[]).is_empty());
+        assert!(ctx_diags("crates/core/src/conn.rs", cell, &[]).is_empty());
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn main() {
                 // session streams legs, the Route queries reuse the same
                 // warm engine for the moving-target ETA line
                 let service = ConnService::new(Scene::borrowing(depot_tree, block_tree));
-                let mut session = service.open_session(pings[0]);
+                let pin = service.pin();
+                let mut session = pin.open_session(pings[0], *service.config());
                 let depot = dispatch_depot;
                 let mut eta_retargets = 0;
                 for &ping in &pings[1..] {

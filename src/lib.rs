@@ -19,7 +19,15 @@
 //!   degenerate input rejected as [`Error::InvalidQuery`] before any
 //!   algorithm runs) and [`ConnService`] (`execute` one query of any
 //!   family, `execute_batch` a *mixed-family* workload across the worker
-//!   pool, `open_session` a streaming [`TrajectorySession`]);
+//!   pool; `pin` an epoch snapshot and open a streaming
+//!   [`TrajectorySession`] on it);
+//! * the **concurrent serving layer**: [`SceneEpoch`] / [`PinnedEpoch`]
+//!   (lock-free scene sharing — readers pin immutable snapshots while
+//!   `publish` installs the next world), [`ShardSpec`] (overlapping
+//!   spatial tiles with a certificate-or-fallback merge), [`EnginePool`]
+//!   (persistent warm workers) and [`Admission`] (front-door queue that
+//!   coalesces single queries into batches, rejecting with
+//!   [`Error::Overloaded`] under backpressure);
 //! * the legacy free functions at the root ([`conn_search`],
 //!   [`coknn_search`], the single-tree variants, baselines) — thin
 //!   wrappers over the service, answering byte-identically;
@@ -90,10 +98,11 @@ pub use conn_core::{
     conn_search, conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair,
     obstructed_distance, obstructed_edistance_join, obstructed_path, obstructed_range_search,
     obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_batch,
-    trajectory_conn_search, visible_knn, Answer, BatchStats, CoknnResult, ConnConfig, ConnResult,
-    ConnService, ControlPoint, DataPoint, Error, Query, QueryBuilder, QueryEngine, QueryKind,
-    QueryStats, Response, ResultEntry, ResultList, ReuseCounters, Scene, SpatialObject, SweepMode,
-    Trajectory, TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
+    trajectory_conn_search, visible_knn, Admission, AdmissionConfig, Answer, BatchStats,
+    CoknnResult, ConnConfig, ConnResult, ConnService, ControlPoint, DataPoint, EnginePool, Error,
+    PinnedEpoch, Query, QueryBuilder, QueryEngine, QueryKind, QueryStats, Response, ResultEntry,
+    ResultList, ReuseCounters, Scene, SceneEpoch, Shard, ShardSet, ShardSpec, SpatialObject,
+    SweepMode, Ticket, Trajectory, TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
 };
 
 /// Everything a typical user needs, in one import.
@@ -101,9 +110,10 @@ pub mod prelude {
     pub use conn_core::{
         build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
         conn_search, conn_search_single_tree, obstructed_distance, obstructed_range_search,
-        obstructed_rnn, onn_search, trajectory_conn_search, Answer, BatchStats, CoknnResult,
-        ConnConfig, ConnResult, ConnService, DataPoint, Error, Query, QueryEngine, QueryStats,
-        Response, ReuseCounters, Scene, Trajectory, TrajectorySession,
+        obstructed_rnn, onn_search, trajectory_conn_search, Admission, AdmissionConfig, Answer,
+        BatchStats, CoknnResult, ConnConfig, ConnResult, ConnService, DataPoint, Error,
+        PinnedEpoch, Query, QueryEngine, QueryStats, Response, ReuseCounters, Scene, SceneEpoch,
+        ShardSpec, Ticket, Trajectory, TrajectorySession,
     };
     pub use conn_geom::{Interval, Point, Rect, Segment};
     pub use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};

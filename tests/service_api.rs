@@ -179,8 +179,9 @@ fn service_owns_scene_and_sessions() {
         .unwrap();
     resp.answer.as_conn().unwrap().check_cover().unwrap();
 
-    // a streaming session behind the same handle
-    let mut session = service.open_session(Point::new(1000.0, 1000.0));
+    // a streaming session behind the same handle, pinned to its epoch
+    let pin = service.pin();
+    let mut session = pin.open_session(Point::new(1000.0, 1000.0), *service.config());
     let delta = session.push_leg(Point::new(2000.0, 1200.0));
     assert!(!delta.is_empty());
     session.push_leg(Point::new(2100.0, 2400.0));
