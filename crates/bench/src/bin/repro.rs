@@ -66,12 +66,13 @@ impl Args {
     /// kernel and serving targets run at paper scale (their layouts are
     /// sized for it) and the figure sweeps keep the reduced default.
     fn scale(&self) -> Scale {
-        self.scale
-            .unwrap_or(if self.what == "conn" || self.what == "serve" {
+        self.scale.unwrap_or(
+            if self.what == "conn" || self.what == "serve" || self.what == "live" {
                 Scale::PAPER
             } else {
                 Scale::DEFAULT
-            })
+            },
+        )
     }
 
     fn queries(&self) -> usize {
@@ -95,6 +96,12 @@ impl Args {
         self.queries.unwrap_or(40)
     }
 
+    /// The live target defaults to 12 standing queries (2 per certified
+    /// family) patched across the delta stream.
+    fn live_queries(&self) -> usize {
+        self.queries.unwrap_or(12).max(1)
+    }
+
     /// Where the selected target writes its JSON record.
     fn out(&self, default: &str) -> String {
         self.out.clone().unwrap_or_else(|| default.to_string())
@@ -106,12 +113,13 @@ impl Args {
             "batch" => self.batch_queries(),
             "conn" => self.conn_queries(),
             "serve" => self.serve_queries(),
+            "live" => self.live_queries(),
             _ => self.queries(),
         }
     }
 }
 
-const KNOWN_TARGETS: [&str; 12] = [
+const KNOWN_TARGETS: [&str; 13] = [
     "all",
     "fig9",
     "fig10",
@@ -124,6 +132,7 @@ const KNOWN_TARGETS: [&str; 12] = [
     "batch",
     "traj",
     "serve",
+    "live",
 ];
 
 fn usage(problem: &str) -> ! {
@@ -291,6 +300,331 @@ fn main() {
     if args.what == "serve" {
         serve(&args);
     }
+    if args.what == "live" {
+        live(&args);
+    }
+}
+
+/// `live`: the live-scene mutation benchmark — a standing-query set kept
+/// resident and *patched* per [`conn_core::SceneDelta`] (surgical
+/// invalidation, certificate regions) vs the republish-and-rerun baseline
+/// (rebuild both trees, publish a full epoch, re-execute every query).
+/// Single-obstacle deltas are the measured stream (the acceptance gate:
+/// patching ≥ 2× faster); a site-delta coda exercises the tuple-patch and
+/// membership paths. Every patched answer is asserted 1e-6-equivalent to
+/// the rerun answer after every delta. Records `BENCH_live.json`.
+fn live(args: &Args) {
+    use conn_core::{
+        answers_equivalent, Answer, ConnService, LiveScene, PatchReport, Query, Scene,
+    };
+    use conn_datasets::la_like;
+
+    let scale = args.scale();
+    let n_standing = args.live_queries();
+    let cfg = ConnConfig {
+        sweep: args.sweep,
+        ..ConnConfig::default()
+    };
+    let w = Workload::cl(scale, DEFAULT_QL, n_standing, args.seed);
+
+    // one standing query per segment, cycling through the certified
+    // families (conn / coknn / onn / range / odist / route)
+    let standing_queries: Vec<Query> = w
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| {
+            match i % 6 {
+                0 => Query::conn(*seg),
+                1 => Query::coknn(*seg, DEFAULT_K),
+                2 => Query::onn(seg.a, DEFAULT_K),
+                3 => Query::range(seg.a, seg.a.dist(seg.b)),
+                4 => Query::odist(seg.a, seg.b),
+                _ => Query::route(seg.a, seg.b),
+            }
+            .build()
+            .expect("generated query validates")
+        })
+        .collect();
+
+    // the measured delta stream: obstacle insert/remove pairs, drawn from
+    // the same generator as the scene so footprints are paper-shaped.
+    // Deltas that land *on* a standing query are excluded: an obstacle
+    // overlapping a conn/coknn segment or swallowing a point anchor makes
+    // sub-queries unreachable by definition — the paper's model keeps
+    // query paths in free space, and such a delta degenerates both sides
+    // of the comparison identically (nothing left to measure).
+    let clear_of_standing = |r: &conn_geom::Rect| {
+        w.queries.iter().enumerate().all(|(i, seg)| match i % 6 {
+            0 | 1 => r.mindist_segment(seg) > 0.0,
+            2 | 3 => !r.strictly_contains(seg.a),
+            _ => !r.strictly_contains(seg.a) && !r.strictly_contains(seg.b),
+        })
+    };
+    // Half the stream is drawn blind; the other half is re-centered onto
+    // standing odist/route segments so the kernel-patch path (surgical
+    // absorb + paths-only-shorten reseed) is exercised at every scale,
+    // not only when a random rect happens to fall inside a kernel's
+    // ellipse. Re-centering keeps the paper-shaped footprints.
+    let kernel_segs: Vec<_> = w
+        .queries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 6 >= 4)
+        .map(|(_, s)| *s)
+        .collect();
+    // Footprints are capped at half the segment length so the forced
+    // detour stays within the kernel's resident ellipse (the absorb path,
+    // not the overflow-rebuild path) and the query stays tractable for
+    // the rerun side — a wall dwarfing the segment measures detour
+    // search, not delta repair, on both sides equally.
+    let centered: Vec<conn_geom::Rect> = la_like(64, args.seed.wrapping_add(8))
+        .into_iter()
+        .zip(kernel_segs.iter().cycle())
+        .filter_map(|(r, seg)| {
+            let m = seg.at(0.5 * seg.len());
+            let f = (0.4 * seg.len() / r.width().max(r.height())).min(1.0);
+            let (hw, hh) = (0.5 * f * r.width(), 0.5 * f * r.height());
+            let c = conn_geom::Rect::new(m.x - hw, m.y - hh, m.x + hw, m.y + hh);
+            clear_of_standing(&c).then_some(c)
+        })
+        .take(6)
+        .collect();
+    let extra: Vec<conn_geom::Rect> = centered
+        .iter()
+        .copied()
+        .chain(
+            la_like(64, args.seed.wrapping_add(7))
+                .into_iter()
+                .filter(clear_of_standing),
+        )
+        .take(12)
+        .collect();
+
+    // patched side: the live scene with the standing set resident
+    eprintln!(
+        "live: building scene ({} points, {} obstacles), registering {} standing queries",
+        w.points.len(),
+        w.obstacles.len(),
+        n_standing
+    );
+    let t_setup = Instant::now();
+    let mut live = LiveScene::new(w.points.clone(), w.obstacles.clone(), cfg);
+    let handles: Vec<_> = standing_queries
+        .iter()
+        .map(|q| live.service().register(q.clone()).expect("register"))
+        .collect();
+    eprintln!(
+        "live: setup done in {:.1}s",
+        t_setup.elapsed().as_secs_f64()
+    );
+
+    // rerun side: same initial world, republished + re-executed per delta
+    let baseline = ConnService::with_config(Scene::new(w.points.clone(), w.obstacles.clone()), cfg);
+    let mut base_points = w.points.clone();
+    let mut base_obstacles = w.obstacles.clone();
+
+    let mut patch_lat: Vec<f64> = Vec::new();
+    let mut rerun_lat: Vec<f64> = Vec::new();
+    let mut reports: Vec<PatchReport> = Vec::new();
+    let mut results_equivalent = true;
+
+    let mut check = |live: &LiveScene, rerun: &[Answer], ctx: &str| {
+        for ((h, q), want) in handles.iter().zip(&standing_queries).zip(rerun) {
+            let got = live.service().standing(h).expect("standing answer");
+            if !answers_equivalent(&got, want, 1e-6) {
+                results_equivalent = false;
+                println!("DIVERGED ({ctx}): {:?}", q.kind());
+            }
+        }
+    };
+
+    let trace = std::env::var_os("CONN_LIVE_TRACE").is_some();
+    let rerun_baseline =
+        |points: &[conn_core::DataPoint], obstacles: &[conn_geom::Rect]| -> (f64, Vec<Answer>) {
+            let t = Instant::now();
+            baseline.publish(Scene::new(points.to_vec(), obstacles.to_vec()));
+            let answers: Vec<Answer> = standing_queries
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| {
+                    let tq = Instant::now();
+                    if trace {
+                        eprintln!("trace: rerun q{qi} {:?}", q.kind());
+                    }
+                    let a = baseline.execute(q).expect("baseline execute").answer;
+                    if trace {
+                        eprintln!(
+                            "trace: rerun q{qi} done in {:.1} ms",
+                            tq.elapsed().as_secs_f64() * 1e3
+                        );
+                    }
+                    a
+                })
+                .collect();
+            (t.elapsed().as_secs_f64(), answers)
+        };
+
+    for (i, r) in extra.iter().enumerate() {
+        // insert the obstacle...
+        eprintln!("live: pair {}: patching insert", i + 1);
+        let t = Instant::now();
+        let (_, report) = live.insert_obstacle(*r);
+        patch_lat.push(t.elapsed().as_secs_f64());
+        reports.push(report);
+        base_obstacles.push(*r);
+        eprintln!("live: pair {}: rerunning insert", i + 1);
+        let (dt, answers) = rerun_baseline(&base_points, &base_obstacles);
+        rerun_lat.push(dt);
+        check(&live, &answers, &format!("insert #{i}"));
+
+        // ...and take it back out (the paths-only-shorten path)
+        eprintln!("live: pair {}: patching remove", i + 1);
+        let t = Instant::now();
+        let (_, report) = live.remove_obstacle(r).expect("just inserted");
+        patch_lat.push(t.elapsed().as_secs_f64());
+        reports.push(report);
+        let pos = base_obstacles
+            .iter()
+            .rposition(|o| o == r)
+            .expect("mirrored insert");
+        base_obstacles.remove(pos);
+        eprintln!("live: pair {}: rerunning remove", i + 1);
+        let (dt, answers) = rerun_baseline(&base_points, &base_obstacles);
+        rerun_lat.push(dt);
+        check(&live, &answers, &format!("remove #{i}"));
+        eprintln!(
+            "live: delta pair {}/{} done (patch {:.1} ms + {:.1} ms, rerun {:.1} ms + {:.1} ms)",
+            i + 1,
+            extra.len(),
+            patch_lat[patch_lat.len() - 2] * 1e3,
+            patch_lat[patch_lat.len() - 1] * 1e3,
+            rerun_lat[rerun_lat.len() - 2] * 1e3,
+            rerun_lat[rerun_lat.len() - 1] * 1e3,
+        );
+    }
+
+    // site-delta coda (unmeasured): tuple patches and membership repairs
+    let coda = conn_datasets::uniform_points(4, args.seed.wrapping_add(9), &base_obstacles);
+    for (i, p) in coda.iter().enumerate() {
+        let dp = conn_core::DataPoint::new(900_000 + i as u32, *p);
+        let (_, report) = live.insert_site(dp);
+        reports.push(report);
+        base_points.push(dp);
+        let (_, answers) = rerun_baseline(&base_points, &base_obstacles);
+        check(&live, &answers, &format!("site insert #{i}"));
+    }
+    for i in 0..2usize {
+        let victim = base_points[(i * 7) % base_points.len()];
+        if let Some((_, report)) = live.remove_site(victim.pos) {
+            reports.push(report);
+            let pos = base_points
+                .iter()
+                .position(|q| q.pos == victim.pos)
+                .expect("mirrored point");
+            base_points.remove(pos);
+            let (_, answers) = rerun_baseline(&base_points, &base_obstacles);
+            check(&live, &answers, &format!("site remove #{i}"));
+        }
+    }
+
+    let pct = |lat: &mut Vec<f64>, p: f64| -> f64 {
+        lat.sort_by(|x, y| x.total_cmp(y));
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] * 1e3
+    };
+    let deltas = patch_lat.len();
+    let patch_total: f64 = patch_lat.iter().sum();
+    let rerun_total: f64 = rerun_lat[..deltas].iter().sum();
+    let speedup = rerun_total / patch_total.max(1e-12);
+    let patch_p50 = pct(&mut patch_lat, 0.50);
+    let patch_p99 = pct(&mut patch_lat, 0.99);
+    let rerun_p50 = pct(&mut rerun_lat, 0.50);
+    let rerun_p99 = pct(&mut rerun_lat, 0.99);
+
+    let sum = |f: fn(&PatchReport) -> u64| -> u64 { reports.iter().map(f).sum() };
+    let labels = sum(|r| r.labels_invalidated);
+    let repairs = sum(|r| r.adjacency_repairs);
+    let kept = sum(|r| r.kept as u64);
+    let tuple_patched = sum(|r| r.tuple_patched as u64);
+    let kernel_patched = sum(|r| r.kernel_patched as u64);
+    let recomputed = sum(|r| r.recomputed as u64);
+    let delta_publishes = live.service().reuse_totals().delta_publishes;
+
+    println!("{:<34} {:>12}", "metric", "value");
+    println!("{:<34} {:>12}", "standing queries", n_standing);
+    println!("{:<34} {:>12}", "obstacle deltas (measured)", deltas);
+    println!(
+        "{:<34} {:>12.1}",
+        "patch deltas/sec",
+        deltas as f64 / patch_total
+    );
+    println!(
+        "{:<34} {:>12.1}",
+        "rerun deltas/sec",
+        deltas as f64 / rerun_total
+    );
+    println!("{:<34} {:>11.2}x", "patch speedup vs rerun", speedup);
+    println!("{:<34} {:>12.3}", "patch p50 (ms)", patch_p50);
+    println!("{:<34} {:>12.3}", "patch p99 (ms)", patch_p99);
+    println!("{:<34} {:>12.3}", "rerun p50 (ms)", rerun_p50);
+    println!("{:<34} {:>12.3}", "rerun p99 (ms)", rerun_p99);
+    println!(
+        "{:<34} {:>12.1}",
+        "labels invalidated / delta",
+        labels as f64 / delta_publishes.max(1) as f64
+    );
+    println!(
+        "{:<34} {:>12.1}",
+        "adjacency repairs / delta",
+        repairs as f64 / delta_publishes.max(1) as f64
+    );
+    println!(
+        "{:<34} {:>12}",
+        "kept / tuple / kernel / recomputed",
+        format!("{kept}/{tuple_patched}/{kernel_patched}/{recomputed}")
+    );
+    println!("{:<34} {:>12}", "delta publishes", delta_publishes);
+    println!(
+        "{:<34} {:>12}",
+        "results equivalent (1e-6)", results_equivalent
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"standing\": {},\n  \"deltas\": {},\n  \
+         \"patch_deltas_per_sec\": {:.2},\n  \"rerun_deltas_per_sec\": {:.2},\n  \
+         \"speedup_patch_vs_rerun\": {:.4},\n  \"patch_p50_ms\": {:.4},\n  \
+         \"patch_p99_ms\": {:.4},\n  \"rerun_p50_ms\": {:.4},\n  \
+         \"rerun_p99_ms\": {:.4},\n  \"labels_invalidated_per_delta\": {:.2},\n  \
+         \"adjacency_repairs_per_delta\": {:.2},\n  \"kept\": {},\n  \
+         \"tuple_patched\": {},\n  \"kernel_patched\": {},\n  \
+         \"recomputed\": {},\n  \"delta_publishes\": {},\n  \
+         \"results_equivalent\": {}\n}}\n",
+        scale.0,
+        n_standing,
+        deltas,
+        deltas as f64 / patch_total,
+        deltas as f64 / rerun_total,
+        speedup,
+        patch_p50,
+        patch_p99,
+        rerun_p50,
+        rerun_p99,
+        labels as f64 / delta_publishes.max(1) as f64,
+        repairs as f64 / delta_publishes.max(1) as f64,
+        kept,
+        tuple_patched,
+        kernel_patched,
+        recomputed,
+        delta_publishes,
+        results_equivalent,
+    );
+    let out = args.out("BENCH_live.json");
+    std::fs::write(&out, json).expect("write live record");
+    println!("recorded {out}");
 }
 
 /// `traj`: the trajectory-session benchmark — cold per-leg execution

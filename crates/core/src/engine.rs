@@ -77,6 +77,8 @@ pub struct Workspace {
     retarget_mark: u64,
     sight_mark: u64,
     sweep_mark: u64,
+    invalidated_mark: u64,
+    repair_mark: u64,
 }
 
 impl Default for Workspace {
@@ -105,6 +107,8 @@ impl Workspace {
             retarget_mark: 0,
             sight_mark: 0,
             sweep_mark: 0,
+            invalidated_mark: 0,
+            repair_mark: 0,
         }
     }
 
@@ -165,6 +169,8 @@ impl Workspace {
         // attribution is a window diff
         self.sight_mark = self.g.sight_tests();
         self.sweep_mark = self.g.sweep_events();
+        self.invalidated_mark = self.dij.labels_invalidated();
+        self.repair_mark = self.g.adjacency_repairs();
     }
 
     /// Closes the reuse-counter window of the current query.
@@ -175,6 +181,8 @@ impl Workspace {
         self.current.label_retargets = self.dij.retargets() - self.retarget_mark;
         self.current.sight_tests = self.g.sight_tests() - self.sight_mark;
         self.current.sweep_events = self.g.sweep_events() - self.sweep_mark;
+        self.current.labels_invalidated = self.dij.labels_invalidated() - self.invalidated_mark;
+        self.current.adjacency_repairs = self.g.adjacency_repairs() - self.repair_mark;
         self.current
     }
 }
@@ -459,6 +467,17 @@ impl QueryEngine {
         (na, nb)
     }
 
+    /// An endpoint strictly inside some obstacle is unreachable by
+    /// definition — blocking is open-interior containment — so the search
+    /// can answer ∞ without running. Without this the goal-directed
+    /// Dijkstra would settle every reachable node of the primed graph
+    /// before concluding the target cannot be reached.
+    fn odist_endpoint_swallowed(obstacles: &[Rect], a: Point, b: Point) -> bool {
+        obstacles
+            .iter()
+            .any(|r| r.strictly_contains(a) || r.strictly_contains(b))
+    }
+
     /// Obstructed distance *and* path in one Dijkstra run (∞ / `None` when
     /// unreachable). Repeated calls against the same obstacle slice reuse
     /// the primed graph instead of rebuilding it, and repeated calls from
@@ -470,6 +489,9 @@ impl QueryEngine {
         a: Point,
         b: Point,
     ) -> (f64, Option<Vec<Point>>) {
+        if Self::odist_endpoint_swallowed(obstacles, a, b) {
+            return (f64::INFINITY, None);
+        }
         self.prime_odist(obstacles);
         let (na, nb) = self.odist_nodes(a, b);
         let goal = self.cfg.kernel.point_goal(b);
@@ -491,6 +513,9 @@ impl QueryEngine {
 
     /// Engine-backed [`crate::obstructed_distance`].
     pub fn obstructed_distance(&mut self, obstacles: &[Rect], a: Point, b: Point) -> f64 {
+        if Self::odist_endpoint_swallowed(obstacles, a, b) {
+            return f64::INFINITY;
+        }
         self.prime_odist(obstacles);
         let (na, nb) = self.odist_nodes(a, b);
         let goal = self.cfg.kernel.point_goal(b);

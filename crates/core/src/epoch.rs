@@ -193,6 +193,18 @@ impl<'a> EpochCell<'a> {
     pub(crate) fn retired(&self) -> u64 {
         self.retired.load(Ordering::Relaxed)
     }
+
+    /// How many epochs are still alive — the current one plus every
+    /// published-over epoch a reader still pins. Ever-created epochs are
+    /// `current_epoch + 1` (numbering starts at 0), so the ledger balance
+    /// is `created − retired`. Under concurrent publishers/droppers the
+    /// two loads are not one atomic snapshot; the value is
+    /// monotonic-consistent, not linearizable (saturating guards the
+    /// transient where a retire lands between the loads).
+    pub(crate) fn live(&self) -> u64 {
+        let created = self.current_epoch() + 1;
+        created.saturating_sub(self.retired())
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +236,21 @@ mod tests {
 
         drop(pin);
         assert_eq!(cell.retired(), 1);
+    }
+
+    #[test]
+    fn live_ledger_balances_created_minus_retired() {
+        let cell = EpochCell::new(scene(0), None);
+        assert_eq!(cell.live(), 1, "epoch 0 alone");
+        let pin = cell.pin();
+        cell.publish(scene(1), None);
+        assert_eq!(cell.live(), 2, "epoch 0 pinned + epoch 1 current");
+        cell.publish(scene(2), None);
+        // epoch 1 had no pins: published over -> retired immediately
+        assert_eq!(cell.live(), 2, "epoch 0 pinned + epoch 2 current");
+        drop(pin);
+        assert_eq!(cell.live(), 1, "only the current epoch remains");
+        assert_eq!(cell.retired(), 2);
     }
 
     #[test]

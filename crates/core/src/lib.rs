@@ -27,6 +27,7 @@
 //! | typed `Query`/`Answer` front door (beyond the paper) | [`query`] |
 //! | `Scene` + `ConnService` execution handle (beyond the paper) | [`service`] |
 //! | epoch-snapshot scene publication (beyond the paper) | [`epoch`] |
+//! | live mutation, surgical invalidation, standing queries (beyond the paper) | [`live`] |
 //! | spatial shard tiling + locality certificate (beyond the paper) | [`shard`] |
 //! | persistent warm engine pool (beyond the paper) | [`pool`] |
 //! | admission queue: coalescing + backpressure (beyond the paper) | [`admission`] |
@@ -77,6 +78,7 @@ pub mod epoch;
 pub mod error;
 pub mod ior;
 pub mod joins;
+pub mod live;
 pub mod odist;
 pub mod onn;
 pub mod orange;
@@ -106,6 +108,7 @@ pub use engine::QueryEngine;
 pub use epoch::{PinnedEpoch, SceneEpoch};
 pub use error::Error;
 pub use joins::{obstructed_closest_pair, obstructed_edistance_join};
+pub use live::{answers_equivalent, LiveScene, PatchReport, SceneDelta, StandingHandle};
 pub use odist::{obstructed_distance, obstructed_path, obstructed_route};
 pub use onn::{naive_conn_by_onn, onn_search};
 pub use orange::obstructed_range_search;

@@ -1,0 +1,1084 @@
+//! Live scenes: incremental mutation with surgical invalidation and
+//! standing queries.
+//!
+//! The serving layer of [`crate::epoch`] publishes whole replacement
+//! scenes: cheap to reason about, but a single inserted obstacle pays a
+//! full republish *and* a full re-run of every query a client keeps
+//! resident. This module closes that gap in three layers:
+//!
+//! * **[`LiveScene`]** owns the world behind `Arc`-shared R\*-trees and
+//!   mutates it in place — [`LiveScene::insert_site`] /
+//!   [`LiveScene::remove_site`] / [`LiveScene::insert_obstacle`] /
+//!   [`LiveScene::remove_obstacle`] repair the touched tree by ordinary
+//!   R\*-tree insert/delete surgery (forking it copy-on-write only while
+//!   published epochs still share it) and publish the result as a **cheap
+//!   derived epoch**: the untouched tree is shared by `Arc`, so
+//!   publication cost is proportional to what changed, not to the scene.
+//!
+//! * **Surgical invalidation.** Each mutation is described by a
+//!   [`SceneDelta`], and the resident substrate repairs itself instead of
+//!   rebuilding: obstacle insertion reuses the growth reseed of
+//!   [`conn_vgraph::DijkstraEngine::ensure_prepared`] (keep every label
+//!   whose witness path avoids the new rectangle), and obstacle removal
+//!   uses its **paths-only-shorten** counterpart,
+//!   [`conn_vgraph::DijkstraEngine::reseed_after_removal`]:
+//!
+//!   > Removing a rectangle `R` can only *shorten* obstructed distances,
+//!   > and a label `d(u)` can only improve if its new witness path routes
+//!   > through `R`'s footprint. Any such path is at least
+//!   > `mindist(src, R) + mindist(u, R)` long, so every settled label
+//!   > with `mindist(src, R) + mindist(u, R) ≥ d(u)` is kept as exact;
+//!   > only labels inside that *shadow ellipse* are invalidated and
+//!   > re-discovered by ordinary relaxation.
+//!
+//!   The same shape argument powers the adjacency side
+//!   ([`conn_vgraph::VisGraph::remove_obstacle`]): only CSR ranges whose
+//!   cached visibility window intersects `R` are staled, everything else
+//!   survives byte-for-byte.
+//!
+//! * **Standing queries.** [`crate::ConnService::register`] keeps a
+//!   query's result resident; every [`crate::ConnService::publish_delta`]
+//!   patches it under a kinetic-style **certificate region**: a delta
+//!   whose footprint stays Euclidean-farther from the query's anchor than
+//!   the answer's worst obstructed distance `dmax` cannot change the
+//!   answer (obstructed ≥ Euclidean, and obstacle edits only matter to
+//!   paths they touch — lengthening on insert, shortening through the
+//!   footprint on removal), so the resident tuples stand untouched.
+//!   Deltas inside the region are repaired at the cheapest sound level:
+//!   ONN/range tuple lists absorb a site insertion by one point-to-point
+//!   distance evaluation, point-to-point entries (odist/route) keep a
+//!   resident [`conn_vgraph::VisGraph`] + Dijkstra kernel and re-settle
+//!   from the surviving labels, and everything else falls back to a
+//!   re-run of that one query. The full re-run is also the proptest
+//!   oracle: `live_equivalence.rs` pins every patched answer to a cold
+//!   rebuild at 1e-6.
+
+use std::sync::{Arc, Mutex};
+
+use conn_geom::{Point, Rect};
+use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
+use conn_vgraph::{DijkstraEngine, Goal, NodeId, NodeKind, VisGraph};
+
+use crate::config::ConnConfig;
+use crate::engine::QueryEngine;
+use crate::epoch::PinnedEpoch;
+use crate::query::{Answer, Query, QueryKind, Response};
+use crate::service::{coknn_dmax, conn_dmax, dispatch, onn_dmax, ConnService, Scene};
+use crate::stats::QueryStats;
+use crate::types::DataPoint;
+
+/// One mutation of a live scene, as published alongside its derived
+/// epoch. The variants carry the mutated item so standing-query patching
+/// can test certificate regions and membership without re-diffing trees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SceneDelta {
+    /// A data point was inserted.
+    SiteInserted(DataPoint),
+    /// A data point was removed.
+    SiteRemoved(DataPoint),
+    /// An obstacle was inserted.
+    ObstacleInserted(Rect),
+    /// An obstacle was removed.
+    ObstacleRemoved(Rect),
+}
+
+impl SceneDelta {
+    /// Short label of the mutation (telemetry, BENCH reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SceneDelta::SiteInserted(_) => "site_inserted",
+            SceneDelta::SiteRemoved(_) => "site_removed",
+            SceneDelta::ObstacleInserted(_) => "obstacle_inserted",
+            SceneDelta::ObstacleRemoved(_) => "obstacle_removed",
+        }
+    }
+
+    /// The delta's spatial footprint (a point collapses to a degenerate
+    /// rectangle) — what certificate regions are tested against.
+    pub fn footprint(&self) -> Rect {
+        match self {
+            SceneDelta::SiteInserted(p) | SceneDelta::SiteRemoved(p) => Rect::from_point(p.pos),
+            SceneDelta::ObstacleInserted(r) | SceneDelta::ObstacleRemoved(r) => *r,
+        }
+    }
+}
+
+/// Token for one standing query (see [`crate::ConnService::register`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StandingHandle {
+    id: u64,
+}
+
+impl StandingHandle {
+    /// The registry id this handle names.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// What one [`crate::ConnService::publish_delta`] did to the standing
+/// set. The four outcome counters partition `standing`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Standing queries resident when the delta arrived.
+    pub standing: usize,
+    /// Answers kept untouched: the delta fell outside the certificate
+    /// region (or removed a site the answer never mentions).
+    pub kept: usize,
+    /// Answers patched at the tuple level (ONN/range absorbing a site
+    /// insertion by one distance evaluation).
+    pub tuple_patched: usize,
+    /// Answers patched by a resident point-to-point kernel re-settling
+    /// from surviving Dijkstra labels (odist/route).
+    pub kernel_patched: usize,
+    /// Answers recomputed by a full re-run of that one query.
+    pub recomputed: usize,
+    /// Settled labels dropped by the kernels' surgical invalidation while
+    /// absorbing this delta.
+    pub labels_invalidated: u64,
+    /// Adjacency-cache ranges the kernels repaired/staled in place while
+    /// absorbing this delta.
+    pub adjacency_repairs: u64,
+}
+
+/// Conservative slack for "can this delta touch the answer" tests: the
+/// certificate must err toward *recomputing*, never toward keeping a
+/// stale answer.
+fn affected(lower_bound: f64, dmax: f64) -> bool {
+    lower_bound <= dmax + 1e-9 * dmax.max(1.0)
+}
+
+/// The kinetic certificate of one standing query: the region a delta
+/// must touch to be able to change the answer.
+#[derive(Debug, Clone, Copy)]
+enum Certificate {
+    /// Point/segment-anchored families (CONN, COkNN, ONN, range): every
+    /// witness path of the answer stays within obstructed — hence
+    /// Euclidean — distance `dmax` of the anchor. `dmax = None` means the
+    /// answer gave no finite bound (unassigned stretches, short lists):
+    /// obstacle deltas always recompute.
+    Anchored { anchor: Rect, dmax: Option<f64> },
+    /// Point-to-point families (odist/route): a delta only matters if its
+    /// footprint meets the shortest-path ellipse
+    /// `mindist(a, R) + mindist(b, R) ≤ dist`.
+    Ellipse { a: Point, b: Point, dist: f64 },
+    /// No certificate (reverse NN, joins, trajectories): every delta
+    /// recomputes.
+    Always,
+}
+
+fn certificate_for(query: &Query, answer: &Answer) -> Certificate {
+    match (query.kind(), answer) {
+        (QueryKind::Conn { q }, Answer::Conn(r)) => Certificate::Anchored {
+            anchor: Rect::from_segment(q),
+            dmax: conn_dmax(r, q),
+        },
+        (QueryKind::Coknn { q, k }, Answer::Coknn(r)) => Certificate::Anchored {
+            anchor: Rect::from_segment(q),
+            dmax: coknn_dmax(r, q, *k),
+        },
+        (QueryKind::Onn { s, k }, Answer::Onn(v)) => Certificate::Anchored {
+            anchor: Rect::from_point(*s),
+            dmax: onn_dmax(v, *k),
+        },
+        (QueryKind::Range { s, radius }, _) => Certificate::Anchored {
+            anchor: Rect::from_point(*s),
+            dmax: Some(*radius),
+        },
+        (QueryKind::Odist { a, b }, Answer::Odist(d)) => Certificate::Ellipse {
+            a: *a,
+            b: *b,
+            dist: *d,
+        },
+        (QueryKind::Route { a, b }, Answer::Route { dist, .. }) => Certificate::Ellipse {
+            a: *a,
+            b: *b,
+            dist: *dist,
+        },
+        _ => Certificate::Always,
+    }
+}
+
+/// True when `answer` mentions data point `id` anywhere. Removing a point
+/// the answer never mentions cannot change it: an absent point is either
+/// unreachable or dominated wherever the family looked, and removals only
+/// thin the candidate set. Families without a membership reading report
+/// `true` (always affected).
+fn answer_mentions(answer: &Answer, id: u32) -> bool {
+    match answer {
+        Answer::Conn(r) => r
+            .entries()
+            .iter()
+            .any(|e| e.point.map(|p| p.id) == Some(id)),
+        Answer::Coknn(r) => r
+            .entries()
+            .iter()
+            .any(|e| e.members.iter().any(|m| m.point.id == id)),
+        Answer::Onn(v) | Answer::Range(v) | Answer::Rnn(v) => v.iter().any(|(p, _)| p.id == id),
+        Answer::Odist(_) | Answer::Route { .. } => false,
+        _ => true,
+    }
+}
+
+/// The resident point-to-point kernel of a standing odist/route entry:
+/// its own visibility graph and Dijkstra engine, repaired per delta
+/// instead of rebuilt — obstacle insertion grows the graph and reseeds,
+/// removal runs the in-place CSR surgery plus the paths-only-shorten
+/// reseed, then the answer re-settles from whatever labels survived.
+///
+/// The graph holds only the *ellipse subset* of the field: every obstacle
+/// `R` with `mindist(a,R) + mindist(b,R) ≤ bound`. Any point `x` on a
+/// path of length `≤ bound` satisfies `|ax| + |xb| ≤ bound`, so an
+/// obstacle outside the subset cannot touch such a path — once the
+/// settled distance lands `≤ bound`, the witness provably avoids the
+/// excluded obstacles too and the subset answer *is* the full-field
+/// answer. This is the same locality the engine's lazily-grown local
+/// visibility graphs exploit, and what keeps a resident kernel cheap on
+/// the paper-scale field (131 k obstacles, of which a handful matter).
+#[derive(Debug)]
+struct LiveKernel {
+    g: VisGraph,
+    dij: DijkstraEngine,
+    src: NodeId,
+    dst: NodeId,
+    goal: Goal,
+    a: Point,
+    b: Point,
+    /// Ellipse radius of the resident subset: the graph holds every field
+    /// obstacle with `mindist(a,R) + mindist(b,R) ≤ bound`, and the
+    /// settled distance is `≤ bound` (or `∞`, which a subset can only
+    /// over-report, so `∞` is exact too).
+    bound: f64,
+}
+
+impl LiveKernel {
+    /// Cold build over the ellipse subset of the obstacle field
+    /// (registration time and the repair-failure fallback — never the
+    /// per-delta path). Grows the subset geometrically until the settled
+    /// distance certifies itself against the bound.
+    fn build(field: &[Rect], a: Point, b: Point, cfg: &ConnConfig) -> (Self, f64) {
+        let mut bound = (2.0 * a.dist(b)).max(40.0);
+        loop {
+            let subset: Vec<Rect> = field
+                .iter()
+                .filter(|r| affected(r.mindist_point(a) + r.mindist_point(b), bound))
+                .copied()
+                .collect();
+            // cell size adapted to the subset's typical extent, matching
+            // the engine's odist priming
+            let cell = subset
+                .iter()
+                .map(|r| r.width().max(r.height()))
+                .fold(0.0f64, f64::max)
+                .max(20.0);
+            let mut g = VisGraph::new(cell); // lint:allow(no-full-rebuild-in-delta-path): construction-time cold build, not a delta
+            cfg.tune_graph(&mut g);
+            for r in &subset {
+                g.add_obstacle(*r);
+            }
+            let src = g.add_point(a, NodeKind::DataPoint);
+            let dst = g.add_point(b, NodeKind::DataPoint);
+            let goal = cfg.kernel.point_goal(b);
+            let mut dij = DijkstraEngine::default();
+            dij.prepare_directed(&g, src, goal); // lint:allow(no-full-rebuild-in-delta-path): construction-time cold build, not a delta
+            let d = dij.run_until_settled(&mut g, dst);
+            // `∞` over a subset forces `∞` over the superset (obstacles
+            // only block), so both exits below return exact distances.
+            if !d.is_finite() || affected(d, bound) {
+                return (
+                    LiveKernel {
+                        g,
+                        dij,
+                        src,
+                        dst,
+                        goal,
+                        a,
+                        b,
+                        bound,
+                    },
+                    d,
+                );
+            }
+            bound = d.max(2.0 * bound);
+        }
+    }
+
+    /// True when `r` falls inside the resident ellipse subset.
+    fn holds(&self, r: &Rect) -> bool {
+        affected(
+            r.mindist_point(self.a) + r.mindist_point(self.b),
+            self.bound,
+        )
+    }
+
+    /// Absorbs an obstacle insertion: grow the graph, keep every label
+    /// whose witness path avoids the new rectangle, re-settle. `None`
+    /// when the new distance overflows the resident bound — the subset
+    /// is then no longer provably sufficient (caller rebuilds cold).
+    fn insert_obstacle(&mut self, r: Rect) -> Option<f64> {
+        self.g.add_obstacle(r);
+        self.dij.ensure_prepared(&self.g, self.src, self.goal, true);
+        let d = self.dij.run_until_settled(&mut self.g, self.dst);
+        (!d.is_finite() || affected(d, self.bound)).then_some(d)
+    }
+
+    /// Absorbs an obstacle removal: in-place CSR surgery plus the
+    /// paths-only-shorten reseed, then re-settle. `None` when the graph
+    /// holds no such rectangle (caller falls back to a cold rebuild).
+    fn remove_obstacle(&mut self, r: &Rect) -> Option<f64> {
+        self.g.remove_obstacle(r)?;
+        self.dij
+            .reseed_after_removal(&self.g, self.src, self.goal, r);
+        Some(self.dij.run_until_settled(&mut self.g, self.dst))
+    }
+
+    /// The settled shortest path polyline (`None` when unreachable).
+    fn path(&self, d: f64) -> Option<Vec<Point>> {
+        d.is_finite().then(|| {
+            self.dij
+                .path_to(self.dst)
+                .iter()
+                .map(|&n| self.g.node_pos(n))
+                .collect()
+        })
+    }
+}
+
+/// One resident standing query.
+#[derive(Debug)]
+struct StandingEntry {
+    id: u64,
+    query: Query,
+    answer: Answer,
+    cert: Certificate,
+    kernel: Option<LiveKernel>,
+}
+
+impl StandingEntry {
+    /// Refreshes the certificate after the answer changed.
+    fn recertify(&mut self) {
+        self.cert = certificate_for(&self.query, &self.answer);
+    }
+}
+
+/// What `apply` decided to do with one entry.
+enum Outcome {
+    Kept,
+    TuplePatched,
+    KernelPatched,
+    Recomputed,
+}
+
+/// The standing-query registry a [`ConnService`] owns. Interior-mutable
+/// (one mutex, held per registry operation) so registration and patching
+/// work through the service's shared reference like every other call.
+#[derive(Debug, Default)]
+pub(crate) struct StandingRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    next_id: u64,
+    entries: Vec<StandingEntry>,
+}
+
+impl StandingRegistry {
+    pub(crate) fn register(
+        &self,
+        pin: &PinnedEpoch<'_>,
+        cfg: &ConnConfig,
+        query: Query,
+        response: Response,
+    ) -> StandingHandle {
+        let answer = response.answer;
+        let cert = certificate_for(&query, &answer);
+        let kernel = match query.kind() {
+            QueryKind::Odist { a, b } | QueryKind::Route { a, b } => {
+                Some(LiveKernel::build(pin.obstacle_field(), *a, *b, cfg).0)
+            }
+            _ => None,
+        };
+        let mut inner = lock(&self.inner);
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.push(StandingEntry {
+            id,
+            query,
+            answer,
+            cert,
+            kernel,
+        });
+        StandingHandle { id }
+    }
+
+    pub(crate) fn answer(&self, handle: &StandingHandle) -> Option<Answer> {
+        let inner = lock(&self.inner);
+        inner
+            .entries
+            .iter()
+            .find(|e| e.id == handle.id)
+            .map(|e| e.answer.clone())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        lock(&self.inner).entries.len()
+    }
+
+    pub(crate) fn unregister(&self, handle: StandingHandle) -> bool {
+        let mut inner = lock(&self.inner);
+        let before = inner.entries.len();
+        inner.entries.retain(|e| e.id != handle.id);
+        inner.entries.len() != before
+    }
+
+    /// Patches every standing entry against the just-published epoch.
+    /// Returns the report plus the pooled [`QueryStats`] of the patch work
+    /// (recompute runs and kernel counter diffs, with `delta_publishes`
+    /// set) for the engine pool's lifetime totals.
+    pub(crate) fn apply(
+        &self,
+        engine: &mut QueryEngine,
+        pin: &PinnedEpoch<'_>,
+        cfg: &ConnConfig,
+        delta: &SceneDelta,
+    ) -> (PatchReport, QueryStats) {
+        let mut inner = lock(&self.inner);
+        let mut report = PatchReport {
+            standing: inner.entries.len(),
+            ..PatchReport::default()
+        };
+        let mut pooled = QueryStats::default();
+        pooled.reuse.delta_publishes = 1;
+        for entry in &mut inner.entries {
+            let outcome = patch_entry(entry, engine, pin, cfg, delta, &mut report, &mut pooled);
+            match outcome {
+                Outcome::Kept => report.kept += 1,
+                Outcome::TuplePatched => report.tuple_patched += 1,
+                Outcome::KernelPatched => report.kernel_patched += 1,
+                Outcome::Recomputed => report.recomputed += 1,
+            }
+        }
+        pooled.reuse.labels_invalidated += report.labels_invalidated;
+        pooled.reuse.adjacency_repairs += report.adjacency_repairs;
+        (report, pooled)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Decides and executes the cheapest sound repair for one entry.
+fn patch_entry(
+    entry: &mut StandingEntry,
+    engine: &mut QueryEngine,
+    pin: &PinnedEpoch<'_>,
+    cfg: &ConnConfig,
+    delta: &SceneDelta,
+    report: &mut PatchReport,
+    pooled: &mut QueryStats,
+) -> Outcome {
+    // Point-to-point entries own a resident kernel: site deltas never
+    // matter, obstacle deltas inside the ellipse are absorbed surgically.
+    if entry.kernel.is_some() {
+        return patch_kernel_entry(entry, pin, cfg, delta, report);
+    }
+    let decision = match (entry.cert, delta) {
+        (Certificate::Always, _) => Outcome::Recomputed,
+        // A removed site the answer never mentions cannot change it.
+        (_, SceneDelta::SiteRemoved(p)) => {
+            if answer_mentions(&entry.answer, p.id) {
+                Outcome::Recomputed
+            } else {
+                Outcome::Kept
+            }
+        }
+        (Certificate::Anchored { anchor, dmax }, SceneDelta::SiteInserted(p)) => {
+            // ONN/range tuple lists absorb an insertion by one distance
+            // evaluation; that patch is sound with or without a finite
+            // certificate, so try the region test first only to skip work.
+            let tuple_patchable = matches!(
+                entry.query.kind(),
+                QueryKind::Onn { .. } | QueryKind::Range { .. }
+            );
+            match dmax {
+                Some(d) if !affected(anchor.mindist_point(p.pos), d) => Outcome::Kept,
+                _ if tuple_patchable => Outcome::TuplePatched,
+                _ => Outcome::Recomputed,
+            }
+        }
+        (Certificate::Anchored { anchor, dmax }, _) => {
+            let r = delta.footprint();
+            match dmax {
+                Some(d) if !affected(anchor.mindist_rect(&r), d) => Outcome::Kept,
+                _ => Outcome::Recomputed,
+            }
+        }
+        // Unreachable: odist/route without a kernel (registered answers of
+        // those families always build one).
+        (Certificate::Ellipse { .. }, _) => Outcome::Recomputed,
+    };
+    match decision {
+        Outcome::TuplePatched => {
+            let SceneDelta::SiteInserted(p) = delta else {
+                // lint:allow(no-panic-in-query-path): TuplePatched is only picked under the SiteInserted arm above
+                unreachable!("tuple patch is only chosen for site insertions");
+            };
+            tuple_patch_insert(entry, engine, pin, *p);
+            entry.recertify();
+            Outcome::TuplePatched
+        }
+        Outcome::Recomputed => {
+            let (answer, stats) = dispatch(
+                engine,
+                pin.scene(),
+                pin.obstacle_field(),
+                *cfg,
+                &entry.query,
+                false,
+            );
+            pooled.accumulate(&stats);
+            entry.answer = answer;
+            entry.recertify();
+            Outcome::Recomputed
+        }
+        other => other,
+    }
+}
+
+/// Kernel-backed repair of an odist/route entry.
+fn patch_kernel_entry(
+    entry: &mut StandingEntry,
+    pin: &PinnedEpoch<'_>,
+    cfg: &ConnConfig,
+    delta: &SceneDelta,
+    report: &mut PatchReport,
+) -> Outcome {
+    let Certificate::Ellipse { a, b, dist } = entry.cert else {
+        // a kernel without an ellipse certificate cannot happen
+        return Outcome::Kept;
+    };
+    let rect = match delta {
+        // point-to-point distance ignores data points entirely
+        SceneDelta::SiteInserted(_) | SceneDelta::SiteRemoved(_) => return Outcome::Kept,
+        SceneDelta::ObstacleInserted(r) | SceneDelta::ObstacleRemoved(r) => *r,
+    };
+    let lower = rect.mindist_point(a) + rect.mindist_point(b);
+    let inside = !dist.is_finite() || affected(lower, dist);
+    let removal = matches!(delta, SceneDelta::ObstacleRemoved(_));
+    let Some(kernel) = entry.kernel.as_mut() else {
+        // an entry holding an ellipse certificate always carries a kernel
+        return Outcome::Kept;
+    };
+    // Outside the resident ellipse subset the delta is invisible to the
+    // kernel by construction: an insertion there cannot touch any path
+    // of length ≤ bound (so the settled answer stands), a removal there
+    // deletes an obstacle the subset never held (and a subset distance
+    // of ∞ still forces ∞ over the thinned field). The graph stays
+    // consistent with `field ∩ ellipse(bound)` without absorbing anything.
+    if !kernel.holds(&rect) {
+        return Outcome::Kept;
+    }
+    // Inside the subset the graph absorbs the delta surgically so its
+    // obstacle set keeps tracking the scene — but only deltas inside the
+    // *answer's* ellipse (`inside`) can actually move the settled value.
+    let labels_before = kernel.dij.labels_invalidated();
+    let repairs_before = kernel.g.adjacency_repairs();
+    let patched = if removal {
+        kernel.remove_obstacle(&rect)
+    } else {
+        kernel.insert_obstacle(rect)
+    };
+    let (d, outcome) = match patched {
+        Some(d) => {
+            report.labels_invalidated += kernel.dij.labels_invalidated() - labels_before;
+            report.adjacency_repairs += kernel.g.adjacency_repairs() - repairs_before;
+            (
+                d,
+                if inside {
+                    Outcome::KernelPatched
+                } else {
+                    Outcome::Kept
+                },
+            )
+        }
+        None => {
+            // the graph held no such rectangle (duplicate-removal skew),
+            // or the insertion pushed the distance past the resident
+            // bound: rebuild the kernel cold from the published field
+            let (fresh, d) = LiveKernel::build(pin.obstacle_field(), a, b, cfg);
+            *kernel = fresh;
+            (d, Outcome::Recomputed)
+        }
+    };
+    if matches!(outcome, Outcome::Kept) {
+        return Outcome::Kept;
+    }
+    entry.answer = match entry.answer {
+        Answer::Odist(_) => Answer::Odist(d),
+        Answer::Route { .. } => Answer::Route {
+            dist: d,
+            path: kernel.path(d),
+        },
+        // lint:allow(no-panic-in-query-path): kernels are built only for odist/route entries
+        _ => unreachable!("kernel entries are odist/route"),
+    };
+    entry.recertify();
+    outcome
+}
+
+/// Absorbs a site insertion into an ONN/range tuple list: one obstructed
+/// distance evaluation against the published field, merged in ascending
+/// order (ONN truncates back to `k`).
+fn tuple_patch_insert(
+    entry: &mut StandingEntry,
+    engine: &mut QueryEngine,
+    pin: &PinnedEpoch<'_>,
+    p: DataPoint,
+) {
+    let (s, cap, radius) = match entry.query.kind() {
+        QueryKind::Onn { s, k } => (*s, Some(*k), f64::INFINITY),
+        QueryKind::Range { s, radius } => (*s, None, *radius),
+        // lint:allow(no-panic-in-query-path): patch_entry routes only ONN/range here
+        _ => unreachable!("tuple patch is only chosen for ONN/range"),
+    };
+    let d = engine.obstructed_distance(pin.obstacle_field(), s, p.pos);
+    let (Answer::Onn(list) | Answer::Range(list)) = &mut entry.answer else {
+        // lint:allow(no-panic-in-query-path): ONN/range queries always hold ONN/range answers
+        unreachable!("tuple patch is only chosen for ONN/range answers");
+    };
+    if d.is_finite() && d <= radius * (1.0 + 1e-12) {
+        let at = list.partition_point(|(_, existing)| *existing <= d);
+        list.insert(at, (p, d));
+        if let Some(k) = cap {
+            list.truncate(k);
+        }
+    }
+}
+
+/// A mutable world published through a [`ConnService`] as cheap derived
+/// epochs. See the module docs for the full picture.
+///
+/// ```
+/// use conn_core::{ConnConfig, DataPoint, LiveScene, Query};
+/// use conn_geom::{Point, Rect};
+///
+/// let mut live = LiveScene::new(
+///     vec![
+///         DataPoint::new(0, Point::new(20.0, 60.0)),
+///         DataPoint::new(1, Point::new(80.0, 60.0)),
+///     ],
+///     vec![Rect::new(45.0, 30.0, 55.0, 70.0)],
+///     ConnConfig::default(),
+/// );
+/// // a standing query stays resident and is patched per delta
+/// let h = live
+///     .service()
+///     .register(Query::onn(Point::new(0.0, 60.0), 1).build()?)?;
+/// assert_eq!(live.service().standing(&h).unwrap().neighbors().unwrap()[0].0.id, 0);
+///
+/// // a far-away obstacle edit keeps the answer untouched (certificate)
+/// let (epoch, report) = live.insert_obstacle(Rect::new(200.0, 0.0, 210.0, 10.0));
+/// assert_eq!(epoch, 1);
+/// assert_eq!(report.kept, 1);
+///
+/// // removing the resident neighbor forces a recompute
+/// let removed = live.remove_site(Point::new(20.0, 60.0)).unwrap();
+/// assert_eq!(removed.1.recomputed, 1);
+/// assert_eq!(live.service().standing(&h).unwrap().neighbors().unwrap()[0].0.id, 1);
+/// # Ok::<(), conn_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct LiveScene {
+    service: ConnService<'static>,
+    data: Arc<RStarTree<DataPoint>>,
+    obstacles: Arc<RStarTree<Rect>>,
+    deltas_published: u64,
+}
+
+impl LiveScene {
+    /// Indexes `points` and `obstacles` and wraps them in a service whose
+    /// epoch 0 shares the trees (every later epoch shares whatever a
+    /// mutation did not touch).
+    pub fn new(points: Vec<DataPoint>, obstacles: Vec<Rect>, cfg: ConnConfig) -> Self {
+        let data = Arc::new(RStarTree::bulk_load(points, DEFAULT_PAGE_SIZE)); // lint:allow(no-full-rebuild-in-delta-path): construction-time cold build, not a delta
+        let obstacles = Arc::new(RStarTree::bulk_load(obstacles, DEFAULT_PAGE_SIZE)); // lint:allow(no-full-rebuild-in-delta-path): construction-time cold build, not a delta
+        let service = ConnService::with_config(
+            Scene::shared(Arc::clone(&data), Arc::clone(&obstacles)),
+            cfg,
+        );
+        LiveScene {
+            service,
+            data,
+            obstacles,
+            deltas_published: 0,
+        }
+    }
+
+    /// A paper-style live scene (LA-like obstacles, uniform points).
+    pub fn uniform(n_points: usize, n_obstacles: usize, seed: u64, cfg: ConnConfig) -> Self {
+        let obstacles = conn_datasets::la_like(n_obstacles, seed);
+        let points = DataPoint::from_points(&conn_datasets::uniform_points(
+            n_points,
+            seed.wrapping_add(1),
+            &obstacles,
+        ));
+        LiveScene::new(points, obstacles, cfg)
+    }
+
+    /// The serving front door: execute queries, register standing ones.
+    pub fn service(&self) -> &ConnService<'static> {
+        &self.service
+    }
+
+    /// Number of data points in the live world.
+    pub fn num_points(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of obstacles in the live world.
+    pub fn num_obstacles(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// The live world's points, collected (the cold-rebuild oracle input).
+    pub fn points(&self) -> Vec<DataPoint> {
+        self.data.iter_items().copied().collect()
+    }
+
+    /// The live world's obstacles, collected.
+    pub fn obstacles(&self) -> Vec<Rect> {
+        self.obstacles.iter_items().copied().collect()
+    }
+
+    /// Deltas published so far (equals the current epoch number).
+    pub fn deltas_published(&self) -> u64 {
+        self.deltas_published
+    }
+
+    /// Copy-on-write handle on the data tree: forks the pages only while
+    /// a published epoch still shares them, then repairs in place.
+    fn data_mut(&mut self) -> &mut RStarTree<DataPoint> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            self.data = Arc::new(self.data.fork());
+        }
+        // lint:allow(no-panic-in-query-path): the fork above restored unique ownership
+        Arc::get_mut(&mut self.data).expect("uniquely owned after fork")
+    }
+
+    /// Copy-on-write handle on the obstacle tree.
+    fn obstacles_mut(&mut self) -> &mut RStarTree<Rect> {
+        if Arc::get_mut(&mut self.obstacles).is_none() {
+            self.obstacles = Arc::new(self.obstacles.fork());
+        }
+        // lint:allow(no-panic-in-query-path): the fork above restored unique ownership
+        Arc::get_mut(&mut self.obstacles).expect("uniquely owned after fork")
+    }
+
+    fn publish(&mut self, delta: SceneDelta) -> (u64, PatchReport) {
+        self.deltas_published += 1;
+        let scene = Scene::shared(Arc::clone(&self.data), Arc::clone(&self.obstacles));
+        self.service.publish_delta(scene, &delta)
+    }
+
+    /// Inserts a data point (in-place R\*-tree repair), publishes the
+    /// derived epoch and patches the standing set.
+    pub fn insert_site(&mut self, p: DataPoint) -> (u64, PatchReport) {
+        self.data_mut().insert(p);
+        self.publish(SceneDelta::SiteInserted(p))
+    }
+
+    /// Removes the data point at `pos` (exact coordinate match); `None`
+    /// when no point sits there (nothing is published).
+    pub fn remove_site(&mut self, pos: Point) -> Option<(u64, PatchReport)> {
+        let removed = self.data_mut().delete_by_mbr(&Rect::from_point(pos))?;
+        Some(self.publish(SceneDelta::SiteRemoved(removed)))
+    }
+
+    /// Inserts an obstacle (in-place R\*-tree repair), publishes the
+    /// derived epoch and patches the standing set.
+    pub fn insert_obstacle(&mut self, r: Rect) -> (u64, PatchReport) {
+        self.obstacles_mut().insert(r);
+        self.publish(SceneDelta::ObstacleInserted(r))
+    }
+
+    /// Removes the obstacle matching `r` (exact coordinate match); `None`
+    /// when no such obstacle exists (nothing is published).
+    pub fn remove_obstacle(&mut self, r: &Rect) -> Option<(u64, PatchReport)> {
+        let removed = self.obstacles_mut().delete_by_mbr(r)?;
+        Some(self.publish(SceneDelta::ObstacleRemoved(removed)))
+    }
+}
+
+/// 1e-6-style equivalence between two answers of the same family — the
+/// oracle comparator of the live-equivalence suites. Distances compare
+/// within `tol` (relative above 1, absolute below); identities are
+/// compared where the family pins them and ties allow either side.
+pub fn answers_equivalent(a: &Answer, b: &Answer, tol: f64) -> bool {
+    let close = |x: f64, y: f64| {
+        (x.is_infinite() && y.is_infinite() && x.signum() == y.signum())
+            || (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0)
+    };
+    match (a, b) {
+        (Answer::Conn(x), Answer::Conn(y)) => x.values_equivalent(y, tol),
+        (Answer::Coknn(x), Answer::Coknn(y)) => {
+            if x.query() != y.query() || x.k() != y.k() {
+                return false;
+            }
+            // sample the union of both covers' boundaries: within one
+            // joint interval both sides are fixed member sets
+            let mut ts: Vec<f64> = x
+                .entries()
+                .iter()
+                .chain(y.entries())
+                .flat_map(|e| [e.interval.lo, e.interval.hi])
+                .collect();
+            ts.sort_by(f64::total_cmp);
+            ts.dedup();
+            ts.windows(2).all(|w| {
+                let &[lo, hi] = w else { return true };
+                let t = 0.5 * (lo + hi);
+                let (va, vb) = (x.knn_at(t), y.knn_at(t));
+                va.len() == vb.len() && va.iter().zip(&vb).all(|((_, da), (_, db))| close(*da, *db))
+            })
+        }
+        (Answer::Onn(x), Answer::Onn(y))
+        | (Answer::Range(x), Answer::Range(y))
+        | (Answer::Rnn(x), Answer::Rnn(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|((_, da), (_, db))| close(*da, *db))
+        }
+        (Answer::Odist(x), Answer::Odist(y)) => close(*x, *y),
+        (Answer::Route { dist: x, .. }, Answer::Route { dist: y, .. }) => close(*x, *y),
+        (Answer::EDistanceJoin(x), Answer::EDistanceJoin(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((_, _, da), (_, _, db))| close(*da, *db))
+        }
+        (Answer::ClosestPair(x), Answer::ClosestPair(y)) => match (x, y) {
+            (None, None) => true,
+            (Some((_, _, da)), Some((_, _, db))) => close(*da, *db),
+            _ => false,
+        },
+        (Answer::Trajectory(x), Answer::Trajectory(y)) => {
+            x.segments().len() == y.segments().len()
+                && x.segments()
+                    .iter()
+                    .zip(y.segments())
+                    .all(|((pa, ia), (pb, ib))| {
+                        pa.map(|p| p.id) == pb.map(|p| p.id)
+                            && close(ia.lo, ib.lo)
+                            && close(ia.hi, ib.hi)
+                    })
+        }
+        (Answer::TrajectoryKnn(x), Answer::TrajectoryKnn(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(ra, rb)| {
+                    answers_equivalent(&Answer::Coknn(ra.clone()), &Answer::Coknn(rb.clone()), tol)
+                })
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::query::Query;
+    use conn_geom::Segment;
+
+    fn points() -> Vec<DataPoint> {
+        vec![
+            DataPoint::new(0, Point::new(10.0, 20.0)),
+            DataPoint::new(1, Point::new(50.0, 8.0)),
+            DataPoint::new(2, Point::new(90.0, 25.0)),
+            DataPoint::new(3, Point::new(45.0, 60.0)),
+        ]
+    }
+
+    fn obstacles() -> Vec<Rect> {
+        vec![
+            Rect::new(30.0, 5.0, 40.0, 30.0),
+            Rect::new(60.0, 10.0, 75.0, 18.0),
+        ]
+    }
+
+    /// Re-runs a standing query cold on a fresh service over the live
+    /// world's current state — the oracle every patch must match.
+    fn cold_answer(live: &LiveScene, q: &Query) -> Answer {
+        let svc = ConnService::new(Scene::new(live.points(), live.obstacles()));
+        svc.execute(q).unwrap().answer
+    }
+
+    #[test]
+    fn frozen_scenes_reject_mutation_with_typed_error() {
+        let dt = RStarTree::bulk_load(points(), DEFAULT_PAGE_SIZE);
+        let ot = RStarTree::bulk_load(obstacles(), DEFAULT_PAGE_SIZE);
+        let mut borrowed = Scene::borrowing(&dt, &ot);
+        let err = borrowed
+            .insert_site(DataPoint::new(9, Point::new(1.0, 1.0)))
+            .unwrap_err();
+        assert!(matches!(err, Error::FrozenScene(_)));
+        assert!(err.reason().contains("borrows"), "{err}");
+
+        let mut shared = Scene::shared(
+            Arc::new(RStarTree::bulk_load(points(), DEFAULT_PAGE_SIZE)),
+            Arc::new(RStarTree::bulk_load(obstacles(), DEFAULT_PAGE_SIZE)),
+        );
+        let err = shared
+            .remove_obstacle(&Rect::new(30.0, 5.0, 40.0, 30.0))
+            .unwrap_err();
+        assert!(matches!(err, Error::FrozenScene(_)));
+        assert_eq!(err.to_string(), format!("frozen scene: {}", err.reason()));
+        assert!(err.reason().contains("shares"), "{err}");
+
+        let mut owned = Scene::new(points(), obstacles());
+        assert!(owned.is_mutable());
+        owned
+            .insert_site(DataPoint::new(9, Point::new(1.0, 1.0)))
+            .unwrap();
+        assert_eq!(owned.num_points(), 5);
+        assert_eq!(
+            owned
+                .remove_site(Point::new(1.0, 1.0))
+                .unwrap()
+                .map(|p| p.id),
+            Some(9)
+        );
+        owned
+            .insert_obstacle(Rect::new(0.0, 0.0, 1.0, 1.0))
+            .unwrap();
+        assert_eq!(
+            owned
+                .remove_obstacle(&Rect::new(0.0, 0.0, 1.0, 1.0))
+                .unwrap(),
+            Some(Rect::new(0.0, 0.0, 1.0, 1.0))
+        );
+    }
+
+    #[test]
+    fn mutations_publish_derived_epochs() {
+        let mut live = LiveScene::new(points(), obstacles(), ConnConfig::default());
+        assert_eq!(live.service().current_epoch(), 0);
+        let (e1, _) = live.insert_obstacle(Rect::new(0.0, 40.0, 5.0, 45.0));
+        assert_eq!(e1, 1);
+        let (e2, _) = live.insert_site(DataPoint::new(7, Point::new(5.0, 5.0)));
+        assert_eq!(e2, 2);
+        assert_eq!(live.num_points(), 5);
+        assert_eq!(live.num_obstacles(), 3);
+        assert_eq!(live.deltas_published(), 2);
+        // absent targets publish nothing
+        assert!(live.remove_site(Point::new(999.0, 999.0)).is_none());
+        assert!(live
+            .remove_obstacle(&Rect::new(900.0, 900.0, 901.0, 901.0))
+            .is_none());
+        assert_eq!(live.service().current_epoch(), 2);
+        // old epochs retire as nothing pins them
+        assert_eq!(
+            live.service().epochs_live() + live.service().epochs_retired(),
+            3
+        );
+    }
+
+    #[test]
+    fn standing_onn_patches_match_cold_reruns() {
+        let mut live = LiveScene::new(points(), obstacles(), ConnConfig::default());
+        let q = Query::onn(Point::new(50.0, 0.0), 2).build().unwrap();
+        let h = live.service().register(q.clone()).unwrap();
+
+        // far-away obstacle: certificate holds, answer kept
+        let (_, report) = live.insert_obstacle(Rect::new(400.0, 400.0, 410.0, 410.0));
+        assert_eq!(report.kept, 1, "{report:?}");
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+
+        // close site insertion: tuple patch, one distance evaluation
+        let (_, report) = live.insert_site(DataPoint::new(8, Point::new(52.0, 2.0)));
+        assert_eq!(report.tuple_patched, 1, "{report:?}");
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+
+        // removing a resident member: recompute
+        let (_, report) = live.remove_site(Point::new(52.0, 2.0)).unwrap();
+        assert_eq!(report.recomputed, 1, "{report:?}");
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+
+        // blocking obstacle straight through the neighborhood: recompute
+        let (_, report) = live.insert_obstacle(Rect::new(44.0, -5.0, 56.0, 6.0));
+        assert_eq!(report.recomputed, 1, "{report:?}");
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+
+        assert!(live.service().unregister(h));
+        assert_eq!(live.service().standing_count(), 0);
+        assert!(live.service().standing(&h).is_none());
+    }
+
+    #[test]
+    fn standing_odist_kernel_patches_track_every_mutation() {
+        let mut live = LiveScene::new(points(), obstacles(), ConnConfig::default());
+        let q = Query::odist(Point::new(0.0, 0.0), Point::new(100.0, 0.0))
+            .build()
+            .unwrap();
+        let h = live.service().register(q.clone()).unwrap();
+        let d0 = live.service().standing(&h).unwrap().distance().unwrap();
+        assert!(d0 >= 100.0);
+
+        // wall through the corridor: kernel patch, longer distance
+        let wall = Rect::new(48.0, -20.0, 52.0, 40.0);
+        let (_, report) = live.insert_obstacle(wall);
+        assert_eq!(report.kernel_patched, 1, "{report:?}");
+        assert!(report.adjacency_repairs > 0 || report.labels_invalidated > 0);
+        let d1 = live.service().standing(&h).unwrap().distance().unwrap();
+        assert!(d1 > d0);
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+
+        // take it back out: paths-only-shorten repair restores d0
+        let (_, report) = live.remove_obstacle(&wall).unwrap();
+        assert_eq!(report.kernel_patched, 1, "{report:?}");
+        let d2 = live.service().standing(&h).unwrap().distance().unwrap();
+        assert!((d2 - d0).abs() <= 1e-6 * d0.max(1.0));
+
+        // site mutations never touch a point-to-point answer
+        let (_, report) = live.insert_site(DataPoint::new(9, Point::new(50.0, 1.0)));
+        assert_eq!(report.kept, 1, "{report:?}");
+    }
+
+    #[test]
+    fn standing_conn_certificate_skips_far_deltas() {
+        let mut live = LiveScene::new(points(), obstacles(), ConnConfig::default());
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 0.0));
+        let q = Query::conn(seg).build().unwrap();
+        let h = live.service().register(q.clone()).unwrap();
+
+        let (_, report) = live.insert_obstacle(Rect::new(500.0, 500.0, 510.0, 510.0));
+        assert_eq!(report.kept, 1, "{report:?}");
+        let (_, report) = live.insert_site(DataPoint::new(11, Point::new(48.0, 1.0)));
+        assert_eq!(report.recomputed, 1, "{report:?}");
+        assert!(answers_equivalent(
+            &live.service().standing(&h).unwrap(),
+            &cold_answer(&live, &q),
+            1e-6
+        ));
+    }
+}

@@ -83,6 +83,27 @@ pub(crate) fn onn_search_impl(
     // below never reads the clock.
     let started = Instant::now(); // lint:allow(no-wallclock-in-kernels)
 
+    // An anchor strictly inside an obstacle reaches nothing: every
+    // obstructed distance is ∞, the k-th bound never tightens, and the
+    // candidate stream would be walked to exhaustion with a full obstacle
+    // load per candidate. The answer is exactly empty — say so now.
+    if obstacle_tree
+        .nearest_iter(s)
+        .take_while(|(_, d)| *d <= 0.0)
+        .any(|(r, _)| r.strictly_contains(s))
+    {
+        let (data_io, obstacle_io) = io.end(data_tree, obstacle_tree);
+        return (
+            Vec::new(),
+            QueryStats {
+                data_io,
+                obstacle_io,
+                cpu: started.elapsed(),
+                ..QueryStats::default()
+            },
+        );
+    }
+
     let mut g = cfg.new_graph();
     let s_node = g.add_point(s, NodeKind::Endpoint);
     let mut obstacles = obstacle_tree.nearest_iter(s);
@@ -303,6 +324,17 @@ mod tests {
             naive_stats.reads(),
             exact_stats.reads()
         );
+    }
+
+    #[test]
+    fn enclosed_query_point_answers_empty() {
+        let (points, obstacles) = world();
+        let dt = RStarTree::bulk_load(points, 4096);
+        let ot = RStarTree::bulk_load(obstacles, 4096);
+        // strictly inside obstacle (30,5)-(40,30): nothing is reachable
+        let (res, stats) = onn_search(&dt, &ot, Point::new(35.0, 15.0), 3, &ConnConfig::default());
+        assert!(res.is_empty());
+        assert_eq!(stats.npe, 0, "no candidates should be evaluated");
     }
 
     #[test]

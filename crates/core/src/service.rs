@@ -33,9 +33,10 @@
 //! so both surfaces stay in lock-step by construction.
 
 // lint:allow-file(no-panic-in-query-path[index]): indices derive from lengths computed in the same function (enumerate, push-then-access, partition bounds)
+use std::sync::Arc;
 use std::time::Instant;
 
-use conn_geom::{Rect, Segment};
+use conn_geom::{Point, Rect, Segment};
 use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
 
 use crate::batch::BatchStats;
@@ -45,6 +46,7 @@ use crate::conn::ConnResult;
 use crate::engine::QueryEngine;
 use crate::epoch::{EpochCell, PinnedEpoch, SceneEpoch};
 use crate::error::Error;
+use crate::live::{PatchReport, SceneDelta, StandingHandle, StandingRegistry};
 use crate::pool::EnginePool;
 use crate::query::{Answer, Query, QueryKind, Response};
 use crate::session::{TrajectoryCoknnSession, TrajectorySession};
@@ -52,11 +54,14 @@ use crate::shard::{ShardSet, ShardSpec};
 use crate::stats::{QueryStats, ReuseCounters};
 use crate::types::DataPoint;
 
-/// One R\*-tree, owned by the scene or borrowed from the caller.
+/// One R\*-tree: owned by the scene, borrowed from the caller, or shared
+/// (`Arc`) with a live-mutation front end that structurally shares
+/// untouched trees across derived epochs.
 #[derive(Debug)]
 enum TreeSlot<'a, T> {
     Owned(RStarTree<T>),
     Borrowed(&'a RStarTree<T>),
+    Shared(Arc<RStarTree<T>>),
 }
 
 impl<T> TreeSlot<'_, T> {
@@ -64,6 +69,24 @@ impl<T> TreeSlot<'_, T> {
         match self {
             TreeSlot::Owned(t) => t,
             TreeSlot::Borrowed(t) => t,
+            TreeSlot::Shared(t) => t,
+        }
+    }
+
+    /// Mutable access, only when the scene owns the tree outright.
+    fn tree_mut(&mut self) -> Option<&mut RStarTree<T>> {
+        match self {
+            TreeSlot::Owned(t) => Some(t),
+            TreeSlot::Borrowed(_) | TreeSlot::Shared(_) => None,
+        }
+    }
+
+    /// How this slot holds its tree, for error messages.
+    fn holding(&self) -> &'static str {
+        match self {
+            TreeSlot::Owned(_) => "owns",
+            TreeSlot::Borrowed(_) => "borrows",
+            TreeSlot::Shared(_) => "shares",
         }
     }
 }
@@ -103,6 +126,21 @@ impl Scene<'static> {
         Scene {
             data: TreeSlot::Owned(data_tree),
             obstacles: TreeSlot::Owned(obstacle_tree),
+        }
+    }
+
+    /// Wraps shared trees — the cheap-derived-epoch path of
+    /// [`crate::LiveScene`]: a mutation forks only the touched tree and
+    /// republish shares the untouched one by `Arc`, so publication cost is
+    /// proportional to what changed, not to the scene. A shared scene is
+    /// frozen: the in-place mutators return [`Error::FrozenScene`].
+    pub fn shared(
+        data_tree: Arc<RStarTree<DataPoint>>,
+        obstacle_tree: Arc<RStarTree<Rect>>,
+    ) -> Self {
+        Scene {
+            data: TreeSlot::Shared(data_tree),
+            obstacles: TreeSlot::Shared(obstacle_tree),
         }
     }
 
@@ -169,6 +207,66 @@ impl<'a> Scene<'a> {
     pub fn obstacles(&self) -> Vec<Rect> {
         self.obstacle_tree().iter_items().copied().collect()
     }
+
+    /// True when the scene owns both trees outright and may be mutated in
+    /// place; borrowed and shared scenes are frozen.
+    pub fn is_mutable(&self) -> bool {
+        matches!(self.data, TreeSlot::Owned(_)) && matches!(self.obstacles, TreeSlot::Owned(_))
+    }
+
+    fn frozen(&self, op: &str) -> Error {
+        let how = match (&self.data, &self.obstacles) {
+            (TreeSlot::Owned(_), slot) => slot.holding(),
+            (slot, _) => slot.holding(),
+        };
+        Error::frozen_scene(format!(
+            "cannot {op}: this scene {how} its trees, so repairing them in place would \
+             mutate (or silently clone) state the caller still holds; build the scene \
+             with an owning constructor (Scene::new / Scene::from_trees) to mutate it, \
+             or drive mutations through LiveScene"
+        ))
+    }
+
+    /// Inserts a data point by in-place R\*-tree repair. Owned scenes
+    /// only: borrowed/shared scenes return [`Error::FrozenScene`].
+    pub fn insert_site(&mut self, p: DataPoint) -> Result<(), Error> {
+        let Some(t) = self.data.tree_mut() else {
+            return Err(self.frozen("insert_site"));
+        };
+        t.insert(p);
+        Ok(())
+    }
+
+    /// Removes the data point at `pos` (exact coordinate match) by
+    /// in-place R\*-tree repair; `None` when no point sits there. Owned
+    /// scenes only: borrowed/shared scenes return [`Error::FrozenScene`].
+    pub fn remove_site(&mut self, pos: Point) -> Result<Option<DataPoint>, Error> {
+        let Some(t) = self.data.tree_mut() else {
+            return Err(self.frozen("remove_site"));
+        };
+        Ok(t.delete_by_mbr(&Rect::from_point(pos)))
+    }
+
+    /// Inserts an obstacle by in-place R\*-tree repair. Owned scenes only:
+    /// borrowed/shared scenes return [`Error::FrozenScene`].
+    pub fn insert_obstacle(&mut self, r: Rect) -> Result<(), Error> {
+        let Some(t) = self.obstacles.tree_mut() else {
+            return Err(self.frozen("insert_obstacle"));
+        };
+        t.insert(r);
+        Ok(())
+    }
+
+    /// Removes the obstacle matching `r` (exact coordinate match) by
+    /// in-place R\*-tree repair; `None` when no such obstacle exists.
+    /// Owned scenes only: borrowed/shared scenes return
+    /// [`Error::FrozenScene`].
+    pub fn remove_obstacle(&mut self, r: &Rect) -> Result<Option<Rect>, Error> {
+        let Some(t) = self.obstacles.tree_mut() else {
+            return Err(self.frozen("remove_obstacle"));
+        };
+        Ok(t.delete_by_mbr(r))
+    }
 }
 
 /// The unified execution handle: one typed front door for every query
@@ -233,6 +331,10 @@ pub struct ConnService<'a> {
     epochs: EpochCell<'a>,
     pool: EnginePool,
     shard_spec: Option<ShardSpec>,
+    /// Standing queries kept resident and patched per scene delta (see
+    /// [`crate::live`]). Justified lock: held per registry operation, never
+    /// across an epoch build.
+    standing: StandingRegistry, // lint:allow(no-interior-mutability-in-service)
 }
 
 impl<'a> ConnService<'a> {
@@ -250,6 +352,7 @@ impl<'a> ConnService<'a> {
             epochs: EpochCell::new(scene, None),
             pool: EnginePool::new(cfg),
             shard_spec: None,
+            standing: StandingRegistry::default(),
         }
     }
 
@@ -267,6 +370,7 @@ impl<'a> ConnService<'a> {
             epochs: EpochCell::new(scene, Some(spec)),
             pool: EnginePool::new(cfg),
             shard_spec: Some(spec),
+            standing: StandingRegistry::default(),
         }
     }
 
@@ -294,6 +398,68 @@ impl<'a> ConnService<'a> {
     /// last pin dropped) — the deferred-retirement ledger.
     pub fn retired_epochs(&self) -> u64 {
         self.epochs.retired()
+    }
+
+    /// [`ConnService::retired_epochs`] under the ledger's canonical name:
+    /// epochs whose last pin has dropped.
+    pub fn epochs_retired(&self) -> u64 {
+        self.epochs.retired()
+    }
+
+    /// Epochs still alive: the current one plus every published-over epoch
+    /// a reader still pins. Balances the ledger —
+    /// `epochs_live() == current_epoch() + 1 - epochs_retired()` (epoch
+    /// numbering starts at 0).
+    pub fn epochs_live(&self) -> u64 {
+        self.epochs.live()
+    }
+
+    /// Registers a standing query: executes it once against the current
+    /// epoch and keeps the result resident. Every
+    /// [`ConnService::publish_delta`] then patches the resident answer —
+    /// kept untouched when the delta falls outside the query's certificate
+    /// region, tuple-patched or kernel-patched when a surgical repair
+    /// applies, recomputed otherwise. Read the live answer back with
+    /// [`ConnService::standing`].
+    pub fn register(&self, query: Query) -> Result<StandingHandle, Error> {
+        let pin = self.pin();
+        let response = self.execute_at(&pin, &query)?;
+        Ok(self.standing.register(&pin, &self.cfg, query, response))
+    }
+
+    /// The resident answer of a standing query (`None` after
+    /// [`ConnService::unregister`], or for a foreign handle).
+    pub fn standing(&self, handle: &StandingHandle) -> Option<Answer> {
+        self.standing.answer(handle)
+    }
+
+    /// Number of standing queries currently resident.
+    pub fn standing_count(&self) -> usize {
+        self.standing.len()
+    }
+
+    /// Drops a standing query; true when the handle was resident.
+    pub fn unregister(&self, handle: StandingHandle) -> bool {
+        self.standing.unregister(handle)
+    }
+
+    /// Publishes `scene` as the next epoch *as a known single-mutation
+    /// delta*, then patches every standing query against the new epoch
+    /// (see [`ConnService::register`]). This is the live-scene publication
+    /// path ([`crate::LiveScene`] drives it); compared to
+    /// [`ConnService::publish`] + re-running every standing query, deltas
+    /// outside a query's certificate region cost nothing.
+    pub fn publish_delta(&self, scene: Scene<'a>, delta: &SceneDelta) -> (u64, PatchReport) {
+        let epoch = self.epochs.publish(scene, self.shard_spec);
+        let pin = self.pin();
+        let cfg = self.cfg;
+        // apply() returns the patch work's pooled QueryStats (with
+        // `delta_publishes = 1`), which with_engine folds into the pool's
+        // lifetime totals — the BENCH_live counter thread.
+        let (report, _stats) = self
+            .pool
+            .with_engine(|engine| self.standing.apply(engine, &pin, &cfg, delta));
+        (epoch, report)
     }
 
     /// The service's default configuration.
@@ -564,7 +730,7 @@ fn try_shard(
 /// entry, `d(t) = base + |cp − q(t)|` is convex in `t`, so the maximum
 /// over the entry's interval is at an endpoint. `None` when any stretch
 /// is unassigned (the shard saw no candidate — the full scene might).
-fn conn_dmax(res: &ConnResult, q: &Segment) -> Option<f64> {
+pub(crate) fn conn_dmax(res: &ConnResult, q: &Segment) -> Option<f64> {
     if res.entries().is_empty() {
         return None;
     }
@@ -581,7 +747,7 @@ fn conn_dmax(res: &ConnResult, q: &Segment) -> Option<f64> {
 
 /// Largest distance any of the k members reports anywhere on the segment
 /// (`None` when any stretch has fewer than `k` members in the shard).
-fn coknn_dmax(res: &CoknnResult, q: &Segment, k: usize) -> Option<f64> {
+pub(crate) fn coknn_dmax(res: &CoknnResult, q: &Segment, k: usize) -> Option<f64> {
     if res.entries().is_empty() {
         return None;
     }
@@ -601,7 +767,7 @@ fn coknn_dmax(res: &CoknnResult, q: &Segment, k: usize) -> Option<f64> {
 
 /// The k-th ONN distance (`None` when the shard found fewer than `k`
 /// reachable points).
-fn onn_dmax(v: &[(DataPoint, f64)], k: usize) -> Option<f64> {
+pub(crate) fn onn_dmax(v: &[(DataPoint, f64)], k: usize) -> Option<f64> {
     if v.len() < k {
         return None;
     }
@@ -619,7 +785,7 @@ fn onn_dmax(v: &[(DataPoint, f64)], k: usize) -> Option<f64> {
 /// `track_io = true` resets the scene trees' counters per query (the
 /// serial / free-function contract); `false` leaves them to be pooled at
 /// the batch level.
-fn dispatch(
+pub(crate) fn dispatch(
     engine: &mut QueryEngine,
     scene: &Scene<'_>,
     field: &[Rect],

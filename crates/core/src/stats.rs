@@ -91,6 +91,20 @@ pub struct ReuseCounters {
     /// shard-local attempt was discarded and the answer merged by running
     /// against the full scene. Zero on unsharded services.
     pub shard_merges: u64,
+    /// Settled Dijkstra labels dropped by surgical invalidation during
+    /// this query's window: labels whose witness paths a loaded obstacle
+    /// crossed (reseed) or that fell inside a removed obstacle's shadow
+    /// ellipse (the paths-only-shorten counterpart). Zero on cold starts.
+    pub labels_invalidated: u64,
+    /// Adjacency-cache ranges the visibility graph repaired or staled in
+    /// place during this query's window — incremental CSR surgery after a
+    /// live mutation, instead of a full rebuild.
+    pub adjacency_repairs: u64,
+    /// Scene deltas published through the epoch layer by the live-scene
+    /// mutation path ([`crate::LiveScene`]). Zero for plain queries; the
+    /// live subsystem accounts its publications here so BENCH reports can
+    /// amortize them per delta.
+    pub delta_publishes: u64,
 }
 
 impl ReuseCounters {
@@ -106,6 +120,9 @@ impl ReuseCounters {
         self.sweep_events += other.sweep_events;
         self.shard_local += other.shard_local;
         self.shard_merges += other.shard_merges;
+        self.labels_invalidated += other.labels_invalidated;
+        self.adjacency_repairs += other.adjacency_repairs;
+        self.delta_publishes += other.delta_publishes;
     }
 }
 

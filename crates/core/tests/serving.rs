@@ -100,10 +100,14 @@ fn pinned_reader_is_isolated_from_concurrent_publishes() {
         // epoch 0 is still pinned: every *other* published-over epoch has
         // retired, epoch 0 has not
         assert_eq!(service.retired_epochs(), published.saturating_sub(1));
+        assert_eq!(service.epochs_retired(), service.retired_epochs());
+        // the live ledger balances: pinned epoch 0 + the current epoch
+        assert_eq!(service.epochs_live(), 2);
     });
     assert_eq!(pin0.epoch(), 0);
     drop(pin0);
     assert!(service.retired_epochs() >= 1);
+    assert_eq!(service.epochs_live(), 1, "only the current epoch remains");
 }
 
 /// Satellite: per-worker counter pooling. Two batches racing on the same

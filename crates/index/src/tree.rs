@@ -65,6 +65,24 @@ impl<T: Mbr + Clone> RStarTree<T> {
         }
     }
 
+    /// A structural copy of this tree for copy-on-write mutation: pages,
+    /// root, fanout and length are cloned; access counters start at zero
+    /// and the LRU buffer starts empty (the fork is a *new* serving
+    /// artifact — live-scene deltas fork the shared tree, mutate the fork
+    /// in place, and publish it as the next epoch while readers keep the
+    /// original).
+    pub fn fork(&self) -> RStarTree<T> {
+        RStarTree {
+            pages: self.pages.clone(),
+            root: self.root,
+            max_entries: self.max_entries,
+            min_entries: self.min_entries,
+            len: self.len,
+            stats: PageStats::default(),
+            buffer: Mutex::new(LruBuffer::new(0)),
+        }
+    }
+
     /// Number of stored items.
     pub fn len(&self) -> usize {
         self.len

@@ -73,6 +73,14 @@ pub const RULES: &[RuleInfo] = &[
                   crate's Cargo.toml [features] table",
     },
     RuleInfo {
+        name: "no-full-rebuild-in-delta-path",
+        summary: "cold-build entry points (bulk_load, prepare_directed, VisGraph::new, \
+                  Scene::new) are banned in crates/core/src/live.rs — the delta path must \
+                  repair resident substrates in place and derive epochs by structural \
+                  sharing; construction-time cold builds need an inline lint:allow \
+                  justification",
+    },
+    RuleInfo {
         name: "lint-allow-hygiene",
         summary: "file-scoped allows (`lint:allow-file(rule): why`) must carry a \
                   non-empty justification after the closing paren",
@@ -249,6 +257,7 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     no_wallclock_in_kernels(ctx, &mut out);
     pub_api_documented(ctx, &mut out);
     feature_gate_hygiene(ctx, &mut out);
+    no_full_rebuild_in_delta_path(ctx, &mut out);
     out
 }
 
@@ -713,6 +722,69 @@ fn feature_gate_hygiene(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: no-full-rebuild-in-delta-path
+// ---------------------------------------------------------------------------
+
+/// Cold-build method calls the live delta path must never reach for.
+const COLD_BUILD_CALLS: &[&str] = &["bulk_load", "prepare_directed"];
+/// Substrate types whose `::new` constructor is a from-scratch cold build.
+const COLD_BUILD_CTORS: &[&str] = &["VisGraph", "Scene"];
+
+fn no_full_rebuild_in_delta_path(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    // The live-scene module's whole contract is surgical repair: its delta
+    // path may only mutate resident trees/graphs and derive epochs by
+    // structural sharing. Cold builds are construction-time only, and each
+    // must say so in an inline allow.
+    if ctx.rel_path != "crates/core/src/live.rs" {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `….bulk_load(` / `….prepare_directed(` — method or path calls.
+        if COLD_BUILD_CALLS.iter().any(|c| t.is_ident(c))
+            && i > 0
+            && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct("."))
+            && toks.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                "no-full-rebuild-in-delta-path",
+                &format!(
+                    "{}() rebuilds a substrate from scratch — the live delta path must \
+                     repair the resident tree/graph in place; a construction-time cold \
+                     build needs an inline `lint:allow` justification",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // `VisGraph::new(` / `Scene::new(` — cold constructors (Scene::shared
+        // and Scene::from_trees stay legal: they share, they don't rebuild).
+        if COLD_BUILD_CTORS.iter().any(|c| t.is_ident(c))
+            && toks.get(i + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_ident("new")).unwrap_or(false)
+            && toks.get(i + 3).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            ctx.diag(
+                out,
+                t.line,
+                "no-full-rebuild-in-delta-path",
+                &format!(
+                    "{}::new(…) builds a cold substrate — the live delta path must derive \
+                     epochs by structural sharing and in-place repair; a construction-time \
+                     cold build needs an inline `lint:allow` justification",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +932,29 @@ mod tests {
         let d = ctx_diags("crates/geom/src/sanitize.rs", src, &["sanitize-invariants"]);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("nope"));
+    }
+
+    #[test]
+    fn full_rebuild_flagged_only_in_live_module() {
+        let src = "fn f() { let t = RStarTree::bulk_load(items, 4096); \
+                   let g = VisGraph::new(cell); }\n";
+        let d = ctx_diags("crates/core/src/live.rs", src, &[]);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.code == "no-full-rebuild-in-delta-path"));
+        // Other files may cold-build freely.
+        assert!(ctx_diags("crates/core/src/service.rs", src, &[]).is_empty());
+        // Structural sharing is the blessed idiom, not a rebuild.
+        let shared = "fn f() { let s = Scene::shared(data, obstacles); }\n";
+        assert!(ctx_diags("crates/core/src/live.rs", shared, &[]).is_empty());
+        // Construction-time cold builds carry an inline justification.
+        let justified = "fn build() {\n\
+                         let g = VisGraph::new(cell); // lint:allow(no-full-rebuild-in-delta-path): construction-time\n\
+                         g.prepare();\n}\n";
+        assert!(ctx_diags("crates/core/src/live.rs", justified, &[]).is_empty());
+        // Test code is exempt (cold rebuilds are the oracle there).
+        let test_src = "#[cfg(test)]\nmod tests {\n  fn g() { \
+                        let s = Scene::new(points, obstacles); }\n}\n";
+        assert!(ctx_diags("crates/core/src/live.rs", test_src, &[]).is_empty());
     }
 
     #[test]

@@ -66,7 +66,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use conn_geom::{OrdF64, Point, Segment};
+use conn_geom::{OrdF64, Point, Rect, Segment};
 
 use crate::graph::{NodeId, VisGraph};
 
@@ -165,6 +165,9 @@ pub struct DijkstraEngine {
     reseeds: u64,
     /// Warm retargets served (labels re-keyed under a new goal).
     retargets: u64,
+    /// Labels dropped by reseed classification (lifetime; the
+    /// `labels_invalidated` metric of live-scene deltas).
+    labels_invalidated: u64,
     prepared: bool,
 }
 
@@ -276,6 +279,58 @@ impl DijkstraEngine {
     /// (`settled` doubles as the "witness still valid" marker during the
     /// pass).
     fn reseed(&mut self, g: &VisGraph) {
+        self.reseed_inner(g, None)
+    }
+
+    /// Warm restart after an obstacle **removal** — the "paths only
+    /// shorten" counterpart of the growth reseed behind
+    /// [`DijkstraEngine::ensure_prepared`].
+    ///
+    /// Removing a rectangle `R` can only *shorten* obstructed distances,
+    /// and any label that improves must route its new witness path through
+    /// `R`'s footprint: a path avoiding `R` entirely was already available
+    /// before the removal, so it cannot beat the old exact label. Any path
+    /// through `R` is at least `mindist(src, R) + mindist(u, R)` long
+    /// (each leg is at best a straight line to/from the crossing point).
+    /// A settled label with `mindist(src, R) + mindist(u, R) ≥ d(u)`
+    /// therefore cannot improve and is kept as exact; labels inside that
+    /// **shadow** are invalidated and re-discovered through ordinary
+    /// relaxation — as are the labels of the removed rectangle's own (now
+    /// dead) corner nodes and every label whose witness chain passes
+    /// through a dropped one.
+    ///
+    /// Contract: call immediately after `VisGraph::remove_obstacle` on the
+    /// same rectangle, with no other structural mutation in between (node
+    /// slots freed by the removal must not have been rebound — the
+    /// classification reads current node positions). Falls back to a cold
+    /// prepare when the engine holds no compatible search (different or
+    /// dead source, or never prepared).
+    pub fn reseed_after_removal(
+        &mut self,
+        g: &VisGraph,
+        src: NodeId,
+        goal: Goal,
+        removed: &Rect,
+    ) -> Prep {
+        if self.prepared && self.src == src && g.is_alive(src) && self.version <= g.version() {
+            self.reuses += 1;
+            self.goal = goal;
+            self.reseed_inner(g, Some(removed));
+            self.reseeds += 1;
+            return Prep::Reseeded;
+        }
+        self.prepare_directed(g, src, goal);
+        Prep::Cold
+    }
+
+    /// Lifetime count of labels dropped by reseed classification (growth
+    /// and removal passes). Monotone; callers diff marks per window, like
+    /// the other warm-path counters.
+    pub fn labels_invalidated(&self) -> u64 {
+        self.labels_invalidated
+    }
+
+    fn reseed_inner(&mut self, g: &VisGraph, removed: Option<&Rect>) {
         let n = g.capacity();
         if self.dist.len() < n {
             // newly added obstacle corners / point nodes
@@ -292,6 +347,8 @@ impl DijkstraEngine {
             self.mark_gen = 1;
         }
         let new_rects = g.rects_since(self.version);
+        // removal shadow: the source leg of the bound is loop-invariant
+        let shadow_src = removed.map(|r| r.mindist_point(g.node_pos(self.src)));
         let old_seeds = std::mem::take(&mut self.seeds);
         let old_log = std::mem::take(&mut self.settle_log);
         let mut kept: Vec<(u32, f64, u32)> = Vec::with_capacity(old_seeds.len() + old_log.len());
@@ -312,14 +369,29 @@ impl DijkstraEngine {
             let ok = if u == self.src.0 {
                 true
             } else {
-                p != NO_PRED && self.settled[p as usize] && {
+                let mut keep = p != NO_PRED && self.settled[p as usize] && {
                     let seg = Segment::new(g.node_pos(NodeId(p)), g.node_pos(NodeId(u)));
                     !new_rects.iter().any(|(_, r)| r.blocks(&seg))
+                };
+                if keep {
+                    if let (Some(r), Some(ds)) = (removed, shadow_src) {
+                        // dead nodes (the removed rect's corners) drop, and
+                        // a label inside the removal shadow may improve —
+                        // drop it too (conservatively, with float slack);
+                        // everything else is provably still exact
+                        keep = g.is_alive(NodeId(u)) && {
+                            let shadow = ds + r.mindist_point(g.node_pos(NodeId(u)));
+                            shadow > d + 1e-9 * d.max(1.0)
+                        };
+                    }
                 }
+                keep
             };
             self.settled[ui] = ok;
             if ok {
                 kept.push((u, d, p));
+            } else {
+                self.labels_invalidated += 1;
             }
         }
         self.dist.iter_mut().for_each(|d| *d = f64::INFINITY);
@@ -337,6 +409,9 @@ impl DijkstraEngine {
         self.settle_log.clear();
         self.cursor = 0;
         self.version = g.version();
+        // a removal advanced the shape epoch; the growth path holds it
+        // still, so the resync is a no-op there
+        self.shape_epoch = g.shape_epoch();
         self.bound = f64::INFINITY;
         self.tightened = false;
         self.seeds = kept;
@@ -896,6 +971,147 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
             }
         }
+    }
+
+    /// The removal reseed matches a cold start on the post-removal graph:
+    /// identical settlement set, bit-identical distances.
+    #[test]
+    fn removal_reseed_matches_cold_start() {
+        let gone = Rect::new(90.0, 0.0, 110.0, 100.0);
+        let stays = Rect::new(150.0, 20.0, 170.0, 90.0);
+
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        for i in 0..12 {
+            g.add_point(
+                Point::new((i * 31 % 210) as f64, (i * 17 % 90) as f64 - 20.0),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(gone);
+        g.add_obstacle(stays);
+        let mut warm = DijkstraEngine::default();
+        warm.ensure_prepared(&g, s, Goal::None, true);
+        warm.run_all(&mut g);
+
+        g.remove_obstacle(&gone).expect("live obstacle");
+        assert_eq!(
+            warm.reseed_after_removal(&g, s, Goal::None, &gone),
+            Prep::Reseeded
+        );
+        assert!(warm.labels_invalidated() > 0, "shadowed labels must drop");
+        warm.run_all(&mut g);
+
+        let mut cold = DijkstraEngine::default();
+        cold.prepare(&g, s);
+        cold.run_all(&mut g);
+        for v in g.node_ids() {
+            let (a, b) = (warm.settled_dist(v), cold.settled_dist(v));
+            assert_eq!(a.is_some(), b.is_some(), "settled set diverged at {v:?}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
+            }
+        }
+    }
+
+    /// The shadow bound is surgical: removing a far-away rectangle drops
+    /// only its own four (dead) corner labels — every label outside the
+    /// shadow survives as an exact seed.
+    #[test]
+    fn removal_shadow_bounds_invalidated_labels() {
+        let far = Rect::new(500.0, 0.0, 520.0, 40.0);
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 0..10 {
+            g.add_point(
+                Point::new((i * 13 % 120) as f64, (i * 29 % 100) as f64),
+                NodeKind::DataPoint,
+            );
+        }
+        g.add_obstacle(far);
+        let mut warm = DijkstraEngine::default();
+        warm.ensure_prepared(&g, s, Goal::None, true);
+        warm.run_all(&mut g);
+
+        let before = warm.labels_invalidated();
+        g.remove_obstacle(&far).unwrap();
+        assert_eq!(
+            warm.reseed_after_removal(&g, s, Goal::None, &far),
+            Prep::Reseeded
+        );
+        assert_eq!(
+            warm.labels_invalidated() - before,
+            4,
+            "only the dead corners are in the shadow of a far removal"
+        );
+        warm.run_all(&mut g);
+        let mut cold = DijkstraEngine::default();
+        cold.prepare(&g, s);
+        cold.run_all(&mut g);
+        for v in g.node_ids() {
+            assert_eq!(
+                warm.settled_dist(v).unwrap().to_bits(),
+                cold.settled_dist(v).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// Interleaved growth and removal reseeds across one warm engine keep
+    /// matching cold starts at every step.
+    #[test]
+    fn interleaved_growth_and_removal_reseeds_stay_exact() {
+        let r1 = Rect::new(60.0, 20.0, 90.0, 70.0);
+        let r2 = Rect::new(130.0, -20.0, 150.0, 55.0);
+        let r3 = Rect::new(40.0, -40.0, 70.0, 5.0);
+        let mut g = VisGraph::new(50.0);
+        let s = g.add_point(Point::new(0.0, 0.0), NodeKind::Endpoint);
+        for i in 0..9 {
+            g.add_point(
+                Point::new((i * 43 % 190) as f64, (i * 23 % 110) as f64 - 30.0),
+                NodeKind::DataPoint,
+            );
+        }
+        let mut warm = DijkstraEngine::default();
+        let check = |warm: &mut DijkstraEngine, g: &mut VisGraph| {
+            warm.run_all(g);
+            let mut cold = DijkstraEngine::default();
+            cold.prepare(g, warm.source());
+            cold.run_all(g);
+            for v in g.node_ids() {
+                let (a, b) = (warm.settled_dist(v), cold.settled_dist(v));
+                assert_eq!(a.is_some(), b.is_some(), "settled set diverged at {v:?}");
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "distance diverged at {v:?}");
+                }
+            }
+        };
+        assert_eq!(warm.ensure_prepared(&g, s, Goal::None, true), Prep::Cold);
+        check(&mut warm, &mut g);
+        g.add_obstacle(r1);
+        g.add_obstacle(r2);
+        assert_eq!(
+            warm.ensure_prepared(&g, s, Goal::None, true),
+            Prep::Reseeded
+        );
+        check(&mut warm, &mut g);
+        g.remove_obstacle(&r1).unwrap();
+        assert_eq!(
+            warm.reseed_after_removal(&g, s, Goal::None, &r1),
+            Prep::Reseeded
+        );
+        check(&mut warm, &mut g);
+        g.add_obstacle(r3);
+        assert_eq!(
+            warm.ensure_prepared(&g, s, Goal::None, true),
+            Prep::Reseeded
+        );
+        check(&mut warm, &mut g);
+        g.remove_obstacle(&r2).unwrap();
+        assert_eq!(
+            warm.reseed_after_removal(&g, s, Goal::None, &r2),
+            Prep::Reseeded
+        );
+        check(&mut warm, &mut g);
     }
 
     /// Node churn (a transient data point removed and re-added in the same

@@ -199,6 +199,10 @@ pub struct VisGraph {
     /// Scratch for visible-region candidate gathering (ids + rects).
     vr_ids: Vec<u32>,
     vr_rects: Vec<Rect>,
+    /// Lifetime count of surgical base-cache operations: incremental
+    /// repairs performed plus caches invalidated by obstacle removal.
+    /// Monotone across resets, like the sight-test counter.
+    adj_repairs: u64,
 }
 
 impl VisGraph {
@@ -235,6 +239,7 @@ impl VisGraph {
             combined: Vec::new(),
             vr_ids: Vec::new(),
             vr_rects: Vec::new(),
+            adj_repairs: 0,
         }
     }
 
@@ -302,9 +307,9 @@ impl VisGraph {
         self.node_pos.len()
     }
 
-    /// Number of obstacle rectangles loaded so far.
+    /// Number of live obstacle rectangles (loads minus removals).
     pub fn num_obstacles(&self) -> usize {
-        self.grid.len()
+        self.grid.num_live()
     }
 
     /// Monotone counter bumped by every structural change.
@@ -372,6 +377,15 @@ impl VisGraph {
     /// [`VisGraph::reset`]; callers diff marks per query window.
     pub fn sweep_events(&self) -> u64 {
         self.grid.sweep_events()
+    }
+
+    /// Lifetime count of surgical base-cache operations: incremental
+    /// repairs performed ([`VisGraph::neighbors_into_ranged`]'s repair
+    /// path) plus caches invalidated by [`VisGraph::remove_obstacle`].
+    /// Monotone across [`VisGraph::reset`]; callers diff marks per query
+    /// window, like [`VisGraph::sight_tests`].
+    pub fn adjacency_repairs(&self) -> u64 {
+        self.adj_repairs
     }
 
     /// How cache builds decide candidate visibility (plane-sweep vs
@@ -456,6 +470,85 @@ impl VisGraph {
         }
         self.rect_corners.push(ids.map(|id| id.0));
         ids
+    }
+
+    /// Removes a previously added obstacle, **surgically**: the grid slot
+    /// is tombstoned, the rectangle's four corner nodes die, and the only
+    /// base adjacency caches invalidated are those whose completeness
+    /// window intersects the removed rectangle.
+    ///
+    /// Why the window test is exact: a cache of node `u` with radius `ρ`
+    /// holds edges only to nodes inside the closed Chebyshev window
+    /// `[u ± ρ]` (the window-membership rule every constructor obeys). If
+    /// that window is disjoint from `r`, the cache (a) holds no edge to
+    /// the departed corners — they lie on `r`'s boundary, inside any
+    /// intersecting window — and (b) lost no blocked sight line to `r`:
+    /// both endpoints of every cached edge are in the convex window, so
+    /// the segment never leaves it and `r` could not have blocked it.
+    /// Such a cache stays byte-for-byte valid, which is what makes one
+    /// removal cost `O(caches near r)` instead of `O(all caches)`.
+    ///
+    /// `version` and `shape_epoch` advance — running searches must not
+    /// carry labels across a removal without the removal-aware reseed
+    /// (`DijkstraEngine::reseed_after_removal`, the "paths only shorten"
+    /// counterpart of the insertion lemma). `base_version` does **not**
+    /// advance: surviving caches are still exactly current. The rect-log
+    /// entry is retained (the sweep repair path maps log indices to grid
+    /// ids); it is harmless to survivors by the same disjointness
+    /// argument, and tombstoned grid ids are filtered out wherever id
+    /// ranges are synthesized.
+    ///
+    /// `r` must coordinate-match a live obstacle exactly (callers hand
+    /// back the rectangle they inserted). Returns the number of adjacency
+    /// caches invalidated, or `None` when no live obstacle matches.
+    pub fn remove_obstacle(&mut self, r: &Rect) -> Option<u64> {
+        let gid = (0..self.grid.len() as u32).rev().find(|&id| {
+            self.grid.is_live(id) && {
+                let s = self.grid.rects()[id as usize];
+                s.min_x == r.min_x && s.min_y == r.min_y && s.max_x == r.max_x && s.max_y == r.max_y
+            }
+        })?;
+        self.grid.remove(gid);
+        self.version += 1;
+        self.shape_epoch += 1;
+        let corners = self.rect_corners[gid as usize];
+        for cid in corners {
+            let i = cid as usize;
+            debug_assert!(self.node_alive[i], "obstacle corner already dead");
+            debug_assert_eq!(self.node_kind[i], NodeKind::ObstacleVertex);
+            self.node_alive[i] = false;
+            self.free.push(cid);
+        }
+        // dead corners must not resurface through cache repair's
+        // node-append pass
+        self.node_log.retain(|&(_, nid)| !corners.contains(&nid));
+        let mut dropped = 0_u64;
+        for i in 0..self.adj.len() {
+            let m = self.adj[i];
+            if m.version == STALE || i >= self.node_alive.len() || !self.node_alive[i] {
+                continue;
+            }
+            let hit = if m.radius.is_finite() {
+                let upos = self.node_pos[i];
+                let window = Rect::new(
+                    upos.x - m.radius,
+                    upos.y - m.radius,
+                    upos.x + m.radius,
+                    upos.y + m.radius,
+                );
+                window.intersects(r)
+            } else {
+                true
+            };
+            if hit {
+                self.retire_range(i);
+                self.adj[i].version = STALE;
+                self.adj[i].radius = 0.0;
+                dropped += 1;
+            }
+        }
+        self.adj_repairs += dropped;
+        Some(dropped)
     }
 
     fn push_node(&mut self, pos: Point, kind: NodeKind) -> NodeId {
@@ -687,6 +780,7 @@ impl VisGraph {
     /// the rebuild/repair/extension history; radius growth can then test
     /// just the annulus (see [`VisGraph::extend_base_cache`]).
     fn repair_base_cache(&mut self, ui: usize) {
+        self.adj_repairs += 1;
         let upos = self.node_pos[ui];
         let m = self.adj[ui];
         let (start, len) = (m.start as usize, m.len as usize);
@@ -703,7 +797,9 @@ impl VisGraph {
             let mut cand_pos = std::mem::take(&mut self.cand_pos);
             let mut vis = std::mem::take(&mut self.cand_vis);
             rect_ids.clear();
-            rect_ids.extend(rect_from as u32..self.rect_log.len() as u32);
+            rect_ids.extend(
+                (rect_from as u32..self.rect_log.len() as u32).filter(|&id| self.grid.is_live(id)),
+            );
             cand_pos.clear();
             for r in start..start + len {
                 cand_pos.push(self.node_pos[self.adj_targets[r] as usize]);
@@ -847,10 +943,10 @@ impl VisGraph {
                 cand_pos.push(vpos);
             }
         } else {
-            // infinite radius: every obstacle can block, every stable node
-            // is a candidate
+            // infinite radius: every live obstacle can block, every stable
+            // node is a candidate (tombstoned grid ids are skipped)
             rect_ids.clear();
-            rect_ids.extend(0..self.grid.len() as u32);
+            rect_ids.extend((0..self.grid.len() as u32).filter(|&id| self.grid.is_live(id)));
             for vi in 0..self.node_pos.len() {
                 if vi == ui || !self.node_alive[vi] || self.node_kind[vi] == NodeKind::DataPoint {
                     continue;
@@ -1236,6 +1332,97 @@ mod tests {
         let after: Vec<(u32, f64)> = g.neighbors(a).to_vec();
         assert_eq!(before, after);
         assert!(!after.iter().any(|e| e.0 == p.0));
+    }
+
+    #[test]
+    fn remove_obstacle_restores_sight_and_kills_corners() {
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let b = g.add_point(Point::new(200.0, 50.0), NodeKind::Endpoint);
+        let r = Rect::new(90.0, 0.0, 110.0, 100.0);
+        let corners = g.add_obstacle(r);
+        let blocked: Vec<u32> = g.neighbors(a).iter().map(|e| e.0).collect();
+        assert!(!blocked.contains(&b.0));
+
+        let se = g.shape_epoch();
+        let dropped = g.remove_obstacle(&r).expect("live obstacle");
+        assert!(dropped >= 1, "a's cache intersects the rect");
+        assert!(g.shape_epoch() > se, "removal must advance the shape epoch");
+        assert_eq!(g.num_obstacles(), 0);
+        for c in corners {
+            assert!(!g.is_alive(c), "corner {c:?} must die with its rect");
+        }
+        assert!(g.nodes_visible(a, b));
+        assert_eq!(g.neighbors(a), &[(b.0, 200.0)]);
+        assert!(g.remove_obstacle(&r).is_none(), "double removal is None");
+    }
+
+    #[test]
+    fn removal_is_surgical_about_cache_windows() {
+        let mut g = graph();
+        let near = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        let far = g.add_point(Point::new(5000.0, 5000.0), NodeKind::Endpoint);
+        let r = Rect::new(90.0, 0.0, 110.0, 100.0);
+        g.add_obstacle(r);
+        let mut out = Vec::new();
+        g.neighbors_into_ranged(near, &mut out, |_, _| true, 300.0);
+        out.clear();
+        g.neighbors_into_ranged(far, &mut out, |_, _| true, 100.0);
+        let far_version = g.adj[far.index()].version;
+        assert_ne!(far_version, STALE);
+
+        let dropped = g.remove_obstacle(&r).unwrap();
+        assert_eq!(dropped, 1, "only the window intersecting the rect drops");
+        assert_eq!(g.adj[near.index()].version, STALE);
+        assert_eq!(
+            g.adj[far.index()].version,
+            far_version,
+            "the far cache must survive removal byte-for-byte"
+        );
+        assert!(g.adjacency_repairs() >= 1);
+    }
+
+    #[test]
+    fn interleaved_add_remove_matches_cold_graph() {
+        // edge sets compare by (target position, weight): node ids differ
+        // between the mutated and the cold-built graph
+        fn edge_set(g: &mut VisGraph, u: NodeId) -> Vec<(u64, u64, u64)> {
+            let mut v: Vec<(u64, u64, u64)> = g
+                .neighbors(u)
+                .to_vec()
+                .iter()
+                .map(|&(t, w)| {
+                    let p = g.node_pos(NodeId(t));
+                    (p.x.to_bits(), p.y.to_bits(), w.to_bits())
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        }
+        let rects = [
+            Rect::new(90.0, 0.0, 110.0, 100.0),
+            Rect::new(150.0, 20.0, 170.0, 90.0),
+            Rect::new(40.0, 40.0, 60.0, 140.0),
+            Rect::new(100.0, 120.0, 130.0, 160.0),
+        ];
+        let mut g = graph();
+        let a = g.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        g.add_obstacle(rects[0]);
+        g.add_obstacle(rects[1]);
+        let _ = g.neighbors(a); // build a cache mid-history
+        g.remove_obstacle(&rects[0]).unwrap();
+        g.add_obstacle(rects[2]);
+        let _ = g.neighbors(a);
+        g.add_obstacle(rects[3]);
+        g.remove_obstacle(&rects[2]).unwrap();
+        // final state: rects[1] and rects[3]
+        let mutated = edge_set(&mut g, a);
+
+        let mut cold = graph();
+        let ca = cold.add_point(Point::new(0.0, 50.0), NodeKind::Endpoint);
+        cold.add_obstacle(rects[1]);
+        cold.add_obstacle(rects[3]);
+        assert_eq!(mutated, edge_set(&mut cold, ca));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //!   (persistent warm workers) and [`Admission`] (front-door queue that
 //!   coalesces single queries into batches, rejecting with
 //!   [`Error::Overloaded`] under backpressure);
+//! * the **live-scene layer**: [`LiveScene`] (in-place R\*-tree mutation
+//!   published as cheap derived epochs, a [`SceneDelta`] per edit),
+//!   standing queries ([`ConnService::register`] →
+//!   [`StandingHandle`]) patched per delta under kinetic-style
+//!   certificate regions with a [`PatchReport`] accounting for every
+//!   kept / tuple-patched / kernel-patched / recomputed answer;
 //! * the legacy free functions at the root ([`conn_search`],
 //!   [`coknn_search`], the single-tree variants, baselines) — thin
 //!   wrappers over the service, answering byte-identically;
@@ -94,15 +100,16 @@ pub use conn_vgraph as vgraph;
 
 pub use conn_core::baseline;
 pub use conn_core::{
-    build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
-    conn_search, conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair,
+    answers_equivalent, build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree,
+    conn_batch, conn_search, conn_search_single_tree, naive_conn_by_onn, obstructed_closest_pair,
     obstructed_distance, obstructed_edistance_join, obstructed_path, obstructed_range_search,
     obstructed_rnn, obstructed_route, onn_search, trajectory_coknn_search, trajectory_conn_batch,
     trajectory_conn_search, visible_knn, Admission, AdmissionConfig, Answer, BatchStats,
     CoknnResult, ConnConfig, ConnResult, ConnService, ControlPoint, DataPoint, EnginePool, Error,
-    PinnedEpoch, Query, QueryBuilder, QueryEngine, QueryKind, QueryStats, Response, ResultEntry,
-    ResultList, ReuseCounters, Scene, SceneEpoch, Shard, ShardSet, ShardSpec, SpatialObject,
-    SweepMode, Ticket, Trajectory, TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
+    LiveScene, PatchReport, PinnedEpoch, Query, QueryBuilder, QueryEngine, QueryKind, QueryStats,
+    Response, ResultEntry, ResultList, ReuseCounters, Scene, SceneDelta, SceneEpoch, Shard,
+    ShardSet, ShardSpec, SpatialObject, StandingHandle, SweepMode, Ticket, Trajectory,
+    TrajectoryCoknnSession, TrajectoryResult, TrajectorySession,
 };
 
 /// Everything a typical user needs, in one import.
@@ -111,9 +118,9 @@ pub mod prelude {
         build_unified_tree, coknn_batch, coknn_search, coknn_search_single_tree, conn_batch,
         conn_search, conn_search_single_tree, obstructed_distance, obstructed_range_search,
         obstructed_rnn, onn_search, trajectory_conn_search, Admission, AdmissionConfig, Answer,
-        BatchStats, CoknnResult, ConnConfig, ConnResult, ConnService, DataPoint, Error,
-        PinnedEpoch, Query, QueryEngine, QueryStats, Response, ReuseCounters, Scene, SceneEpoch,
-        ShardSpec, Ticket, Trajectory, TrajectorySession,
+        BatchStats, CoknnResult, ConnConfig, ConnResult, ConnService, DataPoint, Error, LiveScene,
+        PatchReport, PinnedEpoch, Query, QueryEngine, QueryStats, Response, ReuseCounters, Scene,
+        SceneDelta, SceneEpoch, ShardSpec, StandingHandle, Ticket, Trajectory, TrajectorySession,
     };
     pub use conn_geom::{Interval, Point, Rect, Segment};
     pub use conn_index::{RStarTree, DEFAULT_PAGE_SIZE};
